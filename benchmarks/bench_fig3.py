@@ -1,0 +1,59 @@
+"""Fig. 3: reconfiguration time vs RP (bitstream) size.
+
+The paper's series rises to a measured maximum of 398.1 MB/s as the
+fixed software/IRQ overhead amortizes over larger bitstreams, with the
+reference PB (650 892 B) completing in 1651 us.
+"""
+
+import pytest
+
+from repro.eval.figures import fig3_series
+
+
+def test_fig3(once, benchmark):
+    series = once(fig3_series)
+    print("\n" + series.render())
+
+    points = {p.name: p for p in series.points}
+    benchmark.extra_info.update({
+        "paper_max_mb_s": 398.1,
+        "measured_max_mb_s": round(series.max_throughput_mb_s, 2),
+        "paper_ref_tr_us": 1651.0,
+        "measured_ref_tr_us": round(points["rp_ref"].tr_us, 1),
+        "series": [
+            (p.name, p.pbit_bytes, round(p.tr_us, 1),
+             round(p.throughput_mb_s, 2))
+            for p in series.points
+        ],
+    })
+
+    # shape: time grows monotonically with size, throughput saturates
+    sizes = [p.pbit_bytes for p in series.points]
+    times = [p.tr_us for p in series.points]
+    tputs = [p.throughput_mb_s for p in series.points]
+    assert sizes == sorted(sizes) and times == sorted(times)
+    assert tputs == sorted(tputs)
+
+    # anchors: the reference point and the measured maximum
+    assert points["rp_ref"].tr_us == pytest.approx(1651.0, abs=1.0)
+    assert points["rp_ref"].pbit_bytes == 650_892
+    assert series.max_throughput_mb_s == pytest.approx(398.1, abs=0.3)
+    # every point stays below the 400 MB/s ICAP ceiling
+    assert all(p.throughput_mb_s < 400.0 for p in series.points)
+
+
+def test_fig3_hwicap_series(once, benchmark):
+    """The same sweep through the HWICAP baseline (smaller sizes —
+    the CPU-copy path is ~50x slower): throughput is essentially flat
+    because the per-word software cost dominates any fixed overhead."""
+    from repro.eval.scenarios import fig3_geometries
+    from repro.eval.throughput import measure_size_sweep
+
+    def run():
+        return measure_size_sweep(fig3_geometries()[:3], controller="hwicap")
+    points = once(run)
+    tputs = [p.throughput_mb_s for p in points]
+    benchmark.extra_info["series"] = [
+        (p.name, p.pbit_bytes, round(p.throughput_mb_s, 2)) for p in points]
+    assert max(tputs) / min(tputs) < 1.02  # flat: software-bound
+    assert all(7.0 < t < 9.0 for t in tputs)  # near the 8.23 MB/s mark

@@ -1,0 +1,45 @@
+"""Table I: RV-CAP vs AXI_HWICAP — resources and throughput.
+
+Paper values: RV-CAP 398.1 MB/s (RP ctrl + AXI modules = 420/909/0,
+DMA = 1897/3044/6); AXI_HWICAP 8.23 MB/s (AXI modules = 909/964/0,
+IP = 468/1236/2).
+"""
+
+from repro.eval.tables import table1
+
+PAPER = {
+    "rvcap_tput": 398.1,
+    "hwicap_tput": 8.23,
+    "rvcap_resources": (2317, 3953, 6),
+    "hwicap_resources": (1377, 2200, 2),
+}
+
+
+def test_table1(once, benchmark):
+    table = once(lambda: table1())
+    rvcap = table.throughput("RV-CAP")
+    hwicap = table.throughput("AXI_HWICAP")
+
+    rvcap_res = (table.rows[0].resources + table.rows[1].resources)
+    hwicap_res = (table.rows[2].resources + table.rows[3].resources)
+
+    benchmark.extra_info.update({
+        "paper_rvcap_mb_s": PAPER["rvcap_tput"],
+        "measured_rvcap_mb_s": round(rvcap, 2),
+        "paper_hwicap_mb_s": PAPER["hwicap_tput"],
+        "measured_hwicap_mb_s": round(hwicap, 2),
+        "rvcap_luts_ffs_brams": (rvcap_res.luts, rvcap_res.ffs,
+                                 rvcap_res.brams),
+        "hwicap_luts_ffs_brams": (hwicap_res.luts, hwicap_res.ffs,
+                                  hwicap_res.brams),
+    })
+    print("\n" + table.render())
+
+    assert abs(rvcap - PAPER["rvcap_tput"]) / PAPER["rvcap_tput"] < 0.01
+    assert abs(hwicap - PAPER["hwicap_tput"]) / PAPER["hwicap_tput"] < 0.03
+    assert (rvcap_res.luts, rvcap_res.ffs, rvcap_res.brams) \
+        == PAPER["rvcap_resources"]
+    assert (hwicap_res.luts, hwicap_res.ffs, hwicap_res.brams) \
+        == PAPER["hwicap_resources"]
+    # the headline qualitative result: a ~48x throughput gap
+    assert 40 < rvcap / hwicap < 60

@@ -1,0 +1,50 @@
+"""Table III: full-SoC resource utilization with the RM breakdown.
+
+Paper values: Full SoC 74393/64059/92/47; Ariane 39940/22500/36/27;
+peripherals 28832/31404/20/0; RV-CAP 2421/3755/6/0; RP 3200/6400/30/20;
+plus per-RM utilization percentages of the RP.
+"""
+
+import pytest
+
+from repro.eval.tables import table3
+
+PAPER_ROWS = {
+    "Full SoC": (74393, 64059, 92, 47),
+    "Ariane Core": (39940, 22500, 36, 27),
+    "Peripherals & Boot Mem.": (28832, 31404, 20, 0),
+    "RV-CAP controller": (2421, 3755, 6, 0),
+    "RP": (3200, 6400, 30, 20),
+}
+
+
+def test_table3(once, benchmark):
+    table = once(table3)
+    print("\n" + table.render())
+
+    measured = {}
+    for name, paper in PAPER_ROWS.items():
+        row = table.component(name)
+        got = (row.resources.luts, row.resources.ffs,
+               row.resources.brams, row.resources.dsps)
+        measured[name] = got
+        assert got == paper, name
+    benchmark.extra_info["rows"] = {k: list(v) for k, v in measured.items()}
+
+    # RM percentage-of-RP columns (Table III footnote)
+    gaussian = table.component("RM: Gaussian").rp_utilization
+    assert gaussian["luts"] == pytest.approx(28.15, abs=0.05)
+    assert gaussian["brams"] == pytest.approx(13.33, abs=0.05)
+    median = table.component("RM: Median").rp_utilization
+    assert median["luts"] == pytest.approx(72.65, abs=0.05)
+    sobel = table.component("RM: Sobel").rp_utilization
+    assert sobel["luts"] == pytest.approx(57.18, abs=0.05)
+    assert sobel["ffs"] == pytest.approx(50.37, abs=0.05)
+    # note: the paper prints Sobel DSP as "0.8%"; 16 of 20 DSPs is 80%
+    # (documented as a paper typo in EXPERIMENTS.md)
+    assert sobel["dsps"] == pytest.approx(80.0, abs=0.1)
+
+    # Sec. IV-D: the controller consumes ~3.25% of SoC LUTs
+    soc = table.component("Full SoC").resources
+    rvcap = table.component("RV-CAP controller").resources
+    assert 100 * rvcap.luts / soc.luts == pytest.approx(3.25, abs=0.1)

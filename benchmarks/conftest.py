@@ -1,0 +1,23 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one of the paper's tables or figures from a
+live simulation and attaches paper-vs-measured values via
+``benchmark.extra_info`` so the JSON output doubles as the
+EXPERIMENTS.md data source.  Regenerations are seconds-long full-system
+runs, so rounds are pinned to 1 (the simulations are deterministic —
+there is no run-to-run variance to average away).
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture()
+def once(benchmark):
+    def runner(fn):
+        return run_once(benchmark, fn)
+    return runner

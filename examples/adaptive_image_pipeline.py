@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""The Sec. IV-D case study: an adaptive image-processing pipeline.
+
+Streams a 512x512 grayscale scene through the three reconfigurable
+filters — swapping the hardware in the RP between runs — verifies each
+output against the golden software filter, regenerates Table IV, and
+writes the images as PGM files for inspection.
+
+Run:  python examples/adaptive_image_pipeline.py [output_dir]
+"""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro import ReconfigurationManager, build_soc
+from repro.accel import GOLDEN_FILTERS, scene_image
+
+
+def write_pgm(path: Path, image: np.ndarray) -> None:
+    """Write a binary PGM (viewable with any image tool)."""
+    height, width = image.shape
+    with open(path, "wb") as fh:
+        fh.write(f"P5\n{width} {height}\n255\n".encode())
+        fh.write(image.tobytes())
+
+
+def main() -> None:
+    out_dir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("pipeline_out")
+    out_dir.mkdir(exist_ok=True)
+
+    soc = build_soc()
+    manager = ReconfigurationManager(soc)
+    manager.provision_sdcard()
+    manager.init_rmodules()
+
+    image = scene_image(512)
+    write_pgm(out_dir / "input.pgm", image)
+    print(f"input scene written to {out_dir / 'input.pgm'}")
+
+    header = (f"{'Accelerator':12} {'Td (us)':>9} {'Tr (us)':>9} "
+              f"{'Tc (us)':>9} {'Tex (us)':>9}  golden")
+    print("\n" + header)
+    print("-" * len(header))
+    for name in ("gaussian", "median", "sobel"):
+        manager.loaded_module = None  # force a reconfiguration per row
+        output, t = manager.process_image(name, image)
+        matches = np.array_equal(output, GOLDEN_FILTERS[name](image))
+        write_pgm(out_dir / f"{name}.pgm", output)
+        print(f"{name:12} {t.td_us:>9.1f} {t.tr_us:>9.1f} "
+              f"{t.tc_us:>9.1f} {t.tex_us:>9.1f}  "
+              f"{'bit-exact' if matches else 'MISMATCH'}")
+
+    print(f"""
+paper Table IV:   Gaussian 18/1651/606/2275, Median 18/1651/598/2267,
+                  Sobel 18/1651/588/2257 (us)
+outputs in {out_dir}/ — reconfiguration dominates compute for these
+filters, as the paper's closing observation anticipates.
+simulated time: {soc.sim.now_us / 1000:.2f} ms across {soc.icap.reconfigurations_completed} reconfigurations
+""")
+
+
+if __name__ == "__main__":
+    main()

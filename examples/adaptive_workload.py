@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Closed-loop adaptive processing: the paper's motivating scenario.
+
+The introduction motivates DPR with "high workload dynamic
+applications" that exchange hardware functions at runtime. This example
+plays that out: a stream of frames with changing characteristics
+arrives; a small policy inspects each frame and reconfigures the RP
+with the right filter only when the workload actually changes —
+denoising (median) for salt-and-pepper frames, smoothing (gaussian) for
+sensor noise, edge extraction (sobel) for clean frames. The manager's
+module caching means reconfiguration cost is paid only at workload
+boundaries.
+
+Run:  python examples/adaptive_workload.py
+"""
+
+import numpy as np
+
+from repro import ReconfigurationManager, build_soc
+from repro.accel import GOLDEN_FILTERS, noise_image, scene_image
+
+
+def classify(image: np.ndarray) -> str:
+    """A toy workload classifier (software, runs on the host side)."""
+    extremes = np.count_nonzero((image < 5) | (image > 250)) / image.size
+    if extremes > 0.05:
+        return "median"      # salt-and-pepper: denoise
+    if image.std() < 40:
+        return "gaussian"    # low-contrast sensor noise: smooth
+    return "sobel"           # structured content: extract edges
+
+
+def main() -> None:
+    soc = build_soc()
+    manager = ReconfigurationManager(soc)
+    manager.provision_sdcard()
+    manager.init_rmodules()
+
+    # a frame sequence whose workload changes twice
+    frames = (
+        [("noisy", noise_image(512, seed=s)) for s in range(3)]
+        + [("smooth", (scene_image(512) // 4 + 96).astype(np.uint8))] * 2
+        + [("edges", scene_image(512, seed=s)) for s in (7, 8, 9)]
+    )
+
+    print(f"{'frame':>5} {'kind':8} {'filter':9} {'reconfig':>9} "
+          f"{'Tc (us)':>8} {'Tex (us)':>9}  golden")
+    total_us = 0.0
+    reconfigurations = 0
+    for index, (kind, image) in enumerate(frames):
+        choice = classify(image)
+        output, t = manager.process_image(choice, image)
+        reconfigured = t.tr_us > 0
+        reconfigurations += int(reconfigured)
+        total_us += t.tex_us
+        ok = np.array_equal(output, GOLDEN_FILTERS[choice](image))
+        print(f"{index:>5} {kind:8} {choice:9} "
+              f"{'yes' if reconfigured else '-':>9} {t.tc_us:>8.1f} "
+              f"{t.tex_us:>9.1f}  {'ok' if ok else 'FAIL'}")
+
+    print(f"""
+{len(frames)} frames, {reconfigurations} reconfigurations (one per
+workload change, not per frame — the manager caches the loaded module).
+total accelerator time: {total_us / 1000:.2f} ms; a reconfiguration
+costs 1.67 ms, so amortization across a workload phase is what makes
+DPR viable here — the paper's closing observation, quantified.""")
+
+
+if __name__ == "__main__":
+    main()

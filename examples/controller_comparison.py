@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""RV-CAP vs AXI_HWICAP: why the DMA controller wins by ~48x.
+
+Reproduces the Sec. IV-B comparison: the HWICAP baseline's CPU-driven
+copy loop (run as real RISC-V firmware on the ISS, at several unroll
+factors) against the RV-CAP DMA path, on the same bitstream.
+
+Run:  python examples/controller_comparison.py
+"""
+
+from repro.eval.figures import unroll_sweep
+from repro.eval.scenarios import make_test_bitstream
+from repro.eval.throughput import measure_reconfiguration
+
+
+def main() -> None:
+    pbit = make_test_bitstream().to_bytes()
+    print(f"test bitstream: {len(pbit)} bytes "
+          f"(reduced from the 650 892-byte reference; the CPU-copy "
+          f"throughput is size-insensitive)\n")
+
+    print("AXI_HWICAP with RV64GC — Listing 2 as firmware on the ISS:")
+    sweep = unroll_sweep((1, 2, 4, 8, 16, 32))
+    print(sweep.render())
+    print("paper: 4.16 MB/s rolled, 8.23 MB/s at 16x, <5% beyond\n")
+
+    print("RV-CAP — DMA-driven, non-blocking mode:")
+    rvcap = measure_reconfiguration(pbit, controller="rvcap")
+    print(f"  Tr = {rvcap.tr_us:.1f} us -> {rvcap.throughput_mb_s:.1f} MB/s "
+          f"(ICAP ceiling: 400 MB/s)")
+
+    ratio = rvcap.throughput_mb_s / sweep.point(16).throughput_mb_s
+    print(f"""
+RV-CAP / HWICAP(16x) speedup on this bitstream: {ratio:.1f}x
+The gap is architectural: every HWICAP word costs the CPU a full
+non-speculative store into non-cacheable space (~49 cycles/word after
+unrolling), while the RV-CAP DMA keeps the ICAP's 4-byte-per-cycle port
+saturated and lets the core sleep in wfi.
+""")
+
+
+if __name__ == "__main__":
+    main()

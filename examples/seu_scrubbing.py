@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""SEU scrubbing: detect and repair configuration upsets via readback.
+
+Builds on the configuration R/W access of Sec. III-C: after loading the
+Sobel module, this example injects single-event upsets into the
+configuration memory (as radiation would), runs a scrub pass that reads
+every frame back, pinpoints the corrupted ones, rewrites them from the
+golden payload, and verifies the partition is clean again.
+
+Run:  python examples/seu_scrubbing.py
+"""
+
+from repro import ReconfigurationManager, build_soc
+from repro.fpga.scrubber import FrameScrubber, inject_seu
+
+
+def main() -> None:
+    soc = build_soc()
+    manager = ReconfigurationManager(soc)
+    manager.provision_sdcard()
+    manager.init_rmodules()
+    manager.load_module("sobel")
+    print(f"loaded 'sobel' into the RP ({soc.rp.frames} frames)")
+
+    golden = soc.bitgen.frame_payload(soc.rp, soc.module("sobel"))
+    scrubber = FrameScrubber(soc.rp, golden)
+    cm = soc.config_memory
+    read = lambda far, count: cm.read_frames(far, count)
+    write = lambda far, words: cm.write_frames(far, words)
+
+    report = scrubber.scrub(read, write)
+    print(f"baseline scrub: {report.frames_checked} frames checked, "
+          f"clean = {report.clean}")
+
+    print("\ninjecting 5 single-event upsets at random frames...")
+    import random
+    rng = random.Random(2021)
+    for _ in range(5):
+        index = rng.randrange(soc.rp.frames)
+        far = soc.rp.base_far.advance(index)
+        inject_seu(cm, far, word_index=rng.randrange(101),
+                   bit=rng.randrange(32))
+        print(f"  flipped a bit in frame {index} (FAR {far.encode():#010x})")
+
+    report = scrubber.scrub(read, write)
+    print(f"\nscrub pass 2: {report.frames_corrupted} corrupted frames "
+          f"found, {report.frames_repaired} repaired")
+    for far in report.corrupted_fars:
+        print(f"  repaired FAR {far:#010x}")
+
+    final = scrubber.scrub(read, write)
+    print(f"\nscrub pass 3 (verification): clean = {final.clean}")
+    print("the accelerator's configuration is restored without a full "
+          "reconfiguration — one frame rewrite per upset instead of "
+          f"{soc.rp.frames} frames.")
+
+
+if __name__ == "__main__":
+    main()

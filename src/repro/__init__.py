@@ -1,0 +1,43 @@
+"""RV-CAP: dynamic partial reconfiguration for FPGA-based RISC-V SoCs.
+
+A full-system simulation reproduction of *"RV-CAP: Enabling Dynamic
+Partial Reconfiguration for FPGA-Based RISC-V System-on-Chip"* (Charaf
+et al., 2021): the RV-CAP DPR controller and its software drivers, the
+AXI_HWICAP baseline, an RV64IMAC instruction-set simulator standing in
+for the CVA6 (Ariane) core, a 7-series-style configuration fabric with
+a real bitstream format and ICAP model, SD-card/FAT32 storage, and the
+adaptive image-processing case study.
+
+Quickstart::
+
+    from repro import build_soc, ReconfigurationManager
+    from repro.accel import scene_image
+
+    soc = build_soc()
+    manager = ReconfigurationManager(soc)
+    manager.provision_sdcard()
+    manager.init_rmodules()
+    output, times = manager.process_image("sobel", scene_image())
+    print(times)  # Td / Tr / Tc / Tex, as in Table IV
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured results of every table and figure.
+"""
+
+from repro.drivers.manager import ExecutionTimes, ReconfigurationManager
+from repro.drivers.rvcap_driver import ReconfigResult
+from repro.soc.builder import build_soc
+from repro.soc.config import MemoryLayout, SocConfig, TimingParams
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "build_soc",
+    "ReconfigurationManager",
+    "ExecutionTimes",
+    "ReconfigResult",
+    "SocConfig",
+    "MemoryLayout",
+    "TimingParams",
+    "__version__",
+]

@@ -1,0 +1,51 @@
+"""Synthetic test-image generation for the case study.
+
+The paper processes 512x512 8-bit grayscale images; since the original
+inputs are not published, these generators produce deterministic images
+with enough structure (edges, gradients, noise) that the three filters
+produce visibly different, non-trivial outputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+DEFAULT_SIZE = 512
+
+
+def gradient_image(size: int = DEFAULT_SIZE) -> np.ndarray:
+    """Diagonal gradient: smooth input, exercises rounding paths."""
+    row = np.arange(size, dtype=np.uint32)
+    image = (row[None, :] + row[:, None]) * 255 // (2 * (size - 1))
+    return image.astype(np.uint8)
+
+
+def checkerboard_image(size: int = DEFAULT_SIZE, tile: int = 16) -> np.ndarray:
+    """High-contrast tiling: exercises edge responses."""
+    row = (np.arange(size) // tile) % 2
+    board = row[None, :] ^ row[:, None]
+    return (board * 255).astype(np.uint8)
+
+
+def noise_image(size: int = DEFAULT_SIZE, seed: int = 2021) -> np.ndarray:
+    """Salt-and-pepper over mid-gray: the median filter's home turf."""
+    rng = np.random.default_rng(seed)
+    image = np.full((size, size), 128, dtype=np.uint8)
+    coords = rng.integers(0, size, size=(2, size * size // 10))
+    values = rng.choice([0, 255], size=coords.shape[1]).astype(np.uint8)
+    image[coords[0], coords[1]] = values
+    return image
+
+
+def scene_image(size: int = DEFAULT_SIZE, seed: int = 7) -> np.ndarray:
+    """Composite scene: gradients + shapes + noise (the default input)."""
+    rng = np.random.default_rng(seed)
+    image = gradient_image(size).astype(np.int32)
+    # rectangles of varying intensity (scaled to the frame size)
+    span = max(size // 8, 2)
+    for _ in range(12):
+        y0, x0 = rng.integers(0, max(size - span, 1), size=2)
+        h, w = rng.integers(max(span // 4, 1), span, size=2)
+        image[y0 : y0 + h, x0 : x0 + w] = int(rng.integers(0, 256))
+    image = image + rng.integers(-8, 9, size=image.shape)
+    return np.clip(image, 0, 255).astype(np.uint8)

@@ -1,0 +1,103 @@
+"""AXI4 crossbar with address decoding, hop latency and port arbitration.
+
+The reference SoC (Fig. 1/2 of the paper) contains two instances:
+
+* the main 64-bit AXI-4 crossbar connecting the Ariane core to all
+  peripherals, and
+* the additional crossbar inserted between the RV-CAP DMA and the DDR
+  controller so the DMA can fetch bitstream data without traversing the
+  main bus.
+
+Arbitration is modelled per *downstream region*: each region keeps a
+``busy_until`` watermark, and a transaction arriving while the slave
+port is busy waits for the previous one to drain.  That is exactly the
+effect that makes the CPU's DMA-status polling reads slightly perturb —
+but not stall — an in-flight DMA stream, and it serializes concurrent
+MM2S/S2MM traffic to the single DDR port in acceleration mode.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.axi.interface import AxiSlave
+from repro.axi.memory_map import MemoryMap, Region
+from repro.axi.types import AxiResp, AxiResult
+
+
+class AxiCrossbar(AxiSlave):
+    """An N-master/N-slave crossbar exposed as a single slave interface.
+
+    ``request_latency`` / ``response_latency`` model the register slices
+    on the address and response paths (one pipeline stage each in the
+    open-source AXI components the SoC uses [22]).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        request_latency: int = 1,
+        response_latency: int = 1,
+    ) -> None:
+        self.name = name
+        self.request_latency = request_latency
+        self.response_latency = response_latency
+        self.memory_map = MemoryMap()
+        self._busy_until: Dict[int, int] = {}
+        self.transactions = 0
+        self.decode_errors = 0
+
+    # ------------------------------------------------------------------
+    # topology
+    # ------------------------------------------------------------------
+    def attach(self, name: str, base: int, size: int, slave: AxiSlave) -> Region:
+        """Map ``slave`` into [base, base+size) on this crossbar."""
+        return self.memory_map.add(name, base, size, slave)
+
+    def region_for(self, addr: int) -> Region | None:
+        return self.memory_map.decode(addr)
+
+    # ------------------------------------------------------------------
+    # transaction routing
+    # ------------------------------------------------------------------
+    def _route(
+        self, addr: int, now: int, burst: bool, is_read: bool,
+        nbytes: int, data: bytes,
+    ) -> AxiResult:
+        region = self.memory_map.decode(addr)
+        if region is None:
+            self.decode_errors += 1
+            return AxiResult(b"", now + self.request_latency, AxiResp.DECERR)
+        self.transactions += 1
+        key = id(region)
+        arrive = now + self.request_latency
+        start = max(arrive, self._busy_until.get(key, 0))
+        local = addr - region.base
+        slave = region.slave
+        if is_read:
+            fn = slave.read_burst if burst else slave.read
+            result = fn(local, nbytes, start)
+        else:
+            fn = slave.write_burst if burst else slave.write
+            result = fn(local, data, start)
+        # the slave port is occupied until its response is produced
+        self._busy_until[key] = result.complete_at
+        return AxiResult(
+            result.data, result.complete_at + self.response_latency, result.resp
+        )
+
+    def read(self, addr: int, nbytes: int, now: int) -> AxiResult:
+        return self._route(addr, now, False, True, nbytes, b"")
+
+    def write(self, addr: int, data: bytes, now: int) -> AxiResult:
+        return self._route(addr, now, False, False, 0, data)
+
+    def read_burst(self, addr: int, nbytes: int, now: int) -> AxiResult:
+        return self._route(addr, now, True, True, nbytes, b"")
+
+    def write_burst(self, addr: int, data: bytes, now: int) -> AxiResult:
+        return self._route(addr, now, True, False, 0, data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<AxiCrossbar {self.name} regions={len(self.memory_map)}>"

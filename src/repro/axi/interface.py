@@ -1,0 +1,129 @@
+"""Abstract AXI slave interface and a register-bank helper.
+
+Every memory-mapped component implements :class:`AxiSlave`.  Addresses
+passed to a slave are *local* (offset from the slave's base); the
+crossbar performs the translation.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Dict
+
+from repro.axi.types import AxiResp, AxiResult, encode_word
+from repro.errors import AlignmentError
+
+
+class AxiSlave(abc.ABC):
+    """A memory-mapped AXI slave with transaction-level timing.
+
+    ``read_latency`` / ``write_latency`` are the slave-internal service
+    times in cycles (address accepted -> response valid); path latency
+    is added by the interconnect components in front of the slave.
+    """
+
+    #: slave-internal service time for reads, in cycles
+    read_latency: int = 1
+    #: slave-internal service time for writes, in cycles
+    write_latency: int = 1
+
+    @abc.abstractmethod
+    def read(self, addr: int, nbytes: int, now: int) -> AxiResult:
+        """Service a read of ``nbytes`` at local address ``addr``."""
+
+    @abc.abstractmethod
+    def write(self, addr: int, data: bytes, now: int) -> AxiResult:
+        """Service a write of ``data`` at local address ``addr``."""
+
+    # Burst transfers default to a single transaction of the full
+    # payload; memory-like slaves override this with real burst timing.
+    def read_burst(self, addr: int, nbytes: int, now: int) -> AxiResult:
+        return self.read(addr, nbytes, now)
+
+    def write_burst(self, addr: int, data: bytes, now: int) -> AxiResult:
+        return self.write(addr, data, now)
+
+
+ReadHook = Callable[[int], int]
+WriteHook = Callable[[int], None]
+
+
+class RegisterBank(AxiSlave):
+    """A 32-bit register file with per-register read/write hooks.
+
+    This is the workhorse behind every control interface in the design
+    (DMA register file, HWICAP registers, RP control interface, SPI,
+    UART...).  Registers are 32 bits wide and word-aligned, matching the
+    AXI4-Lite interfaces of the corresponding Xilinx IP cores.
+    """
+
+    def __init__(self, name: str, size: int = 0x1000) -> None:
+        self.name = name
+        self.size = size
+        self._storage: Dict[int, int] = {}
+        self._read_hooks: Dict[int, ReadHook] = {}
+        self._write_hooks: Dict[int, WriteHook] = {}
+
+    # ------------------------------------------------------------------
+    # configuration API used by subclasses
+    # ------------------------------------------------------------------
+    def define_register(
+        self,
+        offset: int,
+        *,
+        reset: int = 0,
+        on_read: ReadHook | None = None,
+        on_write: WriteHook | None = None,
+    ) -> None:
+        """Declare a register at byte ``offset`` with optional hooks.
+
+        ``on_read`` replaces the stored value entirely (status
+        registers); ``on_write`` observes the stored value after update
+        (command registers).
+        """
+        if offset % 4:
+            raise AlignmentError(f"{self.name}: register offset {offset:#x} unaligned")
+        self._storage[offset] = reset & 0xFFFF_FFFF
+        if on_read is not None:
+            self._read_hooks[offset] = on_read
+        if on_write is not None:
+            self._write_hooks[offset] = on_write
+
+    def peek(self, offset: int) -> int:
+        """Read stored value without invoking hooks (for tests/models)."""
+        return self._storage.get(offset, 0)
+
+    def poke(self, offset: int, value: int) -> None:
+        """Set stored value without invoking hooks (for tests/models)."""
+        self._storage[offset] = value & 0xFFFF_FFFF
+
+    # ------------------------------------------------------------------
+    # AxiSlave implementation
+    # ------------------------------------------------------------------
+    def read(self, addr: int, nbytes: int, now: int) -> AxiResult:
+        complete = now + self.read_latency
+        if nbytes not in (4, 8) or addr % 4:
+            return AxiResult(b"", complete, AxiResp.SLVERR)
+        words = []
+        for off in range(addr, addr + nbytes, 4):
+            if off >= self.size:
+                return AxiResult(b"", complete, AxiResp.SLVERR)
+            hook = self._read_hooks.get(off)
+            value = hook(off) if hook else self._storage.get(off, 0)
+            self._storage[off] = value & 0xFFFF_FFFF
+            words.append(encode_word(value, 4))
+        return AxiResult(b"".join(words), complete)
+
+    def write(self, addr: int, data: bytes, now: int) -> AxiResult:
+        complete = now + self.write_latency
+        if len(data) not in (4, 8) or addr % 4:
+            return AxiResult(b"", complete, AxiResp.SLVERR)
+        for i, off in enumerate(range(addr, addr + len(data), 4)):
+            if off >= self.size:
+                return AxiResult(b"", complete, AxiResp.SLVERR)
+            value = int.from_bytes(data[4 * i : 4 * i + 4], "little")
+            self._storage[off] = value
+            hook = self._write_hooks.get(off)
+            if hook:
+                hook(value)
+        return AxiResult(b"", complete)

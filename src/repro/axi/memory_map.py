@@ -1,0 +1,81 @@
+"""Address decoding for the AXI crossbar."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+from repro.axi.interface import AxiSlave
+from repro.errors import BusError
+
+
+@dataclass(frozen=True)
+class Region:
+    """A contiguous address window mapped to one slave."""
+
+    name: str
+    base: int
+    size: int
+    slave: AxiSlave
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise BusError(f"region {self.name!r} must have positive size")
+        if self.base < 0:
+            raise BusError(f"region {self.name!r} has negative base")
+
+    @property
+    def end(self) -> int:
+        """One past the last mapped address."""
+        return self.base + self.size
+
+    def contains(self, addr: int) -> bool:
+        return self.base <= addr < self.end
+
+    def overlaps(self, other: "Region") -> bool:
+        return self.base < other.end and other.base < self.end
+
+
+@dataclass
+class MemoryMap:
+    """An ordered set of non-overlapping :class:`Region` windows."""
+
+    regions: List[Region] = field(default_factory=list)
+
+    def add(self, name: str, base: int, size: int, slave: AxiSlave) -> Region:
+        region = Region(name, base, size, slave)
+        for existing in self.regions:
+            if existing.overlaps(region):
+                raise BusError(
+                    f"region {name!r} [{base:#x},{region.end:#x}) overlaps "
+                    f"{existing.name!r} [{existing.base:#x},{existing.end:#x})"
+                )
+        self.regions.append(region)
+        self.regions.sort(key=lambda r: r.base)
+        return region
+
+    def decode(self, addr: int) -> Optional[Region]:
+        """Find the region containing ``addr`` (binary search)."""
+        lo, hi = 0, len(self.regions)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            region = self.regions[mid]
+            if addr < region.base:
+                hi = mid
+            elif addr >= region.end:
+                lo = mid + 1
+            else:
+                return region
+        return None
+
+    def region_named(self, name: str) -> Region:
+        for region in self.regions:
+            if region.name == name:
+                return region
+        raise BusError(f"no region named {name!r}")
+
+    def __iter__(self) -> Iterator[Region]:
+        return iter(self.regions)
+
+    def __len__(self) -> int:
+        return len(self.regions)

@@ -1,0 +1,96 @@
+"""AXI-Stream switch: route the DMA stream to the ICAP or to the RM.
+
+This is component (4) in the RV-CAP architecture (Fig. 2): a 1-to-N
+switch on the DMA's MM2S output selecting *reconfiguration mode* (data
+flows into the AXIS2ICAP converter) or *acceleration mode* (data flows
+into the reconfigurable module), plus the mirrored N-to-1 return path
+for the RM's output stream into the DMA's S2MM channel.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.axi.stream import StreamSink, StreamSource
+from repro.errors import BusError
+
+
+class AxiStreamSwitch(StreamSink):
+    """Registered stream switch with named output ports.
+
+    The select input comes from the RP control interface's
+    ``select_ICAP`` register; switching while a transfer is in flight is
+    a protocol violation in real hardware and raises here.
+    """
+
+    def __init__(self, name: str = "axis_switch", stage_latency: int = 1) -> None:
+        self.name = name
+        self.stage_latency = stage_latency
+        self._sinks: Dict[str, StreamSink] = {}
+        self._sources: Dict[str, StreamSource] = {}
+        self._selected: str | None = None
+        self._in_flight = False
+
+    # ------------------------------------------------------------------
+    # topology
+    # ------------------------------------------------------------------
+    def attach_sink(self, port: str, sink: StreamSink) -> None:
+        self._sinks[port] = sink
+
+    def attach_source(self, port: str, source: StreamSource) -> None:
+        self._sources[port] = source
+
+    @property
+    def ports(self) -> list[str]:
+        return sorted(set(self._sinks) | set(self._sources))
+
+    # ------------------------------------------------------------------
+    # control
+    # ------------------------------------------------------------------
+    def select(self, port: str) -> None:
+        """Route subsequent traffic to ``port``."""
+        if port not in self._sinks and port not in self._sources:
+            raise BusError(f"switch {self.name!r}: unknown port {port!r}")
+        if self._in_flight:
+            raise BusError(
+                f"switch {self.name!r}: cannot switch ports mid-transfer"
+            )
+        self._selected = port
+
+    @property
+    def selected(self) -> str | None:
+        return self._selected
+
+    # ------------------------------------------------------------------
+    # datapath
+    # ------------------------------------------------------------------
+    def _selected_sink(self) -> StreamSink:
+        if self._selected is None:
+            raise BusError(f"switch {self.name!r}: no port selected")
+        sink = self._sinks.get(self._selected)
+        if sink is None:
+            raise BusError(
+                f"switch {self.name!r}: port {self._selected!r} has no sink"
+            )
+        return sink
+
+    def accept(self, data: bytes, now: int) -> int:
+        """Forward a burst to the selected sink (adds one stage)."""
+        sink = self._selected_sink()
+        self._in_flight = True
+        try:
+            return sink.accept(data, now + self.stage_latency)
+        finally:
+            self._in_flight = False
+
+    def produce(self, nbytes: int, now: int) -> tuple[bytes, int]:
+        """Pull a burst from the selected source (adds one stage)."""
+        if self._selected is None:
+            raise BusError(f"switch {self.name!r}: no port selected")
+        source = self._sources.get(self._selected)
+        if source is None:
+            raise BusError(
+                f"switch {self.name!r}: port {self._selected!r} has no source"
+            )
+        data, done = source.produce(nbytes, now + self.stage_latency)
+        return data, done

@@ -1,0 +1,60 @@
+"""AXI transaction primitives shared by all interconnect components."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class AxiResp(enum.Enum):
+    """AXI response codes (subset relevant to the model)."""
+
+    OKAY = 0
+    SLVERR = 2
+    DECERR = 3
+
+
+class BurstType(enum.Enum):
+    """AXI burst types; the DMA uses INCR, register accesses FIXED."""
+
+    FIXED = 0
+    INCR = 1
+    WRAP = 2
+
+
+@dataclass
+class AxiResult:
+    """Outcome of one AXI transaction.
+
+    Attributes
+    ----------
+    data:
+        Read payload (``b""`` for writes).
+    complete_at:
+        Absolute simulation cycle at which the response (R last beat /
+        B channel) arrives back at the master.
+    resp:
+        AXI response code.
+    """
+
+    data: bytes
+    complete_at: int
+    resp: AxiResp = AxiResp.OKAY
+
+    @property
+    def ok(self) -> bool:
+        return self.resp is AxiResp.OKAY
+
+    def latency_from(self, issue_cycle: int) -> int:
+        """Round-trip latency as seen by the issuing master."""
+        return self.complete_at - issue_cycle
+
+    def value(self, nbytes: int | None = None) -> int:
+        """Decode the payload as a little-endian unsigned integer."""
+        data = self.data if nbytes is None else self.data[:nbytes]
+        return int.from_bytes(data, "little")
+
+
+def encode_word(value: int, nbytes: int) -> bytes:
+    """Encode an unsigned integer as a little-endian payload."""
+    return (value & ((1 << (8 * nbytes)) - 1)).to_bytes(nbytes, "little")

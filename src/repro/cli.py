@@ -1,0 +1,179 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``tables``   — regenerate Tables I-IV from live simulation runs
+* ``fig3``     — the reconfiguration-time-vs-RP-size sweep (Fig. 3)
+* ``unroll``   — the HWICAP loop-unrolling firmware study (Sec. IV-B)
+* ``reconfig`` — one reconfiguration with a trace timeline and stats
+* ``asm``      — assemble an RV64 source file (optionally RVC-compressed)
+* ``disasm``   — disassemble a flat binary image
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    from repro.eval.tables import table1, table2, table3, table4
+    which = set(args.which or ["1", "2", "3", "4"])
+    if "1" in which:
+        print("Table I: controller resources and throughput")
+        print(table1(hwicap_mode=args.hwicap_mode).render(), end="\n\n")
+    if "2" in which:
+        print("Table II: state-of-the-art comparison")
+        print(table2().render(), end="\n\n")
+    if "3" in which:
+        print("Table III: full-SoC utilization")
+        print(table3().render(), end="\n\n")
+    if "4" in which:
+        print("Table IV: adaptive image-processing case study")
+        print(table4().render(), end="\n\n")
+    return 0
+
+
+def _cmd_fig3(args: argparse.Namespace) -> int:
+    from repro.eval.figures import fig3_series
+    series = fig3_series(controller=args.controller)
+    print(series.render())
+    return 0
+
+
+def _cmd_unroll(args: argparse.Namespace) -> int:
+    from repro.eval.figures import unroll_sweep
+    sweep = unroll_sweep(tuple(args.factors))
+    print(sweep.render())
+    return 0
+
+
+def _cmd_reconfig(args: argparse.Namespace) -> int:
+    from repro.drivers.manager import ReconfigurationManager
+    from repro.soc.builder import build_soc
+    from repro.sim.tracing import format_stats
+
+    soc = build_soc()
+    recorder = soc.attach_trace()
+    manager = ReconfigurationManager(soc, controller=args.controller)
+    manager.provision_sdcard()
+    manager.init_rmodules()
+    result = manager.load_module(args.module)
+    print(f"module {result.module}: Td={result.td_us:.1f} us, "
+          f"Tr={result.tr_us:.1f} us, "
+          f"{result.throughput_mb_s:.1f} MB/s\n")
+    print("timeline:")
+    print(recorder.format_timeline(soc.sim.freq_hz))
+    print("\nstats:")
+    print(format_stats(soc.stats()))
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.eval.validation import render_validation, run_validation
+    checks = run_validation()
+    print(render_validation(checks))
+    return 0 if all(c.ok for c in checks) else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.eval.report import generate_report
+    report = generate_report(include_unroll=not args.no_unroll,
+                             hwicap_mode=args.hwicap_mode)
+    text = report.render()
+    if args.output:
+        Path(args.output).write_text(text)
+        print(f"report written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_asm(args: argparse.Namespace) -> int:
+    from repro.riscv.assembler import assemble
+    source = Path(args.input).read_text()
+    program = assemble(source, base=args.base, compress=args.compress)
+    Path(args.output).write_bytes(program.text)
+    print(f"{args.output}: {program.size} bytes at {program.base:#x}, "
+          f"entry {program.entry:#x}, {len(program.symbols)} symbols")
+    return 0
+
+
+def _cmd_disasm(args: argparse.Namespace) -> int:
+    from repro.riscv.disasm import disassemble
+    image = Path(args.input).read_bytes()
+    for line in disassemble(image, base=args.base):
+        print(line)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="RV-CAP reproduction: regenerate the paper's results "
+                    "and drive the simulated SoC",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("tables", help="regenerate Tables I-IV")
+    p.add_argument("which", nargs="*", choices=["1", "2", "3", "4"],
+                   help="subset of tables (default: all)")
+    p.add_argument("--hwicap-mode", choices=["firmware", "host"],
+                   default="firmware",
+                   help="measurement mode for the HWICAP throughput")
+    p.set_defaults(func=_cmd_tables)
+
+    p = sub.add_parser("fig3", help="reconfiguration time vs RP size")
+    p.add_argument("--controller", choices=["rvcap", "hwicap"],
+                   default="rvcap")
+    p.set_defaults(func=_cmd_fig3)
+
+    p = sub.add_parser("unroll", help="HWICAP loop-unrolling study (ISS)")
+    p.add_argument("factors", nargs="*", type=int,
+                   default=[1, 2, 4, 8, 16, 32])
+    p.set_defaults(func=_cmd_unroll)
+
+    p = sub.add_parser("reconfig", help="run one DPR with trace + stats")
+    p.add_argument("module", choices=["sobel", "median", "gaussian"])
+    p.add_argument("--controller", choices=["rvcap", "hwicap"],
+                   default="rvcap")
+    p.set_defaults(func=_cmd_reconfig)
+
+    p = sub.add_parser("validate", help="fast anchor self-check "
+                                        "(~10 s; exit 1 on mismatch)")
+    p.set_defaults(func=_cmd_validate)
+
+    p = sub.add_parser("report", help="regenerate every result into one "
+                                      "markdown report")
+    p.add_argument("-o", "--output", default=None)
+    p.add_argument("--no-unroll", action="store_true",
+                   help="skip the (slower) firmware unroll sweep")
+    p.add_argument("--hwicap-mode", choices=["firmware", "host"],
+                   default="firmware")
+    p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser("asm", help="assemble an RV64 source file")
+    p.add_argument("input")
+    p.add_argument("-o", "--output", default="a.bin")
+    p.add_argument("--base", type=lambda x: int(x, 0), default=0x1_0000)
+    p.add_argument("--compress", action="store_true",
+                   help="enable the RVC relaxation pass")
+    p.set_defaults(func=_cmd_asm)
+
+    p = sub.add_parser("disasm", help="disassemble a flat binary image")
+    p.add_argument("input")
+    p.add_argument("--base", type=lambda x: int(x, 0), default=0x1_0000)
+    p.set_defaults(func=_cmd_disasm)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

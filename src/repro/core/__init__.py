@@ -1,0 +1,28 @@
+"""The paper's contribution: the RV-CAP DPR controller (and baseline).
+
+``RvCapController`` composes the blocks of Fig. 2:
+
+1. a Xilinx-style AXI DMA on a dedicated crossbar to the DDR,
+2. AXI width/protocol converters toward the 64-bit system bus,
+3. the RP control interface (decoupling + mode select + RM control),
+4. an AXI-Stream switch choosing reconfiguration vs. acceleration mode,
+5. the AXIS2ICAP converter feeding the ICAP primitive.
+
+``AxiHwIcap`` is the Xilinx AXI_HWICAP IP baseline of Sec. III-C, with
+the write FIFO resized to 1024 words as in the paper.
+"""
+
+from repro.core.rp_control import RpControlInterface
+from repro.core.dma import AxiDma, DmaChannel
+from repro.core.axis2icap import Axis2Icap
+from repro.core.hwicap import AxiHwIcap
+from repro.core.rvcap import RvCapController
+
+__all__ = [
+    "RpControlInterface",
+    "AxiDma",
+    "DmaChannel",
+    "Axis2Icap",
+    "AxiHwIcap",
+    "RvCapController",
+]

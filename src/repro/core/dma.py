@@ -1,0 +1,258 @@
+"""Xilinx-style AXI DMA model (direct register mode).
+
+Component (1) of the RV-CAP architecture: "a Xilinx DMA controller
+connected to the SoC DDR controller through an additional crossbar...
+configured to transfer a 64-bit data word from the SoC DDR memory"
+(Sec. III-B), with its completion interrupts wired to the PLIC for the
+non-blocking reconfiguration mode.
+
+The register map follows the real IP (PG021) closely enough that the
+paper's driver pseudo-code maps one-to-one: DMACR.RS starts the
+channel, writing LENGTH triggers the transfer, DMASR reports
+Halted/Idle/IOC_Irq, and the IOC interrupt fires on completion.
+
+Transfers proceed burst-by-burst as simulation events (128 B per event
+at the default 16-beat * 64-bit burst), so the DDR port, the stream
+switch and the ICAP all see correctly interleaved traffic, and a CPU
+polling DMASR mid-transfer observes the true in-flight state.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.axi.interface import AxiSlave, RegisterBank
+from repro.axi.stream import StreamSink, StreamSource
+from repro.errors import ControllerError
+from repro.sim.kernel import Delay, Simulator
+
+# register offsets (PG021 subset)
+MM2S_DMACR = 0x00
+MM2S_DMASR = 0x04
+MM2S_SA = 0x18
+MM2S_SA_MSB = 0x1C
+MM2S_LENGTH = 0x28
+S2MM_DMACR = 0x30
+S2MM_DMASR = 0x34
+S2MM_DA = 0x48
+S2MM_DA_MSB = 0x4C
+S2MM_LENGTH = 0x58
+
+CR_RS = 1 << 0
+CR_RESET = 1 << 2
+CR_IOC_IRQ_EN = 1 << 12
+CR_ERR_IRQ_EN = 1 << 14
+
+SR_HALTED = 1 << 0
+SR_IDLE = 1 << 1
+SR_IOC_IRQ = 1 << 12
+SR_ERR_IRQ = 1 << 14
+
+
+class DmaChannel:
+    """One DMA channel (MM2S: memory->stream, or S2MM: stream->memory)."""
+
+    def __init__(
+        self,
+        name: str,
+        sim: Simulator,
+        mem_port: AxiSlave,
+        *,
+        is_mm2s: bool,
+        burst_beats: int = 16,
+        beat_bytes: int = 8,
+        start_latency: int = 24,
+    ) -> None:
+        self.name = name
+        self.sim = sim
+        self.mem_port = mem_port
+        self.is_mm2s = is_mm2s
+        self.burst_bytes = burst_beats * beat_bytes
+        self.start_latency = start_latency
+        self.sink: Optional[StreamSink] = None
+        self.source: Optional[StreamSource] = None
+        self.irq_callback: Optional[Callable[[], None]] = None
+
+        self.control = 0
+        self.status = SR_HALTED
+        self.address = 0
+        self.length = 0
+        self.bytes_done = 0
+        self.busy = False
+        self.transfers_completed = 0
+        self.last_start_cycle = 0
+        self.last_complete_cycle = 0
+        self.trace = None  # optional TraceRecorder
+
+    # ------------------------------------------------------------------
+    # register behaviour (invoked by AxiDma)
+    # ------------------------------------------------------------------
+    def write_cr(self, value: int) -> None:
+        if value & CR_RESET:
+            self.control = 0
+            self.status = SR_HALTED
+            self.busy = False
+            return
+        self.control = value
+        if value & CR_RS:
+            self.status &= ~SR_HALTED
+        else:
+            self.status |= SR_HALTED
+
+    def read_sr(self) -> int:
+        return self.status
+
+    def write_sr(self, value: int) -> None:
+        # interrupt bits are write-one-to-clear
+        self.status &= ~(value & (SR_IOC_IRQ | SR_ERR_IRQ))
+
+    def write_length(self, value: int) -> None:
+        """Writing a non-zero LENGTH launches the transfer (PG021)."""
+        self.length = value & 0x03FF_FFFF
+        if not self.length:
+            return
+        if not self.control & CR_RS:
+            raise ControllerError(
+                f"DMA {self.name}: LENGTH written while channel stopped"
+            )
+        if self.busy:
+            raise ControllerError(
+                f"DMA {self.name}: LENGTH written while transfer in flight"
+            )
+        self.busy = True
+        self.status &= ~SR_IDLE
+        self.bytes_done = 0
+        self.last_start_cycle = self.sim.now
+        if self.trace is not None:
+            self.trace.record(self.sim.now, f"dma.{self.name}",
+                              f"start: {self.length} bytes from/to "
+                              f"{self.address:#x}")
+        self.sim.add_process(self._run(), name=f"dma.{self.name}")
+
+    # ------------------------------------------------------------------
+    # the transfer engine
+    # ------------------------------------------------------------------
+    def _run(self):
+        yield Delay(self.start_latency)
+        if self.is_mm2s:
+            yield from self._run_mm2s()
+        else:
+            yield from self._run_s2mm()
+        self.busy = False
+        self.status |= SR_IDLE | SR_IOC_IRQ
+        self.transfers_completed += 1
+        self.last_complete_cycle = self.sim.now
+        if self.trace is not None:
+            self.trace.record(self.sim.now, f"dma.{self.name}",
+                              f"complete: {self.bytes_done} bytes in "
+                              f"{self.sim.now - self.last_start_cycle} cycles")
+        if self.control & CR_IOC_IRQ_EN and self.irq_callback is not None:
+            self.irq_callback()
+
+    def _run_mm2s(self):
+        if self.sink is None:
+            raise ControllerError(f"DMA {self.name}: no stream sink attached")
+        addr = self.address
+        remaining = self.length
+        read_time = self.sim.now
+        while remaining:
+            nbytes = min(self.burst_bytes, remaining)
+            result = self.mem_port.read_burst(addr, nbytes, read_time)
+            if not result.ok:
+                self.status |= SR_ERR_IRQ
+                return
+            read_time = result.complete_at
+            accept_done = self.sink.accept(result.data, result.complete_at)
+            addr += nbytes
+            remaining -= nbytes
+            self.bytes_done += nbytes
+            # pace the engine: at most one burst ahead of the consumer
+            # (models the IP's small store-and-forward FIFO)
+            wait = max(read_time, accept_done - self.burst_bytes) - self.sim.now
+            if wait > 0:
+                yield Delay(wait)
+        final = max(read_time, accept_done)
+        if final > self.sim.now:
+            yield Delay(final - self.sim.now)
+
+    def _run_s2mm(self):
+        if self.source is None:
+            raise ControllerError(f"DMA {self.name}: no stream source attached")
+        addr = self.address
+        remaining = self.length
+        pull_time = self.sim.now
+        write_time = self.sim.now
+        while remaining:
+            nbytes = min(self.burst_bytes, remaining)
+            data, ready = self.source.produce(nbytes, max(pull_time, self.sim.now))
+            if not data:
+                if ready > self.sim.now:
+                    # source not ready yet (e.g. the filter pipeline is
+                    # still filling): retry when it says data will exist
+                    yield Delay(ready - self.sim.now)
+                    continue
+                # TLAST before LENGTH bytes: a short packet ends the
+                # transfer (the real IP latches the received length)
+                break
+            pull_time = ready
+            result = self.mem_port.write_burst(addr, data, max(pull_time, write_time))
+            if not result.ok:
+                self.status |= SR_ERR_IRQ
+                return
+            write_time = result.complete_at
+            addr += len(data)
+            remaining -= len(data)
+            self.bytes_done += len(data)
+            wait = max(pull_time, write_time - self.burst_bytes) - self.sim.now
+            if wait > 0:
+                yield Delay(wait)
+        final = max(pull_time, write_time)
+        if final > self.sim.now:
+            yield Delay(final - self.sim.now)
+
+
+class AxiDma(RegisterBank):
+    """The AXI DMA IP: AXI4-Lite control port + two channels."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        mem_port: AxiSlave,
+        *,
+        mem_port_s2mm: AxiSlave | None = None,
+        burst_beats: int = 16,
+        start_latency: int = 24,
+    ) -> None:
+        super().__init__("axi_dma", size=0x1000)
+        self.sim = sim
+        self.mm2s = DmaChannel("mm2s", sim, mem_port, is_mm2s=True,
+                               burst_beats=burst_beats,
+                               start_latency=start_latency)
+        self.s2mm = DmaChannel("s2mm", sim, mem_port_s2mm or mem_port,
+                               is_mm2s=False, burst_beats=burst_beats,
+                               start_latency=start_latency)
+
+        self.define_register(MM2S_DMACR, on_write=self.mm2s.write_cr)
+        self.define_register(MM2S_DMASR, on_read=lambda _o: self.mm2s.read_sr(),
+                             on_write=self.mm2s.write_sr)
+        self.define_register(MM2S_SA, on_write=self._set_mm2s_sa_lo)
+        self.define_register(MM2S_SA_MSB, on_write=self._set_mm2s_sa_hi)
+        self.define_register(MM2S_LENGTH, on_write=self.mm2s.write_length)
+        self.define_register(S2MM_DMACR, on_write=self.s2mm.write_cr)
+        self.define_register(S2MM_DMASR, on_read=lambda _o: self.s2mm.read_sr(),
+                             on_write=self.s2mm.write_sr)
+        self.define_register(S2MM_DA, on_write=self._set_s2mm_da_lo)
+        self.define_register(S2MM_DA_MSB, on_write=self._set_s2mm_da_hi)
+        self.define_register(S2MM_LENGTH, on_write=self.s2mm.write_length)
+
+    def _set_mm2s_sa_lo(self, value: int) -> None:
+        self.mm2s.address = (self.mm2s.address & ~0xFFFF_FFFF) | value
+
+    def _set_mm2s_sa_hi(self, value: int) -> None:
+        self.mm2s.address = (self.mm2s.address & 0xFFFF_FFFF) | (value << 32)
+
+    def _set_s2mm_da_lo(self, value: int) -> None:
+        self.s2mm.address = (self.s2mm.address & ~0xFFFF_FFFF) | value
+
+    def _set_s2mm_da_hi(self, value: int) -> None:
+        self.s2mm.address = (self.s2mm.address & 0xFFFF_FFFF) | (value << 32)

@@ -1,0 +1,121 @@
+"""RP control interface: decoupling, mode select, RM run control.
+
+Component (3) of the RV-CAP architecture (Fig. 2): a small register
+file "to provide R/W control signals to the RMs including RP
+coupling/decoupling".  The driver APIs ``decouple_accel()`` and
+``select_ICAP()`` (Listing 1) write these registers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from repro.axi.interface import RegisterBank
+from repro.axi.isolator import AxiIsolator, StreamIsolator
+from repro.axi.stream_switch import AxiStreamSwitch
+
+DECOUPLE_OFFSET = 0x00
+SELECT_ICAP_OFFSET = 0x04
+RM_CTRL_OFFSET = 0x08
+RM_STATUS_OFFSET = 0x0C
+VERSION_OFFSET = 0x10
+RM_SELECT_OFFSET = 0x14
+
+PORT_ICAP = "icap"
+PORT_RM = "rm"
+
+
+def rm_port_name(index: int) -> str:
+    """Switch port name for RP ``index`` (RP 0 keeps the legacy name)."""
+    return PORT_RM if index == 0 else f"{PORT_RM}{index}"
+
+
+class RpControlInterface(RegisterBank):
+    """Control registers for the reconfigurable partitions.
+
+    ``DECOUPLE`` is a bitmask, one bit per RP (the single-RP reference
+    design uses bit 0 only, preserving Listing 1's ``decouple_accel(1)``
+    semantics).  ``RM_SELECT`` picks which partition's module is on the
+    acceleration datapath when ``SELECT_ICAP`` is 0.
+    """
+
+    VERSION = 0x0001_0100  # v1.1: multi-RP
+
+    def __init__(self, switch: AxiStreamSwitch) -> None:
+        super().__init__("rp_ctrl", size=0x1000)
+        self.switch = switch
+        self._axi_isolators: dict[int, List[AxiIsolator]] = {}
+        self._stream_isolators: dict[int, List[StreamIsolator]] = {}
+        self._rm_start_hooks: List[Callable[[], None]] = []
+        self._rm_busy: Callable[[], bool] = lambda: False
+        self.decouple_mask = 0
+        self.icap_selected = False
+        self.rm_selected = 0
+
+        self.define_register(DECOUPLE_OFFSET, on_write=self._write_decouple,
+                             on_read=lambda _o: self.decouple_mask)
+        self.define_register(SELECT_ICAP_OFFSET, on_write=self._write_select,
+                             on_read=lambda _o: int(self.icap_selected))
+        self.define_register(RM_CTRL_OFFSET, on_write=self._write_rm_ctrl)
+        self.define_register(RM_STATUS_OFFSET, on_read=self._read_rm_status)
+        self.define_register(VERSION_OFFSET, reset=self.VERSION)
+        self.define_register(RM_SELECT_OFFSET, on_write=self._write_rm_select,
+                             on_read=lambda _o: self.rm_selected)
+
+    @property
+    def decoupled(self) -> bool:
+        """Legacy single-RP view: is RP 0 decoupled?"""
+        return bool(self.decouple_mask & 1)
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def attach_isolator(self, isolator: AxiIsolator | StreamIsolator,
+                        rp_index: int = 0) -> None:
+        if isinstance(isolator, AxiIsolator):
+            self._axi_isolators.setdefault(rp_index, []).append(isolator)
+        else:
+            self._stream_isolators.setdefault(rp_index, []).append(isolator)
+
+    def attach_rm_start(self, hook: Callable[[], None]) -> None:
+        self._rm_start_hooks.append(hook)
+
+    def set_rm_busy_source(self, source: Callable[[], bool]) -> None:
+        self._rm_busy = source
+
+    # ------------------------------------------------------------------
+    # register behaviour
+    # ------------------------------------------------------------------
+    def _write_decouple(self, value: int) -> None:
+        self.decouple_mask = value
+        for rp_index, isolators in self._axi_isolators.items():
+            state = bool(value & (1 << rp_index))
+            for isolator in isolators:
+                isolator.set_decouple(state)
+        for rp_index, isolators in self._stream_isolators.items():
+            state = bool(value & (1 << rp_index))
+            for isolator in isolators:
+                isolator.set_decouple(state)
+
+    def _route_switch(self) -> None:
+        if self.icap_selected:
+            self.switch.select(PORT_ICAP)
+        else:
+            self.switch.select(rm_port_name(self.rm_selected))
+
+    def _write_select(self, value: int) -> None:
+        self.icap_selected = bool(value & 1)
+        self._route_switch()
+
+    def _write_rm_select(self, value: int) -> None:
+        self.rm_selected = value & 0xF
+        if not self.icap_selected:
+            self._route_switch()
+
+    def _write_rm_ctrl(self, value: int) -> None:
+        if value & 1:
+            for hook in self._rm_start_hooks:
+                hook()
+
+    def _read_rm_status(self, _offset: int) -> int:
+        return 1 if self._rm_busy() else 0

@@ -1,0 +1,27 @@
+"""Software drivers (host-driver execution mode).
+
+These mirror the C driver APIs of Listings 1 and 2 as Python calls that
+issue real bus transactions against the simulated SoC, with software
+execution cost charged from the same calibrated CPU timing constants
+the firmware mode uses.  For instruction-exact behaviour (the unroll
+study) use :mod:`repro.firmware`, which runs the same logic as RISC-V
+machine code on the ISS.
+"""
+
+from repro.drivers.mmio import HostPort
+from repro.drivers.timer import ClintTimer
+from repro.drivers.fileio import PbitStore, SpiSdBlockDevice
+from repro.drivers.rvcap_driver import ReconfigResult, RvCapDriver
+from repro.drivers.hwicap_driver import HwIcapDriver
+from repro.drivers.manager import ReconfigurationManager
+
+__all__ = [
+    "HostPort",
+    "ClintTimer",
+    "PbitStore",
+    "SpiSdBlockDevice",
+    "RvCapDriver",
+    "ReconfigResult",
+    "HwIcapDriver",
+    "ReconfigurationManager",
+]

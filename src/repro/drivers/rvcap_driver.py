@@ -1,0 +1,214 @@
+"""The RV-CAP driver API (Listing 1 of the paper).
+
+The reconfiguration flow::
+
+    init_RModules(...)            # PbitStore.init_rmodules
+    init_reconfig_process():
+        decouple_accel(1)
+        select_ICAP(1)
+        reconfigure_RP(start_address, pbit_size, mode)
+        decouple_accel(0)
+
+``reconfigure_RP`` starts the DMA read channel and, in non-blocking
+(interrupt) mode, the completion is signalled through the PLIC; the
+driver's ISR claims the interrupt, clears the DMA status and re-couples
+the partition.  Timing is measured with the CLINT exactly like the
+paper: T_d from API entry to the DMA kick, T_r from the start of the
+data transfer until the transfer-complete interrupt is handled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import dma as dma_regs
+from repro.core import rp_control as rp_regs
+from repro.drivers.fileio import RmDescriptor
+from repro.drivers.mmio import HostPort
+from repro.drivers.timer import ClintTimer
+from repro.errors import ControllerError
+from repro.soc.config import IRQ_DMA_MM2S, IRQ_DMA_S2MM
+from repro.soc.plic import CLAIM_OFFSET, ENABLE_OFFSET, PRIORITY_BASE
+
+
+@dataclass(frozen=True)
+class ReconfigResult:
+    """Timing record of one reconfiguration (paper Sec. IV-B units)."""
+
+    module: str
+    pbit_size: int
+    td_us: float
+    tr_us: float
+
+    @property
+    def throughput_mb_s(self) -> float:
+        return self.pbit_size / (self.tr_us * 1e-6) / 1e6
+
+
+class RvCapDriver:
+    """Driver for the RV-CAP controller (host-driver mode)."""
+
+    def __init__(self, port: HostPort) -> None:
+        self.port = port
+        layout = port.soc.config.layout
+        self.rp_ctrl_base = layout.rp_ctrl_base
+        self.dma_base = layout.dma_base
+        self.plic_base = layout.plic_base
+        self.timer = ClintTimer(port)
+        self._plic_ready = False
+        self._rm_selected = 0  # mirrors the RM_SELECT reset value
+
+    # ------------------------------------------------------------------
+    # Listing-1 primitives
+    # ------------------------------------------------------------------
+    def decouple_accel(self, value: int) -> None:
+        """Couple (0) / decouple (1) the RP from the static region."""
+        self.port.write32(self.rp_ctrl_base + rp_regs.DECOUPLE_OFFSET, value)
+
+    def select_icap(self, value: int) -> None:
+        """Route the AXIS switch to the ICAP (1) or the RM (0)."""
+        self.port.write32(self.rp_ctrl_base + rp_regs.SELECT_ICAP_OFFSET, value)
+
+    def select_rm(self, rp_index: int) -> None:
+        """Pick which RP's module sits on the acceleration datapath.
+
+        The register write is skipped when the selection is already
+        current (the driver mirrors the register, like real drivers do).
+        """
+        if rp_index != self._rm_selected:
+            self.port.write32(self.rp_ctrl_base + rp_regs.RM_SELECT_OFFSET,
+                              rp_index)
+            self._rm_selected = rp_index
+
+    def dma_start(self, *, irq_enabled: bool) -> None:
+        """Set the DMA CR run/stop bit (and the interrupt mode)."""
+        control = dma_regs.CR_RS
+        if irq_enabled:
+            control |= dma_regs.CR_IOC_IRQ_EN
+        self.port.write32(self.dma_base + dma_regs.MM2S_DMACR, control)
+
+    def dma_write_stream(self, address: int, nbytes: int) -> None:
+        """Program SA and LENGTH; the LENGTH write launches the DMA."""
+        self.port.write32(self.dma_base + dma_regs.MM2S_SA, address & 0xFFFF_FFFF)
+        self.port.write32(self.dma_base + dma_regs.MM2S_SA_MSB, address >> 32)
+        self.port.write32(self.dma_base + dma_regs.MM2S_LENGTH, nbytes)
+
+    # ------------------------------------------------------------------
+    # PLIC plumbing for non-blocking mode
+    # ------------------------------------------------------------------
+    def setup_interrupts(self) -> None:
+        if self._plic_ready:
+            return
+        for source in (IRQ_DMA_MM2S, IRQ_DMA_S2MM):
+            self.port.write32(self.plic_base + PRIORITY_BASE + 4 * source, 7)
+        self.port.write32(self.plic_base + ENABLE_OFFSET,
+                          (1 << IRQ_DMA_MM2S) | (1 << IRQ_DMA_S2MM))
+        self._plic_ready = True
+
+    def _handle_completion_irq(self, expected_source: int,
+                               status_offset: int) -> None:
+        """The ISR: claim, clear the DMA IOC bit, complete."""
+        plic = self.port.soc.plic
+        self.port.wait_for(lambda: plic.pending & plic.enable)
+        # trap entry, context save and handler dispatch before the body
+        self.port.elapse(self.port.soc.config.timing.isr_latency_cycles)
+        source = self.port.read32(self.plic_base + CLAIM_OFFSET)
+        if source != expected_source:
+            raise ControllerError(
+                f"unexpected PLIC source {source}, wanted {expected_source}"
+            )
+        self.port.write32(self.dma_base + status_offset, dma_regs.SR_IOC_IRQ)
+        self.port.write32(self.plic_base + CLAIM_OFFSET, source)
+
+    def _poll_completion(self, status_offset: int) -> None:
+        """Blocking mode: spin on DMASR until idle."""
+        def idle() -> bool:
+            return bool(self.port.read32(self.dma_base + status_offset)
+                        & dma_regs.SR_IDLE)
+        self.port.wait_for(idle)
+        self.port.write32(self.dma_base + status_offset, dma_regs.SR_IOC_IRQ)
+
+    # ------------------------------------------------------------------
+    # the reconfiguration process (Listing 1)
+    # ------------------------------------------------------------------
+    def init_reconfig_process(self, descriptor: RmDescriptor, *,
+                              mode: str = "interrupt") -> ReconfigResult:
+        """Load the RM described by ``descriptor`` into the RP."""
+        if mode not in ("interrupt", "polling"):
+            raise ControllerError(f"unknown DMA mode {mode!r}")
+        if mode == "interrupt":
+            self.setup_interrupts()
+        completions_before = self.port.soc.icap.reconfigurations_completed
+        t_entry = self.timer.read_ticks()
+        # software decision time: select the requested RM, prepare the
+        # descriptor, and decide between ICAP and accelerator paths
+        self.port.elapse(self.port.soc.config.timing.decision_cycles)
+        self.decouple_accel(1)
+        self.select_icap(1)
+        self.dma_start(irq_enabled=(mode == "interrupt"))
+        t_start = self.timer.read_ticks()
+        self.dma_write_stream(descriptor.start_address, descriptor.pbit_size)
+        if mode == "interrupt":
+            self._handle_completion_irq(IRQ_DMA_MM2S, dma_regs.MM2S_DMASR)
+        else:
+            self._poll_completion(dma_regs.MM2S_DMASR)
+        icap = self.port.soc.icap
+        if icap.error:
+            raise ControllerError(
+                f"reconfiguration of {descriptor.name!r} failed: ICAP error"
+            )
+        if icap.reconfigurations_completed == completions_before:
+            raise ControllerError(
+                f"reconfiguration of {descriptor.name!r} incomplete: the "
+                "bitstream never desynced (truncated or malformed)"
+            )
+        t_done = self.timer.read_ticks()
+        self.select_icap(0)
+        self.decouple_accel(0)
+        return ReconfigResult(
+            module=descriptor.name,
+            pbit_size=descriptor.pbit_size,
+            td_us=self.timer.ticks_to_us(t_start - t_entry),
+            tr_us=self.timer.ticks_to_us(t_done - t_start),
+        )
+
+    # ------------------------------------------------------------------
+    # acceleration mode (Sec. IV-D)
+    # ------------------------------------------------------------------
+    def run_accelerator(self, src_address: int, dst_address: int,
+                        nbytes_in: int, nbytes_out: int, *,
+                        mode: str = "interrupt", rp_index: int = 0) -> float:
+        """Stream DDR data through the loaded RM; returns T_c in us.
+
+        Programs both DMA channels (S2MM first so no output is lost)
+        and waits for the write-back channel to complete.
+        """
+        if mode == "interrupt":
+            self.setup_interrupts()
+        self.select_icap(0)
+        self.select_rm(rp_index)
+        self.decouple_accel(0)
+        # start pulse resets the RM's frame state
+        rm = self.port.soc.active_rms.get(rp_index)
+        if rm is None:
+            raise ControllerError(
+                f"no accelerator is loaded in RP {rp_index}")
+        rm.reset()
+        t0 = self.timer.read_ticks()
+        irq = mode == "interrupt"
+        self.port.write32(self.dma_base + dma_regs.S2MM_DMACR,
+                          dma_regs.CR_RS | (dma_regs.CR_IOC_IRQ_EN if irq else 0))
+        self.port.write32(self.dma_base + dma_regs.S2MM_DA,
+                          dst_address & 0xFFFF_FFFF)
+        self.port.write32(self.dma_base + dma_regs.S2MM_DA_MSB, dst_address >> 32)
+        self.port.write32(self.dma_base + dma_regs.S2MM_LENGTH, nbytes_out)
+        self.dma_start(irq_enabled=irq)
+        self.dma_write_stream(src_address, nbytes_in)
+        if irq:
+            self._handle_completion_irq(IRQ_DMA_MM2S, dma_regs.MM2S_DMASR)
+            self._handle_completion_irq(IRQ_DMA_S2MM, dma_regs.S2MM_DMASR)
+        else:
+            self._poll_completion(dma_regs.MM2S_DMASR)
+            self._poll_completion(dma_regs.S2MM_DMASR)
+        t1 = self.timer.read_ticks()
+        return self.timer.ticks_to_us(t1 - t0)

@@ -1,0 +1,70 @@
+"""Exception hierarchy for the repro package.
+
+Every subsystem raises a subclass of :class:`ReproError` so callers can
+catch simulation-model failures separately from programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SimulationError(ReproError):
+    """The simulation kernel reached an inconsistent state."""
+
+
+class BusError(ReproError):
+    """An AXI transaction could not be completed (decode error, SLVERR)."""
+
+
+class DecodeError(BusError):
+    """No slave claims the requested address range (AXI DECERR)."""
+
+
+class AlignmentError(BusError):
+    """Access is not naturally aligned for its size."""
+
+
+class CpuError(ReproError):
+    """The instruction-set simulator hit a fatal condition."""
+
+
+class IllegalInstructionError(CpuError):
+    """Instruction word could not be decoded."""
+
+    def __init__(self, word: int, pc: int | None = None) -> None:
+        self.word = word
+        self.pc = pc
+        loc = f" at pc={pc:#x}" if pc is not None else ""
+        super().__init__(f"illegal instruction {word:#010x}{loc}")
+
+
+class AssemblerError(ReproError):
+    """Assembly source could not be translated."""
+
+    def __init__(self, message: str, line: int | None = None) -> None:
+        self.line = line
+        prefix = f"line {line}: " if line is not None else ""
+        super().__init__(prefix + message)
+
+
+class FilesystemError(ReproError):
+    """FAT32 filesystem operation failed."""
+
+
+class BitstreamError(ReproError):
+    """Bitstream is malformed or incompatible with the target device."""
+
+
+class ConfigurationError(ReproError):
+    """FPGA configuration (ICAP) protocol violation."""
+
+
+class ControllerError(ReproError):
+    """DPR controller driver detected an error condition."""
+
+
+class ResourceModelError(ReproError):
+    """Resource estimation was asked for an unknown component."""

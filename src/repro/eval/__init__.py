@@ -1,0 +1,33 @@
+"""Evaluation harness: regenerate every table and figure of the paper.
+
+Each ``table*``/``figure*`` entry point runs the actual simulation (not
+canned numbers — except the published values of third-party controllers
+in Table II, which are literature data) and returns structured rows
+plus a rendered text table, so the benchmark suite and EXPERIMENTS.md
+are generated from one source of truth.
+"""
+
+from repro.eval.scenarios import (
+    fig3_geometries,
+    make_test_bitstream,
+    reference_setup,
+    small_rp,
+)
+from repro.eval.baselines import BASELINES, BaselineController
+from repro.eval.tables import table1, table2, table3, table4
+from repro.eval.figures import fig3_series, unroll_sweep
+
+__all__ = [
+    "reference_setup",
+    "small_rp",
+    "make_test_bitstream",
+    "fig3_geometries",
+    "BASELINES",
+    "BaselineController",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "fig3_series",
+    "unroll_sweep",
+]

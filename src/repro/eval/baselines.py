@@ -1,0 +1,106 @@
+"""State-of-the-art DPR controller models (Table II).
+
+Resource figures and frequencies are the published values the paper
+compares against (they are literature data we cannot re-measure); the
+*throughput* of each controller is additionally reproduced from a small
+architecture model — transfer class, port width, clock and per-transfer
+overhead — so the table's ordering is derived, not transcribed.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.resources.model import ResourceCost
+
+#: ICAP physical ceiling at 100 MHz x 32 bit (Sec. IV-C)
+ICAP_CEILING_MB_S = 400.0
+
+
+class TransferClass(enum.Enum):
+    """How the controller moves bitstream data."""
+
+    DMA_MASTER = "dma"          # bus-master DMA feeding the ICAP
+    CPU_COPY = "cpu"            # the CPU writes each word (slave IP)
+    PCAP = "pcap"               # Zynq processor configuration port
+
+
+@dataclass(frozen=True)
+class BaselineController:
+    """One Table II row."""
+
+    name: str
+    processor: str
+    custom_drivers: bool
+    resources: ResourceCost
+    published_throughput_mb_s: float
+    freq_mhz: float
+    transfer_class: TransferClass
+    #: DMA class: fraction of the ICAP ceiling sustained (burst
+    #: efficiency); CPU class: average cycles per 32-bit word;
+    #: PCAP: the port's own ceiling in MB/s.
+    efficiency: float = 1.0
+    cycles_per_word: float = 0.0
+    port_ceiling_mb_s: float = 0.0
+
+    def modeled_throughput_mb_s(self) -> float:
+        """Throughput derived from the architecture model."""
+        if self.transfer_class is TransferClass.DMA_MASTER:
+            ceiling = self.freq_mhz * 4  # 32-bit words per cycle, MB/s
+            return ceiling * self.efficiency
+        if self.transfer_class is TransferClass.CPU_COPY:
+            return self.freq_mhz * 4 / self.cycles_per_word
+        return self.port_ceiling_mb_s
+
+
+BASELINES: list[BaselineController] = [
+    BaselineController(
+        name="Vipin et al. [12]", processor="MicroBlaze", custom_drivers=False,
+        resources=ResourceCost(586, 672, 8, 0),
+        published_throughput_mb_s=399.8, freq_mhz=100,
+        transfer_class=TransferClass.DMA_MASTER, efficiency=0.9995,
+    ),
+    BaselineController(
+        name="ZyCAP [13]", processor="ARM", custom_drivers=True,
+        resources=ResourceCost(620, 806, 0, 0),
+        published_throughput_mb_s=382.0, freq_mhz=100,
+        transfer_class=TransferClass.DMA_MASTER, efficiency=0.955,
+    ),
+    BaselineController(
+        name="Anderson et al. [14]", processor="LEON3", custom_drivers=True,
+        resources=ResourceCost(588, 278, 1, 0),
+        published_throughput_mb_s=395.4, freq_mhz=100,
+        transfer_class=TransferClass.DMA_MASTER, efficiency=0.9885,
+    ),
+    BaselineController(
+        name="AC_ICAP [16]", processor="MicroBlaze", custom_drivers=False,
+        resources=ResourceCost(1286, 1193, 22, 0),
+        published_throughput_mb_s=380.47, freq_mhz=100,
+        transfer_class=TransferClass.DMA_MASTER, efficiency=0.9512,
+    ),
+    BaselineController(
+        name="RT-ICAP [15]", processor="Patmos", custom_drivers=True,
+        resources=ResourceCost(289, 105, 0, 0),
+        published_throughput_mb_s=382.2, freq_mhz=100,
+        transfer_class=TransferClass.DMA_MASTER, efficiency=0.9555,
+    ),
+    BaselineController(
+        name="PCAP [24]", processor="ARM", custom_drivers=False,
+        resources=ResourceCost(0, 0, 0, 0),
+        published_throughput_mb_s=128.0, freq_mhz=100,
+        transfer_class=TransferClass.PCAP, port_ceiling_mb_s=128.0,
+    ),
+    BaselineController(
+        name="Xilinx PRC [25]", processor="ARM", custom_drivers=False,
+        resources=ResourceCost(1171, 1203, 0, 0),
+        published_throughput_mb_s=396.5, freq_mhz=100,
+        transfer_class=TransferClass.DMA_MASTER, efficiency=0.99125,
+    ),
+    BaselineController(
+        name="Xilinx AXI_HWICAP [26]", processor="ARM", custom_drivers=False,
+        resources=ResourceCost(538, 688, 0, 0),
+        published_throughput_mb_s=14.3, freq_mhz=100,
+        transfer_class=TransferClass.CPU_COPY, cycles_per_word=27.97,
+    ),
+]

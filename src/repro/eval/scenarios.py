@@ -1,0 +1,90 @@
+"""Canonical evaluation scenarios and helpers."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.drivers.manager import ReconfigurationManager
+from repro.fpga.bitgen import Bitgen
+from repro.fpga.bitstream import Bitstream
+from repro.fpga.partition import (
+    ReconfigurableModule,
+    ReconfigurablePartition,
+    ResourceBudget,
+    RpGeometry,
+)
+from repro.soc.builder import build_soc
+from repro.soc.config import SocConfig
+from repro.soc.soc import Soc
+
+#: the paper's reference partial-bitstream size (Sec. IV-A)
+REFERENCE_PBIT_BYTES = 650_892
+
+
+def reference_setup(config: SocConfig | None = None,
+                    *, controller: str = "rvcap",
+                    hwicap_unroll: int = 16) -> tuple[Soc, ReconfigurationManager]:
+    """Build the reference SoC, provision the SD card, load the pbits."""
+    soc = build_soc(config)
+    manager = ReconfigurationManager(soc, controller=controller,
+                                     hwicap_unroll=hwicap_unroll)
+    manager.provision_sdcard()
+    manager.init_rmodules()
+    return soc, manager
+
+
+def small_rp(name: str = "small") -> ReconfigurablePartition:
+    """A small RP (~130 KB partial bitstream) for fast tests."""
+    return ReconfigurablePartition(
+        name=name,
+        geometry=RpGeometry(clb_cols=4, bram_cols=1, dsp_cols=1, rows=1),
+        budget=ResourceBudget(luts=1600, ffs=3200, brams=10, dsps=20),
+    )
+
+
+def make_test_bitstream(rp: ReconfigurablePartition | None = None,
+                        module_name: str = "testmod") -> Bitstream:
+    """A valid partial bitstream for a throwaway module."""
+    rp = rp or small_rp()
+    module = ReconfigurableModule(module_name,
+                                  ResourceBudget(100, 100, 1, 1))
+    return Bitgen(rp.device).generate(rp, module)
+
+
+def fig3_geometries() -> list[tuple[str, RpGeometry]]:
+    """The RP-size sweep of Fig. 3, smallest to largest.
+
+    Sizes span ~134 KB to ~2 MB of partial bitstream; the largest point
+    is sized so the amortized throughput peaks at the paper's measured
+    maximum of 398.1 MB/s, and the reference RP (650 892 B) is one of
+    the sweep points.
+    """
+    return [
+        ("rp_xs", RpGeometry(4, 1, 1, 1)),        # 328 frames
+        ("rp_s", RpGeometry(10, 2, 1, 1)),        # 700 frames
+        ("rp_m", RpGeometry(18, 3, 2, 1)),        # 1172 frames
+        ("rp_ref", RpGeometry(25, 4, 3, 1)),      # 1608 frames = 650 892 B
+        ("rp_l", RpGeometry(25, 4, 3, 2)),        # 3216 frames
+        ("rp_xl", RpGeometry(60, 8, 4, 1)),       # ~3520 frames
+        ("rp_xxl", RpGeometry(118, 4, 2, 1)),     # 4928 frames -> 398.1 MB/s
+    ]
+
+
+def rp_for_geometry(name: str, geometry: RpGeometry) -> ReconfigurablePartition:
+    """An RP with a generous budget for sweep bitstreams."""
+    return ReconfigurablePartition(
+        name=name,
+        geometry=geometry,
+        budget=ResourceBudget(luts=10**6, ffs=10**6, brams=10**4, dsps=10**4),
+    )
+
+
+def sweep_bitstream_sizes(geometries: Iterable[tuple[str, RpGeometry]] | None = None
+                          ) -> list[tuple[str, int]]:
+    """Expected PB sizes (bytes) for the Fig. 3 sweep."""
+    gen = Bitgen()
+    out = []
+    for name, geometry in geometries or fig3_geometries():
+        rp = rp_for_geometry(name, geometry)
+        out.append((name, gen.expected_size_bytes(rp)))
+    return out

@@ -1,0 +1,64 @@
+"""Reconfiguration-throughput measurement helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.drivers.fileio import RmDescriptor
+from repro.drivers.hwicap_driver import HwIcapDriver
+from repro.drivers.mmio import HostPort
+from repro.drivers.rvcap_driver import ReconfigResult, RvCapDriver
+from repro.eval.scenarios import rp_for_geometry
+from repro.fpga.bitgen import Bitgen
+from repro.fpga.partition import ReconfigurableModule, ResourceBudget, RpGeometry
+from repro.soc.builder import build_soc
+from repro.soc.config import SocConfig
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One measured point of a reconfiguration-size sweep."""
+
+    name: str
+    pbit_bytes: int
+    tr_us: float
+    throughput_mb_s: float
+
+
+def measure_reconfiguration(pbit: bytes, *, controller: str = "rvcap",
+                            hwicap_unroll: int = 16,
+                            mode: str = "interrupt",
+                            config: SocConfig | None = None) -> ReconfigResult:
+    """Time one reconfiguration of ``pbit`` through a fresh SoC.
+
+    The bitstream is placed in DDR via the backdoor (the SD-card load
+    time is not part of T_r in the paper's measurement protocol).
+    """
+    soc = build_soc(config, with_case_study_modules=False)
+    src = soc.config.layout.ddr_base + (16 << 20)
+    soc.ddr_write(src, pbit)
+    port = HostPort(soc)
+    descriptor = RmDescriptor(name="sweep", file_name="SWEEP.PBI",
+                              start_address=src, pbit_size=len(pbit))
+    if controller == "rvcap":
+        return RvCapDriver(port).init_reconfig_process(descriptor, mode=mode)
+    result = HwIcapDriver(port, unroll=hwicap_unroll).init_reconfig_process(descriptor)
+    return result
+
+
+def measure_size_sweep(geometries: list[tuple[str, RpGeometry]], *,
+                       controller: str = "rvcap",
+                       hwicap_unroll: int = 16) -> list[SweepPoint]:
+    """Measure reconfiguration time across RP sizes (Fig. 3)."""
+    gen = Bitgen()
+    points = []
+    for name, geometry in geometries:
+        rp = rp_for_geometry(name, geometry)
+        module = ReconfigurableModule(f"{name}_mod", ResourceBudget(1, 1, 0, 0))
+        pbit = gen.generate(rp, module).to_bytes()
+        result = measure_reconfiguration(pbit, controller=controller,
+                                         hwicap_unroll=hwicap_unroll)
+        points.append(SweepPoint(name=name, pbit_bytes=len(pbit),
+                                 tr_us=result.tr_us,
+                                 throughput_mb_s=result.throughput_mb_s))
+    return points

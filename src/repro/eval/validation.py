@@ -1,0 +1,100 @@
+"""Fast reproduction self-check (``python -m repro validate``).
+
+Runs in ~10 seconds: verifies every *anchor* value of the reproduction
+(the numbers EXPERIMENTS.md ties to the paper) plus the cheap
+structural invariants, and reports pass/fail per check.  The full
+evaluation lives in ``benchmarks/``; this is the smoke test a user runs
+first after installing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class Check:
+    name: str
+    paper: str
+    measured: str
+    ok: bool
+
+
+def _fmt(value: float, digits: int = 2) -> str:
+    return f"{value:.{digits}f}"
+
+
+def run_validation() -> List[Check]:
+    """Execute the anchor checks; returns one record per check."""
+    checks: List[Check] = []
+
+    def add(name: str, paper, measured, ok: bool) -> None:
+        checks.append(Check(name, str(paper), str(measured), ok))
+
+    # --- structural anchors (instant) --------------------------------
+    from repro.fpga.bitgen import Bitgen
+    from repro.fpga.partition import make_reference_rp
+    size = Bitgen().expected_size_bytes(make_reference_rp())
+    add("reference partial bitstream size (B)", 650_892, size,
+        size == 650_892)
+
+    from repro.resources.library import (
+        full_soc_report,
+        hwicap_controller,
+        rvcap_controller,
+    )
+    rv = rvcap_controller()
+    add("RV-CAP resources (LUT/FF/BRAM)", "2317/3953/6",
+        f"{rv.luts}/{rv.ffs}/{rv.brams}",
+        (rv.luts, rv.ffs, rv.brams) == (2317, 3953, 6))
+    hw = hwicap_controller()
+    add("HWICAP resources (LUT/FF/BRAM)", "1377/2200/2",
+        f"{hw.luts}/{hw.ffs}/{hw.brams}",
+        (hw.luts, hw.ffs, hw.brams) == (1377, 2200, 2))
+    soc_total = full_soc_report().total
+    add("full SoC resources (LUT/FF/BRAM/DSP)", "74393/64059/92/47",
+        f"{soc_total.luts}/{soc_total.ffs}/{soc_total.brams}/{soc_total.dsps}",
+        (soc_total.luts, soc_total.ffs, soc_total.brams, soc_total.dsps)
+        == (74393, 64059, 92, 47))
+
+    # --- timed anchors (one reference reconfiguration) ----------------
+    from repro.eval.scenarios import reference_setup
+    _soc, manager = reference_setup()
+    result = manager.load_module("sobel")
+    add("T_d (us)", 18.0, _fmt(result.td_us), abs(result.td_us - 18.0) < 0.4)
+    add("T_r for reference PB (us)", 1651.0, _fmt(result.tr_us),
+        abs(result.tr_us - 1651.0) < 1.0)
+    add("reference throughput (MB/s)", "394.2", _fmt(result.throughput_mb_s),
+        abs(result.throughput_mb_s - 394.24) < 0.5)
+
+    # --- one accelerator run (Table IV row) ---------------------------
+    import numpy as np
+    from repro.accel import scene_image, sobel3x3
+    image = scene_image(512)
+    output, times = manager.process_image("sobel", image)
+    add("T_c sobel (us)", 588.0, _fmt(times.tc_us),
+        abs(times.tc_us - 588.0) < 0.6)
+    add("sobel output vs golden", "bit-exact",
+        "bit-exact" if np.array_equal(output, sobel3x3(image)) else "MISMATCH",
+        bool(np.array_equal(output, sobel3x3(image))))
+
+    # --- firmware anchor (one small HWICAP run at 16x unroll) ---------
+    from repro.eval.figures import unroll_sweep
+    point = unroll_sweep((16,)).points[0]
+    add("HWICAP @16x unroll (MB/s)", 8.23, _fmt(point.throughput_mb_s),
+        abs(point.throughput_mb_s - 8.23) / 8.23 < 0.03)
+
+    return checks
+
+
+def render_validation(checks: List[Check]) -> str:
+    width = max(len(c.name) for c in checks)
+    lines = []
+    for check in checks:
+        mark = "PASS" if check.ok else "FAIL"
+        lines.append(f"[{mark}] {check.name:<{width}}  paper={check.paper}"
+                     f"  measured={check.measured}")
+    passed = sum(c.ok for c in checks)
+    lines.append(f"{passed}/{len(checks)} anchors reproduced")
+    return "\n".join(lines)

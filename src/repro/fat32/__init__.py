@@ -1,0 +1,29 @@
+"""Minimal FAT32 filesystem (the paper's SD-card I/O layer, Sec. III-A).
+
+"A set of file I/O software functions based on the minimalist
+implementation of the file allocation table (FAT32) have been developed
+to support file reading, writing, and overwriting."  This package is
+that layer: MBR partition parsing, volume formatting, FAT chain
+management, 8.3 directory entries, and a filesystem facade with read /
+write / overwrite / delete, all over an abstract 512-byte block device
+(RAM image or the simulated SD card behind SPI).
+"""
+
+from repro.fat32.blockdev import BlockDevice, RamBlockDevice, SdBackdoorBlockDevice
+from repro.fat32.mbr import PartitionEntry, parse_mbr, write_mbr
+from repro.fat32.layout import BiosParameterBlock
+from repro.fat32.mkfs import format_volume, make_disk_image
+from repro.fat32.filesystem import Fat32FileSystem
+
+__all__ = [
+    "BlockDevice",
+    "RamBlockDevice",
+    "SdBackdoorBlockDevice",
+    "PartitionEntry",
+    "parse_mbr",
+    "write_mbr",
+    "BiosParameterBlock",
+    "format_volume",
+    "make_disk_image",
+    "Fat32FileSystem",
+]

@@ -1,0 +1,91 @@
+"""8.3 directory entries.
+
+Partial-bitstream files use names like ``SOBEL.PBI`` that fit the
+classic 8.3 format, so long-file-name entries are not required; names
+are upper-cased on the way in, as the paper's minimalist driver would.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.errors import FilesystemError
+
+ENTRY_SIZE = 32
+ATTR_READ_ONLY = 0x01
+ATTR_DIRECTORY = 0x10
+ATTR_ARCHIVE = 0x20
+ENTRY_FREE = 0xE5
+ENTRY_END = 0x00
+
+
+def encode_83(name: str) -> bytes:
+    """Encode ``NAME.EXT`` into the 11-byte directory field.
+
+    The special dot entries of subdirectories encode as-is per the
+    FAT specification ('.' / '..' padded with spaces).
+    """
+    name = name.strip().upper()
+    if name in (".", ".."):
+        return name.ljust(11).encode("ascii")
+    if not name:
+        raise FilesystemError(f"invalid file name {name!r}")
+    if "." in name:
+        stem, _, ext = name.rpartition(".")
+    else:
+        stem, ext = name, ""
+    if not stem or len(stem) > 8 or len(ext) > 3:
+        raise FilesystemError(f"name {name!r} does not fit 8.3")
+    for ch in stem + ext:
+        if ch in '"*+,/:;<=>?[\\]| ' or ord(ch) < 0x20:
+            raise FilesystemError(f"illegal character {ch!r} in {name!r}")
+    return (stem.ljust(8) + ext.ljust(3)).encode("ascii")
+
+
+def decode_83(raw: bytes) -> str:
+    """Decode the 11-byte field back into ``NAME.EXT``."""
+    stem = raw[:8].decode("ascii", "replace").rstrip()
+    ext = raw[8:11].decode("ascii", "replace").rstrip()
+    return f"{stem}.{ext}" if ext else stem
+
+
+@dataclass
+class DirEntry:
+    """One 32-byte directory record."""
+
+    name: str
+    attributes: int = ATTR_ARCHIVE
+    first_cluster: int = 0
+    size: int = 0
+
+    @property
+    def is_directory(self) -> bool:
+        return bool(self.attributes & ATTR_DIRECTORY)
+
+    def pack(self) -> bytes:
+        name_field = encode_83(self.name)
+        # layout: name(11) attr(1) [NTRes..LstAccDate](8) clusHI(2)
+        #         [WrtTime WrtDate](4) clusLO(2) size(4)
+        return struct.pack(
+            "<11sB8xH4xHI",
+            name_field,
+            self.attributes,
+            (self.first_cluster >> 16) & 0xFFFF,
+            self.first_cluster & 0xFFFF,
+            self.size,
+        )
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> "DirEntry":
+        if len(raw) != ENTRY_SIZE:
+            raise FilesystemError("directory entry must be 32 bytes")
+        name_field, attributes, cluster_hi, cluster_lo, size = struct.unpack(
+            "<11sB8xH4xHI", raw
+        )
+        return cls(
+            name=decode_83(name_field),
+            attributes=attributes,
+            first_cluster=(cluster_hi << 16) | cluster_lo,
+            size=size,
+        )

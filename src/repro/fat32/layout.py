@@ -1,0 +1,101 @@
+"""FAT32 on-disk structures: BPB and FSInfo."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.errors import FilesystemError
+from repro.fat32.blockdev import BLOCK_SIZE
+
+END_OF_CHAIN = 0x0FFF_FFF8  # any value >= this terminates a chain
+FREE_CLUSTER = 0x0000_0000
+BAD_CLUSTER = 0x0FFF_FFF7
+CLUSTER_MASK = 0x0FFF_FFFF
+
+
+@dataclass(frozen=True)
+class BiosParameterBlock:
+    """The subset of the FAT32 BPB the driver uses."""
+
+    bytes_per_sector: int = BLOCK_SIZE
+    sectors_per_cluster: int = 8
+    reserved_sectors: int = 32
+    num_fats: int = 2
+    total_sectors: int = 0
+    sectors_per_fat: int = 0
+    root_cluster: int = 2
+    fsinfo_sector: int = 1
+    volume_label: bytes = b"RVCAP      "
+
+    def __post_init__(self) -> None:
+        if self.bytes_per_sector != BLOCK_SIZE:
+            raise FilesystemError("only 512-byte sectors are supported")
+        if self.sectors_per_cluster & (self.sectors_per_cluster - 1):
+            raise FilesystemError("sectors per cluster must be a power of 2")
+
+    @property
+    def cluster_bytes(self) -> int:
+        return self.bytes_per_sector * self.sectors_per_cluster
+
+    @property
+    def fat_start_sector(self) -> int:
+        return self.reserved_sectors
+
+    @property
+    def data_start_sector(self) -> int:
+        return self.reserved_sectors + self.num_fats * self.sectors_per_fat
+
+    @property
+    def num_clusters(self) -> int:
+        data_sectors = self.total_sectors - self.data_start_sector
+        return data_sectors // self.sectors_per_cluster
+
+    def cluster_to_sector(self, cluster: int) -> int:
+        if cluster < 2:
+            raise FilesystemError(f"cluster {cluster} below first data cluster")
+        return self.data_start_sector + (cluster - 2) * self.sectors_per_cluster
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def pack(self) -> bytes:
+        sector = bytearray(BLOCK_SIZE)
+        sector[0:3] = b"\xEB\x58\x90"            # jump
+        sector[3:11] = b"MSWIN4.1"               # OEM
+        struct.pack_into("<H", sector, 11, self.bytes_per_sector)
+        sector[13] = self.sectors_per_cluster
+        struct.pack_into("<H", sector, 14, self.reserved_sectors)
+        sector[16] = self.num_fats
+        struct.pack_into("<H", sector, 17, 0)    # root entries (FAT32: 0)
+        struct.pack_into("<H", sector, 19, 0)    # total16
+        sector[21] = 0xF8                         # media descriptor
+        struct.pack_into("<H", sector, 22, 0)    # FAT16 sectors/FAT
+        struct.pack_into("<I", sector, 32, self.total_sectors)
+        struct.pack_into("<I", sector, 36, self.sectors_per_fat)
+        struct.pack_into("<I", sector, 44, self.root_cluster)
+        struct.pack_into("<H", sector, 48, self.fsinfo_sector)
+        sector[66] = 0x29                         # extended boot signature
+        struct.pack_into("<I", sector, 67, 0x52564341)  # serial "RVCA"
+        sector[71:82] = self.volume_label[:11].ljust(11)
+        sector[82:90] = b"FAT32   "
+        sector[510:512] = b"\x55\xAA"
+        return bytes(sector)
+
+    @classmethod
+    def unpack(cls, sector: bytes) -> "BiosParameterBlock":
+        if sector[510:512] != b"\x55\xAA":
+            raise FilesystemError("missing boot-sector signature")
+        if sector[82:90].rstrip() != b"FAT32":
+            raise FilesystemError("volume is not FAT32")
+        return cls(
+            bytes_per_sector=struct.unpack_from("<H", sector, 11)[0],
+            sectors_per_cluster=sector[13],
+            reserved_sectors=struct.unpack_from("<H", sector, 14)[0],
+            num_fats=sector[16],
+            total_sectors=struct.unpack_from("<I", sector, 32)[0],
+            sectors_per_fat=struct.unpack_from("<I", sector, 36)[0],
+            root_cluster=struct.unpack_from("<I", sector, 44)[0],
+            fsinfo_sector=struct.unpack_from("<H", sector, 48)[0],
+            volume_label=bytes(sector[71:82]),
+        )

@@ -1,0 +1,74 @@
+"""Master boot record / partition table handling."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import FilesystemError
+from repro.fat32.blockdev import BLOCK_SIZE, BlockDevice
+
+MBR_SIGNATURE = 0xAA55
+PARTITION_TYPE_FAT32_LBA = 0x0C
+_ENTRY_OFFSET = 446
+_ENTRY_SIZE = 16
+
+
+@dataclass(frozen=True)
+class PartitionEntry:
+    """One primary partition slot."""
+
+    boot_flag: int
+    partition_type: int
+    first_lba: int
+    num_sectors: int
+
+    @property
+    def present(self) -> bool:
+        return self.partition_type != 0 and self.num_sectors > 0
+
+    def pack(self) -> bytes:
+        # CHS fields are zeroed: every consumer here is LBA-only
+        return struct.pack(
+            "<B3sB3sII",
+            self.boot_flag,
+            b"\x00\x00\x00",
+            self.partition_type,
+            b"\x00\x00\x00",
+            self.first_lba,
+            self.num_sectors,
+        )
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> "PartitionEntry":
+        boot_flag, _chs0, ptype, _chs1, first, count = struct.unpack(
+            "<B3sB3sII", raw
+        )
+        return cls(boot_flag, ptype, first, count)
+
+
+def write_mbr(device: BlockDevice, partitions: List[PartitionEntry]) -> None:
+    """Write sector 0 with up to four partition entries."""
+    if len(partitions) > 4:
+        raise FilesystemError("at most 4 primary partitions")
+    sector = bytearray(BLOCK_SIZE)
+    for i, entry in enumerate(partitions):
+        off = _ENTRY_OFFSET + i * _ENTRY_SIZE
+        sector[off : off + _ENTRY_SIZE] = entry.pack()
+    sector[510:512] = MBR_SIGNATURE.to_bytes(2, "little")
+    device.write_block(0, bytes(sector))
+
+
+def parse_mbr(device: BlockDevice) -> List[PartitionEntry]:
+    """Read and validate sector 0; returns the present partitions."""
+    sector = device.read_block(0)
+    if int.from_bytes(sector[510:512], "little") != MBR_SIGNATURE:
+        raise FilesystemError("missing MBR signature 0x55AA")
+    entries = []
+    for i in range(4):
+        off = _ENTRY_OFFSET + i * _ENTRY_SIZE
+        entry = PartitionEntry.unpack(sector[off : off + _ENTRY_SIZE])
+        if entry.present:
+            entries.append(entry)
+    return entries

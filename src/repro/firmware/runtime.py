@@ -1,0 +1,107 @@
+"""Shared firmware runtime: constants, crt0, mailbox conventions.
+
+Firmware communicates results back to the host through a *mailbox* in
+DDR: a small array of 64-bit slots at ``ddr_base + MAILBOX_OFFSET``.
+Slot 0 is the completion flag, slots 1+ carry measurements (CLINT
+ticks), so tests read timing the same way the paper reports it.
+"""
+
+from __future__ import annotations
+
+from repro.soc.config import MemoryLayout
+
+#: byte offset of the result mailbox within DDR
+MAILBOX_OFFSET = 0x200
+#: mailbox slot indices
+MBOX_DONE = 0
+MBOX_T0 = 1
+MBOX_T1 = 2
+MBOX_EXTRA = 3
+
+#: stack top: 1 MiB into DDR, grows down (cacheable, far from mailbox)
+STACK_OFFSET = 0x10_0000
+
+
+class FirmwareBuilder:
+    """Accumulates assembly source with the SoC's address constants."""
+
+    def __init__(self, layout: MemoryLayout | None = None) -> None:
+        self.layout = layout or MemoryLayout()
+        self._sections: list[str] = []
+        self._emit_equates()
+
+    def _emit_equates(self) -> None:
+        layout = self.layout
+        self.add(f"""
+        .equ BOOT_BASE,   {layout.bootrom_base:#x}
+        .equ CLINT_BASE,  {layout.clint_base:#x}
+        .equ PLIC_BASE,   {layout.plic_base:#x}
+        .equ UART_BASE,   {layout.uart_base:#x}
+        .equ SPI_BASE,    {layout.spi_base:#x}
+        .equ RPCTRL_BASE, {layout.rp_ctrl_base:#x}
+        .equ DMA_BASE,    {layout.dma_base:#x}
+        .equ HWICAP_BASE, {layout.hwicap_base:#x}
+        .equ DDR_BASE,    {layout.ddr_base:#x}
+        .equ MAILBOX,     {layout.ddr_base + MAILBOX_OFFSET:#x}
+        .equ STACK_TOP,   {layout.ddr_base + STACK_OFFSET:#x}
+        .equ MTIME_LO,    {layout.clint_base + 0xBFF8:#x}
+        """)
+
+    def add(self, source: str) -> None:
+        """Append a source fragment (leading indentation is fine)."""
+        self._sections.append(source)
+
+    def add_crt0(self, *, enable_traps: bool = False) -> None:
+        """Entry stub: stack, optional mtvec, jump to ``main``."""
+        self.add("""
+        _start:
+            li sp, STACK_TOP
+        """)
+        if enable_traps:
+            self.add("""
+            la t0, trap_handler
+            csrw mtvec, t0
+            """)
+        self.add("""
+            call main
+            # signal completion through the mailbox and stop
+            li t0, MAILBOX
+            li t1, 1
+            sd t1, 0(t0)
+            ebreak
+        """)
+
+    def add_uart_puts(self) -> None:
+        """``uart_puts``: print the NUL-terminated string at a0."""
+        self.add("""
+        uart_puts:
+            li t0, UART_BASE
+        .Lputs_loop:
+            lbu t1, 0(a0)
+            beqz t1, .Lputs_done
+            sw t1, 0(t0)
+            addi a0, a0, 1
+            j .Lputs_loop
+        .Lputs_done:
+            ret
+        """)
+
+    def add_read_mtime(self) -> None:
+        """``read_mtime``: return the 64-bit CLINT mtime in a0."""
+        self.add("""
+        read_mtime:
+            li t0, MTIME_LO
+        .Lmtime_retry:
+            lw t1, 4(t0)         # hi
+            lw t2, 0(t0)         # lo
+            lw t3, 4(t0)         # hi again (rollover guard)
+            bne t1, t3, .Lmtime_retry
+            slli t1, t1, 32
+            slli t2, t2, 32      # zero-extend lo
+            srli t2, t2, 32
+            or a0, t1, t2
+            ret
+        """)
+
+    def source(self) -> str:
+        return "\n".join(self._sections)

@@ -1,0 +1,129 @@
+"""Listing-1 firmware: the RV-CAP reconfiguration flow on the ISS.
+
+Implements the paper's interrupt-driven (non-blocking) reconfiguration
+entirely in machine code: PLIC setup, decouple + select_ICAP, DMA kick,
+``wfi`` until the transfer-complete interrupt, ISR claim/clear, and the
+re-coupling — with CLINT timestamps around the transfer reported
+through the mailbox.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ControllerError
+from repro.firmware.runtime import FirmwareBuilder
+from repro.riscv.assembler import Program, assemble
+from repro.soc.config import IRQ_DMA_MM2S, MemoryLayout
+
+
+def build_rvcap_firmware(src_address: int, pbit_bytes: int, *,
+                         layout: MemoryLayout | None = None,
+                         compress: bool = False) -> Program:
+    """Assemble the RV-CAP reconfiguration firmware (interrupt mode)."""
+    if pbit_bytes <= 0:
+        raise ControllerError("bitstream size must be positive")
+    builder = FirmwareBuilder(layout)
+    builder.add(f"""
+    .equ SRC_ADDR,   {src_address:#x}
+    .equ PBIT_SIZE,  {pbit_bytes}
+    .equ IRQ_SRC,    {IRQ_DMA_MM2S}
+    # DMA registers
+    .equ MM2S_DMACR, 0x00
+    .equ MM2S_DMASR, 0x04
+    .equ MM2S_SA,    0x18
+    .equ MM2S_SAH,   0x1C
+    .equ MM2S_LEN,   0x28
+    .equ CR_RS,      1
+    .equ CR_IOC_EN,  0x1000
+    .equ SR_IOC,     0x1000
+    # RP control
+    .equ DECOUPLE,   0x0
+    .equ SEL_ICAP,   0x4
+    # PLIC
+    .equ PLIC_PRIO1, {0x0 + 4 * IRQ_DMA_MM2S:#x}
+    .equ PLIC_EN,    0x2000
+    .equ PLIC_CLAIM, 0x200004
+    """)
+    builder.add_crt0(enable_traps=True)
+    builder.add_read_mtime()
+    builder.add(f"""
+    main:
+        addi sp, sp, -16
+        sd ra, 8(sp)
+        li s0, DMA_BASE
+        li s1, RPCTRL_BASE
+        li s2, PLIC_BASE
+
+        # PLIC: priority 7 for the DMA MM2S source, enable it
+        li t1, 7
+        li t0, PLIC_PRIO1
+        add t0, t0, s2
+        sw t1, 0(t0)
+        li t1, 1 << IRQ_SRC
+        li t0, PLIC_EN
+        add t0, t0, s2
+        sw t1, 0(t0)
+        # enable machine external interrupts
+        li t1, 1 << 11
+        csrs mie, t1
+        csrsi mstatus, 8          # MSTATUS.MIE
+
+        # Listing 1: decouple_accel(1); select_ICAP(1)
+        li t1, 1
+        sw t1, DECOUPLE(s1)
+        sw t1, SEL_ICAP(s1)
+
+        # dma_start(): CR.RS with interrupt-on-complete enabled
+        li t1, CR_RS | CR_IOC_EN
+        sw t1, MM2S_DMACR(s0)
+
+        # T0 = mtime, then dma_write_stream(SRC, SIZE)
+        call read_mtime
+        li t0, MAILBOX
+        sd a0, 8(t0)
+        li t1, SRC_ADDR
+        sw t1, MM2S_SA(s0)
+        li t1, SRC_ADDR >> 32
+        sw t1, MM2S_SAH(s0)
+        li t1, PBIT_SIZE
+        sw t1, MM2S_LEN(s0)
+
+        # non-blocking: sleep until the completion interrupt
+    wait_irq:
+        li t0, MAILBOX
+        ld t1, 24(t0)             # ISR sets slot3 when serviced
+        bnez t1, irq_seen
+        wfi
+        j wait_irq
+    irq_seen:
+        # T1 = mtime (transfer complete and acknowledged)
+        call read_mtime
+        li t0, MAILBOX
+        sd a0, 16(t0)
+
+        # select_ICAP(0); decouple_accel(0)
+        sw zero, SEL_ICAP(s1)
+        sw zero, DECOUPLE(s1)
+        ld ra, 8(sp)
+        addi sp, sp, 16
+        ret
+
+    # machine trap handler: claim the PLIC source, clear the DMA IOC
+    # flag, mark completion in mailbox slot 3
+    trap_handler:
+        li t0, PLIC_CLAIM
+        li t1, PLIC_BASE
+        add t0, t0, t1
+        lw t2, 0(t0)              # claim
+        beqz t2, trap_exit
+        li t3, DMA_BASE
+        li t4, SR_IOC
+        sw t4, MM2S_DMASR(t3)     # write-1-clear the IOC bit
+        sw t2, 0(t0)              # complete
+        li t3, MAILBOX
+        li t4, 1
+        sd t4, 24(t3)
+    trap_exit:
+        mret
+    """)
+    return assemble(builder.source(), base=builder.layout.bootrom_base,
+                    compress=compress)

@@ -1,0 +1,105 @@
+"""Xilinx ``.bit`` container format (header + raw bitstream words).
+
+Vivado's ``.bit`` files wrap the configuration words in a small
+tag-length-value header carrying the design name, part, date and time;
+``.bin`` files are the raw words only.  The SD card in the paper's
+flow may carry either; this module reads and writes the ``.bit``
+wrapper so the pbit store can ingest both.
+
+Header layout (de-facto standard, not officially documented):
+
+* a 13-byte magic field,
+* records keyed 'a' (design name), 'b' (part), 'c' (date), 'd' (time),
+  each a big-endian u16 length + NUL-terminated string,
+* record 'e': big-endian u32 payload length, then the raw words.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.errors import BitstreamError
+from repro.fpga.bitstream import Bitstream
+
+_MAGIC = bytes([0x00, 0x09, 0x0F, 0xF0, 0x0F, 0xF0, 0x0F, 0xF0,
+                0x0F, 0xF0, 0x00, 0x00, 0x01])
+
+
+@dataclass(frozen=True)
+class BitFileHeader:
+    """Metadata carried by a .bit container."""
+
+    design_name: str = "rvcap_rm;UserID=0XFFFFFFFF"
+    part_name: str = "7k325tffg900"
+    date: str = "2021/05/17"
+    time: str = "12:00:00"
+
+
+def _pack_string_record(key: bytes, text: str) -> bytes:
+    payload = text.encode("ascii") + b"\x00"
+    return key + struct.pack(">H", len(payload)) + payload
+
+
+def write_bit_file(bitstream: Bitstream,
+                   header: BitFileHeader | None = None) -> bytes:
+    """Serialize a bitstream into the .bit container format."""
+    header = header or BitFileHeader()
+    payload = bitstream.to_bytes()
+    out = bytearray()
+    out += _MAGIC
+    out += _pack_string_record(b"a", header.design_name)
+    out += _pack_string_record(b"b", header.part_name)
+    out += _pack_string_record(b"c", header.date)
+    out += _pack_string_record(b"d", header.time)
+    out += b"e" + struct.pack(">I", len(payload))
+    out += payload
+    return bytes(out)
+
+
+def _read_string_record(data: bytes, offset: int,
+                        expected_key: bytes) -> tuple[str, int]:
+    if data[offset : offset + 1] != expected_key:
+        raise BitstreamError(
+            f"expected .bit record {expected_key!r} at offset {offset}"
+        )
+    (length,) = struct.unpack_from(">H", data, offset + 1)
+    start = offset + 3
+    text = data[start : start + length].rstrip(b"\x00").decode("ascii",
+                                                               "replace")
+    return text, start + length
+
+
+def parse_bit_file(data: bytes) -> tuple[BitFileHeader, Bitstream]:
+    """Parse a .bit container; returns (header, bitstream)."""
+    if not data.startswith(_MAGIC):
+        raise BitstreamError("missing .bit magic header")
+    offset = len(_MAGIC)
+    design, offset = _read_string_record(data, offset, b"a")
+    part, offset = _read_string_record(data, offset, b"b")
+    date, offset = _read_string_record(data, offset, b"c")
+    time, offset = _read_string_record(data, offset, b"d")
+    if data[offset : offset + 1] != b"e":
+        raise BitstreamError("missing .bit payload record")
+    (length,) = struct.unpack_from(">I", data, offset + 1)
+    payload = data[offset + 5 : offset + 5 + length]
+    if len(payload) != length:
+        raise BitstreamError(
+            f".bit payload truncated: header says {length}, "
+            f"got {len(payload)}"
+        )
+    header = BitFileHeader(design_name=design, part_name=part,
+                           date=date, time=time)
+    return header, Bitstream.from_bytes(payload)
+
+
+def is_bit_file(data: bytes) -> bool:
+    """Quick sniff: does this look like a .bit container?"""
+    return data.startswith(_MAGIC)
+
+
+def extract_bitstream(data: bytes) -> Bitstream:
+    """Accept either a raw .bin or a .bit container."""
+    if is_bit_file(data):
+        return parse_bit_file(data)[1]
+    return Bitstream.from_bytes(data)

@@ -1,0 +1,97 @@
+"""RLE bitstream compression (RT-ICAP-style extension, [15]).
+
+The RT-ICAP controller of the related work compresses partial
+bitstreams before storing them on-chip and decompresses in front of the
+ICAP, trading on-chip memory for reconfiguration time.  We implement
+the same idea as a word-granular run-length scheme and expose it as an
+ablation: DPR controllers can be configured with a decompressor stage.
+
+Format: a stream of 32-bit records.
+  [0x00, count24]  -> next word repeats ``count`` times
+  [0x01, count24]  -> ``count`` literal words follow
+Runs shorter than 2 are emitted as literals.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import BitstreamError
+
+_RUN = 0x00
+_LITERAL = 0x01
+_MAX_COUNT = (1 << 24) - 1
+
+
+def rle_compress(words: np.ndarray) -> np.ndarray:
+    """Compress a word stream; returns the encoded word stream."""
+    data = np.asarray(words, dtype=np.uint32)
+    n = int(data.size)
+    if n == 0:
+        return np.zeros(0, dtype=np.uint32)
+    # boundaries of equal-value runs, vectorized
+    change = np.flatnonzero(np.diff(data)) + 1
+    starts = np.concatenate(([0], change))
+    lengths = np.diff(np.concatenate((starts, [n])))
+    out: list[int] = []
+    literal: list[int] = []
+
+    def flush_literal() -> None:
+        pos = 0
+        while pos < len(literal):
+            span = min(len(literal) - pos, _MAX_COUNT)
+            out.append((_LITERAL << 24) | span)
+            out.extend(literal[pos : pos + span])
+            pos += span
+        literal.clear()
+
+    for start, length in zip(starts.tolist(), lengths.tolist()):
+        value = int(data[start])
+        if length >= 2:
+            flush_literal()
+            remaining = length
+            while remaining:
+                span = min(remaining, _MAX_COUNT)
+                out.append((_RUN << 24) | span)
+                out.append(value)
+                remaining -= span
+        else:
+            literal.append(value)
+    flush_literal()
+    return np.array(out, dtype=np.uint32)
+
+
+def rle_decompress(encoded: np.ndarray) -> np.ndarray:
+    """Invert :func:`rle_compress`."""
+    data = np.asarray(encoded, dtype=np.uint32)
+    chunks: list[np.ndarray] = []
+    i = 0
+    n = int(data.size)
+    while i < n:
+        header = int(data[i])
+        i += 1
+        kind = header >> 24
+        count = header & _MAX_COUNT
+        if kind == _RUN:
+            if i >= n:
+                raise BitstreamError("truncated RLE run record")
+            chunks.append(np.full(count, data[i], dtype=np.uint32))
+            i += 1
+        elif kind == _LITERAL:
+            if i + count > n:
+                raise BitstreamError("truncated RLE literal record")
+            chunks.append(data[i : i + count].copy())
+            i += count
+        else:
+            raise BitstreamError(f"bad RLE record kind {kind:#x}")
+    if not chunks:
+        return np.zeros(0, dtype=np.uint32)
+    return np.concatenate(chunks)
+
+
+def compression_ratio(words: np.ndarray) -> float:
+    """Compressed/original size ratio for a word stream."""
+    original = int(np.asarray(words).size)
+    if original == 0:
+        return 1.0
+    return int(rle_compress(words).size) / original

@@ -1,0 +1,74 @@
+"""Configuration memory: the frame store behind the ICAP.
+
+Frames are stored as numpy ``uint32`` arrays keyed by linear frame
+index, so a 1600-frame partial bitstream lands as ~1600 array stores
+instead of 160k Python-level word writes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.fpga.device import FpgaDevice
+from repro.fpga.frames import FrameAddress
+
+
+class ConfigMemory:
+    """Frame-addressed configuration memory of one device."""
+
+    def __init__(self, device: FpgaDevice) -> None:
+        self.device = device
+        self._frames: Dict[int, np.ndarray] = {}
+        self.frames_written = 0
+        self.last_far: Optional[FrameAddress] = None
+
+    def write_frames(self, far: FrameAddress, words: np.ndarray) -> FrameAddress:
+        """Write one or more consecutive frames starting at ``far``.
+
+        ``words`` length must be a multiple of the device frame size.
+        Returns the frame address following the last written frame.
+        """
+        wpf = self.device.words_per_frame
+        if len(words) % wpf:
+            raise ConfigurationError(
+                f"frame data of {len(words)} words is not a multiple of "
+                f"{wpf}-word frames"
+            )
+        count = len(words) // wpf
+        base = far.linear_index()
+        data = np.asarray(words, dtype=np.uint32)
+        for i in range(count):
+            self._frames[base + i] = data[i * wpf : (i + 1) * wpf].copy()
+        self.frames_written += count
+        self.last_far = far.advance(count)
+        return self.last_far
+
+    def read_frame(self, far: FrameAddress) -> np.ndarray:
+        """Read back one frame (zeros when never configured)."""
+        frame = self._frames.get(far.linear_index())
+        if frame is None:
+            return np.zeros(self.device.words_per_frame, dtype=np.uint32)
+        return frame.copy()
+
+    def read_frames(self, far: FrameAddress, count: int) -> np.ndarray:
+        """Read ``count`` consecutive frames starting at ``far``."""
+        base = far.linear_index()
+        wpf = self.device.words_per_frame
+        out = np.zeros(count * wpf, dtype=np.uint32)
+        for i in range(count):
+            frame = self._frames.get(base + i)
+            if frame is not None:
+                out[i * wpf : (i + 1) * wpf] = frame
+        return out
+
+    @property
+    def configured_frames(self) -> int:
+        return len(self._frames)
+
+    def clear(self) -> None:
+        self._frames.clear()
+        self.frames_written = 0
+        self.last_far = None

@@ -1,0 +1,67 @@
+"""Device descriptions: frame geometry of 7-series parts.
+
+Constants follow UG470 (7 Series FPGAs Configuration User Guide):
+101 words per frame for all 7-series devices, 36 frames per CLB
+column, 28 interconnect + 128 content frames per BRAM column, 28 per
+DSP column.  Per clock-region row, one column provides 50 CLBs
+(400 LUT / 800 FF), 10 RAMB36 or 20 RAMB18, or 20 DSP48 slices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ColumnCosts:
+    """Configuration frames per column type (per clock-region row)."""
+
+    clb_frames: int = 36
+    bram_interconnect_frames: int = 28
+    bram_content_frames: int = 128
+    dsp_frames: int = 28
+
+    @property
+    def bram_frames(self) -> int:
+        return self.bram_interconnect_frames + self.bram_content_frames
+
+
+@dataclass(frozen=True)
+class ColumnCapacity:
+    """User resources per column type (per clock-region row)."""
+
+    clb_luts: int = 400
+    clb_ffs: int = 800
+    bram36: int = 10
+    dsp48: int = 20
+
+
+@dataclass(frozen=True)
+class FpgaDevice:
+    """A partially reconfigurable 7-series device."""
+
+    name: str
+    idcode: int
+    words_per_frame: int = 101
+    clock_region_rows: int = 7
+    columns_per_row: int = 120
+    costs: ColumnCosts = ColumnCosts()
+    capacity: ColumnCapacity = ColumnCapacity()
+
+    @property
+    def frame_bytes(self) -> int:
+        return self.words_per_frame * 4
+
+    def frames_for_columns(self, clb_cols: int, bram_cols: int,
+                           dsp_cols: int, rows: int = 1) -> int:
+        """Frames occupied by a pblock rectangle of the given columns."""
+        per_row = (
+            clb_cols * self.costs.clb_frames
+            + bram_cols * self.costs.bram_frames
+            + dsp_cols * self.costs.dsp_frames
+        )
+        return per_row * rows
+
+
+#: The paper's evaluation part (Genesys2 board).
+KINTEX7_325T = FpgaDevice(name="xc7k325t", idcode=0x3651093)

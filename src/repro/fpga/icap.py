@@ -1,0 +1,288 @@
+"""The ICAP primitive (ICAPE2): configuration port of the fabric.
+
+Timing: the 7-series ICAP accepts one 32-bit word per cycle at up to
+100 MHz — the 400 MB/s theoretical ceiling the paper measures every
+controller against.  The model is a :class:`StreamSink` consuming
+4 bytes/cycle with ``busy_until`` pipelining, so a DMA that keeps bursts
+back-to-back observes exactly that ceiling.
+
+Function: an incremental packet parser mirrors the device's config
+state machine — sync search, type-1/type-2 packets, FAR/FDRI/CMD/CRC
+registers — and commits frame data into :class:`ConfigMemory`.  CRC
+errors and protocol violations latch error flags exactly like the real
+CFGERR behaviour (a corrupted partial bitstream must never half-apply
+silently; the safe-DPR ablation exercises this path).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.axi.stream import StreamSink
+from repro.errors import ConfigurationError
+from repro.fpga.config_memory import ConfigMemory
+from repro.fpga.frames import FrameAddress
+from repro.fpga.packets import (
+    BUS_WIDTH_DETECT,
+    BUS_WIDTH_SYNC,
+    Command,
+    ConfigPacket,
+    ConfigRegister,
+    DUMMY_WORD,
+    NOOP_WORD,
+    Opcode,
+    SYNC_WORD,
+)
+from repro.utils.crc import crc32_config_word
+
+
+class _ParseState(enum.Enum):
+    UNSYNCED = enum.auto()
+    IDLE = enum.auto()
+    PAYLOAD = enum.auto()
+
+
+class Icap(StreamSink):
+    """ICAPE2 model: 32-bit write port into the configuration logic."""
+
+    BYTES_PER_CYCLE = 4
+
+    def __init__(self, config_memory: ConfigMemory, *,
+                 crc_check: bool = True) -> None:
+        self.config_memory = config_memory
+        self.crc_check = crc_check
+        self._busy_until = 0
+        self._byte_buffer = bytearray()
+        self._state = _ParseState.UNSYNCED
+        self._payload_reg: Optional[int] = None
+        self._payload_remaining = 0
+        self._fdri_words: List[np.ndarray] = []
+        self._crc = 0
+        #: words produced by FDRO read requests, awaiting pickup by the
+        #: configuration-port master (readback, UG470 ch. 6)
+        self.readback_queue: List[int] = []
+        self.far: Optional[FrameAddress] = None
+        self.idcode_seen: Optional[int] = None
+        self.words_consumed = 0
+        self.crc_error = False
+        self.protocol_error = False
+        self.idcode_mismatch = False
+        self.desynced_count = 0
+        self.reconfigurations_completed = 0
+        #: optional guard invoked before committing frames; raise or
+        #: return False to block (used by the safe-DPR checks)
+        self.commit_guard: Optional[Callable[[FrameAddress, int], bool]] = None
+        #: invoked after every error-free DESYNC (reconfiguration done);
+        #: the SoC uses this to activate the newly loaded module
+        self.on_complete: Optional[Callable[[], None]] = None
+        #: optional TraceRecorder for completion/error events
+        self.trace = None
+
+    # ------------------------------------------------------------------
+    # status
+    # ------------------------------------------------------------------
+    @property
+    def error(self) -> bool:
+        return self.crc_error or self.protocol_error or self.idcode_mismatch
+
+    @property
+    def busy_until(self) -> int:
+        return self._busy_until
+
+    def reset(self) -> None:
+        """Port-level reset: abort any partial packet, clear errors."""
+        self._byte_buffer.clear()
+        self._state = _ParseState.UNSYNCED
+        self._payload_reg = None
+        self._payload_remaining = 0
+        self._fdri_words.clear()
+        self._crc = 0
+        self.crc_error = False
+        self.protocol_error = False
+        self.idcode_mismatch = False
+
+    # ------------------------------------------------------------------
+    # StreamSink: timing + byte intake
+    # ------------------------------------------------------------------
+    def accept(self, data: bytes, now: int) -> int:
+        cycles = -(-len(data) // self.BYTES_PER_CYCLE)
+        self._busy_until = max(self._busy_until, now) + cycles
+        self._byte_buffer.extend(data)
+        whole = len(self._byte_buffer) // 4 * 4
+        if whole:
+            words = np.frombuffer(bytes(self._byte_buffer[:whole]),
+                                  dtype=">u4").astype(np.uint32)
+            del self._byte_buffer[:whole]
+            self._consume_words(words)
+        return self._busy_until
+
+    # ------------------------------------------------------------------
+    # configuration state machine
+    # ------------------------------------------------------------------
+    def _consume_words(self, words: np.ndarray) -> None:
+        self.words_consumed += int(words.size)
+        i = 0
+        n = int(words.size)
+        while i < n:
+            if self._state is _ParseState.PAYLOAD:
+                take = min(self._payload_remaining, n - i)
+                self._payload(words[i : i + take])
+                i += take
+                continue
+            word = int(words[i])
+            i += 1
+            if self._state is _ParseState.UNSYNCED:
+                # a desynced device ignores everything except the sync
+                # pattern (dummies, bus-width words, post-DESYNC padding)
+                if word == SYNC_WORD:
+                    self._state = _ParseState.IDLE
+                continue
+            # IDLE: expect NOP or a packet header
+            if word == NOOP_WORD:
+                continue
+            try:
+                header = ConfigPacket.decode(word)
+            except Exception:
+                self.protocol_error = True
+                self._state = _ParseState.UNSYNCED
+                continue
+            if header.packet_type == 1:
+                self._payload_reg = header.register
+                self._payload_remaining = header.word_count
+            else:
+                if self._payload_reg is None:
+                    self.protocol_error = True
+                    continue
+                self._payload_remaining = header.word_count
+            if header.opcode == Opcode.WRITE and self._payload_remaining:
+                self._state = _ParseState.PAYLOAD
+            elif header.opcode == Opcode.READ and self._payload_remaining:
+                self._serve_read(self._payload_reg, self._payload_remaining)
+                self._payload_remaining = 0
+
+    def _payload(self, chunk: np.ndarray) -> None:
+        reg = self._payload_reg
+        assert reg is not None
+        if reg == ConfigRegister.FDRI:
+            self._fdri_words.append(np.array(chunk, dtype=np.uint32))
+            if self.crc_check:
+                crc = self._crc
+                for value in chunk.tolist():
+                    crc = crc32_config_word(crc, value, reg)
+                self._crc = crc
+        else:
+            for value in chunk.tolist():
+                self._write_register(reg, value)
+        self._payload_remaining -= len(chunk)
+        if self._payload_remaining == 0:
+            # a DESYNC command inside the payload has already moved the
+            # state to UNSYNCED; do not resurrect the packet parser
+            if self._state is _ParseState.PAYLOAD:
+                self._state = _ParseState.IDLE
+            if reg == ConfigRegister.FDRI:
+                self._commit_frames()
+
+    def _write_register(self, reg: int, value: int) -> None:
+        if reg == ConfigRegister.CRC:
+            if self.crc_check and value != self._crc:
+                self.crc_error = True
+            self._crc = 0
+            return
+        if reg == ConfigRegister.CMD:
+            command = Command(value & 0x1F)
+            if command == Command.RCRC:
+                self._crc = 0
+                return  # the RCRC word itself is not hashed
+            if command == Command.DESYNC:
+                self._finish_desync()
+            self._hash(value, reg)
+            return
+        if reg == ConfigRegister.IDCODE:
+            self.idcode_seen = value
+            if value != self.config_memory.device.idcode:
+                self.idcode_mismatch = True
+            self._hash(value, reg)
+            return
+        if reg == ConfigRegister.FAR:
+            self.far = FrameAddress.decode(value)
+            self._hash(value, reg)
+            return
+        self._hash(value, reg)
+
+    def _hash(self, value: int, reg: int) -> None:
+        if self.crc_check:
+            self._crc = crc32_config_word(self._crc, value, reg)
+
+    def _commit_frames(self) -> None:
+        if not self._fdri_words:
+            return
+        payload = (self._fdri_words[0] if len(self._fdri_words) == 1
+                   else np.concatenate(self._fdri_words))
+        self._fdri_words.clear()
+        if self.far is None:
+            self.protocol_error = True
+            return
+        if self.error:
+            return  # never half-apply after an error
+        wpf = self.config_memory.device.words_per_frame
+        frames = len(payload) // wpf
+        if self.commit_guard is not None:
+            if not self.commit_guard(self.far, frames):
+                raise ConfigurationError(
+                    f"frame write at {self.far} blocked by commit guard"
+                )
+        if len(payload) % wpf:
+            self.protocol_error = True
+            return
+        self.far = self.config_memory.write_frames(self.far, payload)
+
+    def _serve_read(self, reg: int, count: int) -> None:
+        """Service a read packet: queue response words for the master.
+
+        Only FDRO (frame data readback) and STAT are meaningful here.
+        The real device requires a preceding RCFG command and FAR write
+        and emits one pad frame before the data; we model the pad frame
+        so driver code must skip it exactly as on hardware.
+        """
+        if reg == ConfigRegister.FDRO:
+            if self.far is None:
+                self.protocol_error = True
+                return
+            wpf = self.config_memory.device.words_per_frame
+            # one pad frame of zeros precedes readback data (UG470)
+            payload_words = count - wpf
+            if payload_words < 0 or payload_words % wpf:
+                self.protocol_error = True
+                return
+            frames = payload_words // wpf
+            data = self.config_memory.read_frames(self.far, frames)
+            self.readback_queue.extend([0] * wpf)
+            self.readback_queue.extend(int(w) for w in data)
+            self.far = self.far.advance(frames)
+        elif reg == ConfigRegister.STAT:
+            status = (1 << 12) if not self.error else 0  # DONE-ish bit
+            self.readback_queue.extend([status] * count)
+        else:
+            self.readback_queue.extend([0] * count)
+
+    def pop_readback(self, max_words: int) -> List[int]:
+        """Transfer up to ``max_words`` queued readback words out."""
+        out = self.readback_queue[:max_words]
+        del self.readback_queue[:max_words]
+        return out
+
+    def _finish_desync(self) -> None:
+        self.desynced_count += 1
+        self._state = _ParseState.UNSYNCED
+        if self.trace is not None:
+            status = "error" if self.error else "ok"
+            self.trace.record(self._busy_until, "icap",
+                              f"desync ({status}), {self.words_consumed} "
+                              "words consumed so far")
+        if not self.error:
+            self.reconfigurations_completed += 1
+            if self.on_complete is not None:
+                self.on_complete()

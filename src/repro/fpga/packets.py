@@ -1,0 +1,117 @@
+"""7-series configuration packet protocol (UG470 chapter 5)."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import BitstreamError
+
+SYNC_WORD = 0xAA99_5566
+DUMMY_WORD = 0xFFFF_FFFF
+BUS_WIDTH_SYNC = 0x0000_00BB
+BUS_WIDTH_DETECT = 0x1122_0044
+NOOP_WORD = 0x2000_0000
+
+
+class ConfigRegister(enum.IntEnum):
+    """Configuration register addresses."""
+
+    CRC = 0x00
+    FAR = 0x01
+    FDRI = 0x02
+    FDRO = 0x03
+    CMD = 0x04
+    CTL0 = 0x05
+    MASK = 0x06
+    STAT = 0x07
+    LOUT = 0x08
+    COR0 = 0x09
+    MFWR = 0x0A
+    CBC = 0x0B
+    IDCODE = 0x0C
+    AXSS = 0x0D
+    COR1 = 0x0E
+    WBSTAR = 0x10
+    TIMER = 0x11
+    BSPI = 0x1F
+
+
+class Command(enum.IntEnum):
+    """CMD register command codes."""
+
+    NULL = 0x0
+    WCFG = 0x1
+    MFW = 0x2
+    DGHIGH = 0x3   # also LFRM
+    RCFG = 0x4
+    START = 0x5
+    RCRC = 0x7
+    AGHIGH = 0x8
+    SWITCH = 0x9
+    GRESTORE = 0xA
+    SHUTDOWN = 0xB
+    DESYNC = 0xD
+    IPROG = 0xF
+
+
+class Opcode(enum.IntEnum):
+    NOP = 0
+    READ = 1
+    WRITE = 2
+
+
+@dataclass(frozen=True)
+class ConfigPacket:
+    """A decoded type-1 or type-2 packet header."""
+
+    packet_type: int
+    opcode: Opcode
+    register: int
+    word_count: int
+
+    def encode(self) -> int:
+        if self.packet_type == 1:
+            if self.word_count >= (1 << 11):
+                raise BitstreamError("type-1 word count exceeds 11 bits")
+            return (
+                (1 << 29)
+                | (int(self.opcode) << 27)
+                | ((self.register & 0x1F) << 13)
+                | self.word_count
+            )
+        if self.packet_type == 2:
+            if self.word_count >= (1 << 27):
+                raise BitstreamError("type-2 word count exceeds 27 bits")
+            return (2 << 29) | (int(self.opcode) << 27) | self.word_count
+        raise BitstreamError(f"unknown packet type {self.packet_type}")
+
+    @classmethod
+    def decode(cls, word: int) -> "ConfigPacket":
+        packet_type = (word >> 29) & 0x7
+        opcode = Opcode((word >> 27) & 0x3)
+        if packet_type == 1:
+            return cls(1, opcode, (word >> 13) & 0x1F, word & 0x7FF)
+        if packet_type == 2:
+            return cls(2, opcode, 0, word & 0x7FF_FFFF)
+        raise BitstreamError(f"invalid packet header {word:#010x}")
+
+
+def type1_write(register: int, word_count: int) -> int:
+    return ConfigPacket(1, Opcode.WRITE, register, word_count).encode()
+
+
+def type1_nop() -> int:
+    return NOOP_WORD
+
+
+def type2_write(word_count: int) -> int:
+    return ConfigPacket(2, Opcode.WRITE, 0, word_count).encode()
+
+
+def type1_read(register: int, word_count: int) -> int:
+    return ConfigPacket(1, Opcode.READ, register, word_count).encode()
+
+
+def type2_read(word_count: int) -> int:
+    return ConfigPacket(2, Opcode.READ, 0, word_count).encode()

@@ -1,0 +1,8 @@
+"""Memory subsystem: sparse backing store, DDR timing model, ROM/BRAM."""
+
+from repro.mem.sparse_memory import SparseMemory
+from repro.mem.ddr import DdrController, DdrTiming
+from repro.mem.bootrom import BootRom
+from repro.mem.bram import Bram
+
+__all__ = ["SparseMemory", "DdrController", "DdrTiming", "BootRom", "Bram"]

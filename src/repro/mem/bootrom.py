@@ -1,0 +1,51 @@
+"""On-chip boot memory.
+
+The paper's SoC stores application binaries (compiled with the RISC-V
+GNU toolchain) in on-chip boot memory on the FPGA (Sec. III-A); the
+Ariane core fetches instructions from here.  On-chip block RAM responds
+in a single cycle, so instruction fetches never touch the DDR model.
+"""
+
+from __future__ import annotations
+
+from repro.axi.interface import AxiSlave
+from repro.axi.types import AxiResp, AxiResult
+
+
+class BootRom(AxiSlave):
+    """Read-only on-chip memory preloaded with a firmware image."""
+
+    read_latency = 1
+
+    def __init__(self, size: int = 192 * 1024, name: str = "bootrom") -> None:
+        self.name = name
+        self._data = bytearray(size)
+        self.image_size = 0
+
+    @property
+    def size(self) -> int:
+        return len(self._data)
+
+    def load_image(self, data: bytes, offset: int = 0) -> None:
+        """Program the ROM contents (design-time operation, zero cost)."""
+        if offset + len(data) > len(self._data):
+            raise ValueError(
+                f"image of {len(data)} B at +{offset:#x} exceeds ROM size "
+                f"{len(self._data)}"
+            )
+        self._data[offset : offset + len(data)] = data
+        self.image_size = max(self.image_size, offset + len(data))
+
+    def read(self, addr: int, nbytes: int, now: int) -> AxiResult:
+        if addr + nbytes > len(self._data):
+            return AxiResult(b"", now + self.read_latency, AxiResp.SLVERR)
+        return AxiResult(bytes(self._data[addr : addr + nbytes]),
+                         now + self.read_latency)
+
+    def write(self, addr: int, data: bytes, now: int) -> AxiResult:
+        # ROM: writes are rejected like a read-only BRAM port.
+        return AxiResult(b"", now + 1, AxiResp.SLVERR)
+
+    def fetch(self, addr: int, nbytes: int) -> bytes:
+        """Zero-time fetch path used by the CPU front end (always hits)."""
+        return bytes(self._data[addr : addr + nbytes])

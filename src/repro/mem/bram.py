@@ -1,0 +1,35 @@
+"""General-purpose on-chip block RAM (single-cycle scratchpad)."""
+
+from __future__ import annotations
+
+from repro.axi.interface import AxiSlave
+from repro.axi.types import AxiResp, AxiResult
+
+
+class Bram(AxiSlave):
+    """A simple dual-port BRAM scratchpad with one-cycle access."""
+
+    read_latency = 1
+    write_latency = 1
+
+    def __init__(self, size: int, name: str = "bram") -> None:
+        if size <= 0:
+            raise ValueError("BRAM size must be positive")
+        self.name = name
+        self._data = bytearray(size)
+
+    @property
+    def size(self) -> int:
+        return len(self._data)
+
+    def read(self, addr: int, nbytes: int, now: int) -> AxiResult:
+        if addr + nbytes > len(self._data):
+            return AxiResult(b"", now + self.read_latency, AxiResp.SLVERR)
+        return AxiResult(bytes(self._data[addr : addr + nbytes]),
+                         now + self.read_latency)
+
+    def write(self, addr: int, data: bytes, now: int) -> AxiResult:
+        if addr + len(data) > len(self._data):
+            return AxiResult(b"", now + self.write_latency, AxiResp.SLVERR)
+        self._data[addr : addr + len(data)] = data
+        return AxiResult(b"", now + self.write_latency)

@@ -1,0 +1,188 @@
+"""DDR memory controller with a multi-port, row-aware timing model.
+
+Timing model
+------------
+The Genesys2 board pairs the Kintex-7 with DDR3 behind a Xilinx MIG
+controller.  Each 100 MHz AXI port sustains one 64-bit beat per cycle
+once a burst is streaming; the MIG core itself runs the memory at a
+multiple of that, so two ports (the CPU/main-bus port and the RV-CAP
+crossbar port of Sec. III-B) can stream concurrently.  Costs visible at
+an AXI port boundary:
+
+* ``first_access_latency`` — full request latency for a random access
+  (activate + CAS + controller pipeline), paid by CPU cache-line fills
+  and by the first burst of a DMA transfer;
+* ``row_miss_penalty`` — precharge/activate when a *sequential* stream
+  crosses an open-row boundary (``row_bytes``);
+* one cycle per 64-bit beat of payload, per port;
+* the shared device: ``device_beats_per_cycle`` (default 2) caps the
+  summed throughput of all ports.
+
+With the defaults a single sequential DMA stream sustains 8 B/cycle
+less a 0.05 % row-crossing tax — which lets RV-CAP feed the ICAP at
+its 400 MB/s ceiling — while the concurrent MM2S+S2MM streams of
+acceleration mode each get a full port.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.axi.interface import AxiSlave
+from repro.axi.types import AxiResp, AxiResult
+from repro.mem.sparse_memory import SparseMemory
+
+
+@dataclass(frozen=True)
+class DdrTiming:
+    """Calibratable DDR controller timing parameters (cycles)."""
+
+    first_access_latency: int = 24
+    row_miss_penalty: int = 4
+    row_bytes: int = 8192
+    bytes_per_beat: int = 8
+    #: internal MIG bandwidth in 64-bit beats per AXI-clock cycle.
+    #: DDR3-1600 x 32 bit on the Genesys2 gives ~6.4 GB/s = 8 beats per
+    #: 100 MHz cycle — four times what the two 800 MB/s AXI ports can
+    #: demand together, so by default (0 = uncapped) the device core is
+    #: never the bottleneck.  Set a positive value to model
+    #: bandwidth-starved configurations (ablation).
+    device_beats_per_cycle: int = 0
+
+    def __post_init__(self) -> None:
+        if self.bytes_per_beat <= 0 or self.row_bytes <= 0:
+            raise ValueError("DDR geometry must be positive")
+        if self.device_beats_per_cycle < 0:
+            raise ValueError("device bandwidth must be >= 0 (0 = uncapped)")
+
+
+class _PortState:
+    __slots__ = ("busy_until", "next_seq_addr", "open_row")
+
+    def __init__(self) -> None:
+        self.busy_until = 0
+        self.next_seq_addr: int | None = None
+        self.open_row: int | None = None
+
+
+class DdrController(AxiSlave):
+    """The SoC's external memory, fronted by MIG-like timing.
+
+    The controller object itself acts as port ``"default"``; additional
+    independent ports are created with :meth:`port`.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        timing: DdrTiming | None = None,
+        name: str = "ddr",
+    ) -> None:
+        self.name = name
+        self.timing = timing or DdrTiming()
+        self.memory = SparseMemory(size)
+        self._ports: Dict[str, _PortState] = {"default": _PortState()}
+        self._device_free = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    @property
+    def size(self) -> int:
+        return self.memory.size
+
+    def port(self, name: str) -> "DdrPort":
+        """An independent AXI port into this controller."""
+        if name not in self._ports:
+            self._ports[name] = _PortState()
+        return DdrPort(self, name)
+
+    # ------------------------------------------------------------------
+    # timing core
+    # ------------------------------------------------------------------
+    def _service(self, port_name: str, addr: int, nbytes: int, now: int) -> int:
+        t = self.timing
+        port = self._ports[port_name]
+        beats = -(-nbytes // t.bytes_per_beat) if nbytes else 1
+        start = max(now, port.busy_until)
+        if t.device_beats_per_cycle:
+            start = max(start, self._device_free)
+        cost = beats
+        first_row = addr // t.row_bytes
+        last_row = (addr + max(nbytes - 1, 0)) // t.row_bytes
+        if addr != port.next_seq_addr:
+            cost += t.first_access_latency
+        else:
+            # a sequential stream pays precharge/activate once per row
+            # it enters (relative to the port's open row)
+            new_rows = last_row - first_row
+            if port.open_row is not None and first_row != port.open_row:
+                new_rows += 1
+            cost += new_rows * t.row_miss_penalty
+        port.open_row = last_row
+        port.next_seq_addr = addr + nbytes
+        port.busy_until = start + cost
+        if t.device_beats_per_cycle:
+            self._device_free = start + -(-beats // t.device_beats_per_cycle)
+        return port.busy_until
+
+    # ------------------------------------------------------------------
+    # AxiSlave implementation (the "default" port)
+    # ------------------------------------------------------------------
+    def read(self, addr: int, nbytes: int, now: int) -> AxiResult:
+        return self._read(("default"), addr, nbytes, now)
+
+    def write(self, addr: int, data: bytes, now: int) -> AxiResult:
+        return self._write("default", addr, data, now)
+
+    def read_burst(self, addr: int, nbytes: int, now: int) -> AxiResult:
+        return self._read("default", addr, nbytes, now)
+
+    def write_burst(self, addr: int, data: bytes, now: int) -> AxiResult:
+        return self._write("default", addr, data, now)
+
+    def _read(self, port: str, addr: int, nbytes: int, now: int) -> AxiResult:
+        if addr + nbytes > self.size:
+            return AxiResult(b"", now + 1, AxiResp.SLVERR)
+        complete = self._service(port, addr, nbytes, now)
+        self.bytes_read += nbytes
+        return AxiResult(self.memory.load(addr, nbytes), complete)
+
+    def _write(self, port: str, addr: int, data: bytes, now: int) -> AxiResult:
+        if addr + len(data) > self.size:
+            return AxiResult(b"", now + 1, AxiResp.SLVERR)
+        complete = self._service(port, addr, len(data), now)
+        self.memory.store(addr, data)
+        self.bytes_written += len(data)
+        return AxiResult(b"", complete)
+
+    # ------------------------------------------------------------------
+    # zero-time backdoor for loaders and checkers
+    # ------------------------------------------------------------------
+    def load_image(self, addr: int, data: bytes) -> None:
+        """Deposit data without consuming simulation time."""
+        self.memory.store(addr, data)
+
+    def dump(self, addr: int, nbytes: int) -> bytes:
+        """Inspect memory without consuming simulation time."""
+        return self.memory.load(addr, nbytes)
+
+
+class DdrPort(AxiSlave):
+    """A named, independently arbitrated port of a :class:`DdrController`."""
+
+    def __init__(self, controller: DdrController, name: str) -> None:
+        self.controller = controller
+        self.port_name = name
+
+    def read(self, addr: int, nbytes: int, now: int) -> AxiResult:
+        return self.controller._read(self.port_name, addr, nbytes, now)
+
+    def write(self, addr: int, data: bytes, now: int) -> AxiResult:
+        return self.controller._write(self.port_name, addr, data, now)
+
+    def read_burst(self, addr: int, nbytes: int, now: int) -> AxiResult:
+        return self.controller._read(self.port_name, addr, nbytes, now)
+
+    def write_burst(self, addr: int, data: bytes, now: int) -> AxiResult:
+        return self.controller._write(self.port_name, addr, data, now)

@@ -1,0 +1,180 @@
+"""Component cost library, calibrated to the paper's synthesis results.
+
+Each function returns the cost of one hardware component, parametric in
+the knobs a designer would actually turn (FIFO depth, burst length,
+data width).  Coefficients are anchored so the *reference*
+configuration (64-bit bus, burst 16, 1024-word HWICAP FIFO — exactly
+the paper's) reproduces Tables I-III; see EXPERIMENTS.md "Resource
+model calibration" for the anchor table, including the paper's own
+Table I vs Table III discrepancy for the RV-CAP row (standalone
+synthesis vs in-context implementation).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ResourceModelError
+from repro.fpga.partition import ResourceBudget
+from repro.resources.model import ResourceCost, ResourceReport
+
+#: XC7K325T device capacity (Kintex-7 data sheet)
+KINTEX7_325T_CAPACITY = ResourceCost(luts=203800, ffs=407600, brams=445, dsps=840)
+
+
+def _bits(value: int) -> int:
+    """ceil(log2(value)) for sizing address/counter logic."""
+    if value <= 1:
+        return 0
+    return (value - 1).bit_length()
+
+
+# ---------------------------------------------------------------------------
+# interconnect pieces
+# ---------------------------------------------------------------------------
+def axi_width_converter(wide_bits: int = 64, narrow_bits: int = 32) -> ResourceCost:
+    """AXI data width down-converter (packing/unpacking registers)."""
+    if wide_bits % narrow_bits:
+        raise ResourceModelError("wide width must divide by narrow width")
+    ratio = wide_bits // narrow_bits
+    return ResourceCost(luts=40 + 20 * ratio, ffs=2 * narrow_bits + 3 * wide_bits)
+
+
+def axi4_to_lite_converter(data_bits: int = 32) -> ResourceCost:
+    """AXI4 -> AXI4-Lite protocol converter (burst splitting, ID reflect)."""
+    return ResourceCost(luts=70 + data_bits, ffs=120 + 2 * data_bits)
+
+
+def axis_switch(ports: int = 2, data_bits: int = 64) -> ResourceCost:
+    """AXI-Stream switch: 1-to-N mux with registered outputs."""
+    return ResourceCost(luts=10 + 8 * ports, ffs=data_bits + 8 * ports)
+
+
+def axis2icap(data_bits: int = 64) -> ResourceCost:
+    """AXIS->ICAP converter: 64->2x32 gearbox + control."""
+    return ResourceCost(luts=8 + data_bits // 2, ffs=2 * data_bits + 96)
+
+
+def rp_control_interface() -> ResourceCost:
+    """The RP control register file (decouple / select / RM control)."""
+    return ResourceCost(luts=42, ffs=100)
+
+
+def pr_decoupler(signals: int = 80) -> ResourceCost:
+    """AXI isolation (decoupling) gates around one RP boundary."""
+    return ResourceCost(luts=signals // 4, ffs=signals // 8)
+
+
+# ---------------------------------------------------------------------------
+# the RV-CAP controller (Table I rows)
+# ---------------------------------------------------------------------------
+def axi_dma(burst_beats: int = 16, data_bits: int = 64,
+            buffer_words: int = 1024) -> ResourceCost:
+    """Xilinx-style AXI DMA, both channels, direct register mode.
+
+    "The hardware resource utilization is higher compared to [12, 13,
+    15] because the DMA implementation used consumes large internal
+    buffers" (Sec. IV-C) — the buffers dominate the BRAM count.
+    """
+    # store-and-forward buffer per channel: buffer_words x data_bits
+    bram_bits = 2 * buffer_words * data_bits
+    brams = max(1, -(-bram_bits // 36864)) + 2  # data FIFOs + cmd/status
+    luts = 1561 + 14 * burst_beats + data_bits // 2 + 8 * _bits(buffer_words)
+    ffs = 2412 + 28 * burst_beats + data_bits + 6 * _bits(buffer_words) * 2
+    return ResourceCost(luts=luts, ffs=ffs, brams=brams)
+
+
+def rp_control_and_axi_modules() -> ResourceCost:
+    """Table I row: "RP cntrl. + AXI modules" of RV-CAP (420 / 909)."""
+    return (
+        axi_width_converter()            # 60 / 256
+        + axi4_to_lite_converter()       # 102 / 184
+        + axis_switch()                  # 26 / 80
+        + axis2icap()                    # 40 / 137
+        + rp_control_interface()         # 62 / 100
+        + pr_decoupler(signals=520)      # 130 / 65 (wide stream boundary)
+    )
+
+
+def rvcap_controller(burst_beats: int = 16) -> ResourceCost:
+    """RV-CAP total as synthesized standalone (Table I / Table II)."""
+    return rp_control_and_axi_modules() + axi_dma(burst_beats=burst_beats)
+
+
+def rvcap_controller_integrated() -> ResourceCost:
+    """RV-CAP as implemented inside the full SoC (Table III row).
+
+    Differs from the standalone figure (2317 LUT / 3953 FF) because
+    in-context implementation flattens the converter boundary: +104
+    LUTs of boundary glue are absorbed into the controller while 198
+    FFs are optimized away across it.  Both numbers are the paper's
+    own (Table I vs Table III).
+    """
+    return rvcap_controller() + ResourceCost(luts=104, ffs=-198)
+
+
+# ---------------------------------------------------------------------------
+# the AXI_HWICAP baseline (Table I rows)
+# ---------------------------------------------------------------------------
+def axi_hwicap_ip(fifo_words: int = 1024) -> ResourceCost:
+    """Xilinx AXI_HWICAP with a parametric write FIFO.
+
+    The paper resizes the stock 64-word FIFO to 1024 words; each 1024
+    32-bit words is one 36 Kb BRAM, plus one for the read FIFO.
+    """
+    write_brams = max(1, -(-fifo_words * 32 // 36864))
+    luts = 408 + 6 * _bits(fifo_words)
+    ffs = 1156 + 8 * _bits(fifo_words)
+    return ResourceCost(luts=luts, ffs=ffs, brams=write_brams + 1)
+
+
+def hwicap_axi_modules(data_bits: int = 64) -> ResourceCost:
+    """Table I row: "HWICAP AXI modules" (909 / 964).
+
+    The HWICAP integration converts the full 64-bit CPU data path down
+    to the IP's 32-bit AXI4-Lite slave port, which costs more than the
+    RV-CAP control-only chain: the converter must handle the complete
+    read/write data path with outstanding-transaction tracking.
+    """
+    return (
+        axi_width_converter()                       # 60 / 256
+        + axi4_to_lite_converter()                  # 102 / 184
+        + ResourceCost(luts=597, ffs=459)           # data-path burst/resp logic
+        + pr_decoupler(signals=520)                 # 130 / 65
+    )
+
+
+def hwicap_controller(fifo_words: int = 1024) -> ResourceCost:
+    """AXI_HWICAP with RV64GC total (Table II row: 1377 / 2200 / 2)."""
+    return hwicap_axi_modules() + axi_hwicap_ip(fifo_words=fifo_words)
+
+
+# ---------------------------------------------------------------------------
+# full-SoC components (Table III rows)
+# ---------------------------------------------------------------------------
+def ariane_core() -> ResourceCost:
+    """CVA6 (Ariane) RV64GC application core (Table III)."""
+    return ResourceCost(luts=39940, ffs=22500, brams=36, dsps=27)
+
+
+def peripherals_and_boot() -> ResourceCost:
+    """SoC peripherals + boot memory (Table III)."""
+    return ResourceCost(luts=28832, ffs=31404, brams=20, dsps=0)
+
+
+def reconfigurable_partition(budget: ResourceBudget | None = None) -> ResourceCost:
+    """The RP's reserved resources (Table III: what the pblock fences)."""
+    if budget is None:
+        return ResourceCost(luts=3200, ffs=6400, brams=30, dsps=20)
+    return ResourceCost(luts=budget.luts, ffs=budget.ffs,
+                        brams=budget.brams, dsps=budget.dsps)
+
+
+def full_soc_report() -> ResourceReport:
+    """The complete Table III breakdown as a component tree."""
+    report = ResourceReport("Full SoC")
+    report.add_child(ResourceReport("Ariane Core", ariane_core()))
+    report.add_child(ResourceReport("Peripherals & Boot Mem.",
+                                    peripherals_and_boot()))
+    report.add_child(ResourceReport("RV-CAP controller",
+                                    rvcap_controller_integrated()))
+    report.add_child(ResourceReport("RP", reconfigurable_partition()))
+    return report

@@ -1,0 +1,99 @@
+"""Resource cost primitives."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.errors import ResourceModelError
+
+
+@dataclass(frozen=True)
+class ResourceCost:
+    """FPGA resource vector: LUTs, flip-flops, BRAM36 tiles, DSP48s."""
+
+    luts: int = 0
+    ffs: int = 0
+    brams: int = 0
+    dsps: int = 0
+
+    def __add__(self, other: "ResourceCost") -> "ResourceCost":
+        return ResourceCost(
+            self.luts + other.luts,
+            self.ffs + other.ffs,
+            self.brams + other.brams,
+            self.dsps + other.dsps,
+        )
+
+    def __sub__(self, other: "ResourceCost") -> "ResourceCost":
+        return ResourceCost(
+            self.luts - other.luts,
+            self.ffs - other.ffs,
+            self.brams - other.brams,
+            self.dsps - other.dsps,
+        )
+
+    def scaled(self, factor: int) -> "ResourceCost":
+        return ResourceCost(self.luts * factor, self.ffs * factor,
+                            self.brams * factor, self.dsps * factor)
+
+    def utilization_of(self, capacity: "ResourceCost") -> dict[str, float]:
+        """Percent of a device capacity vector."""
+        def pct(used: int, total: int) -> float:
+            if total == 0:
+                if used:
+                    raise ResourceModelError("resource used but capacity is 0")
+                return 0.0
+            return 100.0 * used / total
+        return {
+            "luts": pct(self.luts, capacity.luts),
+            "ffs": pct(self.ffs, capacity.ffs),
+            "brams": pct(self.brams, capacity.brams),
+            "dsps": pct(self.dsps, capacity.dsps),
+        }
+
+    def fits_in(self, capacity: "ResourceCost") -> bool:
+        return (self.luts <= capacity.luts and self.ffs <= capacity.ffs
+                and self.brams <= capacity.brams and self.dsps <= capacity.dsps)
+
+
+@dataclass
+class ResourceReport:
+    """A named cost with optional sub-component breakdown."""
+
+    name: str
+    cost: ResourceCost = field(default_factory=ResourceCost)
+    children: List["ResourceReport"] = field(default_factory=list)
+
+    def add_child(self, child: "ResourceReport") -> "ResourceReport":
+        self.children.append(child)
+        return child
+
+    @property
+    def total(self) -> ResourceCost:
+        total = self.cost
+        for child in self.children:
+            total = total + child.total
+        return total
+
+    def find(self, name: str) -> "ResourceReport":
+        if self.name == name:
+            return self
+        for child in self.children:
+            try:
+                return child.find(name)
+            except ResourceModelError:
+                continue
+        raise ResourceModelError(f"no component named {name!r}")
+
+    def render(self, indent: int = 0) -> str:
+        """Human-readable table (component, LUT, FF, BRAM, DSP)."""
+        lines = []
+        total = self.total
+        lines.append(
+            f"{'  ' * indent}{self.name:<28} "
+            f"{total.luts:>7} {total.ffs:>7} {total.brams:>6} {total.dsps:>5}"
+        )
+        for child in self.children:
+            lines.append(child.render(indent + 1))
+        return "\n".join(lines)

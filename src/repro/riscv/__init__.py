@@ -1,0 +1,18 @@
+"""RV64IMAC+Zicsr instruction-set simulator with timing model.
+
+This package stands in for the CVA6 (Ariane) application-class core of
+the paper's SoC: a 64-bit, single-issue, in-order RV64GC processor.  We
+implement the subset the drivers and benchmarks exercise — RV64I, M, A,
+C and Zicsr, machine mode, CLINT/PLIC interrupts — plus the timing
+behaviour that the paper's AXI_HWICAP measurements depend on: an
+in-order pipeline that may not issue speculative accesses into the
+non-cacheable MMIO region, so every conditional branch in an MMIO copy
+loop drains the pipeline (Sec. IV-B).
+"""
+
+from repro.riscv.hart import Hart
+from repro.riscv.decoder import decode
+from repro.riscv.timing import CpuTiming
+from repro.riscv.assembler import assemble, Program
+
+__all__ = ["Hart", "decode", "CpuTiming", "assemble", "Program"]

@@ -1,0 +1,19 @@
+"""A two-pass RV64IMA+Zicsr assembler.
+
+Supports the GNU-flavoured subset the firmware in :mod:`repro.firmware`
+uses: labels, ``.equ`` constants, data directives, the standard
+mnemonics, and the common pseudo-instructions (``li``/``la``/``mv``/
+``j``/``call``/``ret``/``csrr``/``beqz``...).
+
+>>> prog = assemble('''
+...     li a0, 42
+...     ebreak
+... ''')
+>>> len(prog.text) > 0
+True
+"""
+
+from repro.riscv.assembler.core import Assembler, assemble
+from repro.riscv.assembler.program import Program
+
+__all__ = ["Assembler", "assemble", "Program"]

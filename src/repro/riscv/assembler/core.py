@@ -1,0 +1,331 @@
+"""The two-pass assembler driver (with optional RVC relaxation).
+
+Pass 1 parses lines, expands pseudo-instructions and collects labels as
+*item positions*; layout then assigns addresses, and pass 2 encodes
+every statement against the final symbol table.  With ``compress=True``
+an iterative relaxation loop additionally shrinks eligible instructions
+to their 16-bit RVC forms (sizes and label addresses are recomputed
+until a fixpoint, like a linker's branch relaxation).
+
+``%hi(sym)``/``%lo(sym)`` operand markers (emitted by the ``la``
+expansion) are resolved with the standard carry adjustment.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.errors import AssemblerError
+from repro.riscv import isa
+from repro.riscv.assembler import insts
+from repro.riscv.assembler.expr import evaluate
+from repro.riscv.assembler.program import Program
+from repro.riscv.assembler.pseudo import expand_pseudo
+from repro.riscv.assembler.rvc import compress_word
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*):")
+_HILO_RE = re.compile(r"^%(hi|lo)\((.+)\)$")
+
+_MAX_RELAX_ITERATIONS = 16
+
+
+@dataclass
+class _Item:
+    """One parsed statement awaiting layout + encoding."""
+
+    kind: str          # 'inst' | 'data' | 'dataexpr' | 'align'
+    line: int
+    name: str = ""
+    ops: List[str] | None = None
+    payload: bytes = b""
+    elem_size: int = 0
+    alignment: int = 0
+    size: int = 0      # current layout size (dynamic for inst/align)
+    addr: int = 0      # assigned by layout
+    pinned: bool = False  # relaxation: never compress this instruction
+
+
+def _strip_comment(line: str) -> str:
+    out = []
+    in_string = False
+    i = 0
+    while i < len(line):
+        ch = line[i]
+        if ch == '"' and (i == 0 or line[i - 1] != "\\"):
+            in_string = not in_string
+        if not in_string:
+            if ch == "#":
+                break
+            if ch == "/" and line[i : i + 2] == "//":
+                break
+            if ch == ";":
+                break
+        out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+def _split_operands(text: str) -> List[str]:
+    """Split on commas that are not inside parentheses or strings."""
+    ops: List[str] = []
+    depth = 0
+    in_string = False
+    current: List[str] = []
+    for ch in text:
+        if ch == '"':
+            in_string = not in_string
+        if not in_string:
+            if ch == "(":
+                depth += 1
+            elif ch == ")":
+                depth -= 1
+            elif ch == "," and depth == 0:
+                ops.append("".join(current).strip())
+                current = []
+                continue
+        current.append(ch)
+    tail = "".join(current).strip()
+    if tail:
+        ops.append(tail)
+    return ops
+
+
+class Assembler:
+    """Assemble RV64 source text into a flat :class:`Program` image."""
+
+    def __init__(self, base: int = 0x1_0000, *, compress: bool = False) -> None:
+        self.base = base
+        self.compress = compress
+        self.equates: dict[str, int] = {}
+        self._items: List[_Item] = []
+        #: label -> index of the item the label points at
+        self._label_positions: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # pass 1: parse
+    # ------------------------------------------------------------------
+    def feed(self, source: str) -> None:
+        for lineno, raw in enumerate(source.splitlines(), start=1):
+            line = _strip_comment(raw).strip()
+            while line:
+                match = _LABEL_RE.match(line)
+                if match:
+                    label = match.group(1)
+                    if label in self._label_positions or label in self.equates:
+                        raise AssemblerError(f"duplicate symbol {label!r}", lineno)
+                    self._label_positions[label] = len(self._items)
+                    line = line[match.end():].strip()
+                    continue
+                break
+            if not line:
+                continue
+            parts = line.split(None, 1)
+            name = parts[0].lower()
+            rest = parts[1] if len(parts) > 1 else ""
+            if name.startswith("."):
+                self._directive(name, rest, lineno)
+            else:
+                self._instruction(name, _split_operands(rest), lineno)
+
+    def _const(self, text: str, lineno: int) -> int:
+        return evaluate(text, self.equates, lineno)
+
+    def _directive(self, name: str, rest: str, lineno: int) -> None:
+        ops = _split_operands(rest)
+        if name in (".equ", ".set"):
+            if len(ops) != 2:
+                raise AssemblerError(f"{name} expects 'name, value'", lineno)
+            self.equates[ops[0]] = self._const(ops[1], lineno)
+        elif name in (".global", ".globl", ".section", ".text", ".data",
+                      ".option", ".type", ".size", ".file"):
+            pass  # single flat image: these are accepted and ignored
+        elif name in (".align", ".p2align"):
+            self._emit_align(1 << self._const(ops[0], lineno), lineno)
+        elif name == ".balign":
+            self._emit_align(self._const(ops[0], lineno), lineno)
+        elif name in (".word", ".long"):
+            self._data_exprs(ops, 4, lineno)
+        elif name in (".dword", ".quad", ".8byte"):
+            self._data_exprs(ops, 8, lineno)
+        elif name in (".half", ".short", ".2byte"):
+            self._data_exprs(ops, 2, lineno)
+        elif name == ".byte":
+            self._data_exprs(ops, 1, lineno)
+        elif name in (".ascii", ".asciz", ".string"):
+            text = rest.strip()
+            if not (text.startswith('"') and text.endswith('"')):
+                raise AssemblerError(f"{name} expects a quoted string", lineno)
+            payload = text[1:-1].encode().decode("unicode_escape").encode("latin-1")
+            if name in (".asciz", ".string"):
+                payload += b"\x00"
+            self._emit_data(payload, lineno)
+        elif name in (".space", ".zero", ".skip"):
+            count = self._const(ops[0], lineno)
+            fill = self._const(ops[1], lineno) if len(ops) > 1 else 0
+            self._emit_data(bytes([fill & 0xFF]) * count, lineno)
+        else:
+            raise AssemblerError(f"unknown directive {name!r}", lineno)
+
+    def _emit_align(self, alignment: int, lineno: int) -> None:
+        if alignment & (alignment - 1) or alignment <= 0:
+            raise AssemblerError(f"alignment {alignment} not a power of two",
+                                 lineno)
+        self._items.append(_Item("align", lineno, alignment=alignment))
+
+    def _emit_data(self, payload: bytes, lineno: int) -> None:
+        self._items.append(_Item("data", lineno, payload=payload,
+                                 size=len(payload)))
+
+    def _data_exprs(self, ops: List[str], elem_size: int, lineno: int) -> None:
+        if not ops:
+            raise AssemblerError("data directive needs at least one value", lineno)
+        self._items.append(_Item("dataexpr", lineno, ops=ops,
+                                 elem_size=elem_size,
+                                 size=elem_size * len(ops)))
+
+    def _instruction(self, name: str, ops: List[str], lineno: int) -> None:
+        expansion = expand_pseudo(name, ops, lambda t: self._const(t, lineno))
+        if expansion is None:
+            expansion = [(name, ops)]
+        for real_name, real_ops in expansion:
+            if real_name not in insts.ENCODERS:
+                raise AssemblerError(f"unknown mnemonic {real_name!r}", lineno)
+            self._items.append(_Item("inst", lineno, name=real_name,
+                                     ops=list(real_ops), size=4))
+
+    # ------------------------------------------------------------------
+    # layout + pass 2
+    # ------------------------------------------------------------------
+    def _layout(self) -> Dict[str, int]:
+        """Assign addresses from current sizes; returns the label table."""
+        pc = self.base
+        for item in self._items:
+            if item.kind == "align":
+                item.size = (-pc) % item.alignment
+            item.addr = pc
+            pc += item.size
+        labels: Dict[str, int] = {}
+        for label, position in self._label_positions.items():
+            labels[label] = (self._items[position].addr
+                             if position < len(self._items)
+                             else pc)
+        return labels
+
+    def _encode_item(self, item: _Item, symbols: Dict[str, int]) -> int:
+        ctx = _EncodeCtx(symbols, item.line)
+        try:
+            return insts.encode_instruction(item.name, item.ops or [],
+                                            ctx, item.addr)
+        except AssemblerError as err:
+            if err.line is None:
+                raise AssemblerError(str(err), item.line) from None
+            raise
+
+    def _relax(self) -> Dict[str, int]:
+        """Iterate sizes to a fixpoint (RVC compression + alignment)."""
+        flip_counts: Dict[int, int] = {}
+        for _ in range(_MAX_RELAX_ITERATIONS):
+            labels = self._layout()
+            symbols = {**self.equates, **labels}
+            changed = False
+            for index, item in enumerate(self._items):
+                if item.kind != "inst" or item.pinned:
+                    continue
+                word = self._encode_item(item, symbols)
+                new_size = 2 if compress_word(word) is not None else 4
+                if new_size != item.size:
+                    item.size = new_size
+                    changed = True
+                    flip_counts[index] = flip_counts.get(index, 0) + 1
+                    if flip_counts[index] > 3:
+                        # oscillating with alignment padding: pin at 4
+                        item.size = 4
+                        item.pinned = True
+            if not changed:
+                return labels
+        # did not converge: pin everything still compressed and re-lay
+        for item in self._items:
+            if item.kind == "inst":
+                item.size = 4
+                item.pinned = True
+        return self._layout()
+
+    def finish(self) -> Program:
+        labels = self._relax() if self.compress else self._layout()
+        symbols = {**self.equates, **labels}
+        total = (self._items[-1].addr + self._items[-1].size - self.base
+                 if self._items else 0)
+        image = bytearray(total)
+        for item in self._items:
+            offset = item.addr - self.base
+            if item.kind == "data":
+                image[offset : offset + item.size] = item.payload
+            elif item.kind == "align":
+                pass  # zero padding
+            elif item.kind == "dataexpr":
+                assert item.ops is not None
+                for i, op in enumerate(item.ops):
+                    value = evaluate(op, symbols, item.line)
+                    lo = offset + i * item.elem_size
+                    mask = (1 << (8 * item.elem_size)) - 1
+                    image[lo : lo + item.elem_size] = (value & mask).to_bytes(
+                        item.elem_size, "little")
+            else:
+                word = self._encode_item(item, symbols)
+                if item.size == 2:
+                    half = compress_word(word)
+                    if half is None:
+                        raise AssemblerError(
+                            f"relaxation instability at {item.addr:#x}",
+                            item.line)
+                    image[offset : offset + 2] = half.to_bytes(2, "little")
+                else:
+                    image[offset : offset + 4] = word.to_bytes(4, "little")
+        return Program(base=self.base, text=bytes(image), symbols=labels)
+
+
+class _EncodeCtx:
+    """Operand resolution against the final symbol table."""
+
+    def __init__(self, symbols: Dict[str, int], line: int) -> None:
+        self.symbols = symbols
+        self.line = line
+
+    def reg(self, token: str) -> int:
+        return isa.register_number(token.strip())
+
+    def imm(self, token: str) -> int:
+        token = token.strip()
+        match = _HILO_RE.match(token)
+        if match:
+            value = evaluate(match.group(2), self.symbols, self.line)
+            hi = (value + 0x800) >> 12
+            if match.group(1) == "hi":
+                return hi
+            return value - (hi << 12)
+        return evaluate(token, self.symbols, self.line)
+
+    def target_offset(self, token: str, addr: int) -> int:
+        target = evaluate(token.strip(), self.symbols, self.line)
+        return target - addr
+
+    def csr(self, token: str) -> int:
+        token = token.strip()
+        named = isa.CSR_NAMES.get(token.lower())
+        if named is not None:
+            return named
+        return evaluate(token, self.symbols, self.line)
+
+
+def assemble(source: str, base: int = 0x1_0000, *,
+             compress: bool = False) -> Program:
+    """Assemble ``source`` into a flat image loaded at ``base``.
+
+    ``compress=True`` enables the RVC relaxation pass (the C extension
+    Ariane advertises; the ISS executes both encodings identically).
+    """
+    assembler = Assembler(base, compress=compress)
+    assembler.feed(source)
+    return assembler.finish()

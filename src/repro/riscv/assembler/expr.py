@@ -1,0 +1,73 @@
+"""Constant-expression evaluation for assembler operands.
+
+Expressions are parsed with :mod:`ast` and evaluated over a symbol
+table; only arithmetic/bitwise operators and names are permitted, so
+assembler input can never execute arbitrary Python.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Mapping
+
+from repro.errors import AssemblerError
+
+_BINOPS = {
+    ast.Add: lambda a, b: a + b,
+    ast.Sub: lambda a, b: a - b,
+    ast.Mult: lambda a, b: a * b,
+    ast.FloorDiv: lambda a, b: a // b,
+    ast.Div: lambda a, b: a // b,
+    ast.Mod: lambda a, b: a % b,
+    ast.LShift: lambda a, b: a << b,
+    ast.RShift: lambda a, b: a >> b,
+    ast.BitAnd: lambda a, b: a & b,
+    ast.BitOr: lambda a, b: a | b,
+    ast.BitXor: lambda a, b: a ^ b,
+}
+_UNARYOPS = {
+    ast.USub: lambda a: -a,
+    ast.UAdd: lambda a: a,
+    ast.Invert: lambda a: ~a,
+}
+
+
+def evaluate(text: str, symbols: Mapping[str, int], line: int | None = None) -> int:
+    """Evaluate an integer constant expression against ``symbols``."""
+    text = text.strip()
+    # bare symbol lookup first: assembler labels may contain characters
+    # (leading '.', '$') that are not valid Python identifiers
+    if text in symbols:
+        return symbols[text]
+    try:
+        tree = ast.parse(text, mode="eval")
+    except SyntaxError:
+        raise AssemblerError(f"bad expression {text!r}", line) from None
+    return _eval_node(tree.body, symbols, text, line)
+
+
+def _eval_node(node: ast.AST, symbols: Mapping[str, int], text: str,
+               line: int | None) -> int:
+    if isinstance(node, ast.Constant):
+        if not isinstance(node.value, int):
+            raise AssemblerError(f"non-integer constant in {text!r}", line)
+        return node.value
+    if isinstance(node, ast.Name):
+        try:
+            return symbols[node.id]
+        except KeyError:
+            raise AssemblerError(f"undefined symbol {node.id!r}", line) from None
+    if isinstance(node, ast.BinOp):
+        op = _BINOPS.get(type(node.op))
+        if op is None:
+            raise AssemblerError(f"unsupported operator in {text!r}", line)
+        return op(
+            _eval_node(node.left, symbols, text, line),
+            _eval_node(node.right, symbols, text, line),
+        )
+    if isinstance(node, ast.UnaryOp):
+        op = _UNARYOPS.get(type(node.op))
+        if op is None:
+            raise AssemblerError(f"unsupported operator in {text!r}", line)
+        return op(_eval_node(node.operand, symbols, text, line))
+    raise AssemblerError(f"unsupported syntax in expression {text!r}", line)

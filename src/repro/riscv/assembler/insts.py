@@ -1,0 +1,343 @@
+"""Instruction encoding table for the assembler (pass 2).
+
+``encode_instruction`` maps a mnemonic + operand strings to a 32-bit
+word.  The ``Ctx`` protocol supplies operand resolution (registers,
+immediate expressions, branch targets, CSR names) so this module stays
+independent of the assembler's symbol bookkeeping.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+from repro.errors import AssemblerError
+from repro.riscv import isa
+
+
+class Ctx(Protocol):
+    """Operand-resolution services provided by the assembler."""
+
+    def reg(self, token: str) -> int: ...
+    def imm(self, token: str) -> int: ...
+    def target_offset(self, token: str, addr: int) -> int: ...
+    def csr(self, token: str) -> int: ...
+
+
+def _split_mem_operand(token: str) -> tuple[str, str]:
+    """Split ``imm(reg)`` into (imm_expr, reg). Bare ``(reg)`` -> 0."""
+    token = token.strip()
+    if not token.endswith(")") or "(" not in token:
+        raise AssemblerError(f"expected imm(reg) operand, got {token!r}")
+    open_idx = token.rindex("(")
+    imm = token[:open_idx].strip() or "0"
+    reg = token[open_idx + 1 : -1].strip()
+    return imm, reg
+
+
+def _expect(ops: list[str], n: int, name: str) -> None:
+    if len(ops) != n:
+        raise AssemblerError(f"{name} expects {n} operands, got {len(ops)}")
+
+
+Encoder = Callable[[list[str], "Ctx", int], int]
+ENCODERS: dict[str, Encoder] = {}
+
+
+def _enc(name: str) -> Callable[[Encoder], Encoder]:
+    def register(fn: Encoder) -> Encoder:
+        ENCODERS[name] = fn
+        return fn
+    return register
+
+
+# ---------------------------------------------------------------------------
+# R-type
+# ---------------------------------------------------------------------------
+_R_TABLE = {
+    "add": (isa.OP_REG, 0, 0), "sub": (isa.OP_REG, 0, 32),
+    "sll": (isa.OP_REG, 1, 0), "slt": (isa.OP_REG, 2, 0),
+    "sltu": (isa.OP_REG, 3, 0), "xor": (isa.OP_REG, 4, 0),
+    "srl": (isa.OP_REG, 5, 0), "sra": (isa.OP_REG, 5, 32),
+    "or": (isa.OP_REG, 6, 0), "and": (isa.OP_REG, 7, 0),
+    "mul": (isa.OP_REG, 0, 1), "mulh": (isa.OP_REG, 1, 1),
+    "mulhsu": (isa.OP_REG, 2, 1), "mulhu": (isa.OP_REG, 3, 1),
+    "div": (isa.OP_REG, 4, 1), "divu": (isa.OP_REG, 5, 1),
+    "rem": (isa.OP_REG, 6, 1), "remu": (isa.OP_REG, 7, 1),
+    "addw": (isa.OP_REG32, 0, 0), "subw": (isa.OP_REG32, 0, 32),
+    "sllw": (isa.OP_REG32, 1, 0), "srlw": (isa.OP_REG32, 5, 0),
+    "sraw": (isa.OP_REG32, 5, 32), "mulw": (isa.OP_REG32, 0, 1),
+    "divw": (isa.OP_REG32, 4, 1), "divuw": (isa.OP_REG32, 5, 1),
+    "remw": (isa.OP_REG32, 6, 1), "remuw": (isa.OP_REG32, 7, 1),
+}
+
+
+def _make_r(name: str, opcode: int, funct3: int, funct7: int) -> None:
+    @_enc(name)
+    def _encode(ops: list[str], ctx: Ctx, addr: int) -> int:
+        _expect(ops, 3, name)
+        return isa.encode_r(opcode, funct3, funct7,
+                            ctx.reg(ops[0]), ctx.reg(ops[1]), ctx.reg(ops[2]))
+
+
+for _n, (_o, _f3, _f7) in _R_TABLE.items():
+    _make_r(_n, _o, _f3, _f7)
+
+
+# ---------------------------------------------------------------------------
+# I-type ALU
+# ---------------------------------------------------------------------------
+_I_TABLE = {
+    "addi": 0, "slti": 2, "sltiu": 3, "xori": 4, "ori": 6, "andi": 7,
+}
+
+
+def _make_i(name: str, funct3: int) -> None:
+    @_enc(name)
+    def _encode(ops: list[str], ctx: Ctx, addr: int) -> int:
+        _expect(ops, 3, name)
+        return isa.encode_i(isa.OP_IMM, funct3,
+                            ctx.reg(ops[0]), ctx.reg(ops[1]), ctx.imm(ops[2]))
+
+
+for _n, _f3 in _I_TABLE.items():
+    _make_i(_n, _f3)
+
+
+@_enc("addiw")
+def _addiw(ops: list[str], ctx: Ctx, addr: int) -> int:
+    _expect(ops, 3, "addiw")
+    return isa.encode_i(isa.OP_IMM32, 0, ctx.reg(ops[0]), ctx.reg(ops[1]),
+                        ctx.imm(ops[2]))
+
+
+_SHIFT_TABLE = {
+    "slli": (1, 0b000000, False), "srli": (5, 0b000000, False),
+    "srai": (5, 0b010000, False),
+    "slliw": (1, 0b000000, True), "srliw": (5, 0b000000, True),
+    "sraiw": (5, 0b010000, True),
+}
+
+
+def _make_shift(name: str, funct3: int, funct6: int, op32: bool) -> None:
+    @_enc(name)
+    def _encode(ops: list[str], ctx: Ctx, addr: int) -> int:
+        _expect(ops, 3, name)
+        return isa.encode_shift_i(funct3, funct6, ctx.reg(ops[0]),
+                                  ctx.reg(ops[1]), ctx.imm(ops[2]), op32)
+
+
+for _n, (_f3, _f6, _w) in _SHIFT_TABLE.items():
+    _make_shift(_n, _f3, _f6, _w)
+
+
+# ---------------------------------------------------------------------------
+# loads / stores
+# ---------------------------------------------------------------------------
+_LOAD_TABLE = {"lb": 0, "lh": 1, "lw": 2, "ld": 3, "lbu": 4, "lhu": 5, "lwu": 6}
+_STORE_TABLE = {"sb": 0, "sh": 1, "sw": 2, "sd": 3}
+
+
+def _make_load(name: str, funct3: int) -> None:
+    @_enc(name)
+    def _encode(ops: list[str], ctx: Ctx, addr: int) -> int:
+        _expect(ops, 2, name)
+        imm, base = _split_mem_operand(ops[1])
+        return isa.encode_i(isa.OP_LOAD, funct3, ctx.reg(ops[0]),
+                            ctx.reg(base), ctx.imm(imm))
+
+
+def _make_store(name: str, funct3: int) -> None:
+    @_enc(name)
+    def _encode(ops: list[str], ctx: Ctx, addr: int) -> int:
+        _expect(ops, 2, name)
+        imm, base = _split_mem_operand(ops[1])
+        return isa.encode_s(isa.OP_STORE, funct3, ctx.reg(base),
+                            ctx.reg(ops[0]), ctx.imm(imm))
+
+
+for _n, _f3 in _LOAD_TABLE.items():
+    _make_load(_n, _f3)
+for _n, _f3 in _STORE_TABLE.items():
+    _make_store(_n, _f3)
+
+
+# ---------------------------------------------------------------------------
+# branches / jumps
+# ---------------------------------------------------------------------------
+_BRANCH_TABLE = {"beq": 0, "bne": 1, "blt": 4, "bge": 5, "bltu": 6, "bgeu": 7}
+
+
+def _make_branch(name: str, funct3: int, swap: bool = False) -> None:
+    @_enc(name)
+    def _encode(ops: list[str], ctx: Ctx, addr: int) -> int:
+        _expect(ops, 3, name)
+        rs1, rs2 = ctx.reg(ops[0]), ctx.reg(ops[1])
+        if swap:
+            rs1, rs2 = rs2, rs1
+        return isa.encode_b(isa.OP_BRANCH, funct3, rs1, rs2,
+                            ctx.target_offset(ops[2], addr))
+
+
+for _n, _f3 in _BRANCH_TABLE.items():
+    _make_branch(_n, _f3)
+# bgt/ble/bgtu/bleu are operand-swapped aliases
+_make_branch("bgt", 4, swap=True)
+_make_branch("ble", 5, swap=True)
+_make_branch("bgtu", 6, swap=True)
+_make_branch("bleu", 7, swap=True)
+
+
+@_enc("jal")
+def _jal(ops: list[str], ctx: Ctx, addr: int) -> int:
+    if len(ops) == 1:  # 'jal target' implies rd=ra
+        return isa.encode_j(isa.OP_JAL, 1, ctx.target_offset(ops[0], addr))
+    _expect(ops, 2, "jal")
+    return isa.encode_j(isa.OP_JAL, ctx.reg(ops[0]), ctx.target_offset(ops[1], addr))
+
+
+@_enc("jalr")
+def _jalr(ops: list[str], ctx: Ctx, addr: int) -> int:
+    if len(ops) == 1:  # 'jalr rs' implies rd=ra, imm=0
+        return isa.encode_i(isa.OP_JALR, 0, 1, ctx.reg(ops[0]), 0)
+    if len(ops) == 2:  # 'jalr rd, imm(rs1)'
+        imm, base = _split_mem_operand(ops[1])
+        return isa.encode_i(isa.OP_JALR, 0, ctx.reg(ops[0]), ctx.reg(base),
+                            ctx.imm(imm))
+    _expect(ops, 3, "jalr")
+    return isa.encode_i(isa.OP_JALR, 0, ctx.reg(ops[0]), ctx.reg(ops[1]),
+                        ctx.imm(ops[2]))
+
+
+# ---------------------------------------------------------------------------
+# upper immediates
+# ---------------------------------------------------------------------------
+@_enc("lui")
+def _lui(ops: list[str], ctx: Ctx, addr: int) -> int:
+    _expect(ops, 2, "lui")
+    return isa.encode_u(isa.OP_LUI, ctx.reg(ops[0]), ctx.imm(ops[1]))
+
+
+@_enc("auipc")
+def _auipc(ops: list[str], ctx: Ctx, addr: int) -> int:
+    _expect(ops, 2, "auipc")
+    return isa.encode_u(isa.OP_AUIPC, ctx.reg(ops[0]), ctx.imm(ops[1]))
+
+
+# ---------------------------------------------------------------------------
+# CSR
+# ---------------------------------------------------------------------------
+_CSR_TABLE = {"csrrw": 1, "csrrs": 2, "csrrc": 3}
+_CSRI_TABLE = {"csrrwi": 5, "csrrsi": 6, "csrrci": 7}
+
+
+def _make_csr(name: str, funct3: int) -> None:
+    @_enc(name)
+    def _encode(ops: list[str], ctx: Ctx, addr: int) -> int:
+        _expect(ops, 3, name)
+        return isa.encode_csr(funct3, ctx.reg(ops[0]), ctx.reg(ops[2]),
+                              ctx.csr(ops[1]))
+
+
+def _make_csri(name: str, funct3: int) -> None:
+    @_enc(name)
+    def _encode(ops: list[str], ctx: Ctx, addr: int) -> int:
+        _expect(ops, 3, name)
+        uimm = ctx.imm(ops[2])
+        if not 0 <= uimm < 32:
+            raise AssemblerError(f"{name} immediate {uimm} out of range [0,31]")
+        return isa.encode_csr(funct3, ctx.reg(ops[0]), uimm, ctx.csr(ops[1]))
+
+
+for _n, _f3 in _CSR_TABLE.items():
+    _make_csr(_n, _f3)
+for _n, _f3 in _CSRI_TABLE.items():
+    _make_csri(_n, _f3)
+
+
+# ---------------------------------------------------------------------------
+# A extension
+# ---------------------------------------------------------------------------
+_AMO_TABLE = {
+    "amoswap": 0b00001, "amoadd": 0b00000, "amoxor": 0b00100,
+    "amoand": 0b01100, "amoor": 0b01000, "amomin": 0b10000,
+    "amomax": 0b10100, "amominu": 0b11000, "amomaxu": 0b11100,
+}
+
+
+def _make_amo(name: str, funct5: int, funct3: int) -> None:
+    @_enc(name)
+    def _encode(ops: list[str], ctx: Ctx, addr: int) -> int:
+        _expect(ops, 3, name)
+        _imm, base = _split_mem_operand(ops[2])
+        return isa.encode_amo(funct3, funct5, ctx.reg(ops[0]),
+                              ctx.reg(base), ctx.reg(ops[1]))
+
+
+for _base, _f5 in _AMO_TABLE.items():
+    _make_amo(f"{_base}.w", _f5, 2)
+    _make_amo(f"{_base}.d", _f5, 3)
+
+
+def _make_lr(name: str, funct3: int) -> None:
+    @_enc(name)
+    def _encode(ops: list[str], ctx: Ctx, addr: int) -> int:
+        _expect(ops, 2, name)
+        _imm, base = _split_mem_operand(ops[1])
+        return isa.encode_amo(funct3, 0b00010, ctx.reg(ops[0]), ctx.reg(base), 0)
+
+
+def _make_sc(name: str, funct3: int) -> None:
+    @_enc(name)
+    def _encode(ops: list[str], ctx: Ctx, addr: int) -> int:
+        _expect(ops, 3, name)
+        _imm, base = _split_mem_operand(ops[2])
+        return isa.encode_amo(funct3, 0b00011, ctx.reg(ops[0]),
+                              ctx.reg(base), ctx.reg(ops[1]))
+
+
+_make_lr("lr.w", 2)
+_make_lr("lr.d", 3)
+_make_sc("sc.w", 2)
+_make_sc("sc.d", 3)
+
+
+# ---------------------------------------------------------------------------
+# system
+# ---------------------------------------------------------------------------
+_FIXED_WORDS = {
+    "ecall": 0x0000_0073,
+    "ebreak": 0x0010_0073,
+    "mret": 0x3020_0073,
+    "wfi": 0x1050_0073,
+}
+
+
+def _make_fixed(name: str, word: int) -> None:
+    @_enc(name)
+    def _encode(ops: list[str], ctx: Ctx, addr: int) -> int:
+        if ops:
+            raise AssemblerError(f"{name} takes no operands")
+        return word
+
+
+for _n, _w in _FIXED_WORDS.items():
+    _make_fixed(_n, _w)
+
+
+@_enc("fence")
+def _fence(ops: list[str], ctx: Ctx, addr: int) -> int:
+    # pred/succ operands accepted and ignored (full fence)
+    return isa.encode_i(isa.OP_FENCE, 0, 0, 0, 0x0FF)
+
+
+@_enc("fence.i")
+def _fence_i(ops: list[str], ctx: Ctx, addr: int) -> int:
+    return isa.encode_i(isa.OP_FENCE, 1, 0, 0, 0)
+
+
+def encode_instruction(name: str, ops: list[str], ctx: Ctx, addr: int) -> int:
+    """Encode one concrete (non-pseudo) instruction."""
+    encoder = ENCODERS.get(name)
+    if encoder is None:
+        raise AssemblerError(f"unknown mnemonic {name!r}")
+    return encoder(ops, ctx, addr)

@@ -1,0 +1,38 @@
+"""Assembled program container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class Program:
+    """The result of assembling one source file.
+
+    Attributes
+    ----------
+    base:
+        Load address of the first byte of ``text``.
+    text:
+        The raw image (code and data, contiguous).
+    symbols:
+        Label name -> absolute address.
+    entry:
+        Entry point (the ``_start`` label if present, else ``base``).
+    """
+
+    base: int
+    text: bytes = b""
+    symbols: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def entry(self) -> int:
+        return self.symbols.get("_start", self.base)
+
+    @property
+    def size(self) -> int:
+        return len(self.text)
+
+    def address_of(self, label: str) -> int:
+        return self.symbols[label]

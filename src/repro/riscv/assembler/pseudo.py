@@ -1,0 +1,139 @@
+"""Pseudo-instruction expansion (pass 1).
+
+Each expansion returns a list of concrete ``(mnemonic, operands)``
+pairs.  Expansions have a size that is fixed at parse time so pass 1
+can lay out addresses: ``li`` evaluates its constant immediately (only
+numbers and ``.equ`` symbols allowed), and ``la`` always expands to the
+same 4-instruction sequence valid for any 32-bit address — every window
+in the SoC memory map fits.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Tuple
+
+from repro.errors import AssemblerError
+from repro.utils.bits import sext
+
+Expansion = List[Tuple[str, List[str]]]
+
+
+def li_sequence(rd: str, value: int) -> Expansion:
+    """Materialize a 64-bit constant (GNU-as style recursive myriad)."""
+    value = sext(value & 0xFFFF_FFFF_FFFF_FFFF, 64)
+    if -2048 <= value < 2048:
+        return [("addi", [rd, "zero", str(value)])]
+    if -(1 << 31) <= value < (1 << 31):
+        hi = (value + 0x800) >> 12
+        lo = value - (hi << 12)
+        seq: Expansion = [("lui", [rd, str(hi)])]
+        if lo:
+            seq.append(("addiw", [rd, rd, str(lo)]))
+        return seq
+    lo12 = sext(value & 0xFFF, 12)
+    hi = (value - lo12) >> 12
+    shift = 12
+    while hi & 1 == 0:
+        hi >>= 1
+        shift += 1
+    seq = li_sequence(rd, hi)
+    seq.append(("slli", [rd, rd, str(shift)]))
+    if lo12:
+        seq.append(("addi", [rd, rd, str(lo12)]))
+    return seq
+
+
+def la_sequence(rd: str, symbol: str) -> Expansion:
+    """Load a symbol's absolute address (fixed 4-instruction form).
+
+    ``lui``+``addiw`` build the sign-extended 32-bit value; the
+    shift pair zero-extends, so any address below 4 GiB round-trips.
+    The symbol arithmetic (%%hi/%%lo splitting) is deferred to pass 2
+    via the magic ``%hi``/``%lo`` operand markers.
+    """
+    return [
+        ("lui", [rd, f"%hi({symbol})"]),
+        ("addiw", [rd, rd, f"%lo({symbol})"]),
+        ("slli", [rd, rd, "32"]),
+        ("srli", [rd, rd, "32"]),
+    ]
+
+
+def _fixed(*pairs: Tuple[str, List[str]]) -> Expansion:
+    return list(pairs)
+
+
+def expand_pseudo(name: str, ops: List[str],
+                  resolve_const: Callable[[str], int]) -> Expansion | None:
+    """Expand ``name ops`` if it is a pseudo-instruction, else None."""
+    if name == "nop":
+        return _fixed(("addi", ["zero", "zero", "0"]))
+    if name == "li":
+        if len(ops) != 2:
+            raise AssemblerError("li expects 2 operands")
+        return li_sequence(ops[0], resolve_const(ops[1]))
+    if name == "la":
+        if len(ops) != 2:
+            raise AssemblerError("la expects 2 operands")
+        return la_sequence(ops[0], ops[1])
+    if name == "mv":
+        return _fixed(("addi", [ops[0], ops[1], "0"]))
+    if name == "not":
+        return _fixed(("xori", [ops[0], ops[1], "-1"]))
+    if name == "neg":
+        return _fixed(("sub", [ops[0], "zero", ops[1]]))
+    if name == "negw":
+        return _fixed(("subw", [ops[0], "zero", ops[1]]))
+    if name == "sext.w":
+        return _fixed(("addiw", [ops[0], ops[1], "0"]))
+    if name == "seqz":
+        return _fixed(("sltiu", [ops[0], ops[1], "1"]))
+    if name == "snez":
+        return _fixed(("sltu", [ops[0], "zero", ops[1]]))
+    if name == "sltz":
+        return _fixed(("slt", [ops[0], ops[1], "zero"]))
+    if name == "sgtz":
+        return _fixed(("slt", [ops[0], "zero", ops[1]]))
+    if name == "beqz":
+        return _fixed(("beq", [ops[0], "zero", ops[1]]))
+    if name == "bnez":
+        return _fixed(("bne", [ops[0], "zero", ops[1]]))
+    if name == "blez":
+        return _fixed(("bge", ["zero", ops[0], ops[1]]))
+    if name == "bgez":
+        return _fixed(("bge", [ops[0], "zero", ops[1]]))
+    if name == "bltz":
+        return _fixed(("blt", [ops[0], "zero", ops[1]]))
+    if name == "bgtz":
+        return _fixed(("blt", ["zero", ops[0], ops[1]]))
+    if name == "j":
+        return _fixed(("jal", ["zero", ops[0]]))
+    if name == "jr":
+        return _fixed(("jalr", ["zero", ops[0], "0"]))
+    if name == "call":
+        return _fixed(("jal", ["ra", ops[0]]))
+    if name == "tail":
+        return _fixed(("jal", ["zero", ops[0]]))
+    if name == "ret":
+        return _fixed(("jalr", ["zero", "ra", "0"]))
+    if name == "csrr":
+        return _fixed(("csrrs", [ops[0], ops[1], "zero"]))
+    if name == "csrw":
+        return _fixed(("csrrw", ["zero", ops[0], ops[1]]))
+    if name == "csrs":
+        return _fixed(("csrrs", ["zero", ops[0], ops[1]]))
+    if name == "csrc":
+        return _fixed(("csrrc", ["zero", ops[0], ops[1]]))
+    if name == "csrwi":
+        return _fixed(("csrrwi", ["zero", ops[0], ops[1]]))
+    if name == "csrsi":
+        return _fixed(("csrrsi", ["zero", ops[0], ops[1]]))
+    if name == "csrci":
+        return _fixed(("csrrci", ["zero", ops[0], ops[1]]))
+    if name == "rdcycle":
+        return _fixed(("csrrs", [ops[0], "cycle", "zero"]))
+    if name == "rdtime":
+        return _fixed(("csrrs", [ops[0], "time", "zero"]))
+    if name == "rdinstret":
+        return _fixed(("csrrs", [ops[0], "instret", "zero"]))
+    return None

@@ -1,0 +1,208 @@
+"""RVC compression: map eligible 32-bit encodings to 16-bit forms.
+
+``compress_word`` returns the compressed halfword when a 32-bit
+instruction has a semantically identical RVC encoding, else None.  The
+mapping is the inverse of :mod:`repro.riscv.compressed`, and the test
+suite asserts ``expand(compress_word(w)) == decode(w)`` field-for-field
+for every emitted form.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import IllegalInstructionError
+from repro.riscv.decoder import Decoded, decode
+
+
+def _is_prime(reg: int) -> bool:
+    """x8..x15, the registers addressable by 3-bit RVC fields."""
+    return 8 <= reg <= 15
+
+
+def _p(reg: int) -> int:
+    return reg - 8
+
+
+def _fits(value: int, bits: int) -> bool:
+    return -(1 << (bits - 1)) <= value < (1 << (bits - 1))
+
+
+def _imm6(value: int) -> int:
+    return value & 0x3F
+
+
+def compress_word(word: int) -> Optional[int]:
+    """Return the RVC halfword equivalent of ``word``, or None."""
+    try:
+        d = decode(word)
+    except IllegalInstructionError:
+        return None
+    return compress_decoded(d)
+
+
+def compress_decoded(d: Decoded) -> Optional[int]:
+    name = d.name
+
+    # ------------------------------------------------------------------
+    # quadrant 1: immediates, jumps, branches
+    # ------------------------------------------------------------------
+    if name == "addi":
+        if d.rd == 0 and d.rs1 == 0 and d.imm == 0:  # nop -> c.nop
+            return 0x0001
+        if d.rd == d.rs1 and d.rd != 0 and d.imm != 0 and _fits(d.imm, 6):
+            return ((0b000 << 13) | ((d.imm >> 5 & 1) << 12) | (d.rd << 7)
+                    | ((d.imm & 0x1F) << 2) | 0b01)
+        if d.rs1 == 0 and d.rd != 0 and _fits(d.imm, 6):  # c.li
+            return ((0b010 << 13) | ((d.imm >> 5 & 1) << 12) | (d.rd << 7)
+                    | ((d.imm & 0x1F) << 2) | 0b01)
+        if (d.rd == 2 and d.rs1 == 2 and d.imm != 0 and d.imm % 16 == 0
+                and _fits(d.imm, 10)):  # c.addi16sp
+            imm = d.imm
+            return ((0b011 << 13) | ((imm >> 9 & 1) << 12) | (2 << 7)
+                    | ((imm >> 4 & 1) << 6) | ((imm >> 6 & 1) << 5)
+                    | ((imm >> 7 & 0x3) << 3) | ((imm >> 5 & 1) << 2) | 0b01)
+        if (d.rs1 == 2 and _is_prime(d.rd) and d.imm > 0
+                and d.imm % 4 == 0 and d.imm < 1024):  # c.addi4spn
+            imm = d.imm
+            return ((0b000 << 13) | ((imm >> 4 & 0x3) << 11)
+                    | ((imm >> 6 & 0xF) << 7) | ((imm >> 2 & 1) << 6)
+                    | ((imm >> 3 & 1) << 5) | (_p(d.rd) << 2) | 0b00)
+        return None
+
+    if name == "addiw":
+        if d.rd == d.rs1 and d.rd != 0 and _fits(d.imm, 6):
+            return ((0b001 << 13) | ((d.imm >> 5 & 1) << 12) | (d.rd << 7)
+                    | ((d.imm & 0x1F) << 2) | 0b01)
+        return None
+
+    if name == "lui":
+        upper = d.imm >> 12
+        if d.rd not in (0, 2) and upper != 0 and _fits(upper, 6):
+            return ((0b011 << 13) | ((upper >> 5 & 1) << 12) | (d.rd << 7)
+                    | ((upper & 0x1F) << 2) | 0b01)
+        return None
+
+    if name == "jal":
+        if d.rd == 0 and _fits(d.imm, 12) and d.imm % 2 == 0:  # c.j
+            imm = d.imm
+            return ((0b101 << 13)
+                    | ((imm >> 11 & 1) << 12) | ((imm >> 4 & 1) << 11)
+                    | ((imm >> 8 & 0x3) << 9) | ((imm >> 10 & 1) << 8)
+                    | ((imm >> 6 & 1) << 7) | ((imm >> 7 & 1) << 6)
+                    | ((imm >> 1 & 0x7) << 3) | ((imm >> 5 & 1) << 2) | 0b01)
+        return None
+
+    if name == "jalr":
+        if d.imm == 0 and d.rs1 != 0:
+            if d.rd == 0:  # c.jr
+                return (0b100 << 13) | (0 << 12) | (d.rs1 << 7) | 0b10
+            if d.rd == 1:  # c.jalr
+                return (0b100 << 13) | (1 << 12) | (d.rs1 << 7) | 0b10
+        return None
+
+    if name in ("beq", "bne"):
+        if d.rs2 == 0 and _is_prime(d.rs1) and _fits(d.imm, 9) and d.imm % 2 == 0:
+            funct3 = 0b110 if name == "beq" else 0b111
+            imm = d.imm
+            return ((funct3 << 13) | ((imm >> 8 & 1) << 12)
+                    | ((imm >> 3 & 0x3) << 10) | (_p(d.rs1) << 7)
+                    | ((imm >> 6 & 0x3) << 5) | ((imm >> 1 & 0x3) << 3)
+                    | ((imm >> 5 & 1) << 2) | 0b01)
+        return None
+
+    # ------------------------------------------------------------------
+    # loads and stores
+    # ------------------------------------------------------------------
+    if name in ("lw", "ld"):
+        is_w = name == "lw"
+        scale, span = (4, 7) if is_w else (8, 8)
+        if d.imm >= 0 and d.imm % scale == 0 and d.imm < (1 << span):
+            if d.rs1 == 2 and d.rd != 0:  # c.lwsp / c.ldsp
+                imm = d.imm
+                if is_w:
+                    return ((0b010 << 13) | ((imm >> 5 & 1) << 12)
+                            | (d.rd << 7) | ((imm >> 2 & 0x7) << 4)
+                            | ((imm >> 6 & 0x3) << 2) | 0b10)
+                return ((0b011 << 13) | ((imm >> 5 & 1) << 12)
+                        | (d.rd << 7) | ((imm >> 3 & 0x3) << 5)
+                        | ((imm >> 6 & 0x7) << 2) | 0b10)
+            if (_is_prime(d.rs1) and _is_prime(d.rd)
+                    and d.imm < (1 << (7 if is_w else 8))):
+                imm = d.imm
+                if is_w:  # c.lw
+                    return ((0b010 << 13) | ((imm >> 3 & 0x7) << 10)
+                            | (_p(d.rs1) << 7) | ((imm >> 2 & 1) << 6)
+                            | ((imm >> 6 & 1) << 5) | (_p(d.rd) << 2) | 0b00)
+                return ((0b011 << 13) | ((imm >> 3 & 0x7) << 10)  # c.ld
+                        | (_p(d.rs1) << 7) | ((imm >> 6 & 0x3) << 5)
+                        | (_p(d.rd) << 2) | 0b00)
+        return None
+
+    if name in ("sw", "sd"):
+        is_w = name == "sw"
+        scale = 4 if is_w else 8
+        if d.imm >= 0 and d.imm % scale == 0:
+            if d.rs1 == 2:  # c.swsp / c.sdsp
+                imm = d.imm
+                if is_w and imm < 256:
+                    return ((0b110 << 13) | ((imm >> 2 & 0xF) << 9)
+                            | ((imm >> 6 & 0x3) << 7) | (d.rs2 << 2) | 0b10)
+                if not is_w and imm < 512:
+                    return ((0b111 << 13) | ((imm >> 3 & 0x7) << 10)
+                            | ((imm >> 6 & 0x7) << 7) | (d.rs2 << 2) | 0b10)
+            if (_is_prime(d.rs1) and _is_prime(d.rs2)
+                    and d.imm < (128 if is_w else 256)):
+                imm = d.imm
+                if is_w:  # c.sw
+                    return ((0b110 << 13) | ((imm >> 3 & 0x7) << 10)
+                            | (_p(d.rs1) << 7) | ((imm >> 2 & 1) << 6)
+                            | ((imm >> 6 & 1) << 5) | (_p(d.rs2) << 2) | 0b00)
+                return ((0b111 << 13) | ((imm >> 3 & 0x7) << 10)  # c.sd
+                        | (_p(d.rs1) << 7) | ((imm >> 6 & 0x3) << 5)
+                        | (_p(d.rs2) << 2) | 0b00)
+        return None
+
+    # ------------------------------------------------------------------
+    # register-register and shifts
+    # ------------------------------------------------------------------
+    if name == "add":
+        if d.rd != 0 and d.rs1 == 0 and d.rs2 != 0:  # c.mv
+            return (0b100 << 13) | (0 << 12) | (d.rd << 7) | (d.rs2 << 2) | 0b10
+        if d.rd == d.rs1 and d.rd != 0 and d.rs2 != 0:  # c.add
+            return (0b100 << 13) | (1 << 12) | (d.rd << 7) | (d.rs2 << 2) | 0b10
+        return None
+
+    if name in ("sub", "xor", "or", "and", "subw", "addw"):
+        if d.rd == d.rs1 and _is_prime(d.rd) and _is_prime(d.rs2):
+            sub_codes = {"sub": 0b000, "xor": 0b001, "or": 0b010,
+                         "and": 0b011, "subw": 0b100, "addw": 0b101}
+            code = sub_codes[name]
+            return ((0b100 << 13) | ((code >> 2 & 1) << 12) | (0b11 << 10)
+                    | (_p(d.rd) << 7) | ((code & 0x3) << 5)
+                    | (_p(d.rs2) << 2) | 0b01)
+        return None
+
+    if name == "slli":
+        if d.rd == d.rs1 and d.rd != 0 and 0 < d.imm < 64:
+            return ((0b000 << 13) | ((d.imm >> 5 & 1) << 12) | (d.rd << 7)
+                    | ((d.imm & 0x1F) << 2) | 0b10)
+        return None
+
+    if name in ("srli", "srai"):
+        if d.rd == d.rs1 and _is_prime(d.rd) and 0 < d.imm < 64:
+            funct2 = 0b00 if name == "srli" else 0b01
+            return ((0b100 << 13) | ((d.imm >> 5 & 1) << 12) | (funct2 << 10)
+                    | (_p(d.rd) << 7) | ((d.imm & 0x1F) << 2) | 0b01)
+        return None
+
+    if name == "andi":
+        if d.rd == d.rs1 and _is_prime(d.rd) and _fits(d.imm, 6):
+            return ((0b100 << 13) | ((d.imm >> 5 & 1) << 12) | (0b10 << 10)
+                    | (_p(d.rd) << 7) | ((d.imm & 0x1F) << 2) | 0b01)
+        return None
+
+    if name == "ebreak":
+        return (0b100 << 13) | (1 << 12) | 0b10
+
+    return None

@@ -1,0 +1,176 @@
+"""RVC (compressed) instruction expansion for RV64.
+
+Ariane supports the C extension ("variable compressed instruction
+length", Sec. III-A).  Each 16-bit encoding expands to its 32-bit
+equivalent :class:`~repro.riscv.decoder.Decoded` record with
+``size == 2`` so the pc advances correctly and timing stays identical
+(RVC saves fetch bandwidth, not execution cycles, on an in-order core).
+"""
+
+from __future__ import annotations
+
+from repro.errors import IllegalInstructionError
+from repro.riscv.decoder import Decoded
+from repro.utils.bits import bits, sext
+
+
+def _rp(field: int) -> int:
+    """Map a 3-bit compressed register field to x8..x15."""
+    return field + 8
+
+
+def expand(half: int, pc: int | None = None) -> Decoded:
+    """Expand a 16-bit compressed instruction to its decoded form."""
+    half &= 0xFFFF
+    if half & 0b11 == 0b11:
+        raise IllegalInstructionError(half, pc)
+    quadrant = half & 0b11
+    funct3 = bits(half, 15, 13)
+
+    if quadrant == 0b00:
+        if half == 0:
+            raise IllegalInstructionError(half, pc)
+        if funct3 == 0b000:  # c.addi4spn
+            imm = (
+                (bits(half, 10, 7) << 6)
+                | (bits(half, 12, 11) << 4)
+                | (bits(half, 5, 5) << 3)
+                | (bits(half, 6, 6) << 2)
+            )
+            if imm == 0:
+                raise IllegalInstructionError(half, pc)
+            return Decoded("addi", rd=_rp(bits(half, 4, 2)), rs1=2, imm=imm, size=2)
+        if funct3 == 0b010:  # c.lw
+            imm = (bits(half, 5, 5) << 6) | (bits(half, 12, 10) << 3) | (bits(half, 6, 6) << 2)
+            return Decoded("lw", rd=_rp(bits(half, 4, 2)), rs1=_rp(bits(half, 9, 7)),
+                           imm=imm, size=2)
+        if funct3 == 0b011:  # c.ld
+            imm = (bits(half, 6, 5) << 6) | (bits(half, 12, 10) << 3)
+            return Decoded("ld", rd=_rp(bits(half, 4, 2)), rs1=_rp(bits(half, 9, 7)),
+                           imm=imm, size=2)
+        if funct3 == 0b110:  # c.sw
+            imm = (bits(half, 5, 5) << 6) | (bits(half, 12, 10) << 3) | (bits(half, 6, 6) << 2)
+            return Decoded("sw", rs1=_rp(bits(half, 9, 7)), rs2=_rp(bits(half, 4, 2)),
+                           imm=imm, size=2)
+        if funct3 == 0b111:  # c.sd
+            imm = (bits(half, 6, 5) << 6) | (bits(half, 12, 10) << 3)
+            return Decoded("sd", rs1=_rp(bits(half, 9, 7)), rs2=_rp(bits(half, 4, 2)),
+                           imm=imm, size=2)
+
+    elif quadrant == 0b01:
+        if funct3 == 0b000:  # c.addi (c.nop when rd=0)
+            imm = sext((bits(half, 12, 12) << 5) | bits(half, 6, 2), 6)
+            rd = bits(half, 11, 7)
+            return Decoded("addi", rd=rd, rs1=rd, imm=imm, size=2)
+        if funct3 == 0b001:  # c.addiw (RV64)
+            imm = sext((bits(half, 12, 12) << 5) | bits(half, 6, 2), 6)
+            rd = bits(half, 11, 7)
+            if rd == 0:
+                raise IllegalInstructionError(half, pc)
+            return Decoded("addiw", rd=rd, rs1=rd, imm=imm, size=2)
+        if funct3 == 0b010:  # c.li
+            imm = sext((bits(half, 12, 12) << 5) | bits(half, 6, 2), 6)
+            return Decoded("addi", rd=bits(half, 11, 7), rs1=0, imm=imm, size=2)
+        if funct3 == 0b011:
+            rd = bits(half, 11, 7)
+            if rd == 2:  # c.addi16sp
+                imm = sext(
+                    (bits(half, 12, 12) << 9)
+                    | (bits(half, 4, 3) << 7)
+                    | (bits(half, 5, 5) << 6)
+                    | (bits(half, 2, 2) << 5)
+                    | (bits(half, 6, 6) << 4),
+                    10,
+                )
+                if imm == 0:
+                    raise IllegalInstructionError(half, pc)
+                return Decoded("addi", rd=2, rs1=2, imm=imm, size=2)
+            # c.lui
+            imm = sext((bits(half, 12, 12) << 17) | (bits(half, 6, 2) << 12), 18)
+            if imm == 0 or rd == 0:
+                raise IllegalInstructionError(half, pc)
+            return Decoded("lui", rd=rd, imm=imm, size=2)
+        if funct3 == 0b100:
+            funct2 = bits(half, 11, 10)
+            rd = _rp(bits(half, 9, 7))
+            if funct2 == 0b00:  # c.srli
+                shamt = (bits(half, 12, 12) << 5) | bits(half, 6, 2)
+                return Decoded("srli", rd=rd, rs1=rd, imm=shamt, size=2)
+            if funct2 == 0b01:  # c.srai
+                shamt = (bits(half, 12, 12) << 5) | bits(half, 6, 2)
+                return Decoded("srai", rd=rd, rs1=rd, imm=shamt, size=2)
+            if funct2 == 0b10:  # c.andi
+                imm = sext((bits(half, 12, 12) << 5) | bits(half, 6, 2), 6)
+                return Decoded("andi", rd=rd, rs1=rd, imm=imm, size=2)
+            # register-register subgroup
+            rs2 = _rp(bits(half, 4, 2))
+            sub = (bits(half, 12, 12) << 2) | bits(half, 6, 5)
+            names = {0b000: "sub", 0b001: "xor", 0b010: "or", 0b011: "and",
+                     0b100: "subw", 0b101: "addw"}
+            name = names.get(sub)
+            if name:
+                return Decoded(name, rd=rd, rs1=rd, rs2=rs2, size=2)
+        if funct3 == 0b101:  # c.j
+            imm = sext(
+                (bits(half, 12, 12) << 11)
+                | (bits(half, 8, 8) << 10)
+                | (bits(half, 10, 9) << 8)
+                | (bits(half, 6, 6) << 7)
+                | (bits(half, 7, 7) << 6)
+                | (bits(half, 2, 2) << 5)
+                | (bits(half, 11, 11) << 4)
+                | (bits(half, 5, 3) << 1),
+                12,
+            )
+            return Decoded("jal", rd=0, imm=imm, size=2)
+        if funct3 in (0b110, 0b111):  # c.beqz / c.bnez
+            imm = sext(
+                (bits(half, 12, 12) << 8)
+                | (bits(half, 6, 5) << 6)
+                | (bits(half, 2, 2) << 5)
+                | (bits(half, 11, 10) << 3)
+                | (bits(half, 4, 3) << 1),
+                9,
+            )
+            name = "beq" if funct3 == 0b110 else "bne"
+            return Decoded(name, rs1=_rp(bits(half, 9, 7)), rs2=0, imm=imm, size=2)
+
+    else:  # quadrant 0b10
+        if funct3 == 0b000:  # c.slli
+            rd = bits(half, 11, 7)
+            shamt = (bits(half, 12, 12) << 5) | bits(half, 6, 2)
+            return Decoded("slli", rd=rd, rs1=rd, imm=shamt, size=2)
+        if funct3 == 0b010:  # c.lwsp
+            rd = bits(half, 11, 7)
+            if rd == 0:
+                raise IllegalInstructionError(half, pc)
+            imm = (bits(half, 3, 2) << 6) | (bits(half, 12, 12) << 5) | (bits(half, 6, 4) << 2)
+            return Decoded("lw", rd=rd, rs1=2, imm=imm, size=2)
+        if funct3 == 0b011:  # c.ldsp
+            rd = bits(half, 11, 7)
+            if rd == 0:
+                raise IllegalInstructionError(half, pc)
+            imm = (bits(half, 4, 2) << 6) | (bits(half, 12, 12) << 5) | (bits(half, 6, 5) << 3)
+            return Decoded("ld", rd=rd, rs1=2, imm=imm, size=2)
+        if funct3 == 0b100:
+            rs1 = bits(half, 11, 7)
+            rs2 = bits(half, 6, 2)
+            if bits(half, 12, 12) == 0:
+                if rs2 == 0:  # c.jr
+                    if rs1 == 0:
+                        raise IllegalInstructionError(half, pc)
+                    return Decoded("jalr", rd=0, rs1=rs1, imm=0, size=2)
+                return Decoded("add", rd=rs1, rs1=0, rs2=rs2, size=2)  # c.mv
+            if rs1 == 0 and rs2 == 0:  # c.ebreak
+                return Decoded("ebreak", size=2)
+            if rs2 == 0:  # c.jalr
+                return Decoded("jalr", rd=1, rs1=rs1, imm=0, size=2)
+            return Decoded("add", rd=rs1, rs1=rs1, rs2=rs2, size=2)  # c.add
+        if funct3 == 0b110:  # c.swsp
+            imm = (bits(half, 8, 7) << 6) | (bits(half, 12, 9) << 2)
+            return Decoded("sw", rs1=2, rs2=bits(half, 6, 2), imm=imm, size=2)
+        if funct3 == 0b111:  # c.sdsp
+            imm = (bits(half, 9, 7) << 6) | (bits(half, 12, 10) << 3)
+            return Decoded("sd", rs1=2, rs2=bits(half, 6, 2), imm=imm, size=2)
+
+    raise IllegalInstructionError(half, pc)

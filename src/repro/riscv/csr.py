@@ -1,0 +1,86 @@
+"""Machine-mode CSR file.
+
+Only the machine-level CSRs the bare-metal drivers need are writable;
+the user counters (cycle/time/instret) shadow the hart's performance
+counters and the CLINT time base, matching how the paper's software
+timer modules read elapsed time.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.riscv import isa
+from repro.utils.bits import MASK64
+
+
+class CsrFile:
+    """CSR storage plus side-effect routing for counters."""
+
+    #: misa: RV64 (MXL=2) with I, M, A, C extension bits set
+    MISA_RESET = (2 << 62) | (1 << 8) | (1 << 12) | (1 << 0) | (1 << 2)
+
+    def __init__(self) -> None:
+        self._regs: dict[int, int] = {
+            isa.CSR_MSTATUS: isa.MSTATUS_MPP,  # MPP=M
+            isa.CSR_MISA: self.MISA_RESET,
+            isa.CSR_MIE: 0,
+            isa.CSR_MTVEC: 0,
+            isa.CSR_MSCRATCH: 0,
+            isa.CSR_MEPC: 0,
+            isa.CSR_MCAUSE: 0,
+            isa.CSR_MTVAL: 0,
+            isa.CSR_MIP: 0,
+            isa.CSR_MHARTID: 0,
+            isa.CSR_MVENDORID: 0,
+            isa.CSR_MARCHID: 3,  # Ariane's marchid
+            isa.CSR_MIMPID: 0,
+        }
+        # live counter callbacks installed by the hart
+        self.cycle_source: Callable[[], int] = lambda: 0
+        self.instret_source: Callable[[], int] = lambda: 0
+        self.time_source: Callable[[], int] = lambda: 0
+
+    def read(self, addr: int) -> int:
+        if addr in (isa.CSR_MCYCLE, isa.CSR_CYCLE):
+            return self.cycle_source() & MASK64
+        if addr in (isa.CSR_MINSTRET, isa.CSR_INSTRET):
+            return self.instret_source() & MASK64
+        if addr == isa.CSR_TIME:
+            return self.time_source() & MASK64
+        return self._regs.get(addr, 0)
+
+    def write(self, addr: int, value: int) -> None:
+        value &= MASK64
+        if addr in (isa.CSR_MHARTID, isa.CSR_MVENDORID, isa.CSR_MARCHID,
+                    isa.CSR_MIMPID, isa.CSR_MISA, isa.CSR_CYCLE, isa.CSR_TIME,
+                    isa.CSR_INSTRET):
+            return  # read-only (WARL: writes ignored)
+        if addr == isa.CSR_MSTATUS:
+            # keep MPP pinned at M: this model has no lower privilege modes
+            value |= isa.MSTATUS_MPP
+        self._regs[addr] = value
+
+    # convenience accessors used by the trap logic -------------------
+    @property
+    def mstatus(self) -> int:
+        return self._regs[isa.CSR_MSTATUS]
+
+    @mstatus.setter
+    def mstatus(self, value: int) -> None:
+        self._regs[isa.CSR_MSTATUS] = value & MASK64
+
+    @property
+    def mie(self) -> int:
+        return self._regs[isa.CSR_MIE]
+
+    @property
+    def mip(self) -> int:
+        return self._regs[isa.CSR_MIP]
+
+    def set_mip_bit(self, bit_index: int, value: bool) -> None:
+        """Wire-level interrupt pending update (from CLINT/PLIC)."""
+        if value:
+            self._regs[isa.CSR_MIP] |= 1 << bit_index
+        else:
+            self._regs[isa.CSR_MIP] &= ~(1 << bit_index) & MASK64

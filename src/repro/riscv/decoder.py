@@ -1,0 +1,179 @@
+"""RV64IMA + Zicsr instruction decoder.
+
+``decode`` turns a 32-bit instruction word into a :class:`Decoded`
+record: the mnemonic plus extracted operand fields.  The hart caches
+decoded results by instruction word (firmware images are small, so the
+cache converges to the static instruction count), which keeps the ISS
+hot loop free of repeated field extraction — the standard "hoist work
+out of the loop" optimization the HPC guides call for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import IllegalInstructionError
+from repro.riscv import isa
+from repro.utils.bits import bits, sext
+
+
+@dataclass(frozen=True)
+class Decoded:
+    """A decoded instruction: mnemonic + operand fields.
+
+    ``imm`` is sign-extended where the format calls for it.  ``size``
+    is 4 for normal and 2 for compressed instructions (set by the
+    expander); the timing model and pc update use it.
+    """
+
+    name: str
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int = 0
+    csr: int = 0
+    size: int = 4
+
+
+_LOAD_NAMES = {0: "lb", 1: "lh", 2: "lw", 3: "ld", 4: "lbu", 5: "lhu", 6: "lwu"}
+_STORE_NAMES = {0: "sb", 1: "sh", 2: "sw", 3: "sd"}
+_BRANCH_NAMES = {0: "beq", 1: "bne", 4: "blt", 5: "bge", 6: "bltu", 7: "bgeu"}
+_OP_IMM_NAMES = {0: "addi", 2: "slti", 3: "sltiu", 4: "xori", 6: "ori", 7: "andi"}
+_OP_NAMES = {
+    (0, 0): "add", (0, 32): "sub", (1, 0): "sll", (2, 0): "slt",
+    (3, 0): "sltu", (4, 0): "xor", (5, 0): "srl", (5, 32): "sra",
+    (6, 0): "or", (7, 0): "and",
+    (0, 1): "mul", (1, 1): "mulh", (2, 1): "mulhsu", (3, 1): "mulhu",
+    (4, 1): "div", (5, 1): "divu", (6, 1): "rem", (7, 1): "remu",
+}
+_OP32_NAMES = {
+    (0, 0): "addw", (0, 32): "subw", (1, 0): "sllw", (5, 0): "srlw",
+    (5, 32): "sraw",
+    (0, 1): "mulw", (4, 1): "divw", (5, 1): "divuw", (6, 1): "remw",
+    (7, 1): "remuw",
+}
+_CSR_NAMES = {1: "csrrw", 2: "csrrs", 3: "csrrc", 5: "csrrwi", 6: "csrrsi", 7: "csrrci"}
+_AMO_NAMES = {
+    0b00010: "lr", 0b00011: "sc", 0b00001: "amoswap", 0b00000: "amoadd",
+    0b00100: "amoxor", 0b01100: "amoand", 0b01000: "amoor",
+    0b10000: "amomin", 0b10100: "amomax", 0b11000: "amominu", 0b11100: "amomaxu",
+}
+
+
+def _imm_i(word: int) -> int:
+    return sext(bits(word, 31, 20), 12)
+
+
+def _imm_s(word: int) -> int:
+    return sext((bits(word, 31, 25) << 5) | bits(word, 11, 7), 12)
+
+
+def _imm_b(word: int) -> int:
+    imm = (
+        (bits(word, 31, 31) << 12)
+        | (bits(word, 7, 7) << 11)
+        | (bits(word, 30, 25) << 5)
+        | (bits(word, 11, 8) << 1)
+    )
+    return sext(imm, 13)
+
+
+def _imm_u(word: int) -> int:
+    return sext(bits(word, 31, 12) << 12, 32)
+
+
+def _imm_j(word: int) -> int:
+    imm = (
+        (bits(word, 31, 31) << 20)
+        | (bits(word, 19, 12) << 12)
+        | (bits(word, 20, 20) << 11)
+        | (bits(word, 30, 21) << 1)
+    )
+    return sext(imm, 21)
+
+
+def decode(word: int, pc: int | None = None) -> Decoded:
+    """Decode a 32-bit instruction word.
+
+    Raises :class:`IllegalInstructionError` for unrecognized encodings.
+    """
+    opcode = word & 0x7F
+    rd = bits(word, 11, 7)
+    funct3 = bits(word, 14, 12)
+    rs1 = bits(word, 19, 15)
+    rs2 = bits(word, 24, 20)
+    funct7 = bits(word, 31, 25)
+
+    if opcode == isa.OP_LUI:
+        return Decoded("lui", rd=rd, imm=_imm_u(word))
+    if opcode == isa.OP_AUIPC:
+        return Decoded("auipc", rd=rd, imm=_imm_u(word))
+    if opcode == isa.OP_JAL:
+        return Decoded("jal", rd=rd, imm=_imm_j(word))
+    if opcode == isa.OP_JALR and funct3 == 0:
+        return Decoded("jalr", rd=rd, rs1=rs1, imm=_imm_i(word))
+    if opcode == isa.OP_BRANCH:
+        name = _BRANCH_NAMES.get(funct3)
+        if name:
+            return Decoded(name, rs1=rs1, rs2=rs2, imm=_imm_b(word))
+    if opcode == isa.OP_LOAD:
+        name = _LOAD_NAMES.get(funct3)
+        if name:
+            return Decoded(name, rd=rd, rs1=rs1, imm=_imm_i(word))
+    if opcode == isa.OP_STORE:
+        name = _STORE_NAMES.get(funct3)
+        if name:
+            return Decoded(name, rs1=rs1, rs2=rs2, imm=_imm_s(word))
+    if opcode == isa.OP_IMM:
+        if funct3 == 1 and funct7 >> 1 == 0:
+            return Decoded("slli", rd=rd, rs1=rs1, imm=bits(word, 25, 20))
+        if funct3 == 5:
+            funct6 = bits(word, 31, 26)
+            if funct6 == 0:
+                return Decoded("srli", rd=rd, rs1=rs1, imm=bits(word, 25, 20))
+            if funct6 == 0b010000:
+                return Decoded("srai", rd=rd, rs1=rs1, imm=bits(word, 25, 20))
+        else:
+            name = _OP_IMM_NAMES.get(funct3)
+            if name:
+                return Decoded(name, rd=rd, rs1=rs1, imm=_imm_i(word))
+    if opcode == isa.OP_IMM32:
+        if funct3 == 0:
+            return Decoded("addiw", rd=rd, rs1=rs1, imm=_imm_i(word))
+        if funct3 == 1 and funct7 == 0:
+            return Decoded("slliw", rd=rd, rs1=rs1, imm=rs2)
+        if funct3 == 5 and funct7 == 0:
+            return Decoded("srliw", rd=rd, rs1=rs1, imm=rs2)
+        if funct3 == 5 and funct7 == 0b0100000:
+            return Decoded("sraiw", rd=rd, rs1=rs1, imm=rs2)
+    if opcode == isa.OP_REG:
+        name = _OP_NAMES.get((funct3, funct7))
+        if name:
+            return Decoded(name, rd=rd, rs1=rs1, rs2=rs2)
+    if opcode == isa.OP_REG32:
+        name = _OP32_NAMES.get((funct3, funct7))
+        if name:
+            return Decoded(name, rd=rd, rs1=rs1, rs2=rs2)
+    if opcode == isa.OP_FENCE:
+        # fence / fence.i are memory-ordering no-ops in this TLM model
+        return Decoded("fence", rd=rd, rs1=rs1, imm=_imm_i(word))
+    if opcode == isa.OP_SYSTEM:
+        if funct3 == 0:
+            if word == 0x0000_0073:
+                return Decoded("ecall")
+            if word == 0x0010_0073:
+                return Decoded("ebreak")
+            if word == 0x3020_0073:
+                return Decoded("mret")
+            if word == 0x1050_0073:
+                return Decoded("wfi")
+        name = _CSR_NAMES.get(funct3)
+        if name:
+            return Decoded(name, rd=rd, rs1=rs1, csr=bits(word, 31, 20))
+    if opcode == isa.OP_AMO and funct3 in (2, 3):
+        funct5 = bits(word, 31, 27)
+        base = _AMO_NAMES.get(funct5)
+        if base:
+            suffix = "w" if funct3 == 2 else "d"
+            return Decoded(f"{base}.{suffix}", rd=rd, rs1=rs1, rs2=rs2)
+    raise IllegalInstructionError(word, pc)

@@ -1,0 +1,74 @@
+"""Minimal disassembler for debugging firmware and tracing the ISS."""
+
+from __future__ import annotations
+
+from repro.errors import IllegalInstructionError
+from repro.riscv.compressed import expand
+from repro.riscv.decoder import Decoded, decode
+from repro.riscv.isa import ABI_NAMES
+
+_LOADS = {"lb", "lh", "lw", "ld", "lbu", "lhu", "lwu"}
+_STORES = {"sb", "sh", "sw", "sd"}
+_BRANCHES = {"beq", "bne", "blt", "bge", "bltu", "bgeu"}
+_CSR_OPS = {"csrrw", "csrrs", "csrrc", "csrrwi", "csrrsi", "csrrci"}
+
+
+def format_decoded(d: Decoded, pc: int | None = None) -> str:
+    """Render a decoded instruction as assembly text."""
+    r = ABI_NAMES
+    name = d.name
+    if name in ("lui", "auipc"):
+        return f"{name} {r[d.rd]}, {d.imm >> 12:#x}"
+    if name == "jal":
+        target = f"{pc + d.imm:#x}" if pc is not None else f".{d.imm:+d}"
+        return f"{name} {r[d.rd]}, {target}"
+    if name == "jalr":
+        return f"{name} {r[d.rd]}, {d.imm}({r[d.rs1]})"
+    if name in _BRANCHES:
+        target = f"{pc + d.imm:#x}" if pc is not None else f".{d.imm:+d}"
+        return f"{name} {r[d.rs1]}, {r[d.rs2]}, {target}"
+    if name in _LOADS:
+        return f"{name} {r[d.rd]}, {d.imm}({r[d.rs1]})"
+    if name in _STORES:
+        return f"{name} {r[d.rs2]}, {d.imm}({r[d.rs1]})"
+    if name in _CSR_OPS:
+        src = str(d.rs1) if name.endswith("i") else r[d.rs1]
+        return f"{name} {r[d.rd]}, {d.csr:#x}, {src}"
+    if name in ("ecall", "ebreak", "mret", "wfi", "fence"):
+        return name
+    if name.startswith(("amo", "lr.", "sc.")):
+        if name.startswith("lr."):
+            return f"{name} {r[d.rd]}, ({r[d.rs1]})"
+        return f"{name} {r[d.rd]}, {r[d.rs2]}, ({r[d.rs1]})"
+    if name.endswith("i") or name in ("slli", "srli", "srai", "addiw",
+                                      "slliw", "srliw", "sraiw"):
+        return f"{name} {r[d.rd]}, {r[d.rs1]}, {d.imm}"
+    return f"{name} {r[d.rd]}, {r[d.rs1]}, {r[d.rs2]}"
+
+
+def disassemble_word(word: int, pc: int | None = None) -> str:
+    """Disassemble one 16/32-bit code unit."""
+    try:
+        if word & 3 == 3:
+            return format_decoded(decode(word, pc), pc)
+        return format_decoded(expand(word & 0xFFFF, pc), pc)
+    except IllegalInstructionError:
+        return f".word {word:#010x}"
+
+
+def disassemble(image: bytes, base: int = 0) -> list[str]:
+    """Disassemble a flat image into annotated lines."""
+    lines = []
+    pc = 0
+    while pc + 2 <= len(image):
+        low = int.from_bytes(image[pc : pc + 2], "little")
+        if low & 3 == 3:
+            if pc + 4 > len(image):
+                break
+            word = int.from_bytes(image[pc : pc + 4], "little")
+            lines.append(f"{base + pc:#010x}: {disassemble_word(word, base + pc)}")
+            pc += 4
+        else:
+            lines.append(f"{base + pc:#010x}: {disassemble_word(low, base + pc)}")
+            pc += 2
+    return lines

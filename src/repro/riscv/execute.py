@@ -1,0 +1,498 @@
+"""Instruction semantics for the RV64IMA+Zicsr executor.
+
+Each handler receives the hart and the decoded instruction and returns
+the *next pc*, or ``None`` for the sequential default.  Handlers only
+implement architectural semantics; all timing is charged by the hart's
+step loop so the two concerns stay independently testable.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, TYPE_CHECKING
+
+from repro.riscv import isa
+from repro.riscv.decoder import Decoded
+from repro.riscv.trap import Trap
+from repro.utils.bits import MASK32, MASK64, sext, to_signed64
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.riscv.hart import Hart
+
+Handler = Callable[["Hart", Decoded], Optional[int]]
+EXEC: Dict[str, Handler] = {}
+
+
+def _op(name: str) -> Callable[[Handler], Handler]:
+    def register(fn: Handler) -> Handler:
+        EXEC[name] = fn
+        return fn
+    return register
+
+
+def _s(value: int) -> int:
+    return to_signed64(value)
+
+
+# ---------------------------------------------------------------------------
+# upper immediates and jumps
+# ---------------------------------------------------------------------------
+@_op("lui")
+def _lui(hart: "Hart", d: Decoded) -> Optional[int]:
+    hart.set_reg(d.rd, d.imm)
+    return None
+
+
+@_op("auipc")
+def _auipc(hart: "Hart", d: Decoded) -> Optional[int]:
+    hart.set_reg(d.rd, hart.pc + d.imm)
+    return None
+
+
+@_op("jal")
+def _jal(hart: "Hart", d: Decoded) -> Optional[int]:
+    hart.set_reg(d.rd, hart.pc + d.size)
+    return (hart.pc + d.imm) & MASK64
+
+
+@_op("jalr")
+def _jalr(hart: "Hart", d: Decoded) -> Optional[int]:
+    target = (hart.reg(d.rs1) + d.imm) & ~1 & MASK64
+    hart.set_reg(d.rd, hart.pc + d.size)
+    return target
+
+
+# ---------------------------------------------------------------------------
+# conditional branches
+# ---------------------------------------------------------------------------
+def _branch(hart: "Hart", d: Decoded, taken: bool) -> Optional[int]:
+    hart.note_conditional_branch(taken)
+    return (hart.pc + d.imm) & MASK64 if taken else None
+
+
+@_op("beq")
+def _beq(hart: "Hart", d: Decoded) -> Optional[int]:
+    return _branch(hart, d, hart.reg(d.rs1) == hart.reg(d.rs2))
+
+
+@_op("bne")
+def _bne(hart: "Hart", d: Decoded) -> Optional[int]:
+    return _branch(hart, d, hart.reg(d.rs1) != hart.reg(d.rs2))
+
+
+@_op("blt")
+def _blt(hart: "Hart", d: Decoded) -> Optional[int]:
+    return _branch(hart, d, _s(hart.reg(d.rs1)) < _s(hart.reg(d.rs2)))
+
+
+@_op("bge")
+def _bge(hart: "Hart", d: Decoded) -> Optional[int]:
+    return _branch(hart, d, _s(hart.reg(d.rs1)) >= _s(hart.reg(d.rs2)))
+
+
+@_op("bltu")
+def _bltu(hart: "Hart", d: Decoded) -> Optional[int]:
+    return _branch(hart, d, hart.reg(d.rs1) < hart.reg(d.rs2))
+
+
+@_op("bgeu")
+def _bgeu(hart: "Hart", d: Decoded) -> Optional[int]:
+    return _branch(hart, d, hart.reg(d.rs1) >= hart.reg(d.rs2))
+
+
+# ---------------------------------------------------------------------------
+# loads and stores
+# ---------------------------------------------------------------------------
+_LOADS = {"lb": (1, True), "lh": (2, True), "lw": (4, True), "ld": (8, True),
+          "lbu": (1, False), "lhu": (2, False), "lwu": (4, False)}
+_STORES = {"sb": 1, "sh": 2, "sw": 4, "sd": 8}
+
+
+def _make_load(name: str, nbytes: int, signed: bool) -> None:
+    @_op(name)
+    def _load(hart: "Hart", d: Decoded) -> Optional[int]:
+        addr = (hart.reg(d.rs1) + d.imm) & MASK64
+        value = hart.load(addr, nbytes)
+        if signed:
+            value = sext(value, nbytes * 8) & MASK64
+        hart.set_reg(d.rd, value)
+        return None
+
+
+def _make_store(name: str, nbytes: int) -> None:
+    @_op(name)
+    def _store(hart: "Hart", d: Decoded) -> Optional[int]:
+        addr = (hart.reg(d.rs1) + d.imm) & MASK64
+        hart.store(addr, hart.reg(d.rs2), nbytes)
+        return None
+
+
+for _name, (_n, _signed) in _LOADS.items():
+    _make_load(_name, _n, _signed)
+for _name, _n in _STORES.items():
+    _make_store(_name, _n)
+
+
+# ---------------------------------------------------------------------------
+# integer ALU
+# ---------------------------------------------------------------------------
+_ALU_IMM = {
+    "addi": lambda a, imm: a + imm,
+    "slti": lambda a, imm: int(_s(a) < imm),
+    "sltiu": lambda a, imm: int(a < (imm & MASK64)),
+    "xori": lambda a, imm: a ^ imm,
+    "ori": lambda a, imm: a | imm,
+    "andi": lambda a, imm: a & imm,
+    "slli": lambda a, imm: a << imm,
+    "srli": lambda a, imm: a >> imm,
+    "srai": lambda a, imm: _s(a) >> imm,
+}
+_ALU_REG = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "sll": lambda a, b: a << (b & 63),
+    "slt": lambda a, b: int(_s(a) < _s(b)),
+    "sltu": lambda a, b: int(a < b),
+    "xor": lambda a, b: a ^ b,
+    "srl": lambda a, b: a >> (b & 63),
+    "sra": lambda a, b: _s(a) >> (b & 63),
+    "or": lambda a, b: a | b,
+    "and": lambda a, b: a & b,
+}
+
+
+def _make_alu_imm(name: str, fn: Callable[[int, int], int]) -> None:
+    @_op(name)
+    def _alu(hart: "Hart", d: Decoded) -> Optional[int]:
+        hart.set_reg(d.rd, fn(hart.reg(d.rs1), d.imm))
+        return None
+
+
+def _make_alu_reg(name: str, fn: Callable[[int, int], int]) -> None:
+    @_op(name)
+    def _alu(hart: "Hart", d: Decoded) -> Optional[int]:
+        hart.set_reg(d.rd, fn(hart.reg(d.rs1), hart.reg(d.rs2)))
+        return None
+
+
+for _name, _fn in _ALU_IMM.items():
+    _make_alu_imm(_name, _fn)
+for _name, _fn in _ALU_REG.items():
+    _make_alu_reg(_name, _fn)
+
+
+# 32-bit (word) variants: compute in 32 bits, sign-extend the result
+def _w(value: int) -> int:
+    return sext(value & MASK32, 32) & MASK64
+
+
+@_op("addiw")
+def _addiw(hart: "Hart", d: Decoded) -> Optional[int]:
+    hart.set_reg(d.rd, _w(hart.reg(d.rs1) + d.imm))
+    return None
+
+
+@_op("slliw")
+def _slliw(hart: "Hart", d: Decoded) -> Optional[int]:
+    hart.set_reg(d.rd, _w(hart.reg(d.rs1) << d.imm))
+    return None
+
+
+@_op("srliw")
+def _srliw(hart: "Hart", d: Decoded) -> Optional[int]:
+    hart.set_reg(d.rd, _w((hart.reg(d.rs1) & MASK32) >> d.imm))
+    return None
+
+
+@_op("sraiw")
+def _sraiw(hart: "Hart", d: Decoded) -> Optional[int]:
+    hart.set_reg(d.rd, _w(sext(hart.reg(d.rs1) & MASK32, 32) >> d.imm))
+    return None
+
+
+@_op("addw")
+def _addw(hart: "Hart", d: Decoded) -> Optional[int]:
+    hart.set_reg(d.rd, _w(hart.reg(d.rs1) + hart.reg(d.rs2)))
+    return None
+
+
+@_op("subw")
+def _subw(hart: "Hart", d: Decoded) -> Optional[int]:
+    hart.set_reg(d.rd, _w(hart.reg(d.rs1) - hart.reg(d.rs2)))
+    return None
+
+
+@_op("sllw")
+def _sllw(hart: "Hart", d: Decoded) -> Optional[int]:
+    hart.set_reg(d.rd, _w(hart.reg(d.rs1) << (hart.reg(d.rs2) & 31)))
+    return None
+
+
+@_op("srlw")
+def _srlw(hart: "Hart", d: Decoded) -> Optional[int]:
+    hart.set_reg(d.rd, _w((hart.reg(d.rs1) & MASK32) >> (hart.reg(d.rs2) & 31)))
+    return None
+
+
+@_op("sraw")
+def _sraw(hart: "Hart", d: Decoded) -> Optional[int]:
+    value = sext(hart.reg(d.rs1) & MASK32, 32) >> (hart.reg(d.rs2) & 31)
+    hart.set_reg(d.rd, _w(value))
+    return None
+
+
+# ---------------------------------------------------------------------------
+# M extension
+# ---------------------------------------------------------------------------
+@_op("mul")
+def _mul(hart: "Hart", d: Decoded) -> Optional[int]:
+    hart.set_reg(d.rd, hart.reg(d.rs1) * hart.reg(d.rs2))
+    return None
+
+
+@_op("mulh")
+def _mulh(hart: "Hart", d: Decoded) -> Optional[int]:
+    hart.set_reg(d.rd, (_s(hart.reg(d.rs1)) * _s(hart.reg(d.rs2))) >> 64)
+    return None
+
+
+@_op("mulhsu")
+def _mulhsu(hart: "Hart", d: Decoded) -> Optional[int]:
+    hart.set_reg(d.rd, (_s(hart.reg(d.rs1)) * hart.reg(d.rs2)) >> 64)
+    return None
+
+
+@_op("mulhu")
+def _mulhu(hart: "Hart", d: Decoded) -> Optional[int]:
+    hart.set_reg(d.rd, (hart.reg(d.rs1) * hart.reg(d.rs2)) >> 64)
+    return None
+
+
+def _div(a: int, b: int) -> int:
+    if b == 0:
+        return -1
+    if a == -(1 << 63) and b == -1:
+        return a
+    quotient = abs(a) // abs(b)
+    return -quotient if (a < 0) != (b < 0) else quotient
+
+
+def _rem(a: int, b: int) -> int:
+    if b == 0:
+        return a
+    if a == -(1 << 63) and b == -1:
+        return 0
+    return a - _div(a, b) * b
+
+
+@_op("div")
+def _divi(hart: "Hart", d: Decoded) -> Optional[int]:
+    hart.set_reg(d.rd, _div(_s(hart.reg(d.rs1)), _s(hart.reg(d.rs2))))
+    return None
+
+
+@_op("divu")
+def _divu(hart: "Hart", d: Decoded) -> Optional[int]:
+    b = hart.reg(d.rs2)
+    hart.set_reg(d.rd, MASK64 if b == 0 else hart.reg(d.rs1) // b)
+    return None
+
+
+@_op("rem")
+def _remi(hart: "Hart", d: Decoded) -> Optional[int]:
+    hart.set_reg(d.rd, _rem(_s(hart.reg(d.rs1)), _s(hart.reg(d.rs2))))
+    return None
+
+
+@_op("remu")
+def _remu(hart: "Hart", d: Decoded) -> Optional[int]:
+    b = hart.reg(d.rs2)
+    hart.set_reg(d.rd, hart.reg(d.rs1) if b == 0 else hart.reg(d.rs1) % b)
+    return None
+
+
+@_op("mulw")
+def _mulw(hart: "Hart", d: Decoded) -> Optional[int]:
+    hart.set_reg(d.rd, _w(hart.reg(d.rs1) * hart.reg(d.rs2)))
+    return None
+
+
+def _s32(value: int) -> int:
+    return sext(value & MASK32, 32)
+
+
+@_op("divw")
+def _divw(hart: "Hart", d: Decoded) -> Optional[int]:
+    hart.set_reg(d.rd, _w(_div(_s32(hart.reg(d.rs1)), _s32(hart.reg(d.rs2)))))
+    return None
+
+
+@_op("divuw")
+def _divuw(hart: "Hart", d: Decoded) -> Optional[int]:
+    b = hart.reg(d.rs2) & MASK32
+    result = MASK32 if b == 0 else (hart.reg(d.rs1) & MASK32) // b
+    hart.set_reg(d.rd, _w(result))
+    return None
+
+
+@_op("remw")
+def _remw(hart: "Hart", d: Decoded) -> Optional[int]:
+    hart.set_reg(d.rd, _w(_rem(_s32(hart.reg(d.rs1)), _s32(hart.reg(d.rs2)))))
+    return None
+
+
+@_op("remuw")
+def _remuw(hart: "Hart", d: Decoded) -> Optional[int]:
+    b = hart.reg(d.rs2) & MASK32
+    a = hart.reg(d.rs1) & MASK32
+    hart.set_reg(d.rd, _w(a if b == 0 else a % b))
+    return None
+
+
+# ---------------------------------------------------------------------------
+# A extension (single hart: lr/sc always succeed within a reservation)
+# ---------------------------------------------------------------------------
+def _make_amo(name: str, nbytes: int, fn: Callable[[int, int], int]) -> None:
+    @_op(name)
+    def _amo(hart: "Hart", d: Decoded) -> Optional[int]:
+        addr = hart.reg(d.rs1)
+        old = hart.load(addr, nbytes)
+        old_signed = sext(old, nbytes * 8) & MASK64
+        hart.store(addr, fn(old, hart.reg(d.rs2)) & ((1 << (8 * nbytes)) - 1), nbytes)
+        hart.set_reg(d.rd, old_signed if nbytes == 4 else old)
+        return None
+
+
+for _suffix, _nb in (("w", 4), ("d", 8)):
+    _width_mask = (1 << (8 * _nb)) - 1
+    _make_amo(f"amoswap.{_suffix}", _nb, lambda old, new: new)
+    _make_amo(f"amoadd.{_suffix}", _nb, lambda old, new: old + new)
+    _make_amo(f"amoxor.{_suffix}", _nb, lambda old, new: old ^ new)
+    _make_amo(f"amoand.{_suffix}", _nb, lambda old, new: old & new)
+    _make_amo(f"amoor.{_suffix}", _nb, lambda old, new: old | new)
+    _make_amo(
+        f"amomin.{_suffix}", _nb,
+        lambda old, new, w=8 * _nb: min(sext(old, w), sext(new & ((1 << w) - 1), w)),
+    )
+    _make_amo(
+        f"amomax.{_suffix}", _nb,
+        lambda old, new, w=8 * _nb: max(sext(old, w), sext(new & ((1 << w) - 1), w)),
+    )
+    _make_amo(
+        f"amominu.{_suffix}", _nb,
+        lambda old, new, m=_width_mask: min(old & m, new & m),
+    )
+    _make_amo(
+        f"amomaxu.{_suffix}", _nb,
+        lambda old, new, m=_width_mask: max(old & m, new & m),
+    )
+
+
+def _make_lr(name: str, nbytes: int) -> None:
+    @_op(name)
+    def _lr(hart: "Hart", d: Decoded) -> Optional[int]:
+        addr = hart.reg(d.rs1)
+        value = hart.load(addr, nbytes)
+        hart.reservation = addr
+        hart.set_reg(d.rd, sext(value, nbytes * 8) & MASK64)
+        return None
+
+
+def _make_sc(name: str, nbytes: int) -> None:
+    @_op(name)
+    def _sc(hart: "Hart", d: Decoded) -> Optional[int]:
+        addr = hart.reg(d.rs1)
+        if hart.reservation == addr:
+            hart.store(addr, hart.reg(d.rs2), nbytes)
+            hart.set_reg(d.rd, 0)
+        else:
+            hart.set_reg(d.rd, 1)
+        hart.reservation = None
+        return None
+
+
+_make_lr("lr.w", 4)
+_make_lr("lr.d", 8)
+_make_sc("sc.w", 4)
+_make_sc("sc.d", 8)
+
+
+# ---------------------------------------------------------------------------
+# system instructions
+# ---------------------------------------------------------------------------
+@_op("fence")
+def _fence(hart: "Hart", d: Decoded) -> Optional[int]:
+    return None  # memory model is sequentially consistent here
+
+
+@_op("csrrw")
+def _csrrw(hart: "Hart", d: Decoded) -> Optional[int]:
+    old = hart.csr.read(d.csr) if d.rd != 0 else 0
+    hart.csr.write(d.csr, hart.reg(d.rs1))
+    hart.set_reg(d.rd, old)
+    return None
+
+
+@_op("csrrs")
+def _csrrs(hart: "Hart", d: Decoded) -> Optional[int]:
+    old = hart.csr.read(d.csr)
+    if d.rs1 != 0:
+        hart.csr.write(d.csr, old | hart.reg(d.rs1))
+    hart.set_reg(d.rd, old)
+    return None
+
+
+@_op("csrrc")
+def _csrrc(hart: "Hart", d: Decoded) -> Optional[int]:
+    old = hart.csr.read(d.csr)
+    if d.rs1 != 0:
+        hart.csr.write(d.csr, old & ~hart.reg(d.rs1) & MASK64)
+    hart.set_reg(d.rd, old)
+    return None
+
+
+@_op("csrrwi")
+def _csrrwi(hart: "Hart", d: Decoded) -> Optional[int]:
+    old = hart.csr.read(d.csr) if d.rd != 0 else 0
+    hart.csr.write(d.csr, d.rs1)
+    hart.set_reg(d.rd, old)
+    return None
+
+
+@_op("csrrsi")
+def _csrrsi(hart: "Hart", d: Decoded) -> Optional[int]:
+    old = hart.csr.read(d.csr)
+    if d.rs1 != 0:
+        hart.csr.write(d.csr, old | d.rs1)
+    hart.set_reg(d.rd, old)
+    return None
+
+
+@_op("csrrci")
+def _csrrci(hart: "Hart", d: Decoded) -> Optional[int]:
+    old = hart.csr.read(d.csr)
+    if d.rs1 != 0:
+        hart.csr.write(d.csr, old & ~d.rs1 & MASK64)
+    hart.set_reg(d.rd, old)
+    return None
+
+
+@_op("ecall")
+def _ecall(hart: "Hart", d: Decoded) -> Optional[int]:
+    raise Trap(isa.EXC_ECALL_M)
+
+
+@_op("ebreak")
+def _ebreak(hart: "Hart", d: Decoded) -> Optional[int]:
+    hart.halt("ebreak")
+    return hart.pc  # stay put; the run loop observes the halt
+
+
+@_op("mret")
+def _mret(hart: "Hart", d: Decoded) -> Optional[int]:
+    return hart.do_mret()
+
+
+@_op("wfi")
+def _wfi(hart: "Hart", d: Decoded) -> Optional[int]:
+    hart.enter_wfi()
+    return None

@@ -1,0 +1,350 @@
+"""The hart: architectural state, memory hierarchy, and co-sim loop.
+
+Co-simulation scheme
+--------------------
+The hart keeps its own cycle counter and runs *ahead* of the event
+queue in a quantum: plain ALU work costs only local bookkeeping, and
+the hart re-synchronizes with the :class:`~repro.sim.kernel.Simulator`
+whenever it (a) touches the bus, (b) crosses the next pending event's
+timestamp, or (c) executes ``wfi``.  Device models therefore always
+observe a consistent time order for MMIO traffic, and interrupts are
+taken at worst one quantum late — bounded by the next event timestamp,
+i.e. exact whenever a device has anything scheduled.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import BusError, CpuError, IllegalInstructionError
+from repro.riscv import isa
+from repro.riscv.compressed import expand
+from repro.riscv.csr import CsrFile
+from repro.riscv.decoder import Decoded, decode
+from repro.riscv.execute import EXEC
+from repro.riscv.timing import CpuTiming, DCache
+from repro.riscv.trap import Trap
+from repro.sim.kernel import Simulator
+from repro.utils.bits import MASK64
+
+#: interrupt priority order per the privileged spec (MEI > MSI > MTI)
+_IRQ_PRIORITY = (isa.IRQ_MEI, isa.IRQ_MSI, isa.IRQ_MTI)
+
+
+class Hart:
+    """A single RV64IMAC machine-mode hart.
+
+    Parameters
+    ----------
+    sim:
+        Simulation kernel providing the shared time base.
+    bus:
+        The main AXI crossbar (timed path for MMIO and cache refills).
+    fetch_backdoor:
+        ``f(addr, nbytes) -> bytes`` zero-time instruction fetch
+        (on-chip boot memory; assumed-perfect I-cache).
+    data_backdoor:
+        ``(load, store)`` pair for zero-time *data* access to cacheable
+        memory; timing for that space is charged via the D-cache model.
+    is_cacheable:
+        Predicate classifying an address as cacheable main memory
+        (DDR/boot) vs. non-cacheable MMIO.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bus,
+        *,
+        fetch_backdoor: Callable[[int, int], bytes],
+        data_load: Callable[[int, int], int],
+        data_store: Callable[[int, int, int], None],
+        is_cacheable: Callable[[int], bool],
+        timing: CpuTiming | None = None,
+        reset_pc: int = 0x1_0000,
+    ) -> None:
+        self.sim = sim
+        self.bus = bus
+        self._fetch = fetch_backdoor
+        self._data_load = data_load
+        self._data_store = data_store
+        self._is_cacheable = is_cacheable
+        self.timing = timing or CpuTiming()
+        self.dcache = DCache(self.timing)
+        self.csr = CsrFile()
+        self.csr.cycle_source = lambda: self.cycles
+        self.csr.instret_source = lambda: self.instret
+
+        self.regs = [0] * 32
+        self.pc = reset_pc
+        self.cycles = 0
+        self.instret = 0
+        self.reservation: Optional[int] = None
+        self.halted = False
+        self.halt_reason = ""
+        self.in_wfi = False
+        self._branch_shadow = False  # a conditional branch has not yet "committed"
+        self._decode_cache: dict[int, Decoded] = {}
+        self._extra_cycles = 0  # charged by load/store during the current step
+        self.mmio_accesses = 0
+        self.trap_count = 0
+
+    # ------------------------------------------------------------------
+    # register file
+    # ------------------------------------------------------------------
+    def reg(self, index: int) -> int:
+        return self.regs[index]
+
+    def set_reg(self, index: int, value: int) -> None:
+        if index != 0:
+            self.regs[index] = value & MASK64
+
+    # ------------------------------------------------------------------
+    # halting / wfi
+    # ------------------------------------------------------------------
+    def halt(self, reason: str) -> None:
+        self.halted = True
+        self.halt_reason = reason
+
+    def enter_wfi(self) -> None:
+        self.in_wfi = True
+
+    def note_conditional_branch(self, taken: bool) -> None:
+        """Called by branch semantics; arms the speculative-MMIO block."""
+        self._branch_shadow = True
+        if taken:
+            self._extra_cycles += self.timing.branch_taken_penalty
+
+    # ------------------------------------------------------------------
+    # memory hierarchy (called by instruction semantics)
+    # ------------------------------------------------------------------
+    def _local_time(self) -> int:
+        """The hart's time within the current step, synced to the kernel.
+
+        Events scheduled before this instant are executed first so the
+        access observes up-to-date device state.
+        """
+        local = self.cycles + self._extra_cycles
+        if local > self.sim.now:
+            self.sim.advance_to(local)
+        return local
+
+    def _charge_mmio_entry(self) -> None:
+        self.mmio_accesses += 1
+        self._extra_cycles += self.timing.mmio_issue_overhead
+        if self._branch_shadow:
+            # Non-cacheable accesses may not issue speculatively: wait
+            # for the in-flight conditional branch to commit and the
+            # frontend to refill (Sec. IV-B of the paper).
+            self._extra_cycles += self.timing.mmio_after_branch_block
+            self._branch_shadow = False
+
+    def _line_fill(self, addr: int, is_store: bool) -> None:
+        """Charge a D-cache miss: line fill (+ optional writeback).
+
+        The bus transactions here are *timing-only*: architectural data
+        moves through the zero-time backdoor, so the victim writeback is
+        charged as a second line-sized burst (read_burst is used for it
+        as well, deliberately, to avoid mutating memory contents).
+        """
+        hit, writeback = self.dcache.access(addr, is_store)
+        if hit:
+            return
+        line_bytes = self.timing.dcache_line_bytes
+        line_addr = addr & ~(line_bytes - 1)
+        local = self._local_time()
+        start = local
+        if writeback:
+            result = self.bus.read_burst(line_addr, line_bytes, start)
+            start = result.complete_at
+        result = self.bus.read_burst(line_addr, line_bytes, start)
+        self._extra_cycles += result.complete_at - local
+
+    def load(self, addr: int, nbytes: int) -> int:
+        addr &= MASK64
+        if self._is_cacheable(addr):
+            self._line_fill(addr, is_store=False)
+            return self._data_load(addr, nbytes)
+        self._charge_mmio_entry()
+        issue = self._local_time()
+        result = self.bus.read(addr, nbytes, issue)
+        if not result.ok:
+            raise Trap(isa.EXC_LOAD_ACCESS, addr)
+        self._extra_cycles += result.complete_at - issue
+        return int.from_bytes(result.data, "little")
+
+    def store(self, addr: int, value: int, nbytes: int) -> None:
+        addr &= MASK64
+        if self._is_cacheable(addr):
+            self._line_fill(addr, is_store=True)
+            self._data_store(addr, value, nbytes)
+            return
+        self._charge_mmio_entry()
+        self._extra_cycles += self.timing.noncacheable_store_cost
+        issue = self._local_time()
+        data = (value & ((1 << (8 * nbytes)) - 1)).to_bytes(nbytes, "little")
+        result = self.bus.write(addr, data, issue)
+        if not result.ok:
+            raise Trap(isa.EXC_STORE_ACCESS, addr)
+        self._extra_cycles += result.complete_at - issue
+
+    # ------------------------------------------------------------------
+    # traps and interrupts
+    # ------------------------------------------------------------------
+    def take_trap(self, cause: int, tval: int = 0, *, interrupt: bool = False) -> None:
+        self.trap_count += 1
+        csr = self.csr
+        csr.write(isa.CSR_MEPC, self.pc)
+        csr.write(isa.CSR_MCAUSE, (isa.INTERRUPT_BIT | cause) if interrupt else cause)
+        csr.write(isa.CSR_MTVAL, tval)
+        mstatus = csr.mstatus
+        mie_bit = (mstatus >> 3) & 1
+        mstatus &= ~(isa.MSTATUS_MIE | isa.MSTATUS_MPIE) & MASK64
+        mstatus |= mie_bit << 7  # MPIE <- MIE
+        csr.mstatus = mstatus
+        mtvec = csr.read(isa.CSR_MTVEC)
+        base = mtvec & ~3 & MASK64
+        if interrupt and (mtvec & 3) == 1:  # vectored mode
+            base += 4 * cause
+        self.pc = base
+        # trap entry flushes the frontend like any redirect
+        self._extra_cycles += self.timing.branch_taken_penalty
+
+    def do_mret(self) -> int:
+        csr = self.csr
+        mstatus = csr.mstatus
+        mpie = (mstatus >> 7) & 1
+        mstatus &= ~isa.MSTATUS_MIE & MASK64
+        mstatus |= mpie << 3  # MIE <- MPIE
+        mstatus |= isa.MSTATUS_MPIE
+        csr.mstatus = mstatus
+        self._extra_cycles += self.timing.branch_taken_penalty
+        return csr.read(isa.CSR_MEPC)
+
+    def pending_interrupt(self) -> Optional[int]:
+        """Highest-priority enabled pending interrupt, if deliverable."""
+        if not (self.csr.mstatus & isa.MSTATUS_MIE):
+            return None
+        enabled = self.csr.mip & self.csr.mie
+        if not enabled:
+            return None
+        for irq in _IRQ_PRIORITY:
+            if enabled & (1 << irq):
+                return irq
+        return None
+
+    # ------------------------------------------------------------------
+    # fetch/decode/execute
+    # ------------------------------------------------------------------
+    def _fetch_decoded(self) -> Decoded:
+        pc = self.pc
+        if pc & 1:
+            raise Trap(isa.EXC_INSTR_MISALIGNED, pc)
+        raw = self._fetch(pc, 4)
+        if len(raw) < 2:
+            raise CpuError(f"fetch past end of memory at pc={pc:#x}")
+        low = int.from_bytes(raw[:2], "little")
+        if low & 3 == 3:
+            if len(raw) < 4:
+                raise CpuError(f"truncated instruction at pc={pc:#x}")
+            word = int.from_bytes(raw, "little")
+            cached = self._decode_cache.get(word)
+            if cached is None:
+                cached = decode(word, pc)
+                self._decode_cache[word] = cached
+            return cached
+        cached = self._decode_cache.get(low)
+        if cached is None:
+            cached = expand(low, pc)
+            self._decode_cache[low] = cached
+        return cached
+
+    def step(self) -> None:
+        """Fetch, execute and retire one instruction (or take a trap)."""
+        if self.halted:
+            return
+        irq = self.pending_interrupt()
+        if irq is not None:
+            self.in_wfi = False
+            self.take_trap(irq, interrupt=True)
+            self.cycles += self._extra_cycles
+            self._extra_cycles = 0
+            return
+        if self.in_wfi:
+            # stay asleep; the run loop advances time to the next event
+            return
+        self._extra_cycles = 0
+        try:
+            try:
+                d = self._fetch_decoded()
+            except IllegalInstructionError as err:
+                raise Trap(isa.EXC_ILLEGAL_INSTR, err.word) from None
+            handler = EXEC.get(d.name)
+            if handler is None:
+                raise Trap(isa.EXC_ILLEGAL_INSTR)
+            next_pc = handler(self, d)
+            if d.name in ("mul", "mulh", "mulhsu", "mulhu", "mulw"):
+                self._extra_cycles += self.timing.mul_cycles - 1
+            elif d.name.startswith(("div", "rem")):
+                self._extra_cycles += self.timing.div_cycles - 1
+            if next_pc is None:
+                self.pc = (self.pc + d.size) & MASK64
+            else:
+                if d.name in ("jal", "jalr"):
+                    self._extra_cycles += self.timing.branch_taken_penalty
+                self.pc = next_pc
+            self.instret += 1
+            self.cycles += self.timing.base_cpi + self._extra_cycles
+        except Trap as trap:
+            self.cycles += self.timing.base_cpi + self._extra_cycles
+            self._extra_cycles = 0
+            self.take_trap(trap.cause, trap.tval)
+            self.cycles += self._extra_cycles
+        finally:
+            self._extra_cycles = 0
+
+    # ------------------------------------------------------------------
+    # co-simulation run loop
+    # ------------------------------------------------------------------
+    def run(self, *, max_instructions: int = 200_000_000,
+            until_halted: bool = True) -> int:
+        """Run the hart together with the event queue.
+
+        Returns the number of instructions retired.  Stops when the hart
+        halts (``ebreak``) or ``max_instructions`` is exceeded (raises).
+        """
+        start_instret = self.instret
+        budget = max_instructions
+        sim = self.sim
+        while not self.halted:
+            if self.in_wfi:
+                nxt = sim.peek_next_time()
+                if nxt is None:
+                    raise CpuError(
+                        "hart is in wfi with no pending events: deadlock"
+                    )
+                target = max(nxt, self.cycles)
+                sim.advance_to(target)
+                self.cycles = max(self.cycles, sim.now)
+                if self.pending_interrupt() is not None or (
+                    self.csr.mip & self.csr.mie
+                ):
+                    # wfi wakes on pending-and-enabled regardless of MIE
+                    self.in_wfi = False
+                    continue
+                if sim.peek_next_time() is None:
+                    raise CpuError("wfi wake condition unreachable: deadlock")
+                continue
+            nxt = sim.peek_next_time()
+            if nxt is not None and self.cycles >= nxt:
+                sim.advance_to(self.cycles)
+            self.step()
+            budget -= 1
+            if budget <= 0:
+                raise CpuError(f"instruction budget exceeded ({max_instructions})")
+            if not until_halted and sim.peek_next_time() is None:
+                break
+        # fold the hart's final time into the kernel
+        if self.cycles > sim.now:
+            sim.advance_to(self.cycles)
+        return self.instret - start_instret

@@ -1,0 +1,206 @@
+"""RISC-V ISA constants, register names and instruction encoders.
+
+The encoders are shared between the assembler (forward direction) and
+the decoder tests (round-trip property tests), so there is exactly one
+definition of every instruction format in the code base.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AssemblerError
+
+# ---------------------------------------------------------------------------
+# registers
+# ---------------------------------------------------------------------------
+ABI_NAMES = [
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+    "s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+    "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+    "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+]
+
+REGISTER_BY_NAME: dict[str, int] = {}
+for _i, _abi in enumerate(ABI_NAMES):
+    REGISTER_BY_NAME[_abi] = _i
+    REGISTER_BY_NAME[f"x{_i}"] = _i
+REGISTER_BY_NAME["fp"] = 8  # frame pointer alias for s0
+
+
+def register_number(name: str) -> int:
+    """Translate an ABI or xN register name to its index."""
+    try:
+        return REGISTER_BY_NAME[name]
+    except KeyError:
+        raise AssemblerError(f"unknown register {name!r}") from None
+
+
+# ---------------------------------------------------------------------------
+# opcode map (major opcodes, bits [6:0])
+# ---------------------------------------------------------------------------
+OP_LUI = 0b0110111
+OP_AUIPC = 0b0010111
+OP_JAL = 0b1101111
+OP_JALR = 0b1100111
+OP_BRANCH = 0b1100011
+OP_LOAD = 0b0000011
+OP_STORE = 0b0100011
+OP_IMM = 0b0010011
+OP_IMM32 = 0b0011011
+OP_REG = 0b0110011
+OP_REG32 = 0b0111011
+OP_FENCE = 0b0001111
+OP_SYSTEM = 0b1110011
+OP_AMO = 0b0101111
+
+# ---------------------------------------------------------------------------
+# CSR addresses (machine mode subset + counters)
+# ---------------------------------------------------------------------------
+CSR_MSTATUS = 0x300
+CSR_MISA = 0x301
+CSR_MIE = 0x304
+CSR_MTVEC = 0x305
+CSR_MSCRATCH = 0x340
+CSR_MEPC = 0x341
+CSR_MCAUSE = 0x342
+CSR_MTVAL = 0x343
+CSR_MIP = 0x344
+CSR_MHARTID = 0xF14
+CSR_MVENDORID = 0xF11
+CSR_MARCHID = 0xF12
+CSR_MIMPID = 0xF13
+CSR_MCYCLE = 0xB00
+CSR_MINSTRET = 0xB02
+CSR_CYCLE = 0xC00
+CSR_TIME = 0xC01
+CSR_INSTRET = 0xC02
+
+CSR_NAMES = {
+    "mstatus": CSR_MSTATUS,
+    "misa": CSR_MISA,
+    "mie": CSR_MIE,
+    "mtvec": CSR_MTVEC,
+    "mscratch": CSR_MSCRATCH,
+    "mepc": CSR_MEPC,
+    "mcause": CSR_MCAUSE,
+    "mtval": CSR_MTVAL,
+    "mip": CSR_MIP,
+    "mhartid": CSR_MHARTID,
+    "mvendorid": CSR_MVENDORID,
+    "marchid": CSR_MARCHID,
+    "mimpid": CSR_MIMPID,
+    "mcycle": CSR_MCYCLE,
+    "minstret": CSR_MINSTRET,
+    "cycle": CSR_CYCLE,
+    "time": CSR_TIME,
+    "instret": CSR_INSTRET,
+}
+
+# interrupt bit positions in mip/mie
+IRQ_MSI = 3   # machine software interrupt (CLINT msip)
+IRQ_MTI = 7   # machine timer interrupt (CLINT mtimecmp)
+IRQ_MEI = 11  # machine external interrupt (PLIC)
+
+# mstatus bits
+MSTATUS_MIE = 1 << 3
+MSTATUS_MPIE = 1 << 7
+MSTATUS_MPP = 0b11 << 11
+
+# mcause exception codes
+EXC_INSTR_MISALIGNED = 0
+EXC_INSTR_ACCESS = 1
+EXC_ILLEGAL_INSTR = 2
+EXC_BREAKPOINT = 3
+EXC_LOAD_MISALIGNED = 4
+EXC_LOAD_ACCESS = 5
+EXC_STORE_MISALIGNED = 6
+EXC_STORE_ACCESS = 7
+EXC_ECALL_M = 11
+
+INTERRUPT_BIT = 1 << 63
+
+
+# ---------------------------------------------------------------------------
+# instruction format encoders
+# ---------------------------------------------------------------------------
+def _check_range(value: int, lo: int, hi: int, what: str) -> None:
+    if not lo <= value <= hi:
+        raise AssemblerError(f"{what} {value} out of range [{lo}, {hi}]")
+
+
+def encode_r(opcode: int, funct3: int, funct7: int, rd: int, rs1: int, rs2: int) -> int:
+    return (funct7 << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) | opcode
+
+
+def encode_i(opcode: int, funct3: int, rd: int, rs1: int, imm: int) -> int:
+    _check_range(imm, -2048, 2047, "I-immediate")
+    return ((imm & 0xFFF) << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) | opcode
+
+
+def encode_s(opcode: int, funct3: int, rs1: int, rs2: int, imm: int) -> int:
+    _check_range(imm, -2048, 2047, "S-immediate")
+    imm &= 0xFFF
+    return (
+        ((imm >> 5) << 25)
+        | (rs2 << 20)
+        | (rs1 << 15)
+        | (funct3 << 12)
+        | ((imm & 0x1F) << 7)
+        | opcode
+    )
+
+
+def encode_b(opcode: int, funct3: int, rs1: int, rs2: int, imm: int) -> int:
+    _check_range(imm, -4096, 4094, "B-immediate")
+    if imm & 1:
+        raise AssemblerError(f"branch offset {imm} must be even")
+    imm &= 0x1FFF
+    return (
+        (((imm >> 12) & 1) << 31)
+        | (((imm >> 5) & 0x3F) << 25)
+        | (rs2 << 20)
+        | (rs1 << 15)
+        | (funct3 << 12)
+        | (((imm >> 1) & 0xF) << 8)
+        | (((imm >> 11) & 1) << 7)
+        | opcode
+    )
+
+
+def encode_u(opcode: int, rd: int, imm: int) -> int:
+    # imm is the *upper 20 bits* value, in [-2**19, 2**19) or [0, 2**20)
+    if not -(1 << 19) <= imm < (1 << 20):
+        raise AssemblerError(f"U-immediate {imm} out of range")
+    return ((imm & 0xFFFFF) << 12) | (rd << 7) | opcode
+
+
+def encode_j(opcode: int, rd: int, imm: int) -> int:
+    _check_range(imm, -(1 << 20), (1 << 20) - 2, "J-immediate")
+    if imm & 1:
+        raise AssemblerError(f"jump offset {imm} must be even")
+    imm &= 0x1FFFFF
+    return (
+        (((imm >> 20) & 1) << 31)
+        | (((imm >> 1) & 0x3FF) << 21)
+        | (((imm >> 11) & 1) << 20)
+        | (((imm >> 12) & 0xFF) << 12)
+        | (rd << 7)
+        | opcode
+    )
+
+
+def encode_csr(funct3: int, rd: int, src: int, csr: int) -> int:
+    return ((csr & 0xFFF) << 20) | (src << 15) | (funct3 << 12) | (rd << 7) | OP_SYSTEM
+
+
+def encode_amo(funct3: int, funct5: int, rd: int, rs1: int, rs2: int,
+               aq: int = 0, rl: int = 0) -> int:
+    funct7 = (funct5 << 2) | (aq << 1) | rl
+    return encode_r(OP_AMO, funct3, funct7, rd, rs1, rs2)
+
+
+def encode_shift_i(funct3: int, funct6: int, rd: int, rs1: int, shamt: int,
+                   op32: bool = False) -> int:
+    limit = 31 if op32 else 63
+    _check_range(shamt, 0, limit, "shift amount")
+    opcode = OP_IMM32 if op32 else OP_IMM
+    return (funct6 << 26) | (shamt << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) | opcode

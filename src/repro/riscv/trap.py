@@ -1,0 +1,15 @@
+"""Trap signalling between the executor and the hart's step loop."""
+
+from __future__ import annotations
+
+
+class Trap(Exception):
+    """Raised by instruction semantics to request a synchronous trap.
+
+    ``cause`` is the mcause exception code; ``tval`` lands in mtval.
+    """
+
+    def __init__(self, cause: int, tval: int = 0) -> None:
+        super().__init__(f"trap cause={cause} tval={tval:#x}")
+        self.cause = cause
+        self.tval = tval

@@ -1,0 +1,59 @@
+"""One-shot notification events for the simulation kernel."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+
+class Event:
+    """A one-shot event that processes and callbacks can wait on.
+
+    Mirrors the semantics of a hardware "done" pulse latched into a
+    status flag: once triggered it stays triggered, and late waiters are
+    notified immediately.  Use :meth:`reset` to re-arm for reuse (e.g. a
+    DMA completion interrupt that fires once per transfer).
+    """
+
+    __slots__ = ("name", "_triggered", "_value", "_callbacks")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._triggered = False
+        self._value: Any = None
+        self._callbacks: list[Callable[[Any], None]] = []
+
+    @property
+    def triggered(self) -> bool:
+        """True once :meth:`trigger` has been called (until reset)."""
+        return self._triggered
+
+    @property
+    def value(self) -> Any:
+        """Payload passed to :meth:`trigger`, or None."""
+        return self._value
+
+    def on_trigger(self, callback: Callable[[Any], None]) -> None:
+        """Register ``callback(value)``; fires immediately if triggered."""
+        if self._triggered:
+            callback(self._value)
+        else:
+            self._callbacks.append(callback)
+
+    def trigger(self, value: Any = None) -> None:
+        """Fire the event, waking all waiters exactly once."""
+        if self._triggered:
+            return
+        self._triggered = True
+        self._value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(value)
+
+    def reset(self) -> None:
+        """Re-arm the event for another trigger."""
+        self._triggered = False
+        self._value = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "triggered" if self._triggered else "pending"
+        return f"<Event {self.name or id(self):x} {state}>"

@@ -1,0 +1,208 @@
+"""The simulation kernel: an event queue with generator processes.
+
+Design notes
+------------
+The queue is a binary heap keyed by ``(cycle, sequence)``; the sequence
+number makes scheduling stable (FIFO among same-cycle events), which the
+bus arbitration models rely on.
+
+Processes are plain generators that yield :class:`Delay` or
+:class:`WaitEvent`.  This gives hardware models the familiar
+"cooperative coroutine" structure (cf. simpy / cocotb) without any
+threading.  Bulk data movement is modelled at *burst* granularity — one
+event per AXI burst, not per beat — which keeps full-bitstream transfers
+to a few thousand events (see the HPC guide's advice: do the work in
+bulk, not per element).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Optional
+
+from repro.errors import SimulationError
+from repro.sim.event import Event
+
+
+@dataclass(frozen=True)
+class Delay:
+    """Yielded by a process to suspend for ``cycles`` clock cycles."""
+
+    cycles: int
+
+    def __post_init__(self) -> None:
+        if self.cycles < 0:
+            raise ValueError("delay must be non-negative")
+
+
+@dataclass(frozen=True)
+class WaitEvent:
+    """Yielded by a process to suspend until ``event`` triggers."""
+
+    event: Event
+
+
+ProcessGen = Generator[Any, Any, Any]
+
+
+class _Process:
+    __slots__ = ("gen", "name", "finished", "result")
+
+    def __init__(self, gen: ProcessGen, name: str) -> None:
+        self.gen = gen
+        self.name = name
+        self.finished = Event(f"{name}.finished")
+        self.result: Any = None
+
+
+class Simulator:
+    """Cycle-resolution discrete-event simulator.
+
+    >>> sim = Simulator()
+    >>> hits = []
+    >>> sim.schedule(10, lambda: hits.append(sim.now))
+    >>> sim.run()
+    >>> hits
+    [10]
+    """
+
+    def __init__(self, freq_hz: float = 100e6) -> None:
+        self.freq_hz = float(freq_hz)
+        self._now = 0
+        self._seq = 0
+        self._queue: list[tuple[int, int, Callable[[], None]]] = []
+        self._running = False
+        self.events_processed = 0
+
+    # ------------------------------------------------------------------
+    # time
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> int:
+        """Current simulation time in cycles."""
+        return self._now
+
+    @property
+    def now_us(self) -> float:
+        """Current simulation time in microseconds."""
+        return self._now / self.freq_hz * 1e6
+
+    def cycles_to_us(self, cycles: int) -> float:
+        """Convert a cycle count to microseconds at this clock."""
+        return cycles / self.freq_hz * 1e6
+
+    # ------------------------------------------------------------------
+    # scheduling primitives
+    # ------------------------------------------------------------------
+    def schedule(self, delay: int, callback: Callable[[], None]) -> None:
+        """Run ``callback`` after ``delay`` cycles (>= 0)."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        self.schedule_at(self._now + delay, callback)
+
+    def schedule_at(self, cycle: int, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at absolute time ``cycle``."""
+        if cycle < self._now:
+            raise SimulationError(
+                f"cannot schedule at cycle {cycle}, now is {self._now}"
+            )
+        heapq.heappush(self._queue, (cycle, self._seq, callback))
+        self._seq += 1
+
+    # ------------------------------------------------------------------
+    # processes
+    # ------------------------------------------------------------------
+    def add_process(self, gen: ProcessGen, name: str = "proc") -> Event:
+        """Register a generator process; returns its completion event.
+
+        The process starts at the current simulation time.  It may yield:
+
+        * :class:`Delay` — resume after N cycles,
+        * :class:`WaitEvent` — resume when the event triggers (the
+          event's payload is sent back into the generator),
+        * an :class:`Event` directly, as shorthand for ``WaitEvent``.
+        """
+        proc = _Process(gen, name)
+        self.schedule(0, lambda: self._step_process(proc, None))
+        return proc.finished
+
+    def _step_process(self, proc: _Process, send_value: Any) -> None:
+        try:
+            yielded = proc.gen.send(send_value)
+        except StopIteration as stop:
+            proc.result = stop.value
+            proc.finished.trigger(stop.value)
+            return
+        if isinstance(yielded, Delay):
+            self.schedule(yielded.cycles, lambda: self._step_process(proc, None))
+        elif isinstance(yielded, WaitEvent):
+            yielded.event.on_trigger(
+                lambda value: self.schedule(0, lambda: self._step_process(proc, value))
+            )
+        elif isinstance(yielded, Event):
+            yielded.on_trigger(
+                lambda value: self.schedule(0, lambda: self._step_process(proc, value))
+            )
+        else:
+            raise SimulationError(
+                f"process {proc.name!r} yielded unsupported value {yielded!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def peek_next_time(self) -> Optional[int]:
+        """Time of the earliest pending event, or None when idle."""
+        return self._queue[0][0] if self._queue else None
+
+    def step(self) -> bool:
+        """Process the single earliest event.  Returns False when idle."""
+        if not self._queue:
+            return False
+        cycle, _seq, callback = heapq.heappop(self._queue)
+        self._now = cycle
+        self.events_processed += 1
+        callback()
+        return True
+
+    def run(self, until: Optional[int] = None, max_events: int = 50_000_000) -> None:
+        """Run until the queue drains or ``until`` cycles is reached.
+
+        ``max_events`` guards against accidental infinite event loops in
+        model code; hitting it raises :class:`SimulationError`.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        try:
+            remaining = max_events
+            while self._queue:
+                if until is not None and self._queue[0][0] > until:
+                    self._now = until
+                    return
+                self.step()
+                remaining -= 1
+                if remaining <= 0:
+                    raise SimulationError(
+                        f"exceeded {max_events} events; runaway model?"
+                    )
+            if until is not None and until > self._now:
+                self._now = until
+        finally:
+            self._running = False
+
+    def advance_to(self, cycle: int) -> None:
+        """Advance the clock directly (used by the CPU co-sim quantum).
+
+        Any events scheduled before ``cycle`` are executed first so the
+        CPU never observes stale device state.
+        """
+        if cycle < self._now:
+            raise SimulationError(f"advance_to({cycle}) is in the past ({self._now})")
+        while self._queue and self._queue[0][0] <= cycle:
+            self.step()
+        self._now = cycle
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Simulator t={self._now} pending={len(self._queue)}>"

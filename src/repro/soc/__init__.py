@@ -1,0 +1,30 @@
+"""SoC integration: memory map, peripherals, and the full-system builder.
+
+The topology follows Fig. 1/2 of the paper: an Ariane-class hart as the
+single bus master on a 64-bit AXI-4 crossbar; CLINT/PLIC/UART/SPI and
+the DPR controllers as memory-mapped slaves; one reconfigurable
+partition behind AXI isolators; and the RV-CAP DMA on a second crossbar
+with a private port to the DDR controller.
+"""
+
+from repro.soc.config import MemoryLayout, SocConfig, TimingParams
+from repro.soc.clint import Clint
+from repro.soc.plic import Plic
+from repro.soc.uart import Uart
+from repro.soc.spi import SpiController
+from repro.soc.sdcard import SdCard
+from repro.soc.soc import Soc
+from repro.soc.builder import build_soc
+
+__all__ = [
+    "MemoryLayout",
+    "SocConfig",
+    "TimingParams",
+    "Clint",
+    "Plic",
+    "Uart",
+    "SpiController",
+    "SdCard",
+    "Soc",
+    "build_soc",
+]

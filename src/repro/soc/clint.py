@@ -1,0 +1,98 @@
+"""Core-local interruptor (CLINT): msip, mtimecmp, mtime.
+
+The paper uses the CLINT's real-time counter at a 5 MHz timer clock as
+the measurement instrument for all reconfiguration times (Sec. IV-B),
+so ``mtime`` here is derived from the simulation cycle counter with the
+same integer divider — measurements made by firmware are quantized to
+200 ns exactly like on the real system.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.axi.interface import RegisterBank
+from repro.riscv import isa
+from repro.sim.kernel import Simulator
+
+MSIP_OFFSET = 0x0
+MTIMECMP_OFFSET = 0x4000
+MTIME_OFFSET = 0xBFF8
+
+
+class Clint(RegisterBank):
+    """CLINT register file for a single hart."""
+
+    def __init__(self, sim: Simulator, divider: int = 20) -> None:
+        super().__init__("clint", size=0x1_0000)
+        self.sim = sim
+        self.divider = divider
+        self.mtimecmp = (1 << 64) - 1
+        self._set_mip: Optional[Callable[[int, bool], None]] = None
+        self._cmp_generation = 0
+
+        self.define_register(MSIP_OFFSET, on_write=self._write_msip)
+        self.define_register(MTIMECMP_OFFSET, on_read=lambda _o: self.mtimecmp & 0xFFFF_FFFF,
+                             on_write=self._write_mtimecmp_lo)
+        self.define_register(MTIMECMP_OFFSET + 4,
+                             on_read=lambda _o: (self.mtimecmp >> 32) & 0xFFFF_FFFF,
+                             on_write=self._write_mtimecmp_hi)
+        self.define_register(MTIME_OFFSET, on_read=lambda _o: self.mtime & 0xFFFF_FFFF)
+        self.define_register(MTIME_OFFSET + 4,
+                             on_read=lambda _o: (self.mtime >> 32) & 0xFFFF_FFFF)
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def connect_hart(self, set_mip: Callable[[int, bool], None]) -> None:
+        """Attach the hart's mip update callback (msip/mtip wires)."""
+        self._set_mip = set_mip
+        self._update_mtip()
+
+    # ------------------------------------------------------------------
+    # timebase
+    # ------------------------------------------------------------------
+    @property
+    def mtime(self) -> int:
+        """Current timer value (ticks of the 5 MHz timer clock)."""
+        return self.sim.now // self.divider
+
+    def ticks_to_us(self, ticks: int) -> float:
+        """Convert timer ticks to microseconds."""
+        return ticks * self.divider / self.sim.freq_hz * 1e6
+
+    # ------------------------------------------------------------------
+    # register behaviour
+    # ------------------------------------------------------------------
+    def _write_msip(self, value: int) -> None:
+        if self._set_mip:
+            self._set_mip(isa.IRQ_MSI, bool(value & 1))
+
+    def _write_mtimecmp_lo(self, value: int) -> None:
+        self.mtimecmp = (self.mtimecmp & ~0xFFFF_FFFF) | (value & 0xFFFF_FFFF)
+        self._update_mtip()
+
+    def _write_mtimecmp_hi(self, value: int) -> None:
+        self.mtimecmp = (self.mtimecmp & 0xFFFF_FFFF) | ((value & 0xFFFF_FFFF) << 32)
+        self._update_mtip()
+
+    def _update_mtip(self) -> None:
+        if self._set_mip is None:
+            return
+        pending = self.mtime >= self.mtimecmp
+        self._set_mip(isa.IRQ_MTI, pending)
+        if not pending:
+            # arm a wake-up event for the compare match
+            self._cmp_generation += 1
+            generation = self._cmp_generation
+            fire_cycle = self.mtimecmp * self.divider
+            if fire_cycle >= self.sim.now and fire_cycle < (1 << 62):
+                self.sim.schedule_at(
+                    fire_cycle, lambda: self._fire_mtip(generation)
+                )
+
+    def _fire_mtip(self, generation: int) -> None:
+        if generation != self._cmp_generation:
+            return  # mtimecmp was rewritten since this event was armed
+        if self._set_mip and self.mtime >= self.mtimecmp:
+            self._set_mip(isa.IRQ_MTI, True)

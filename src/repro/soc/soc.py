@@ -1,0 +1,221 @@
+"""The assembled FPGA-based RISC-V SoC (Fig. 1 + Fig. 2).
+
+:class:`Soc` owns every component instance and the bookkeeping that
+crosses subsystem boundaries: which reconfigurable module is loaded
+(derived from the actual configuration-memory contents, not from driver
+say-so), the RM's stream attachment, and hart construction for firmware
+runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Optional
+
+from repro.accel import make_accelerator
+from repro.accel.base import StreamAccelerator
+from repro.axi.crossbar import AxiCrossbar
+from repro.core.hwicap import AxiHwIcap
+from repro.core.rvcap import RvCapController
+from repro.errors import ControllerError
+from repro.fpga.bitgen import Bitgen
+from repro.fpga.config_memory import ConfigMemory
+from repro.fpga.icap import Icap
+from repro.fpga.partition import ReconfigurableModule, ReconfigurablePartition
+from repro.mem.bootrom import BootRom
+from repro.mem.ddr import DdrController
+from repro.riscv.assembler.program import Program
+from repro.riscv.hart import Hart
+from repro.sim.kernel import Simulator
+from repro.soc.clint import Clint
+from repro.soc.config import SocConfig
+from repro.soc.plic import Plic
+from repro.soc.sdcard import SdCard
+from repro.soc.spi import SpiController
+from repro.soc.uart import Uart
+
+
+class Soc:
+    """Top-level container for the reference SoC."""
+
+    def __init__(self, config: SocConfig) -> None:
+        self.config = config
+        self.sim = Simulator(freq_hz=config.timing.soc_freq_hz)
+        # populated by the builder:
+        self.xbar: AxiCrossbar
+        self.dma_xbar: AxiCrossbar
+        self.ddr: DdrController
+        self.bootrom: BootRom
+        self.clint: Clint
+        self.plic: Plic
+        self.uart: Uart
+        self.spi: SpiController
+        self.sdcard: SdCard
+        self.config_memory: ConfigMemory
+        self.icap: Icap
+        self.rvcap: RvCapController
+        self.hwicap: AxiHwIcap
+        self.partitions: list[ReconfigurablePartition] = []
+        self.bitgen: Bitgen
+        self.hart: Optional[Hart] = None
+
+        #: (rp_index, content signature) -> module name
+        self._module_signatures: Dict[tuple[int, str], str] = {}
+        self._modules: Dict[str, ReconfigurableModule] = {}
+        self.active_rms: Dict[int, Optional[StreamAccelerator]] = {}
+        self.active_module_names: Dict[int, Optional[str]] = {}
+
+    @property
+    def rp(self) -> ReconfigurablePartition:
+        """The primary (index 0) reconfigurable partition."""
+        return self.partitions[0]
+
+    @property
+    def active_rm(self) -> Optional[StreamAccelerator]:
+        """Legacy single-RP view: RP 0's active accelerator."""
+        return self.active_rms.get(0)
+
+    @property
+    def active_module_name(self) -> Optional[str]:
+        """Legacy single-RP view: RP 0's active module name."""
+        return self.active_module_names.get(0)
+
+    def active_module(self, rp_index: int) -> Optional[str]:
+        return self.active_module_names.get(rp_index)
+
+    # ------------------------------------------------------------------
+    # module registry: signatures map config-memory contents -> RM
+    # ------------------------------------------------------------------
+    def register_module(self, module: ReconfigurableModule,
+                        rp_index: int = 0) -> None:
+        """Register an RM so the SoC can recognize its configuration."""
+        rp = self.partitions[rp_index]
+        payload = self.bitgen.frame_payload(rp, module)
+        signature = hashlib.sha256(payload.tobytes()).hexdigest()
+        self._module_signatures[(rp_index, signature)] = module.name
+        self._modules[module.name] = module
+
+    def module(self, name: str) -> ReconfigurableModule:
+        return self._modules[name]
+
+    @property
+    def registered_modules(self) -> list[str]:
+        return sorted(self._modules)
+
+    def _rp_signature(self, rp_index: int) -> str:
+        rp = self.partitions[rp_index]
+        frames = self.config_memory.read_frames(rp.base_far, rp.frames)
+        return hashlib.sha256(frames.tobytes()).hexdigest()
+
+    def on_reconfiguration_complete(self) -> None:
+        """ICAP completion hook: re-derive each RP's active module from
+        the actual configuration-memory contents."""
+        for rp_index, rp in enumerate(self.partitions):
+            signature = self._rp_signature(rp_index)
+            name = self._module_signatures.get((rp_index, signature))
+            if name == self.active_module_names.get(rp_index):
+                continue  # unchanged
+            if name is None:
+                # unknown contents: partition holds no recognizable module
+                self.active_rms[rp_index] = None
+                self.active_module_names[rp_index] = None
+                rp.loaded_module = None
+                self.rvcap.attach_rm_streams(None, None, rp_index=rp_index)
+                continue
+            module = self._modules[name]
+            rp.loaded_module = module
+            self.active_module_names[rp_index] = name
+            if module.behavior is not None:
+                rm = make_accelerator(module.behavior)
+                self.active_rms[rp_index] = rm
+                self.rvcap.attach_rm_streams(rm, rm, rp_index=rp_index)
+            else:
+                self.active_rms[rp_index] = None
+                self.rvcap.attach_rm_streams(None, None, rp_index=rp_index)
+
+    # ------------------------------------------------------------------
+    # firmware support
+    # ------------------------------------------------------------------
+    def load_firmware(self, program: Program) -> Hart:
+        """Program the boot memory and construct a hart at its entry."""
+        layout = self.config.layout
+        if program.base != layout.bootrom_base:
+            raise ControllerError(
+                f"firmware base {program.base:#x} does not match boot ROM "
+                f"at {layout.bootrom_base:#x}"
+            )
+        self.bootrom.load_image(program.text)
+        hart = Hart(
+            self.sim,
+            self.xbar,
+            fetch_backdoor=self._fetch,
+            data_load=self._data_load,
+            data_store=self._data_store,
+            is_cacheable=layout.is_cacheable,
+            timing=self.config.timing.cpu,
+            reset_pc=program.entry,
+        )
+        self.clint.connect_hart(hart.csr.set_mip_bit)
+        self.plic.connect_hart(hart.csr.set_mip_bit)
+        hart.csr.time_source = lambda: self.clint.mtime
+        self.hart = hart
+        return hart
+
+    def _fetch(self, addr: int, nbytes: int) -> bytes:
+        layout = self.config.layout
+        if layout.bootrom_base <= addr < layout.bootrom_base + layout.bootrom_size:
+            return self.bootrom.fetch(addr - layout.bootrom_base, nbytes)
+        if layout.ddr_base <= addr < layout.ddr_base + layout.ddr_size:
+            return self.ddr.dump(addr - layout.ddr_base, nbytes)
+        raise ControllerError(f"instruction fetch from unmapped {addr:#x}")
+
+    def _data_load(self, addr: int, nbytes: int) -> int:
+        layout = self.config.layout
+        if layout.ddr_base <= addr < layout.ddr_base + layout.ddr_size:
+            return self.ddr.memory.load_word(addr - layout.ddr_base, nbytes)
+        if layout.bootrom_base <= addr < layout.bootrom_base + layout.bootrom_size:
+            data = self.bootrom.fetch(addr - layout.bootrom_base, nbytes)
+            return int.from_bytes(data, "little")
+        raise ControllerError(f"cacheable load from unmapped {addr:#x}")
+
+    def _data_store(self, addr: int, value: int, nbytes: int) -> None:
+        layout = self.config.layout
+        if layout.ddr_base <= addr < layout.ddr_base + layout.ddr_size:
+            self.ddr.memory.store_word(addr - layout.ddr_base, value, nbytes)
+            return
+        raise ControllerError(f"cacheable store to unmapped {addr:#x}")
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def attach_trace(self, recorder=None):
+        """Attach a TraceRecorder to the instrumented components.
+
+        Returns the recorder (a fresh one is created when None given).
+        """
+        from repro.sim.tracing import TraceRecorder
+        recorder = recorder or TraceRecorder()
+        self.rvcap.dma.mm2s.trace = recorder
+        self.rvcap.dma.s2mm.trace = recorder
+        self.icap.trace = recorder
+        return recorder
+
+    def stats(self):
+        """Counter snapshot across all subsystems."""
+        from repro.sim.tracing import collect_soc_stats
+        return collect_soc_stats(self)
+
+    # ------------------------------------------------------------------
+    # convenience
+    # ------------------------------------------------------------------
+    @property
+    def now_us(self) -> float:
+        return self.sim.now_us
+
+    def ddr_write(self, addr: int, data: bytes) -> None:
+        """Zero-time backdoor DDR write at an absolute address."""
+        self.ddr.load_image(addr - self.config.layout.ddr_base, data)
+
+    def ddr_read(self, addr: int, nbytes: int) -> bytes:
+        """Zero-time backdoor DDR read at an absolute address."""
+        return self.ddr.dump(addr - self.config.layout.ddr_base, nbytes)

@@ -1,0 +1,89 @@
+"""SPI master peripheral connecting the AXI bus to the SD card.
+
+Modelled after a cut-down AXI Quad-SPI in standard mode: one chip
+select, full-duplex byte transfers, polled status.  A byte transfer
+occupies the shift register for ``8 * divider`` bus cycles, which the
+transfer-register write latency reflects (the driver's status polls
+then overlap the shift time, exactly as on hardware).
+"""
+
+from __future__ import annotations
+
+from repro.axi.interface import RegisterBank
+from repro.axi.types import AxiResult
+from repro.soc.sdcard import SdCard
+
+CR_OFFSET = 0x00
+SR_OFFSET = 0x04
+TXDATA_OFFSET = 0x08
+RXDATA_OFFSET = 0x0C
+DIVIDER_OFFSET = 0x10
+
+CR_ENABLE = 1 << 0
+CR_CS_ASSERT = 1 << 1
+
+SR_TX_READY = 1 << 0
+SR_RX_VALID = 1 << 1
+
+
+class SpiController(RegisterBank):
+    """Memory-mapped SPI master with one attached device."""
+
+    def __init__(self, divider: int = 4) -> None:
+        super().__init__("spi", size=0x1000)
+        self.device: SdCard | None = None
+        self.divider = divider
+        self.rx_byte = 0xFF
+        self.rx_valid = False
+        self.enabled = False
+        self.transfers = 0
+
+        self.define_register(CR_OFFSET, on_write=self._write_cr)
+        self.define_register(SR_OFFSET, on_read=self._read_sr)
+        self.define_register(TXDATA_OFFSET, on_write=self._write_tx)
+        self.define_register(RXDATA_OFFSET, on_read=self._read_rx)
+        self.define_register(DIVIDER_OFFSET, reset=divider,
+                             on_write=self._write_divider)
+
+    def attach_device(self, device: SdCard) -> None:
+        self.device = device
+
+    # ------------------------------------------------------------------
+    # register behaviour
+    # ------------------------------------------------------------------
+    def _write_cr(self, value: int) -> None:
+        self.enabled = bool(value & CR_ENABLE)
+        if self.device is not None:
+            self.device.set_cs(bool(value & CR_CS_ASSERT))
+
+    def _read_sr(self, _offset: int) -> int:
+        status = SR_TX_READY
+        if self.rx_valid:
+            status |= SR_RX_VALID
+        return status
+
+    def _write_tx(self, value: int) -> None:
+        self.transfers += 1
+        if self.device is not None and self.enabled:
+            self.rx_byte = self.device.exchange(value & 0xFF)
+        else:
+            self.rx_byte = 0xFF
+        self.rx_valid = True
+
+    def _read_rx(self, _offset: int) -> int:
+        self.rx_valid = False
+        return self.rx_byte
+
+    def _write_divider(self, value: int) -> None:
+        self.divider = max(1, value & 0xFFFF)
+
+    # ------------------------------------------------------------------
+    # timing: a TX write holds the port for the full shift time
+    # ------------------------------------------------------------------
+    def write(self, addr: int, data: bytes, now: int) -> AxiResult:
+        result = super().write(addr, data, now)
+        if addr == TXDATA_OFFSET and result.ok:
+            shift_cycles = 8 * self.divider
+            return AxiResult(result.data, result.complete_at + shift_cycles,
+                             result.resp)
+        return result

@@ -1,0 +1,58 @@
+"""UART console peripheral.
+
+The drivers print status messages ("reconfiguration successful",
+Sec. III-C) through this port; the model captures the byte stream into
+a buffer that tests and examples can read back.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.axi.interface import RegisterBank
+
+TXDATA_OFFSET = 0x0
+RXDATA_OFFSET = 0x4
+STATUS_OFFSET = 0x8
+
+STATUS_TX_READY = 1 << 0
+STATUS_RX_VALID = 1 << 1
+
+
+class Uart(RegisterBank):
+    """Always-ready transmit, buffered receive."""
+
+    def __init__(self) -> None:
+        super().__init__("uart", size=0x1000)
+        self.tx_log = bytearray()
+        self._rx_fifo: deque[int] = deque()
+        self.define_register(TXDATA_OFFSET, on_write=self._write_tx)
+        self.define_register(RXDATA_OFFSET, on_read=self._read_rx)
+        self.define_register(STATUS_OFFSET, on_read=self._read_status)
+
+    def _write_tx(self, value: int) -> None:
+        self.tx_log.append(value & 0xFF)
+
+    def _read_rx(self, _offset: int) -> int:
+        if self._rx_fifo:
+            return self._rx_fifo.popleft()
+        return 0
+
+    def _read_status(self, _offset: int) -> int:
+        status = STATUS_TX_READY
+        if self._rx_fifo:
+            status |= STATUS_RX_VALID
+        return status
+
+    # host-side helpers ------------------------------------------------
+    def feed_input(self, data: bytes) -> None:
+        """Queue bytes for the firmware to read."""
+        self._rx_fifo.extend(data)
+
+    @property
+    def output(self) -> str:
+        """Everything the firmware has printed, as text."""
+        return self.tx_log.decode("latin-1")
+
+    def clear_output(self) -> None:
+        self.tx_log.clear()

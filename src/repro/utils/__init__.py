@@ -1,0 +1,46 @@
+"""Shared low-level helpers: bit manipulation, CRC, units, logging."""
+
+from repro.utils.bits import (
+    MASK32,
+    MASK64,
+    bit,
+    bits,
+    extract,
+    insert,
+    sext,
+    to_signed32,
+    to_signed64,
+    to_unsigned32,
+    to_unsigned64,
+)
+from repro.utils.crc import crc32_xilinx, crc32_update
+from repro.utils.units import (
+    KIB,
+    MIB,
+    cycles_to_us,
+    format_bytes,
+    format_time_us,
+    mb_per_s,
+)
+
+__all__ = [
+    "MASK32",
+    "MASK64",
+    "bit",
+    "bits",
+    "extract",
+    "insert",
+    "sext",
+    "to_signed32",
+    "to_signed64",
+    "to_unsigned32",
+    "to_unsigned64",
+    "crc32_xilinx",
+    "crc32_update",
+    "KIB",
+    "MIB",
+    "cycles_to_us",
+    "format_bytes",
+    "format_time_us",
+    "mb_per_s",
+]

@@ -1,0 +1,106 @@
+"""Bit-manipulation helpers used throughout the ISS and hardware models.
+
+All helpers operate on plain Python ints.  Values are kept *unsigned*
+(two's-complement wrapped into ``[0, 2**n)``) at module boundaries; the
+``to_signed*`` helpers convert when arithmetic needs a signed view.
+"""
+
+from __future__ import annotations
+
+MASK8 = 0xFF
+MASK16 = 0xFFFF
+MASK32 = 0xFFFF_FFFF
+MASK64 = 0xFFFF_FFFF_FFFF_FFFF
+
+
+def bit(value: int, pos: int) -> int:
+    """Return bit ``pos`` of ``value`` (0 or 1)."""
+    return (value >> pos) & 1
+
+
+def bits(value: int, hi: int, lo: int) -> int:
+    """Return the bit-field ``value[hi:lo]`` inclusive (hi >= lo)."""
+    if hi < lo:
+        raise ValueError(f"invalid bit range [{hi}:{lo}]")
+    return (value >> lo) & ((1 << (hi - lo + 1)) - 1)
+
+
+# ``extract`` is the conventional name in hardware-model code.
+extract = bits
+
+
+def insert(value: int, field: int, hi: int, lo: int) -> int:
+    """Return ``value`` with bits ``[hi:lo]`` replaced by ``field``."""
+    if hi < lo:
+        raise ValueError(f"invalid bit range [{hi}:{lo}]")
+    width = hi - lo + 1
+    mask = ((1 << width) - 1) << lo
+    return (value & ~mask) | ((field << lo) & mask)
+
+
+def sext(value: int, width: int) -> int:
+    """Sign-extend a ``width``-bit value to a Python int (signed)."""
+    sign = 1 << (width - 1)
+    return (value & (sign - 1)) - (value & sign)
+
+
+def to_signed32(value: int) -> int:
+    """Interpret the low 32 bits of ``value`` as a signed integer."""
+    return sext(value & MASK32, 32)
+
+
+def to_signed64(value: int) -> int:
+    """Interpret the low 64 bits of ``value`` as a signed integer."""
+    return sext(value & MASK64, 64)
+
+
+def to_unsigned32(value: int) -> int:
+    """Wrap a (possibly negative) int into an unsigned 32-bit value."""
+    return value & MASK32
+
+
+def to_unsigned64(value: int) -> int:
+    """Wrap a (possibly negative) int into an unsigned 64-bit value."""
+    return value & MASK64
+
+
+def align_down(value: int, alignment: int) -> int:
+    """Round ``value`` down to a multiple of ``alignment`` (a power of 2)."""
+    return value & ~(alignment - 1)
+
+
+def align_up(value: int, alignment: int) -> int:
+    """Round ``value`` up to a multiple of ``alignment`` (a power of 2)."""
+    return (value + alignment - 1) & ~(alignment - 1)
+
+
+def is_aligned(value: int, alignment: int) -> bool:
+    """Return True when ``value`` is a multiple of ``alignment``."""
+    return (value & (alignment - 1)) == 0
+
+
+def bitrev32(value: int) -> int:
+    """Reverse the bit order of a 32-bit word.
+
+    Xilinx 7-series bitstream words are written to the ICAP with each
+    byte bit-reversed; this helper implements the full-word variant used
+    by the configuration-packet CRC.
+    """
+    value &= MASK32
+    result = 0
+    for _ in range(32):
+        result = (result << 1) | (value & 1)
+        value >>= 1
+    return result
+
+
+def swap32_endianness(data: bytes) -> bytes:
+    """Byte-swap every 32-bit word in ``data`` (len must be multiple of 4)."""
+    if len(data) % 4:
+        raise ValueError("data length must be a multiple of 4")
+    out = bytearray(len(data))
+    out[0::4] = data[3::4]
+    out[1::4] = data[2::4]
+    out[2::4] = data[1::4]
+    out[3::4] = data[0::4]
+    return bytes(out)

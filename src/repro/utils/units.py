@@ -1,0 +1,48 @@
+"""Unit conversions and pretty-printing shared by the evaluation harness.
+
+The paper reports throughput in decimal MB/s (650892 B / 156.45 ms =
+4.16 MB/s), so ``mb_per_s`` uses 1 MB = 10**6 bytes.  Sizes of memories
+and FIFOs use binary units (KiB/MiB).
+"""
+
+from __future__ import annotations
+
+KIB = 1024
+MIB = 1024 * 1024
+
+MB = 1_000_000  # decimal megabyte, matches the paper's throughput figures
+
+
+def mb_per_s(nbytes: int, seconds: float) -> float:
+    """Throughput in decimal MB/s, the unit used throughout the paper."""
+    if seconds <= 0:
+        raise ValueError("elapsed time must be positive")
+    return nbytes / seconds / MB
+
+
+def cycles_to_us(cycles: int, freq_hz: float) -> float:
+    """Convert a cycle count at ``freq_hz`` into microseconds."""
+    return cycles / freq_hz * 1e6
+
+
+def us_to_cycles(us: float, freq_hz: float) -> int:
+    """Convert microseconds into a (rounded) cycle count at ``freq_hz``."""
+    return round(us * 1e-6 * freq_hz)
+
+
+def format_bytes(nbytes: int) -> str:
+    """Human-readable binary size (e.g. ``"635.6 KiB"``)."""
+    if nbytes < KIB:
+        return f"{nbytes} B"
+    if nbytes < MIB:
+        return f"{nbytes / KIB:.1f} KiB"
+    return f"{nbytes / MIB:.2f} MiB"
+
+
+def format_time_us(us: float) -> str:
+    """Human-readable time from a microsecond quantity."""
+    if us < 1e3:
+        return f"{us:.2f} us"
+    if us < 1e6:
+        return f"{us / 1e3:.2f} ms"
+    return f"{us / 1e6:.3f} s"

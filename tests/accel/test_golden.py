@@ -1,0 +1,112 @@
+import numpy as np
+import pytest
+
+from repro.accel.golden import gaussian3x3, median3x3, sobel3x3
+from repro.accel.images import (
+    checkerboard_image,
+    gradient_image,
+    noise_image,
+    scene_image,
+)
+
+
+class TestGaussian:
+    def test_flat_image_unchanged(self):
+        flat = np.full((32, 32), 100, dtype=np.uint8)
+        assert np.array_equal(gaussian3x3(flat), flat)
+
+    def test_smooths_impulse(self):
+        img = np.zeros((9, 9), dtype=np.uint8)
+        img[4, 4] = 160
+        out = gaussian3x3(img)
+        assert out[4, 4] == 40   # 160 * 4/16
+        assert out[4, 5] == 20   # 160 * 2/16
+        assert out[3, 3] == 10   # 160 * 1/16
+
+    def test_preserves_dtype_and_shape(self):
+        out = gaussian3x3(scene_image(64))
+        assert out.dtype == np.uint8 and out.shape == (64, 64)
+
+    def test_reduces_variance(self):
+        noisy = noise_image(128)
+        assert gaussian3x3(noisy).std() < noisy.std()
+
+
+class TestMedian:
+    def test_flat_image_unchanged(self):
+        flat = np.full((16, 16), 42, dtype=np.uint8)
+        assert np.array_equal(median3x3(flat), flat)
+
+    def test_removes_salt_and_pepper(self):
+        img = np.full((32, 32), 128, dtype=np.uint8)
+        img[10, 10] = 255
+        img[20, 20] = 0
+        out = median3x3(img)
+        assert out[10, 10] == 128 and out[20, 20] == 128
+
+    def test_scipy_cross_check(self):
+        from scipy.ndimage import median_filter
+        img = scene_image(64)
+        ours = median3x3(img)
+        ref = median_filter(img, size=3, mode="nearest")
+        assert np.array_equal(ours, ref)
+
+
+class TestSobel:
+    def test_flat_image_is_zero(self):
+        flat = np.full((16, 16), 77, dtype=np.uint8)
+        assert not sobel3x3(flat).any()
+
+    def test_vertical_edge_detected(self):
+        img = np.zeros((16, 16), dtype=np.uint8)
+        img[:, 8:] = 200
+        out = sobel3x3(img)
+        assert out[8, 7] == 255 or out[8, 8] == 255  # saturated response
+        assert out[8, 2] == 0
+
+    def test_saturates_at_255(self):
+        out = sobel3x3(checkerboard_image(64, tile=4))
+        assert out.max() == 255
+        assert out.dtype == np.uint8
+
+
+class TestImages:
+    def test_deterministic(self):
+        assert np.array_equal(scene_image(64), scene_image(64))
+        assert np.array_equal(noise_image(64), noise_image(64))
+
+    def test_sizes(self):
+        for maker in (gradient_image, checkerboard_image, noise_image,
+                      scene_image):
+            assert maker(128).shape == (128, 128)
+
+    def test_gradient_monotone_on_diagonal(self):
+        img = gradient_image(64)
+        diag = np.diagonal(img)
+        assert (np.diff(diag.astype(int)) >= 0).all()
+
+
+class TestScipyCrossChecks:
+    def test_gaussian_matches_scipy_convolution(self):
+        import numpy as np
+        from scipy.ndimage import convolve
+        from repro.accel.golden import gaussian3x3
+        from repro.accel.images import scene_image
+        img = scene_image(96)
+        kernel = np.array([[1, 2, 1], [2, 4, 2], [1, 2, 1]])
+        acc = convolve(img.astype(np.int64), kernel, mode="nearest")
+        expected = ((acc + 8) >> 4).astype(np.uint8)
+        assert np.array_equal(gaussian3x3(img), expected)
+
+    def test_sobel_matches_scipy_correlate(self):
+        import numpy as np
+        from scipy.ndimage import correlate
+        from repro.accel.golden import sobel3x3
+        from repro.accel.images import scene_image
+        img = scene_image(96).astype(np.int64)
+        kx = np.array([[-1, 0, 1], [-2, 0, 2], [-1, 0, 1]])
+        ky = np.array([[-1, -2, -1], [0, 0, 0], [1, 2, 1]])
+        gx = correlate(img, kx, mode="nearest")
+        gy = correlate(img, ky, mode="nearest")
+        expected = np.clip(np.abs(gx) + np.abs(gy), 0, 255).astype(np.uint8)
+        assert np.array_equal(sobel3x3(scene_image(96)), expected)

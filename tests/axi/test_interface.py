@@ -1,0 +1,65 @@
+import pytest
+
+from repro.axi.interface import RegisterBank
+from repro.axi.types import AxiResp
+from repro.errors import AlignmentError
+
+
+@pytest.fixture()
+def bank():
+    rb = RegisterBank("test", size=0x100)
+    rb.define_register(0x0, reset=0x1234)
+    rb.define_register(0x4)
+    return rb
+
+
+class TestRegisterBank:
+    def test_reset_value_readable(self, bank):
+        result = bank.read(0x0, 4, now=0)
+        assert result.ok and result.value() == 0x1234
+
+    def test_write_then_read(self, bank):
+        bank.write(0x4, (0xCAFEBABE).to_bytes(4, "little"), now=0)
+        assert bank.read(0x4, 4, now=1).value() == 0xCAFEBABE
+
+    def test_64bit_access_spans_two_registers(self, bank):
+        bank.write(0x0, (0xAAAA_BBBB_CCCC_DDDD).to_bytes(8, "little"), now=0)
+        assert bank.read(0x0, 8, now=1).value() == 0xAAAA_BBBB_CCCC_DDDD
+        assert bank.peek(0x0) == 0xCCCC_DDDD
+        assert bank.peek(0x4) == 0xAAAA_BBBB
+
+    def test_unaligned_access_errors(self, bank):
+        assert bank.read(0x2, 4, now=0).resp is AxiResp.SLVERR
+        assert bank.write(0x2, b"\x00" * 4, now=0).resp is AxiResp.SLVERR
+
+    def test_out_of_range_errors(self, bank):
+        assert bank.read(0x200, 4, now=0).resp is AxiResp.SLVERR
+
+    def test_odd_size_errors(self, bank):
+        assert bank.read(0x0, 3, now=0).resp is AxiResp.SLVERR
+
+    def test_read_hook_overrides_storage(self):
+        rb = RegisterBank("hooked")
+        rb.define_register(0x0, on_read=lambda _o: 0x5A5A)
+        rb.poke(0x0, 0x1111)
+        assert rb.read(0x0, 4, now=0).value() == 0x5A5A
+
+    def test_write_hook_sees_new_value(self):
+        seen = []
+        rb = RegisterBank("hooked")
+        rb.define_register(0x8, on_write=seen.append)
+        rb.write(0x8, (42).to_bytes(4, "little"), now=0)
+        assert seen == [42]
+
+    def test_latency_accounting(self, bank):
+        result = bank.read(0x0, 4, now=100)
+        assert result.complete_at == 100 + bank.read_latency
+        assert result.latency_from(100) == bank.read_latency
+
+    def test_unaligned_register_definition_rejected(self):
+        rb = RegisterBank("bad")
+        with pytest.raises(AlignmentError):
+            rb.define_register(0x2)
+
+    def test_undefined_register_reads_zero(self, bank):
+        assert bank.read(0x40, 4, now=0).value() == 0

@@ -1,0 +1,66 @@
+import pytest
+
+from repro.axi.interface import RegisterBank
+from repro.axi.memory_map import MemoryMap, Region
+from repro.errors import BusError
+
+
+def _slave():
+    return RegisterBank("s")
+
+
+class TestRegion:
+    def test_contains(self):
+        region = Region("r", 0x1000, 0x100, _slave())
+        assert region.contains(0x1000)
+        assert region.contains(0x10FF)
+        assert not region.contains(0x1100)
+        assert not region.contains(0xFFF)
+
+    def test_overlap_detection(self):
+        a = Region("a", 0x1000, 0x100, _slave())
+        b = Region("b", 0x10FF, 0x10, _slave())
+        c = Region("c", 0x1100, 0x10, _slave())
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+    def test_rejects_empty_region(self):
+        with pytest.raises(BusError):
+            Region("bad", 0, 0, _slave())
+
+
+class TestMemoryMap:
+    def test_decode_finds_correct_region(self):
+        mm = MemoryMap()
+        mm.add("low", 0x0, 0x100, _slave())
+        mm.add("mid", 0x1000, 0x100, _slave())
+        mm.add("high", 0x8000_0000, 0x1000, _slave())
+        assert mm.decode(0x1080).name == "mid"
+        assert mm.decode(0x8000_0FFF).name == "high"
+        assert mm.decode(0x50) .name == "low"
+
+    def test_decode_miss_returns_none(self):
+        mm = MemoryMap()
+        mm.add("only", 0x1000, 0x100, _slave())
+        assert mm.decode(0x0) is None
+        assert mm.decode(0x1100) is None
+
+    def test_overlapping_add_rejected(self):
+        mm = MemoryMap()
+        mm.add("a", 0x1000, 0x100, _slave())
+        with pytest.raises(BusError):
+            mm.add("b", 0x1080, 0x100, _slave())
+
+    def test_region_named(self):
+        mm = MemoryMap()
+        mm.add("ddr", 0x8000_0000, 0x1000, _slave())
+        assert mm.region_named("ddr").base == 0x8000_0000
+        with pytest.raises(BusError):
+            mm.region_named("nope")
+
+    def test_iteration_sorted_by_base(self):
+        mm = MemoryMap()
+        mm.add("b", 0x2000, 0x10, _slave())
+        mm.add("a", 0x1000, 0x10, _slave())
+        assert [r.name for r in mm] == ["a", "b"]
+        assert len(mm) == 2

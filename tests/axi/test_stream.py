@@ -1,0 +1,82 @@
+import pytest
+
+from repro.axi.stream import BufferSource, CaptureSink, NullSink, StreamFifo
+from repro.errors import BusError
+
+
+class TestStreamFifo:
+    def test_fifo_preserves_byte_order(self):
+        fifo = StreamFifo("f", depth=64)
+        fifo.accept(b"hello", now=0)
+        fifo.accept(b"world", now=10)
+        data, _ = fifo.produce(10, now=20)
+        assert data == b"helloworld"
+
+    def test_level_and_space(self):
+        fifo = StreamFifo("f", depth=16)
+        fifo.accept(b"\x00" * 10, now=0)
+        assert fifo.level == 10 and fifo.space == 6
+
+    def test_overrun_raises(self):
+        fifo = StreamFifo("f", depth=8)
+        fifo.accept(b"\x00" * 8, now=0)
+        with pytest.raises(BusError):
+            fifo.accept(b"\x00", now=1)
+
+    def test_partial_produce(self):
+        fifo = StreamFifo("f", depth=64)
+        fifo.accept(b"abc", now=0)
+        data, _ = fifo.produce(10, now=5)
+        assert data == b"abc"
+        data, _ = fifo.produce(10, now=6)
+        assert data == b""
+
+    def test_timing_rate(self):
+        fifo = StreamFifo("f", depth=1024, bytes_per_cycle=8)
+        done = fifo.accept(b"\x00" * 64, now=0)
+        assert done == 8  # 64 bytes at 8 B/cycle
+
+    def test_back_to_back_pipelines(self):
+        fifo = StreamFifo("f", depth=1024, bytes_per_cycle=8)
+        fifo.accept(b"\x00" * 64, now=0)
+        done = fifo.accept(b"\x00" * 64, now=0)
+        assert done == 16
+
+    def test_clear(self):
+        fifo = StreamFifo("f", depth=16)
+        fifo.accept(b"abcd", now=0)
+        fifo.clear()
+        assert fifo.level == 0
+
+
+class TestBufferSource:
+    def test_streams_whole_buffer(self):
+        src = BufferSource(b"0123456789")
+        out = b""
+        t = 0
+        while True:
+            chunk, t = src.produce(4, t)
+            if not chunk:
+                break
+            out += chunk
+        assert out == b"0123456789"
+        assert src.remaining == 0
+
+    def test_rate_limiting(self):
+        src = BufferSource(b"\x00" * 32, bytes_per_cycle=4)
+        _, t = src.produce(32, now=0)
+        assert t == 8
+
+
+class TestSinks:
+    def test_capture_sink_records(self):
+        sink = CaptureSink()
+        sink.accept(b"ab", now=0)
+        sink.accept(b"cd", now=1)
+        assert bytes(sink.data) == b"abcd"
+
+    def test_null_sink_counts(self):
+        sink = NullSink(bytes_per_cycle=4)
+        done = sink.accept(b"\x00" * 16, now=0)
+        assert sink.consumed == 16
+        assert done == 4

@@ -1,0 +1,57 @@
+import pytest
+
+from repro.axi.stream import BufferSource, CaptureSink
+from repro.axi.stream_switch import AxiStreamSwitch
+from repro.errors import BusError
+
+
+@pytest.fixture()
+def switch():
+    sw = AxiStreamSwitch()
+    sw.attach_sink("icap", CaptureSink())
+    sw.attach_sink("rm", CaptureSink())
+    sw.attach_source("rm", BufferSource(b"rm-output-data"))
+    return sw
+
+
+class TestSwitchRouting:
+    def test_forwards_to_selected_sink(self, switch):
+        switch.select("icap")
+        switch.accept(b"bitstream", now=0)
+        assert bytes(switch._sinks["icap"].data) == b"bitstream"
+        assert bytes(switch._sinks["rm"].data) == b""
+
+    def test_reselect_reroutes(self, switch):
+        switch.select("icap")
+        switch.accept(b"one", now=0)
+        switch.select("rm")
+        switch.accept(b"two", now=10)
+        assert bytes(switch._sinks["icap"].data) == b"one"
+        assert bytes(switch._sinks["rm"].data) == b"two"
+
+    def test_source_path(self, switch):
+        switch.select("rm")
+        data, _ = switch.produce(7, now=0)
+        assert data == b"rm-outp"
+
+    def test_unselected_accept_raises(self, switch):
+        with pytest.raises(BusError):
+            switch.accept(b"x", now=0)
+
+    def test_unknown_port_raises(self, switch):
+        with pytest.raises(BusError):
+            switch.select("bogus")
+
+    def test_port_without_source_raises(self, switch):
+        switch.select("icap")
+        with pytest.raises(BusError):
+            switch.produce(4, now=0)
+
+    def test_ports_listing(self, switch):
+        assert switch.ports == ["icap", "rm"]
+
+    def test_stage_latency_added(self, switch):
+        switch.select("icap")
+        done = switch.accept(b"\x00" * 8, now=0)
+        # 1 stage + 1 cycle at 8 B/cycle
+        assert done == 2

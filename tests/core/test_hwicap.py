@@ -1,0 +1,104 @@
+import pytest
+
+from repro.core import hwicap as hw
+from repro.core.hwicap import AxiHwIcap
+from repro.eval.scenarios import make_test_bitstream, small_rp
+from repro.fpga.config_memory import ConfigMemory
+from repro.fpga.device import KINTEX7_325T
+from repro.fpga.icap import Icap
+
+
+@pytest.fixture()
+def setup():
+    icap = Icap(ConfigMemory(KINTEX7_325T))
+    hwicap = AxiHwIcap(icap, fifo_words=1024)
+    return icap, hwicap
+
+
+def _w(hwicap, offset, value, now=0):
+    hwicap.write(offset, value.to_bytes(4, "little"), now)
+
+
+def _r(hwicap, offset, now=0):
+    return hwicap.read(offset, 4, now).value()
+
+
+class TestFifo:
+    def test_vacancy_tracks_fill(self, setup):
+        _icap, hwicap = setup
+        assert _r(hwicap, hw.WFV_OFFSET) == 1024
+        for i in range(10):
+            _w(hwicap, hw.WF_OFFSET, i)
+        assert _r(hwicap, hw.WFV_OFFSET) == 1014
+
+    def test_overflow_drops_silently(self, setup):
+        _icap, hwicap = setup
+        for i in range(1030):
+            _w(hwicap, hw.WF_OFFSET, i)
+        assert _r(hwicap, hw.WFV_OFFSET) == 0
+        assert len(hwicap._fifo) == 1024
+
+    def test_fifo_clear(self, setup):
+        _icap, hwicap = setup
+        _w(hwicap, hw.WF_OFFSET, 1)
+        _w(hwicap, hw.CR_OFFSET, hw.CR_FIFO_CLEAR)
+        assert _r(hwicap, hw.WFV_OFFSET) == 1024
+
+    def test_custom_depth(self):
+        icap = Icap(ConfigMemory(KINTEX7_325T))
+        hwicap = AxiHwIcap(icap, fifo_words=64)
+        assert _r(hwicap, hw.WFV_OFFSET) == 64
+
+
+class TestTransfer:
+    def test_cr_write_drains_into_icap(self, setup):
+        icap, hwicap = setup
+        _w(hwicap, hw.WF_OFFSET, 0xAA995566)
+        _w(hwicap, hw.CR_OFFSET, hw.CR_WRITE)
+        assert hwicap.words_transferred == 1
+        assert icap.words_consumed == 1
+        assert _r(hwicap, hw.WFV_OFFSET) == 1024  # FIFO drained
+
+    def test_done_reflects_drain_time(self, setup):
+        _icap, hwicap = setup
+        for i in range(1024):
+            _w(hwicap, hw.WF_OFFSET, i)
+        _w(hwicap, hw.CR_OFFSET, hw.CR_WRITE, now=100)
+        # 1024 words at 1 word/cycle: not done immediately
+        assert not _r(hwicap, hw.SR_OFFSET, now=101) & hw.SR_DONE
+        assert _r(hwicap, hw.SR_OFFSET, now=100 + 1100) & hw.SR_DONE
+
+    def test_full_bitstream_chunked_transfer(self, setup):
+        """Drive the HWICAP exactly like Listing 2 and verify the ICAP
+        completes an error-free reconfiguration."""
+        icap, hwicap = setup
+        rp = small_rp()
+        data = make_test_bitstream(rp).to_bytes()
+        now = 0
+        words = [int.from_bytes(data[i:i + 4], "little")
+                 for i in range(0, len(data), 4)]
+        cursor = 0
+        while cursor < len(words):
+            vacancy = _r(hwicap, hw.WFV_OFFSET, now)
+            chunk = min(vacancy, len(words) - cursor)
+            for w in words[cursor:cursor + chunk]:
+                _w(hwicap, hw.WF_OFFSET, w, now)
+                now += 1
+            _w(hwicap, hw.CR_OFFSET, hw.CR_WRITE, now)
+            while not _r(hwicap, hw.SR_OFFSET, now) & hw.SR_DONE:
+                now += 20
+            cursor += chunk
+        assert not icap.error
+        assert icap.reconfigurations_completed == 1
+        assert icap.config_memory.frames_written == rp.frames
+
+    def test_empty_cr_write_is_noop(self, setup):
+        icap, hwicap = setup
+        _w(hwicap, hw.CR_OFFSET, hw.CR_WRITE)
+        assert hwicap.transfers_started == 0
+
+    def test_sw_reset_clears_fifo(self, setup):
+        _icap, hwicap = setup
+        _w(hwicap, hw.WF_OFFSET, 1)
+        _w(hwicap, hw.CR_OFFSET, hw.CR_SW_RESET)
+        assert _r(hwicap, hw.WFV_OFFSET) == 1024

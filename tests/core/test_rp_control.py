@@ -1,0 +1,72 @@
+import pytest
+
+from repro.axi.isolator import AxiIsolator, StreamIsolator
+from repro.axi.stream import CaptureSink
+from repro.axi.stream_switch import AxiStreamSwitch
+from repro.core import rp_control as rc
+from repro.core.rp_control import PORT_ICAP, PORT_RM, RpControlInterface
+from repro.mem.bram import Bram
+
+
+@pytest.fixture()
+def setup():
+    switch = AxiStreamSwitch()
+    switch.attach_sink(PORT_ICAP, CaptureSink())
+    switch.attach_sink(PORT_RM, CaptureSink())
+    ctrl = RpControlInterface(switch)
+    switch.select(PORT_RM)
+    return switch, ctrl
+
+
+def _w(ctrl, offset, value):
+    ctrl.write(offset, value.to_bytes(4, "little"), now=0)
+
+
+def _r(ctrl, offset):
+    return ctrl.read(offset, 4, now=0).value()
+
+
+class TestModeSelect:
+    def test_select_icap_routes_switch(self, setup):
+        switch, ctrl = setup
+        _w(ctrl, rc.SELECT_ICAP_OFFSET, 1)
+        assert switch.selected == PORT_ICAP
+        assert _r(ctrl, rc.SELECT_ICAP_OFFSET) == 1
+        _w(ctrl, rc.SELECT_ICAP_OFFSET, 0)
+        assert switch.selected == PORT_RM
+
+    def test_version_register(self, setup):
+        _switch, ctrl = setup
+        assert _r(ctrl, rc.VERSION_OFFSET) == RpControlInterface.VERSION
+
+
+class TestDecoupling:
+    def test_decouple_drives_all_isolators(self, setup):
+        _switch, ctrl = setup
+        axi_iso = AxiIsolator(Bram(64))
+        stream_iso = StreamIsolator()
+        ctrl.attach_isolator(axi_iso)
+        ctrl.attach_isolator(stream_iso)
+        _w(ctrl, rc.DECOUPLE_OFFSET, 1)
+        assert axi_iso.decoupled and stream_iso.decoupled
+        assert _r(ctrl, rc.DECOUPLE_OFFSET) == 1
+        _w(ctrl, rc.DECOUPLE_OFFSET, 0)
+        assert not axi_iso.decoupled and not stream_iso.decoupled
+
+
+class TestRmControl:
+    def test_start_pulse_fires_hooks(self, setup):
+        _switch, ctrl = setup
+        pulses = []
+        ctrl.attach_rm_start(lambda: pulses.append(1))
+        _w(ctrl, rc.RM_CTRL_OFFSET, 1)
+        _w(ctrl, rc.RM_CTRL_OFFSET, 0)  # no pulse
+        assert pulses == [1]
+
+    def test_busy_status(self, setup):
+        _switch, ctrl = setup
+        busy = [True]
+        ctrl.set_rm_busy_source(lambda: busy[0])
+        assert _r(ctrl, rc.RM_STATUS_OFFSET) == 1
+        busy[0] = False
+        assert _r(ctrl, rc.RM_STATUS_OFFSET) == 0

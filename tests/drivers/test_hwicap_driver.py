@@ -1,0 +1,55 @@
+import pytest
+
+from repro.drivers.hwicap_driver import HwIcapDriver
+from repro.drivers.mmio import HostPort
+from repro.errors import ControllerError
+from repro.eval.scenarios import make_test_bitstream, small_rp
+from repro.eval.throughput import measure_reconfiguration
+
+
+@pytest.fixture(scope="module")
+def small_pbit():
+    return make_test_bitstream().to_bytes()
+
+
+class TestFunctional:
+    def test_reconfigures_through_fifo(self, small_pbit):
+        result = measure_reconfiguration(small_pbit, controller="hwicap")
+        assert result.pbit_size == len(small_pbit)
+        assert result.tr_us > 0
+
+    def test_unroll_must_be_positive(self, soc):
+        with pytest.raises(ControllerError):
+            HwIcapDriver(HostPort(soc), unroll=0)
+
+
+class TestThroughputShape:
+    def test_unrolling_improves_throughput(self, small_pbit):
+        rolled = measure_reconfiguration(small_pbit, controller="hwicap",
+                                         hwicap_unroll=1)
+        unrolled = measure_reconfiguration(small_pbit, controller="hwicap",
+                                           hwicap_unroll=16)
+        assert unrolled.throughput_mb_s > 1.8 * rolled.throughput_mb_s
+
+    def test_host_model_near_paper_numbers(self, small_pbit):
+        """Host-driver estimates stay close to the firmware-measured
+        (and paper-reported) 4.16 / 8.23 MB/s points."""
+        rolled = measure_reconfiguration(small_pbit, controller="hwicap",
+                                         hwicap_unroll=1)
+        unrolled = measure_reconfiguration(small_pbit, controller="hwicap",
+                                           hwicap_unroll=16)
+        assert rolled.throughput_mb_s == pytest.approx(4.16, rel=0.10)
+        assert unrolled.throughput_mb_s == pytest.approx(8.23, rel=0.10)
+
+    def test_diminishing_returns_past_16(self, small_pbit):
+        u16 = measure_reconfiguration(small_pbit, controller="hwicap",
+                                      hwicap_unroll=16)
+        u64 = measure_reconfiguration(small_pbit, controller="hwicap",
+                                      hwicap_unroll=64)
+        gain = u64.throughput_mb_s / u16.throughput_mb_s - 1
+        assert gain < 0.06
+
+    def test_far_below_rvcap(self, small_pbit):
+        hwicap = measure_reconfiguration(small_pbit, controller="hwicap")
+        rvcap = measure_reconfiguration(small_pbit, controller="rvcap")
+        assert rvcap.throughput_mb_s / hwicap.throughput_mb_s > 30

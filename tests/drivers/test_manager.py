@@ -1,0 +1,87 @@
+import numpy as np
+import pytest
+
+from repro.accel import GOLDEN_FILTERS, checkerboard_image, scene_image
+from repro.errors import ControllerError
+
+
+class TestProvisioning:
+    def test_sdcard_holds_all_pbits(self, shared_manager):
+        soc, manager = shared_manager
+        from repro.fat32 import Fat32FileSystem, SdBackdoorBlockDevice
+        fs = Fat32FileSystem.mount(SdBackdoorBlockDevice(soc.sdcard))
+        names = {e.name for e in fs.list_dir()}
+        assert names == {"GAUSSIAN.PBI", "MEDIAN.PBI", "SOBEL.PBI"}
+        assert fs.file_size("SOBEL.PBI") == 650_892
+
+    def test_descriptors_populated(self, shared_manager):
+        _soc, manager = shared_manager
+        d = manager.descriptor("gaussian")
+        assert d.pbit_size == 650_892
+        assert d.file_name == "GAUSSIAN.PBI"
+
+    def test_descriptor_before_init_raises(self, soc):
+        from repro.drivers.manager import ReconfigurationManager
+        manager = ReconfigurationManager(soc)
+        with pytest.raises(ControllerError):
+            manager.descriptor("sobel")
+
+
+class TestModuleLoading:
+    def test_load_module_activates_rm(self, provisioned_manager_factory):
+        soc, manager = provisioned_manager_factory()
+        result = manager.load_module("median")
+        assert result is not None
+        assert soc.active_module_name == "median"
+        assert soc.rp.loaded_module.name == "median"
+
+    def test_reload_skipped_when_cached(self, provisioned_manager_factory):
+        _soc, manager = provisioned_manager_factory()
+        assert manager.load_module("sobel") is not None
+        assert manager.load_module("sobel") is None  # cached
+        assert manager.load_module("sobel", force=True) is not None
+
+    def test_swap_between_modules(self, provisioned_manager_factory):
+        soc, manager = provisioned_manager_factory()
+        manager.load_module("sobel")
+        manager.load_module("gaussian")
+        assert soc.active_module_name == "gaussian"
+        manager.load_module("sobel")
+        assert soc.active_module_name == "sobel"
+
+
+class TestImagePipeline:
+    def test_all_filters_bit_exact(self, provisioned_manager_factory):
+        soc, manager = provisioned_manager_factory()
+        image = checkerboard_image(512)
+        for name in soc.registered_modules:  # the provisioned set
+            output, _times = manager.process_image(name, image)
+            assert np.array_equal(output, GOLDEN_FILTERS[name](image)), name
+
+    def test_times_structure(self, provisioned_manager_factory):
+        _soc, manager = provisioned_manager_factory()
+        image = scene_image(512)
+        _out, times = manager.process_image("sobel", image)
+        assert times.tex_us == pytest.approx(
+            times.td_us + times.tr_us + times.tc_us)
+
+    def test_cached_module_skips_reconfig_time(self, provisioned_manager_factory):
+        _soc, manager = provisioned_manager_factory()
+        image = scene_image(512)
+        _o, first = manager.process_image("sobel", image)
+        _o, second = manager.process_image("sobel", image)
+        assert first.tr_us > 0
+        assert second.tr_us == 0 and second.td_us == 0
+
+    def test_rejects_bad_image(self, provisioned_manager_factory):
+        _soc, manager = provisioned_manager_factory()
+        with pytest.raises(ControllerError):
+            manager.process_image("sobel", np.zeros((4, 4), dtype=np.float32))
+
+    def test_hwicap_controller_variant(self, provisioned_manager_factory):
+        _soc, manager = provisioned_manager_factory(controller="hwicap")
+        # reduce runtime: small image still exercises the full path
+        image = scene_image(512)
+        out, times = manager.process_image("median", image)
+        assert np.array_equal(out, GOLDEN_FILTERS["median"](image))
+        assert times.tr_us > 10_000  # CPU-copy reconfig is slow

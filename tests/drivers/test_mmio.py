@@ -1,0 +1,65 @@
+import pytest
+
+from repro.drivers.mmio import HostPort
+from repro.errors import BusError
+
+
+class TestHostPort:
+    def test_read_write_roundtrip(self, soc):
+        port = HostPort(soc)
+        addr = soc.config.layout.ddr_base + 0x100
+        port.write64(addr, 0x1122334455667788)
+        assert port.read64(addr) == 0x1122334455667788
+
+    def test_32bit_access(self, soc):
+        port = HostPort(soc)
+        addr = soc.config.layout.ddr_base + 0x200
+        port.write32(addr, 0xDEADBEEF)
+        assert port.read32(addr) == 0xDEADBEEF
+
+    def test_time_advances_per_access(self, soc):
+        port = HostPort(soc)
+        t0 = soc.sim.now
+        port.read32(soc.config.layout.clint_base + 0xBFF8)
+        assert soc.sim.now > t0
+
+    def test_stores_cost_more_than_loads(self, soc):
+        port = HostPort(soc)
+        addr = soc.config.layout.rp_ctrl_base + 0x10
+        t0 = soc.sim.now
+        port.read32(addr)
+        read_cost = soc.sim.now - t0
+        t1 = soc.sim.now
+        port.write32(addr, 0)
+        write_cost = soc.sim.now - t1
+        # non-posted I/O stores include the store-completion penalty
+        assert write_cost > read_cost
+
+    def test_decode_error_raises(self, soc):
+        port = HostPort(soc)
+        with pytest.raises(BusError):
+            port.read32(0x4000_0000)
+
+    def test_elapse(self, soc):
+        port = HostPort(soc)
+        t0 = soc.sim.now
+        port.elapse(123)
+        assert soc.sim.now == t0 + 123
+
+    def test_wait_for_timeout(self, soc):
+        port = HostPort(soc)
+        with pytest.raises(BusError):
+            port.wait_for(lambda: False, timeout_cycles=1000)
+
+    def test_wait_for_event_driven(self, soc):
+        port = HostPort(soc)
+        flag = []
+        soc.sim.schedule(500, lambda: flag.append(1))
+        port.wait_for(lambda: bool(flag))
+        assert soc.sim.now >= 500
+
+    def test_access_counter(self, soc):
+        port = HostPort(soc)
+        port.read32(soc.config.layout.clint_base + 0xBFF8)
+        port.write32(soc.config.layout.rp_ctrl_base, 0)
+        assert port.accesses == 2

@@ -1,0 +1,60 @@
+import pytest
+
+from repro.errors import ControllerError
+
+
+class TestReconfiguration:
+    def test_interrupt_mode_reference_timing(self, provisioned_manager_factory):
+        """The headline numbers: Td = 18 us, Tr = 1651 us (Sec. IV-B)."""
+        _soc, manager = provisioned_manager_factory()
+        result = manager.rvcap.init_reconfig_process(
+            manager.descriptor("sobel"))
+        assert result.td_us == pytest.approx(18.0, abs=0.4)
+        assert result.tr_us == pytest.approx(1651.0, abs=1.0)
+        assert result.throughput_mb_s == pytest.approx(394.2, abs=0.5)
+
+    def test_polling_mode_also_completes(self, provisioned_manager_factory):
+        soc, manager = provisioned_manager_factory()
+        result = manager.rvcap.init_reconfig_process(
+            manager.descriptor("median"), mode="polling")
+        assert soc.icap.reconfigurations_completed == 1
+        assert result.tr_us == pytest.approx(1651.0, rel=0.02)
+
+    def test_interrupt_mode_faster_or_equal_to_polling(
+            self, provisioned_manager_factory):
+        _s1, m1 = provisioned_manager_factory()
+        _s2, m2 = provisioned_manager_factory()
+        irq = m1.rvcap.init_reconfig_process(m1.descriptor("sobel"),
+                                             mode="interrupt")
+        poll = m2.rvcap.init_reconfig_process(m2.descriptor("sobel"),
+                                              mode="polling")
+        assert abs(irq.tr_us - poll.tr_us) / poll.tr_us < 0.05
+
+    def test_unknown_mode_rejected(self, provisioned_manager_factory):
+        _soc, manager = provisioned_manager_factory()
+        with pytest.raises(ControllerError):
+            manager.rvcap.init_reconfig_process(manager.descriptor("sobel"),
+                                                mode="telepathy")
+
+    def test_recouples_after_completion(self, provisioned_manager_factory):
+        soc, manager = provisioned_manager_factory()
+        manager.rvcap.init_reconfig_process(manager.descriptor("sobel"))
+        assert not soc.rvcap.rp_control.decoupled
+        assert not soc.rvcap.in_reconfiguration_mode
+
+    def test_plic_cleanly_drained(self, provisioned_manager_factory):
+        soc, manager = provisioned_manager_factory()
+        manager.rvcap.init_reconfig_process(manager.descriptor("sobel"))
+        assert soc.plic.pending == 0
+        assert soc.plic.in_service is None
+
+    def test_corrupt_bitstream_raises(self, provisioned_manager_factory):
+        soc, manager = provisioned_manager_factory()
+        d = manager.descriptor("sobel")
+        # flip a bit inside the frame payload in DDR
+        raw = bytearray(soc.ddr_read(d.start_address, d.pbit_size))
+        raw[5000] ^= 0x01
+        soc.ddr_write(d.start_address, bytes(raw))
+        with pytest.raises(ControllerError):
+            manager.rvcap.init_reconfig_process(d)
+        assert soc.icap.crc_error

@@ -1,0 +1,34 @@
+import pytest
+
+from repro.drivers.mmio import HostPort
+from repro.drivers.timer import ClintTimer
+
+
+class TestClintTimer:
+    def test_read_ticks_matches_model(self, soc):
+        port = HostPort(soc)
+        timer = ClintTimer(port)
+        soc.sim.advance_to(200_000)
+        ticks = timer.read_ticks()
+        # the MMIO reads themselves advance time a little
+        assert 10_000 <= ticks <= 10_010
+
+    def test_start_stop_measures_elapsed(self, soc):
+        port = HostPort(soc)
+        timer = ClintTimer(port)
+        timer.start()
+        port.elapse(165_100)
+        assert timer.stop_us() == pytest.approx(1651.0, abs=1.0)
+
+    def test_quantization_is_200ns(self, soc):
+        port = HostPort(soc)
+        timer = ClintTimer(port)
+        assert timer.ticks_to_us(1) == pytest.approx(0.2)
+
+    def test_measurement_includes_read_overhead(self, soc):
+        """Like the real driver, the timer reads cost bus time."""
+        port = HostPort(soc)
+        timer = ClintTimer(port)
+        timer.start()
+        elapsed = timer.stop_us()  # zero work measured
+        assert 0.0 <= elapsed < 2.0

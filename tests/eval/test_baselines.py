@@ -1,0 +1,33 @@
+import pytest
+
+from repro.eval.baselines import BASELINES, TransferClass
+
+
+class TestBaselineModels:
+    def test_eight_published_controllers(self):
+        assert len(BASELINES) == 8
+
+    def test_modeled_throughput_matches_published(self):
+        """The architecture model must reproduce every published value
+        to better than 1% — otherwise the table would be transcription,
+        not modelling."""
+        for baseline in BASELINES:
+            assert baseline.modeled_throughput_mb_s() == pytest.approx(
+                baseline.published_throughput_mb_s, rel=0.01), baseline.name
+
+    def test_dma_controllers_near_ceiling(self):
+        for baseline in BASELINES:
+            if baseline.transfer_class is TransferClass.DMA_MASTER:
+                assert baseline.published_throughput_mb_s > 380
+
+    def test_cpu_copy_controller_is_slowest_nonpcap(self):
+        hwicap = next(b for b in BASELINES if "AXI_HWICAP" in b.name)
+        assert hwicap.transfer_class is TransferClass.CPU_COPY
+        assert hwicap.published_throughput_mb_s < 20
+
+    def test_pcap_has_zero_fabric_cost(self):
+        pcap = next(b for b in BASELINES if b.name.startswith("PCAP"))
+        assert pcap.resources.luts == 0 and pcap.resources.ffs == 0
+
+    def test_all_at_100mhz(self):
+        assert all(b.freq_mhz == 100 for b in BASELINES)

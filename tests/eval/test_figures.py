@@ -1,0 +1,48 @@
+import pytest
+
+from repro.eval.figures import Fig3Series, UnrollPoint, UnrollSweep
+from repro.eval.throughput import SweepPoint
+
+
+class TestFig3Series:
+    def _series(self):
+        return Fig3Series(points=[
+            SweepPoint("a", 100_000, 300.0, 333.3),
+            SweepPoint("b", 650_892, 1651.0, 394.2),
+            SweepPoint("c", 2_000_000, 5020.0, 398.4),
+        ])
+
+    def test_max_throughput(self):
+        assert self._series().max_throughput_mb_s == 398.4
+
+    def test_render_mentions_every_point(self):
+        text = self._series().render()
+        for name in ("a", "b", "c"):
+            assert name in text
+        assert "398.4" in text and "paper: 398.1" in text
+
+
+class TestUnrollSweep:
+    def _sweep(self):
+        return UnrollSweep(points=[
+            UnrollPoint(1, 32000.0, 4.13, 170_000),
+            UnrollPoint(16, 16400.0, 8.15, 75_000),
+            UnrollPoint(32, 15900.0, 8.43, 72_000),
+        ])
+
+    def test_point_lookup(self):
+        assert self._sweep().point(16).throughput_mb_s == 8.15
+        with pytest.raises(KeyError):
+            self._sweep().point(8)
+
+    def test_gain_beyond_16(self):
+        gain = self._sweep().gain_beyond_16()
+        assert gain == pytest.approx(8.43 / 8.15 - 1)
+
+    def test_gain_without_larger_factors_is_zero(self):
+        sweep = UnrollSweep(points=[UnrollPoint(16, 1.0, 8.0, 1)])
+        assert sweep.gain_beyond_16() == 0.0
+
+    def test_render(self):
+        text = self._sweep().render()
+        assert "gain beyond 16x" in text and "paper: <5%" in text

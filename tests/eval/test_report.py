@@ -1,0 +1,22 @@
+from repro.eval.report import ReportSection, ReproductionReport
+
+
+class TestReportRendering:
+    def test_sections_in_order(self):
+        report = ReproductionReport()
+        report.add("Table I", "body-one")
+        report.add("Fig. 3", "body-two")
+        text = report.render()
+        assert text.index("Table I") < text.index("Fig. 3")
+        assert "body-one" in text and "body-two" in text
+
+    def test_markdown_structure(self):
+        report = ReproductionReport()
+        report.add("Section", "content")
+        text = report.render()
+        assert text.startswith("# RV-CAP reproduction report")
+        assert "## Section" in text
+        assert "```" in text
+
+    def test_empty_report(self):
+        assert "# RV-CAP" in ReproductionReport().render()

@@ -1,0 +1,39 @@
+import pytest
+
+from repro.eval.scenarios import (
+    REFERENCE_PBIT_BYTES,
+    fig3_geometries,
+    make_test_bitstream,
+    small_rp,
+    sweep_bitstream_sizes,
+)
+from repro.fpga.bitgen import Bitgen
+from repro.fpga.partition import make_reference_rp
+
+
+class TestScenarios:
+    def test_reference_constant_matches_bitgen(self):
+        assert Bitgen().expected_size_bytes(make_reference_rp()) \
+            == REFERENCE_PBIT_BYTES
+
+    def test_small_rp_is_fast(self):
+        bs = make_test_bitstream()
+        assert 100_000 < bs.nbytes < 200_000
+
+    def test_fig3_sweep_monotone_in_size(self):
+        sizes = [s for _n, s in sweep_bitstream_sizes()]
+        assert sizes == sorted(sizes)
+        assert len(sizes) == 7
+
+    def test_fig3_includes_reference_point(self):
+        sizes = dict(sweep_bitstream_sizes())
+        assert sizes["rp_ref"] == REFERENCE_PBIT_BYTES
+
+    def test_fig3_spans_paper_range(self):
+        sizes = [s for _n, s in sweep_bitstream_sizes()]
+        assert sizes[0] < 150_000        # ~134 KB
+        assert sizes[-1] > 1_900_000     # ~2 MB
+
+    def test_geometry_names_unique(self):
+        names = [n for n, _g in fig3_geometries()]
+        assert len(names) == len(set(names))

@@ -1,0 +1,66 @@
+"""Table-harness structure tests (fast paths; full runs in benchmarks/)."""
+
+import pytest
+
+from repro.eval.tables import Table1, Table1Row, table2, table3
+from repro.resources.model import ResourceCost
+
+
+class TestTable2Fast:
+    """table2 with injected measured values skips the slow simulations."""
+
+    def test_rows_and_order(self):
+        table = table2(measured_rvcap=398.1, measured_hwicap=8.23)
+        assert len(table.rows) == 10
+        assert table.rows[-1].name == "RV-CAP"
+        assert table.rows[-2].name == "Xilinx AXI_HWICAP (with RISC-V)"
+
+    def test_ours_flagged(self):
+        table = table2(measured_rvcap=398.1, measured_hwicap=8.23)
+        ours = table.ours()
+        assert len(ours) == 2
+        assert all(r.processor == "RV64GC" for r in ours)
+
+    def test_render_contains_all_controllers(self):
+        table = table2(measured_rvcap=398.1, measured_hwicap=8.23)
+        text = table.render()
+        for name in ("ZyCAP", "RT-ICAP", "PCAP", "Xilinx PRC", "RV-CAP"):
+            assert name in text
+
+    def test_rvcap_resources_match_table1_totals(self):
+        table = table2(measured_rvcap=398.1, measured_hwicap=8.23)
+        rvcap = next(r for r in table.rows if r.name == "RV-CAP")
+        assert (rvcap.resources.luts, rvcap.resources.ffs,
+                rvcap.resources.brams) == (2317, 3953, 6)
+
+
+class TestTable3Structure:
+    def test_component_lookup(self):
+        table = table3()
+        assert table.component("RP").resources.dsps == 20
+        with pytest.raises(KeyError):
+            table.component("nonexistent")
+
+    def test_rm_rows_have_percentages(self):
+        table = table3()
+        for name in ("RM: Gaussian", "RM: Median", "RM: Sobel"):
+            assert table.component(name).rp_utilization is not None
+
+    def test_render(self):
+        text = table3().render()
+        assert "74393" in text and "72.6" in text
+
+
+class TestTable1Container:
+    def test_throughput_lookup(self):
+        table = Table1()
+        table.rows.append(Table1Row("X", "mod", ResourceCost(1, 2, 3), 42.0))
+        table.rows.append(Table1Row("X", "other", ResourceCost(4, 5, 6)))
+        assert table.throughput("X") == 42.0
+        with pytest.raises(KeyError):
+            table.throughput("Y")
+
+    def test_render_blank_for_missing_throughput(self):
+        table = Table1()
+        table.rows.append(Table1Row("X", "mod", ResourceCost(1, 2, 3)))
+        assert "42" not in table.render()

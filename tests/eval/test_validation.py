@@ -1,0 +1,21 @@
+from repro.eval.validation import Check, render_validation, run_validation
+
+
+class TestRendering:
+    def test_pass_fail_marks(self):
+        checks = [
+            Check("good", "1", "1", True),
+            Check("bad", "2", "3", False),
+        ]
+        text = render_validation(checks)
+        assert "[PASS] good" in text
+        assert "[FAIL] bad" in text
+        assert "1/2 anchors reproduced" in text
+
+
+class TestFullValidation:
+    def test_all_anchors_pass(self):
+        checks = run_validation()
+        failures = [c for c in checks if not c.ok]
+        assert not failures, render_validation(checks)
+        assert len(checks) == 10

@@ -1,0 +1,62 @@
+import pytest
+
+from repro.errors import FilesystemError
+from repro.fat32.directory import (
+    ATTR_ARCHIVE,
+    ATTR_DIRECTORY,
+    DirEntry,
+    decode_83,
+    encode_83,
+)
+
+
+class TestNames:
+    def test_encode_decode_roundtrip(self):
+        for name in ("SOBEL.PBI", "A.B", "NOEXT", "LONGNAME.TXT"):
+            assert decode_83(encode_83(name)) == name
+
+    def test_dot_entries_encode(self):
+        assert encode_83(".") == b".          "
+        assert encode_83("..") == b"..         "
+        assert decode_83(encode_83(".")) == "."
+        assert decode_83(encode_83("..")) == ".."
+
+    def test_lowercase_upcased(self):
+        assert encode_83("sobel.pbi") == encode_83("SOBEL.PBI")
+
+    def test_padding(self):
+        assert encode_83("A.B") == b"A       B  "
+
+    @pytest.mark.parametrize("bad", ["", "TOOLONGNAME.TXT", "X.LONG",
+                                     "SP ACE.TXT", "A/B.TXT"])
+    def test_invalid_names_rejected(self, bad):
+        with pytest.raises(FilesystemError):
+            encode_83(bad)
+
+
+class TestDirEntry:
+    def test_pack_is_32_bytes(self):
+        raw = DirEntry("FILE.BIN", first_cluster=0x12345, size=999).pack()
+        assert len(raw) == 32
+
+    def test_pack_unpack_roundtrip(self):
+        entry = DirEntry("DATA.PBI", attributes=ATTR_ARCHIVE,
+                         first_cluster=0xABCDE, size=650892)
+        again = DirEntry.unpack(entry.pack())
+        assert again.name == "DATA.PBI"
+        assert again.first_cluster == 0xABCDE
+        assert again.size == 650892
+
+    def test_cluster_split_across_hi_lo(self):
+        entry = DirEntry("X.Y", first_cluster=0x0012_3456)
+        raw = entry.pack()
+        assert int.from_bytes(raw[20:22], "little") == 0x0012
+        assert int.from_bytes(raw[26:28], "little") == 0x3456
+
+    def test_directory_attribute(self):
+        entry = DirEntry("SUBDIR", attributes=ATTR_DIRECTORY)
+        assert entry.is_directory
+
+    def test_unpack_wrong_size_rejected(self):
+        with pytest.raises(FilesystemError):
+            DirEntry.unpack(b"\x00" * 31)

@@ -1,0 +1,110 @@
+import pytest
+
+from repro.errors import FilesystemError
+from repro.fat32.blockdev import RamBlockDevice
+from repro.fat32.filesystem import Fat32FileSystem
+from repro.fat32.mkfs import format_volume, make_disk_image
+
+
+@pytest.fixture()
+def fs():
+    return format_volume(RamBlockDevice(65536))
+
+
+class TestFileOperations:
+    def test_write_read_roundtrip(self, fs):
+        fs.write_file("TEST.BIN", b"contents here")
+        assert fs.read_file("TEST.BIN") == b"contents here"
+
+    def test_empty_file(self, fs):
+        fs.write_file("EMPTY.TXT", b"")
+        assert fs.read_file("EMPTY.TXT") == b""
+        assert fs.file_size("EMPTY.TXT") == 0
+
+    def test_multi_cluster_file(self, fs):
+        data = bytes(range(256)) * 64  # 16 KiB = 4 clusters
+        fs.write_file("BIG.BIN", data)
+        assert fs.read_file("BIG.BIN") == data
+
+    def test_exact_cluster_boundary(self, fs):
+        data = b"\xAB" * fs.bpb.cluster_bytes
+        fs.write_file("EXACT.BIN", data)
+        assert fs.read_file("EXACT.BIN") == data
+
+    def test_overwrite_shrinks(self, fs):
+        fs.write_file("F.BIN", b"\x00" * 20000)
+        free_mid = fs.free_bytes()
+        fs.write_file("F.BIN", b"tiny")
+        assert fs.read_file("F.BIN") == b"tiny"
+        assert fs.free_bytes() > free_mid
+
+    def test_overwrite_grows(self, fs):
+        fs.write_file("F.BIN", b"small")
+        fs.write_file("F.BIN", b"\x55" * 50000)
+        assert fs.read_file("F.BIN") == b"\x55" * 50000
+
+    def test_delete_frees_space(self, fs):
+        before = fs.free_bytes()
+        fs.write_file("DOOMED.BIN", b"\x00" * 9000)
+        fs.delete_file("DOOMED.BIN")
+        assert not fs.exists("DOOMED.BIN")
+        assert fs.free_bytes() == before
+
+    def test_delete_then_recreate(self, fs):
+        fs.write_file("A.TXT", b"one")
+        fs.delete_file("A.TXT")
+        fs.write_file("A.TXT", b"two")
+        assert fs.read_file("A.TXT") == b"two"
+
+    def test_missing_file_raises(self, fs):
+        with pytest.raises(FilesystemError):
+            fs.read_file("NOPE.BIN")
+        with pytest.raises(FilesystemError):
+            fs.delete_file("NOPE.BIN")
+
+    def test_case_insensitive_lookup(self, fs):
+        fs.write_file("MiXeD.BiN", b"x")
+        assert fs.exists("mixed.bin")
+        assert fs.read_file("MIXED.BIN") == b"x"
+
+
+class TestDirectory:
+    def test_list_dir(self, fs):
+        fs.write_file("A.PBI", b"1")
+        fs.write_file("B.PBI", b"22")
+        names = {(e.name, e.size) for e in fs.list_dir()}
+        assert names == {("A.PBI", 1), ("B.PBI", 2)}
+
+    def test_many_files_extend_root_directory(self, fs):
+        # one cluster holds 128 entries; create more than that
+        count = 200
+        for i in range(count):
+            fs.write_file(f"F{i:05d}.DAT", bytes([i & 0xFF]))
+        assert len(fs.list_dir()) == count
+        assert fs.read_file("F00150.DAT") == bytes([150])
+
+
+class TestMount:
+    def test_mount_from_mbr(self):
+        dev = make_disk_image({"HELLO.TXT": b"mounted"})
+        fs = Fat32FileSystem.mount(dev)
+        assert fs.read_file("HELLO.TXT") == b"mounted"
+
+    def test_mount_missing_partition(self):
+        dev = RamBlockDevice(4096)
+        from repro.fat32.mbr import write_mbr
+        write_mbr(dev, [])
+        with pytest.raises(FilesystemError):
+            Fat32FileSystem.mount(dev)
+
+    def test_mount_partitionless(self):
+        device = RamBlockDevice(65536)
+        fs = format_volume(device)
+        # re-mount the partition view directly via its BPB
+        remounted = Fat32FileSystem.mount_partitionless(fs.partition)
+        fs.write_file("X.BIN", b"shared")
+        assert remounted.read_file("X.BIN") == b"shared"
+
+    def test_device_too_small(self):
+        with pytest.raises(FilesystemError):
+            format_volume(RamBlockDevice(1024))

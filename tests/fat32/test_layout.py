@@ -1,0 +1,44 @@
+import pytest
+
+from repro.errors import FilesystemError
+from repro.fat32.layout import BiosParameterBlock
+
+
+class TestBpb:
+    def test_pack_unpack_roundtrip(self):
+        bpb = BiosParameterBlock(total_sectors=100000, sectors_per_fat=97)
+        again = BiosParameterBlock.unpack(bpb.pack())
+        assert again.total_sectors == 100000
+        assert again.sectors_per_fat == 97
+        assert again.sectors_per_cluster == bpb.sectors_per_cluster
+        assert again.root_cluster == 2
+
+    def test_geometry_helpers(self):
+        bpb = BiosParameterBlock(sectors_per_cluster=8, reserved_sectors=32,
+                                 num_fats=2, total_sectors=10000,
+                                 sectors_per_fat=10)
+        assert bpb.cluster_bytes == 4096
+        assert bpb.fat_start_sector == 32
+        assert bpb.data_start_sector == 52
+        assert bpb.cluster_to_sector(2) == 52
+        assert bpb.cluster_to_sector(3) == 60
+
+    def test_cluster_below_two_rejected(self):
+        bpb = BiosParameterBlock(total_sectors=1000, sectors_per_fat=2)
+        with pytest.raises(FilesystemError):
+            bpb.cluster_to_sector(1)
+
+    def test_non_power_of_two_cluster_rejected(self):
+        with pytest.raises(FilesystemError):
+            BiosParameterBlock(sectors_per_cluster=3)
+
+    def test_unpack_rejects_non_fat32(self):
+        bpb = BiosParameterBlock(total_sectors=1000, sectors_per_fat=2)
+        raw = bytearray(bpb.pack())
+        raw[82:90] = b"FAT16   "
+        with pytest.raises(FilesystemError):
+            BiosParameterBlock.unpack(bytes(raw))
+
+    def test_unpack_rejects_bad_signature(self):
+        with pytest.raises(FilesystemError):
+            BiosParameterBlock.unpack(bytes(512))

@@ -1,0 +1,49 @@
+import pytest
+
+from repro.errors import FilesystemError
+from repro.fat32.blockdev import RamBlockDevice
+from repro.fat32.mbr import (
+    PARTITION_TYPE_FAT32_LBA,
+    PartitionEntry,
+    parse_mbr,
+    write_mbr,
+)
+
+
+class TestPartitionEntry:
+    def test_pack_unpack_roundtrip(self):
+        entry = PartitionEntry(0x80, PARTITION_TYPE_FAT32_LBA, 2048, 100000)
+        assert PartitionEntry.unpack(entry.pack()) == entry
+
+    def test_present_flag(self):
+        assert PartitionEntry(0, 0x0C, 1, 1).present
+        assert not PartitionEntry(0, 0, 0, 0).present
+        assert not PartitionEntry(0, 0x0C, 1, 0).present
+
+
+class TestMbr:
+    def test_write_and_parse(self):
+        dev = RamBlockDevice(4096)
+        entries = [
+            PartitionEntry(0x80, PARTITION_TYPE_FAT32_LBA, 2048, 2000),
+            PartitionEntry(0x00, 0x83, 4096, 100),
+        ]
+        write_mbr(dev, entries)
+        parsed = parse_mbr(dev)
+        assert parsed == entries
+
+    def test_signature_enforced(self):
+        dev = RamBlockDevice(16)
+        with pytest.raises(FilesystemError):
+            parse_mbr(dev)
+
+    def test_empty_slots_skipped(self):
+        dev = RamBlockDevice(16)
+        write_mbr(dev, [PartitionEntry(0, PARTITION_TYPE_FAT32_LBA, 10, 5)])
+        assert len(parse_mbr(dev)) == 1
+
+    def test_too_many_partitions_rejected(self):
+        dev = RamBlockDevice(16)
+        entry = PartitionEntry(0, 0x0C, 1, 1)
+        with pytest.raises(FilesystemError):
+            write_mbr(dev, [entry] * 5)

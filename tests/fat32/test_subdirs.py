@@ -1,0 +1,98 @@
+"""Subdirectory support: mkdir, path resolution, nested files."""
+
+import pytest
+
+from repro.errors import FilesystemError
+from repro.fat32.blockdev import RamBlockDevice
+from repro.fat32.mkfs import format_volume
+
+
+@pytest.fixture()
+def fs():
+    return format_volume(RamBlockDevice(65536))
+
+
+class TestMkdir:
+    def test_mkdir_and_list(self, fs):
+        fs.mkdir("PBITS")
+        assert [d.name for d in fs.list_subdirs()] == ["PBITS"]
+        assert fs.list_dir("PBITS") == []
+
+    def test_nested_mkdir(self, fs):
+        fs.mkdir("A")
+        fs.mkdir("A/B")
+        fs.mkdir("A/B/C")
+        assert [d.name for d in fs.list_subdirs("A/B")] == ["C"]
+
+    def test_duplicate_rejected(self, fs):
+        fs.mkdir("X")
+        with pytest.raises(FilesystemError):
+            fs.mkdir("X")
+
+    def test_missing_parent_rejected(self, fs):
+        with pytest.raises(FilesystemError):
+            fs.mkdir("NOPE/CHILD")
+
+    def test_dot_entries_created(self, fs):
+        fs.mkdir("D")
+        # raw slot scan of the new directory: '.' then '..'
+        cluster = fs._resolve_dir("D")
+        slots = list(fs._iter_dir_slots(cluster))
+        from repro.fat32.directory import DirEntry
+        first = DirEntry.unpack(slots[0][2])
+        second = DirEntry.unpack(slots[1][2])
+        assert first.name == "." and first.is_directory
+        assert second.name == ".." and second.is_directory
+
+
+class TestNestedFiles:
+    def test_write_read_in_subdir(self, fs):
+        fs.mkdir("PBITS")
+        fs.write_file("PBITS/SOBEL.PBI", b"frame-data")
+        assert fs.read_file("PBITS/SOBEL.PBI") == b"frame-data"
+        assert fs.file_size("PBITS/SOBEL.PBI") == 10
+
+    def test_same_name_different_dirs(self, fs):
+        fs.mkdir("A")
+        fs.mkdir("B")
+        fs.write_file("A/F.BIN", b"aaa")
+        fs.write_file("B/F.BIN", b"bbb")
+        fs.write_file("F.BIN", b"root")
+        assert fs.read_file("A/F.BIN") == b"aaa"
+        assert fs.read_file("B/F.BIN") == b"bbb"
+        assert fs.read_file("F.BIN") == b"root"
+
+    def test_overwrite_in_subdir(self, fs):
+        fs.mkdir("D")
+        fs.write_file("D/X.BIN", b"one")
+        fs.write_file("D/X.BIN", b"two-two")
+        assert fs.read_file("D/X.BIN") == b"two-two"
+
+    def test_delete_in_subdir(self, fs):
+        fs.mkdir("D")
+        fs.write_file("D/X.BIN", b"bye")
+        fs.delete_file("D/X.BIN")
+        assert not fs.exists("D/X.BIN")
+        # the directory itself survives the file deletion
+        assert [d.name for d in fs.list_subdirs()] == ["D"]
+        assert fs.list_dir("D") == []
+
+    def test_listing_excludes_nested(self, fs):
+        fs.mkdir("D")
+        fs.write_file("D/IN.BIN", b"x")
+        fs.write_file("TOP.BIN", b"y")
+        assert [e.name for e in fs.list_dir()] == ["TOP.BIN"]
+        assert [e.name for e in fs.list_dir("D")] == ["IN.BIN"]
+
+    def test_missing_path_errors(self, fs):
+        assert not fs.exists("GHOST/F.BIN")
+        with pytest.raises(FilesystemError):
+            fs.read_file("GHOST/F.BIN")
+
+    def test_deep_nesting_with_many_files(self, fs):
+        fs.mkdir("L1")
+        fs.mkdir("L1/L2")
+        for i in range(150):  # force directory-cluster extension
+            fs.write_file(f"L1/L2/F{i:04d}.DAT", bytes([i & 0xFF]))
+        assert len(fs.list_dir("L1/L2")) == 150
+        assert fs.read_file("L1/L2/F0099.DAT") == bytes([99])

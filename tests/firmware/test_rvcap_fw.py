@@ -1,0 +1,64 @@
+"""The Listing-1 firmware: interrupt-driven RV-CAP flow on the ISS."""
+
+import pytest
+
+from repro.eval.scenarios import make_test_bitstream, small_rp
+from repro.firmware import build_rvcap_firmware, run_firmware
+from repro.soc.builder import build_soc
+
+
+@pytest.fixture(scope="module")
+def pbit():
+    return make_test_bitstream().to_bytes()
+
+
+def _run(pbit):
+    soc = build_soc(with_case_study_modules=False)
+    src = soc.config.layout.ddr_base + (16 << 20)
+    soc.ddr_write(src, pbit)
+    firmware = build_rvcap_firmware(src, len(pbit))
+    result = run_firmware(soc, firmware)
+    return soc, result
+
+
+class TestInterruptDrivenFlow:
+    def test_reconfigures_via_wfi_and_isr(self, pbit):
+        soc, result = _run(pbit)
+        assert result.done
+        assert result.extra == 1  # ISR ran
+        assert soc.icap.reconfigurations_completed == 1
+        assert not soc.icap.error
+        assert soc.config_memory.frames_written == small_rp().frames
+
+    def test_throughput_near_icap_ceiling(self, pbit):
+        _soc, result = _run(pbit)
+        mb_s = len(pbit) / (result.elapsed_us() * 1e-6) / 1e6
+        # ~134 KB bitstream: fixed overhead visible, still > 350 MB/s
+        assert mb_s > 350
+
+    def test_cpu_sleeps_during_transfer(self, pbit):
+        """Non-blocking mode: instruction count stays tiny because the
+        core is in wfi while the DMA streams 33k words."""
+        _soc, result = _run(pbit)
+        assert result.instructions < 300
+
+    def test_plic_drained_and_rp_recoupled(self, pbit):
+        soc, _result = _run(pbit)
+        assert soc.plic.pending == 0
+        assert not soc.rvcap.rp_control.decoupled
+        assert not soc.rvcap.in_reconfiguration_mode
+
+    def test_firmware_vs_host_driver_agree(self, pbit):
+        """Both execution modes drive the same hardware.
+
+        The DMA/ICAP time dominates and is identical; the residual gap
+        is software: the host driver charges the calibrated 2100-cycle
+        ISR of the paper's runtime, while this hand-written firmware's
+        ISR is ~20 instructions.  On a ~134 KB bitstream that bounds
+        the divergence to a few percent (and the firmware is faster).
+        """
+        from repro.eval.throughput import measure_reconfiguration
+        _soc, fw = _run(pbit)
+        host = measure_reconfiguration(pbit, controller="rvcap")
+        assert fw.elapsed_us() <= host.tr_us
+        assert fw.elapsed_us() == pytest.approx(host.tr_us, rel=0.08)

@@ -1,0 +1,97 @@
+"""CLINT timer interrupts waking a sleeping core (wfi + mtimecmp)."""
+
+from repro.firmware.runtime import FirmwareBuilder
+from repro.firmware.runner import run_firmware
+from repro.riscv.assembler import assemble
+
+
+def _build_timer_firmware(sleep_ticks: int):
+    builder = FirmwareBuilder()
+    builder.add(f"""
+    .equ SLEEP_TICKS, {sleep_ticks}
+    .equ MTIMECMP, CLINT_BASE + 0x4000
+    """)
+    builder.add_crt0(enable_traps=True)
+    builder.add_read_mtime()
+    builder.add("""
+    main:
+        addi sp, sp, -16
+        sd ra, 8(sp)
+        call read_mtime
+        li t0, MAILBOX
+        sd a0, 8(t0)              # T0
+        # mtimecmp = now + SLEEP_TICKS
+        li t1, SLEEP_TICKS
+        add a1, a0, t1
+        li t0, MTIMECMP
+        sw a1, 0(t0)
+        srli t2, a1, 32
+        sw t2, 4(t0)
+        # enable the machine timer interrupt and sleep
+        li t1, 1 << 7
+        csrs mie, t1
+        csrsi mstatus, 8
+    sleep:
+        li t0, MAILBOX
+        ld t1, 24(t0)
+        bnez t1, awake
+        wfi
+        j sleep
+    awake:
+        call read_mtime
+        li t0, MAILBOX
+        sd a0, 16(t0)             # T1
+        ld ra, 8(sp)
+        addi sp, sp, 16
+        ret
+
+    trap_handler:
+        # disable the timer interrupt and flag wake-up
+        li t1, 1 << 7
+        csrc mie, t1
+        li t0, MAILBOX
+        li t1, 1
+        sd t1, 24(t0)
+        mret
+    """)
+    return assemble(builder.source(), base=builder.layout.bootrom_base)
+
+
+class TestTimerWakeup:
+    def test_core_sleeps_until_mtimecmp(self, bare_soc):
+        sleep_ticks = 500  # 100 us at the 5 MHz timebase
+        firmware = _build_timer_firmware(sleep_ticks)
+        result = run_firmware(bare_soc, firmware)
+        assert result.done and result.extra == 1
+        elapsed = result.t1_ticks - result.t0_ticks
+        # woke at/after the programmed compare, with only ISR slack
+        assert sleep_ticks <= elapsed < sleep_ticks + 50
+
+    def test_instruction_count_tiny_despite_long_sleep(self, bare_soc):
+        firmware = _build_timer_firmware(50_000)  # 10 ms of sleep
+        result = run_firmware(bare_soc, firmware)
+        assert result.done
+        assert result.instructions < 200  # wfi, not a spin loop
+
+    def test_time_csr_tracks_clint(self, bare_soc):
+        builder = FirmwareBuilder()
+        builder.add_crt0()
+        builder.add_read_mtime()
+        builder.add("""
+        main:
+            addi sp, sp, -16
+            sd ra, 8(sp)
+            rdtime t3
+            call read_mtime
+            li t0, MAILBOX
+            sd t3, 8(t0)
+            sd a0, 16(t0)
+            ld ra, 8(sp)
+            addi sp, sp, 16
+            ret
+        """)
+        program = assemble(builder.source(),
+                           base=builder.layout.bootrom_base)
+        result = run_firmware(bare_soc, program)
+        # rdtime and the MMIO mtime read agree to within read latency
+        assert abs(result.t1_ticks - result.t0_ticks) < 5

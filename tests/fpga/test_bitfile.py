@@ -1,0 +1,53 @@
+import pytest
+
+from repro.errors import BitstreamError
+from repro.eval.scenarios import make_test_bitstream
+from repro.fpga.bitfile import (
+    BitFileHeader,
+    extract_bitstream,
+    is_bit_file,
+    parse_bit_file,
+    write_bit_file,
+)
+
+
+class TestBitContainer:
+    def test_roundtrip(self):
+        bs = make_test_bitstream()
+        header = BitFileHeader(design_name="sobel_rm;UserID=0XDEADBEEF",
+                               part_name="7k325tffg900",
+                               date="2021/05/17", time="13:37:00")
+        data = write_bit_file(bs, header)
+        parsed_header, parsed_bs = parse_bit_file(data)
+        assert parsed_header == header
+        assert parsed_bs.to_bytes() == bs.to_bytes()
+
+    def test_sniffing(self):
+        bs = make_test_bitstream()
+        assert is_bit_file(write_bit_file(bs))
+        assert not is_bit_file(bs.to_bytes())
+
+    def test_extract_accepts_both_formats(self):
+        bs = make_test_bitstream()
+        from_bin = extract_bitstream(bs.to_bytes())
+        from_bit = extract_bitstream(write_bit_file(bs))
+        assert from_bin.to_bytes() == from_bit.to_bytes() == bs.to_bytes()
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(BitstreamError):
+            parse_bit_file(b"\x00" * 64)
+
+    def test_truncated_payload_rejected(self):
+        data = write_bit_file(make_test_bitstream())
+        with pytest.raises(BitstreamError):
+            parse_bit_file(data[:-100])
+
+    def test_bit_wrapped_bitstream_configures(self):
+        """A .bit-wrapped PB still reconfigures after extraction."""
+        from repro.fpga.config_memory import ConfigMemory
+        from repro.fpga.device import KINTEX7_325T
+        from repro.fpga.icap import Icap
+        bs = extract_bitstream(write_bit_file(make_test_bitstream()))
+        icap = Icap(ConfigMemory(KINTEX7_325T))
+        icap.accept(bs.to_bytes(), now=0)
+        assert icap.reconfigurations_completed == 1 and not icap.error

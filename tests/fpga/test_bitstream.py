@@ -1,0 +1,70 @@
+import numpy as np
+import pytest
+
+from repro.errors import BitstreamError
+from repro.fpga.bitgen import Bitgen, BitgenOptions
+from repro.fpga.bitstream import Bitstream, parse_bitstream
+from repro.fpga.packets import Command
+from repro.eval.scenarios import make_test_bitstream, small_rp
+from repro.fpga.partition import ReconfigurableModule, ResourceBudget
+
+
+class TestContainer:
+    def test_to_from_bytes_roundtrip(self):
+        words = np.array([0xAA995566, 0x20000000, 0x12345678], dtype=np.uint32)
+        bs = Bitstream(words)
+        again = Bitstream.from_bytes(bs.to_bytes())
+        assert np.array_equal(again.words, words)
+
+    def test_serialization_is_big_endian_per_word(self):
+        bs = Bitstream(np.array([0x11223344], dtype=np.uint32))
+        assert bs.to_bytes() == b"\x11\x22\x33\x44"
+
+    def test_partial_word_rejected(self):
+        with pytest.raises(BitstreamError):
+            Bitstream.from_bytes(b"\x00" * 5)
+
+    def test_len_and_nbytes(self):
+        bs = Bitstream(np.zeros(10, dtype=np.uint32))
+        assert len(bs) == 10 and bs.nbytes == 40
+
+
+class TestParser:
+    def test_parse_generated_bitstream(self):
+        bs = make_test_bitstream()
+        parsed = parse_bitstream(bs)
+        assert parsed.crc_ok
+        assert parsed.desynced
+        assert parsed.idcode == 0x3651093
+        assert Command.RCRC in parsed.commands
+        assert Command.WCFG in parsed.commands
+        assert parsed.frame_words.size == small_rp().frame_words
+
+    def test_corrupted_payload_breaks_crc(self):
+        bs = make_test_bitstream()
+        words = bs.words.copy()
+        words[100] ^= 0x1  # flip one bit inside the frame data
+        parsed = parse_bitstream(Bitstream(words))
+        assert not parsed.crc_ok
+
+    def test_missing_sync_rejected(self):
+        with pytest.raises(BitstreamError):
+            parse_bitstream(Bitstream(np.full(10, 0xFFFFFFFF, dtype=np.uint32)))
+
+    def test_garbage_preamble_rejected(self):
+        with pytest.raises(BitstreamError):
+            parse_bitstream(Bitstream(np.array([0x12345678], dtype=np.uint32)))
+
+    def test_truncated_payload_rejected(self):
+        bs = make_test_bitstream()
+        # cut inside the FDRI payload
+        truncated = Bitstream(bs.words[:100])
+        with pytest.raises(BitstreamError):
+            parse_bitstream(truncated)
+
+    def test_corrupt_crc_option(self):
+        rp = small_rp()
+        gen = Bitgen(options=BitgenOptions(corrupt_crc=True))
+        module = ReconfigurableModule("bad", ResourceBudget(1, 1, 0, 0))
+        parsed = parse_bitstream(gen.generate(rp, module))
+        assert not parsed.crc_ok

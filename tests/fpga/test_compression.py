@@ -1,0 +1,60 @@
+import numpy as np
+import pytest
+
+from repro.errors import BitstreamError
+from repro.fpga.compression import (
+    compression_ratio,
+    rle_compress,
+    rle_decompress,
+)
+
+
+class TestRoundtrip:
+    def test_empty(self):
+        assert rle_decompress(rle_compress(np.zeros(0, np.uint32))).size == 0
+
+    def test_all_same(self):
+        data = np.full(1000, 0xAA995566, dtype=np.uint32)
+        encoded = rle_compress(data)
+        assert encoded.size == 2  # one run record
+        assert np.array_equal(rle_decompress(encoded), data)
+
+    def test_all_distinct(self):
+        data = np.arange(100, dtype=np.uint32)
+        encoded = rle_compress(data)
+        assert encoded.size == 101  # literal header + payload
+        assert np.array_equal(rle_decompress(encoded), data)
+
+    def test_mixed_runs_and_literals(self):
+        data = np.array([1, 1, 1, 2, 3, 4, 4, 5], dtype=np.uint32)
+        assert np.array_equal(rle_decompress(rle_compress(data)), data)
+
+    def test_random_roundtrip(self, rng):
+        data = rng.integers(0, 4, size=5000).astype(np.uint32)
+        assert np.array_equal(rle_decompress(rle_compress(data)), data)
+
+
+class TestCompressionValue:
+    def test_sparse_config_data_compresses_well(self):
+        # zero-dominated frame data (typical of lightly used RPs)
+        data = np.zeros(10_000, dtype=np.uint32)
+        data[::97] = 0xDEAD
+        assert compression_ratio(data) < 0.1
+
+    def test_random_data_does_not_compress(self, rng):
+        data = rng.integers(0, 2**32, size=10_000, dtype=np.uint64).astype(np.uint32)
+        assert compression_ratio(data) > 0.99
+
+
+class TestErrors:
+    def test_truncated_run(self):
+        with pytest.raises(BitstreamError):
+            rle_decompress(np.array([0x00000005], dtype=np.uint32))
+
+    def test_truncated_literal(self):
+        with pytest.raises(BitstreamError):
+            rle_decompress(np.array([0x01000003, 1], dtype=np.uint32))
+
+    def test_bad_record_kind(self):
+        with pytest.raises(BitstreamError):
+            rle_decompress(np.array([0x7F000001, 0], dtype=np.uint32))

@@ -1,0 +1,55 @@
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fpga.config_memory import ConfigMemory
+from repro.fpga.device import KINTEX7_325T
+from repro.fpga.frames import FrameAddress
+
+
+@pytest.fixture()
+def cm():
+    return ConfigMemory(KINTEX7_325T)
+
+
+class TestConfigMemory:
+    def test_unwritten_frames_read_zero(self, cm):
+        frame = cm.read_frame(FrameAddress(row=2, column=5))
+        assert frame.shape == (101,)
+        assert not frame.any()
+
+    def test_write_read_roundtrip(self, cm):
+        far = FrameAddress(row=1, column=3)
+        data = np.arange(101, dtype=np.uint32)
+        cm.write_frames(far, data)
+        assert np.array_equal(cm.read_frame(far), data)
+
+    def test_multi_frame_write_advances_far(self, cm):
+        far = FrameAddress(row=0, column=0)
+        data = np.arange(3 * 101, dtype=np.uint32)
+        next_far = cm.write_frames(far, data)
+        assert next_far.linear_index() == far.linear_index() + 3
+        assert np.array_equal(cm.read_frames(far, 3), data)
+
+    def test_partial_frame_rejected(self, cm):
+        with pytest.raises(ConfigurationError):
+            cm.write_frames(FrameAddress(), np.zeros(100, dtype=np.uint32))
+
+    def test_overwrite_replaces(self, cm):
+        far = FrameAddress()
+        cm.write_frames(far, np.ones(101, dtype=np.uint32))
+        cm.write_frames(far, np.full(101, 7, dtype=np.uint32))
+        assert cm.read_frame(far)[0] == 7
+        assert cm.configured_frames == 1
+        assert cm.frames_written == 2
+
+    def test_clear(self, cm):
+        cm.write_frames(FrameAddress(), np.zeros(101, dtype=np.uint32))
+        cm.clear()
+        assert cm.configured_frames == 0
+
+    def test_read_frames_mixed_configured(self, cm):
+        far = FrameAddress()
+        cm.write_frames(far, np.ones(101, dtype=np.uint32))
+        out = cm.read_frames(far, 2)  # second frame never written
+        assert out[:101].all() and not out[101:].any()

@@ -1,0 +1,158 @@
+import numpy as np
+import pytest
+
+from repro.eval.scenarios import make_test_bitstream, small_rp
+from repro.fpga.bitgen import Bitgen, BitgenOptions
+from repro.fpga.config_memory import ConfigMemory
+from repro.fpga.device import KINTEX7_325T
+from repro.fpga.icap import Icap
+from repro.fpga.partition import ReconfigurableModule, ResourceBudget
+
+
+@pytest.fixture()
+def icap():
+    return Icap(ConfigMemory(KINTEX7_325T))
+
+
+class TestTiming:
+    def test_one_word_per_cycle(self, icap):
+        done = icap.accept(b"\xFF" * 400, now=0)
+        assert done == 100
+
+    def test_back_to_back_bursts_pipeline(self, icap):
+        icap.accept(b"\xFF" * 64, now=0)
+        done = icap.accept(b"\xFF" * 64, now=0)
+        assert done == 32
+
+    def test_gap_resets_busy(self, icap):
+        icap.accept(b"\xFF" * 64, now=0)     # busy until 16
+        done = icap.accept(b"\xFF" * 64, now=100)
+        assert done == 116
+
+
+class TestConfiguration:
+    def test_full_bitstream_configures_frames(self, icap):
+        rp = small_rp()
+        bs = make_test_bitstream(rp)
+        icap.accept(bs.to_bytes(), now=0)
+        assert not icap.error
+        assert icap.reconfigurations_completed == 1
+        assert icap.config_memory.frames_written == rp.frames
+
+    def test_frame_contents_land_at_far(self, icap):
+        rp = small_rp()
+        gen = Bitgen()
+        module = ReconfigurableModule("m", ResourceBudget(1, 1, 0, 0))
+        payload = gen.frame_payload(rp, module)
+        icap.accept(gen.generate(rp, module).to_bytes(), now=0)
+        stored = icap.config_memory.read_frames(rp.base_far, rp.frames)
+        assert np.array_equal(stored, payload)
+
+    def test_split_delivery_across_bursts(self, icap):
+        """Bytes arrive in arbitrary chunk sizes (DMA bursts)."""
+        bs = make_test_bitstream().to_bytes()
+        t = 0
+        for i in range(0, len(bs), 999):  # deliberately word-misaligned
+            t = icap.accept(bs[i:i + 999], t)
+        assert not icap.error
+        assert icap.reconfigurations_completed == 1
+
+    def test_two_consecutive_reconfigurations(self, icap):
+        rp = small_rp()
+        gen = Bitgen()
+        a = gen.generate(rp, ReconfigurableModule("a", ResourceBudget(1, 1, 0, 0)))
+        b = gen.generate(rp, ReconfigurableModule("b", ResourceBudget(1, 1, 0, 0)))
+        t = icap.accept(a.to_bytes(), now=0)
+        icap.accept(b.to_bytes(), now=t)
+        assert icap.reconfigurations_completed == 2
+        assert not icap.error
+        stored = icap.config_memory.read_frames(rp.base_far, rp.frames)
+        assert np.array_equal(stored, gen.frame_payload(
+            rp, ReconfigurableModule("b", ResourceBudget(1, 1, 0, 0))))
+
+
+class TestErrorPaths:
+    def test_crc_corruption_detected_and_blocks_completion(self):
+        cm = ConfigMemory(KINTEX7_325T)
+        icap = Icap(cm)
+        rp = small_rp()
+        gen = Bitgen(options=BitgenOptions(corrupt_crc=True))
+        module = ReconfigurableModule("m", ResourceBudget(1, 1, 0, 0))
+        icap.accept(gen.generate(rp, module).to_bytes(), now=0)
+        assert icap.crc_error
+        assert icap.reconfigurations_completed == 0
+
+    def test_crc_check_can_be_disabled(self):
+        cm = ConfigMemory(KINTEX7_325T)
+        icap = Icap(cm, crc_check=False)
+        gen = Bitgen(options=BitgenOptions(corrupt_crc=True))
+        module = ReconfigurableModule("m", ResourceBudget(1, 1, 0, 0))
+        icap.accept(gen.generate(small_rp(), module).to_bytes(), now=0)
+        assert not icap.crc_error
+        assert icap.reconfigurations_completed == 1
+
+    def test_idcode_mismatch_flagged(self, icap):
+        from repro.fpga.device import FpgaDevice
+        wrong_device = FpgaDevice(name="xc7a35t", idcode=0x362D093)
+        gen = Bitgen(wrong_device)
+        module = ReconfigurableModule("m", ResourceBudget(1, 1, 0, 0))
+        icap.accept(gen.generate(small_rp(), module).to_bytes(), now=0)
+        assert icap.idcode_mismatch
+        assert icap.error
+
+    def test_garbage_before_sync_is_ignored(self, icap):
+        icap.accept(b"\x12\x34\x56\x78" * 16, now=0)
+        assert not icap.error  # desynced devices ignore noise
+
+    def test_reset_clears_errors(self, icap):
+        gen = Bitgen(options=BitgenOptions(corrupt_crc=True))
+        module = ReconfigurableModule("m", ResourceBudget(1, 1, 0, 0))
+        icap.accept(gen.generate(small_rp(), module).to_bytes(), now=0)
+        assert icap.error
+        icap.reset()
+        assert not icap.error
+
+    def test_completion_callback_fires(self, icap):
+        calls = []
+        icap.on_complete = lambda: calls.append(True)
+        icap.accept(make_test_bitstream().to_bytes(), now=0)
+        assert calls == [True]
+
+    def test_commit_guard_blocks(self, icap):
+        icap.commit_guard = lambda far, frames: False
+        from repro.errors import ConfigurationError
+        with pytest.raises(ConfigurationError):
+            icap.accept(make_test_bitstream().to_bytes(), now=0)
+
+
+class TestReadPackets:
+    def test_stat_read_reports_done(self, icap):
+        """A STAT register read through the port (UG470 status poll)."""
+        import numpy as np
+        from repro.fpga.packets import (
+            DUMMY_WORD, NOOP_WORD, SYNC_WORD, type1_read,
+        )
+        from repro.fpga.packets import ConfigRegister
+        words = np.array([DUMMY_WORD, SYNC_WORD, NOOP_WORD,
+                          type1_read(ConfigRegister.STAT, 1)],
+                         dtype=np.uint32)
+        icap.accept(words.astype(">u4").tobytes(), now=0)
+        assert icap.pop_readback(4) == [1 << 12]  # DONE-ish, no error
+
+    def test_fdro_without_far_is_protocol_error(self, icap):
+        import numpy as np
+        from repro.fpga.packets import (
+            DUMMY_WORD, NOOP_WORD, SYNC_WORD, type1_read,
+        )
+        from repro.fpga.packets import ConfigRegister
+        words = np.array([DUMMY_WORD, SYNC_WORD, NOOP_WORD,
+                          type1_read(ConfigRegister.FDRO, 101)],
+                         dtype=np.uint32)
+        icap.accept(words.astype(">u4").tobytes(), now=0)
+        assert icap.protocol_error
+
+    def test_pop_readback_drains_in_order(self, icap):
+        icap.readback_queue.extend([1, 2, 3, 4, 5])
+        assert icap.pop_readback(2) == [1, 2]
+        assert icap.pop_readback(10) == [3, 4, 5]
+        assert icap.pop_readback(1) == []

@@ -1,0 +1,49 @@
+import pytest
+
+from repro.errors import BitstreamError
+from repro.fpga.packets import (
+    ConfigPacket,
+    ConfigRegister,
+    Opcode,
+    SYNC_WORD,
+    type1_write,
+    type2_write,
+)
+
+
+class TestType1:
+    def test_encode_decode_roundtrip(self):
+        pkt = ConfigPacket(1, Opcode.WRITE, ConfigRegister.FDRI, 0)
+        assert ConfigPacket.decode(pkt.encode()) == pkt
+
+    def test_write_helper(self):
+        word = type1_write(ConfigRegister.CMD, 1)
+        pkt = ConfigPacket.decode(word)
+        assert pkt.packet_type == 1
+        assert pkt.opcode == Opcode.WRITE
+        assert pkt.register == ConfigRegister.CMD
+        assert pkt.word_count == 1
+
+    def test_count_limit(self):
+        with pytest.raises(BitstreamError):
+            type1_write(ConfigRegister.FDRI, 1 << 11)
+
+
+class TestType2:
+    def test_large_counts(self):
+        word = type2_write(162_408)
+        pkt = ConfigPacket.decode(word)
+        assert pkt.packet_type == 2 and pkt.word_count == 162_408
+
+    def test_count_limit(self):
+        with pytest.raises(BitstreamError):
+            type2_write(1 << 27)
+
+
+class TestDecode:
+    def test_sync_word_is_not_a_packet(self):
+        with pytest.raises(BitstreamError):
+            ConfigPacket.decode(SYNC_WORD)  # type 5
+
+    def test_known_constants(self):
+        assert SYNC_WORD == 0xAA995566

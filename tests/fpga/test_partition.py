@@ -1,0 +1,78 @@
+import pytest
+
+from repro.errors import BitstreamError
+from repro.fpga.device import KINTEX7_325T
+from repro.fpga.frames import FrameAddress
+from repro.fpga.partition import (
+    REFERENCE_RP_BUDGET,
+    ReconfigurableModule,
+    ResourceBudget,
+    RpGeometry,
+    make_reference_rp,
+)
+
+
+class TestGeometry:
+    def test_frame_counting(self):
+        geometry = RpGeometry(clb_cols=2, bram_cols=1, dsp_cols=1, rows=1)
+        # 2*36 + (28+128) + 28 = 256
+        assert geometry.frames(KINTEX7_325T) == 256
+
+    def test_rows_scale_linearly(self):
+        geometry = RpGeometry(4, 1, 1, 1)
+        assert geometry.scaled(3).frames(KINTEX7_325T) == 3 * geometry.frames(KINTEX7_325T)
+
+    def test_reference_geometry(self):
+        rp = make_reference_rp()
+        assert rp.frames == 1608
+        assert rp.frame_words == 1608 * 101
+
+
+class TestBudget:
+    def test_fits(self):
+        big = ResourceBudget(100, 100, 10, 10)
+        small = ResourceBudget(50, 100, 0, 10)
+        too_big = ResourceBudget(101, 1, 0, 0)
+        assert big.fits(small)
+        assert not big.fits(too_big)
+
+    def test_reference_budget_matches_paper(self):
+        assert REFERENCE_RP_BUDGET == ResourceBudget(3200, 6400, 30, 20)
+
+    def test_check_fits_raises(self):
+        rp = make_reference_rp()
+        module = ReconfigurableModule("huge", ResourceBudget(99999, 0, 0, 0))
+        with pytest.raises(BitstreamError):
+            rp.check_fits(module)
+
+    def test_case_study_modules_fit_reference_rp(self):
+        from repro.accel import ACCELERATOR_RESOURCES
+        rp = make_reference_rp()
+        for name, resources in ACCELERATOR_RESOURCES.items():
+            rp.check_fits(ReconfigurableModule(name, resources))
+
+
+class TestUtilization:
+    def test_sobel_percentages_match_table3(self):
+        """Table III footnote: percent utilization of the RP."""
+        from repro.accel import ACCELERATOR_RESOURCES
+        sobel = ReconfigurableModule("sobel", ACCELERATOR_RESOURCES["sobel"])
+        pct = sobel.utilization_of(REFERENCE_RP_BUDGET)
+        assert pct["luts"] == pytest.approx(57.18, abs=0.05)
+        assert pct["ffs"] == pytest.approx(50.37, abs=0.05)
+        assert pct["brams"] == pytest.approx(6.66, abs=0.05)
+
+    def test_median_percentages(self):
+        from repro.accel import ACCELERATOR_RESOURCES
+        median = ReconfigurableModule("median", ACCELERATOR_RESOURCES["median"])
+        pct = median.utilization_of(REFERENCE_RP_BUDGET)
+        assert pct["luts"] == pytest.approx(72.65, abs=0.05)
+
+
+class TestFarContainment:
+    def test_contains_far(self):
+        rp = make_reference_rp()
+        assert rp.contains_far(rp.base_far, rp.frames)
+        assert not rp.contains_far(rp.base_far, rp.frames + 1)
+        outside = FrameAddress(row=0, column=0, minor=0)
+        assert not rp.contains_far(outside)

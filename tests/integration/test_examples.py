@@ -1,0 +1,46 @@
+"""Example scripts must keep running (they are documentation)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def _run(name: str, argv: list[str] | None = None):
+    old_argv = sys.argv
+    sys.argv = [name] + (argv or [])
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+class TestExamplesRun:
+    def test_quickstart(self, capsys):
+        _run("quickstart.py")
+        out = capsys.readouterr().out
+        assert "1651.0 us" in out and "sobel" in out
+
+    def test_firmware_demo(self, capsys):
+        _run("firmware_demo.py")
+        out = capsys.readouterr().out
+        assert "firmware completed: True" in out
+        assert "disassembly" in out
+
+    def test_safe_dpr(self, capsys):
+        _run("safe_dpr.py")
+        out = capsys.readouterr().out
+        assert "nothing half-applied silently" in out
+        assert "rejected" in out
+
+    def test_adaptive_pipeline_writes_pgm(self, tmp_path, capsys):
+        _run("adaptive_image_pipeline.py", [str(tmp_path)])
+        out = capsys.readouterr().out
+        assert "bit-exact" in out and "MISMATCH" not in out
+        for name in ("input", "sobel", "median", "gaussian"):
+            pgm = tmp_path / f"{name}.pgm"
+            assert pgm.exists()
+            assert pgm.read_bytes().startswith(b"P5\n512 512\n255\n")

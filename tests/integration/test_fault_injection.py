@@ -1,0 +1,83 @@
+"""Failure-path integration: the system must fail loudly, never half-apply."""
+
+import numpy as np
+import pytest
+
+from repro.drivers.fileio import RmDescriptor
+from repro.errors import ControllerError
+from repro.fpga.bitgen import Bitgen, BitgenOptions
+from repro.fpga.partition import ReconfigurableModule, ResourceBudget
+
+
+class TestCorruptBitstreams:
+    def test_crc_corruption_blocks_activation(self, provisioned_manager_factory):
+        soc, manager = provisioned_manager_factory()
+        gen = Bitgen(options=BitgenOptions(corrupt_crc=True))
+        module = ReconfigurableModule("evil", ResourceBudget(1, 1, 0, 0))
+        bs = gen.generate(soc.rp, module)
+        src = soc.config.layout.ddr_base + (100 << 20)
+        soc.ddr_write(src, bs.to_bytes())
+        descriptor = RmDescriptor("evil", "E.PBI", src, bs.nbytes)
+        with pytest.raises(ControllerError):
+            manager.rvcap.init_reconfig_process(descriptor)
+        assert soc.icap.crc_error
+        # the CRC word arrives after the frame data (that is the
+        # protocol), so frames may have streamed in — but the device
+        # never completes startup and no module is ever activated
+        assert soc.icap.reconfigurations_completed == 0
+        assert soc.active_module_name is None and soc.active_rm is None
+
+    def test_recovery_after_crc_error(self, provisioned_manager_factory):
+        soc, manager = provisioned_manager_factory()
+        gen = Bitgen(options=BitgenOptions(corrupt_crc=True))
+        module = ReconfigurableModule("evil", ResourceBudget(1, 1, 0, 0))
+        bs = gen.generate(soc.rp, module)
+        src = soc.config.layout.ddr_base + (100 << 20)
+        soc.ddr_write(src, bs.to_bytes())
+        with pytest.raises(ControllerError):
+            manager.rvcap.init_reconfig_process(
+                RmDescriptor("evil", "E.PBI", src, bs.nbytes))
+        # port-level reset clears the error; a good bitstream then loads
+        soc.icap.reset()
+        result = manager.load_module("sobel")
+        assert result is not None
+        assert soc.active_module_name == "sobel"
+
+    def test_truncated_bitstream_never_completes(self, provisioned_manager_factory):
+        soc, manager = provisioned_manager_factory()
+        d = manager.descriptor("sobel")
+        truncated = RmDescriptor("trunc", d.file_name, d.start_address,
+                                 d.pbit_size // 2)
+        with pytest.raises(ControllerError):
+            # transfer finishes but the ICAP never saw DESYNC: the SoC
+            # cannot recognize a module, and the manager flags it
+            manager.rvcap.init_reconfig_process(truncated)
+
+
+class TestDecouplingSafety:
+    def test_rm_traffic_during_reconfig_is_isolated(self, provisioned_manager_factory):
+        soc, manager = provisioned_manager_factory()
+        manager.load_module("sobel")
+        rm = soc.active_rm
+        # decouple (as the driver does during DPR) and push data at the RM
+        soc.rvcap.rp_control._write_decouple(1)
+        soc.rvcap.switch.select("rm")
+        soc.rvcap.switch.accept(b"\x00" * 512, now=soc.sim.now)
+        assert len(rm._in_bytes) == 0  # nothing leaked into the RP
+        soc.rvcap.rp_control._write_decouple(0)
+
+
+class TestIcapErrorLatching:
+    def test_wrong_device_bitstream_rejected(self, provisioned_manager_factory):
+        soc, manager = provisioned_manager_factory()
+        from repro.fpga.device import FpgaDevice
+        alien = Bitgen(FpgaDevice(name="alien", idcode=0x1234567))
+        module = ReconfigurableModule("alien_mod", ResourceBudget(1, 1, 0, 0))
+        bs = alien.generate(soc.rp, module)
+        src = soc.config.layout.ddr_base + (100 << 20)
+        soc.ddr_write(src, bs.to_bytes())
+        with pytest.raises(ControllerError):
+            manager.rvcap.init_reconfig_process(
+                RmDescriptor("alien_mod", "A.PBI", src, bs.nbytes))
+        assert soc.icap.idcode_mismatch
+        assert soc.config_memory.frames_written == 0

@@ -1,0 +1,36 @@
+import pytest
+
+from repro.axi.types import AxiResp
+from repro.mem.bootrom import BootRom
+
+
+class TestBootRom:
+    def test_load_and_fetch(self):
+        rom = BootRom(size=1024)
+        rom.load_image(b"\x13\x00\x00\x00" * 4)
+        assert rom.fetch(0, 4) == b"\x13\x00\x00\x00"
+        assert rom.image_size == 16
+
+    def test_load_at_offset(self):
+        rom = BootRom(size=1024)
+        rom.load_image(b"abcd", offset=0x100)
+        assert rom.fetch(0x100, 4) == b"abcd"
+
+    def test_oversized_image_rejected(self):
+        rom = BootRom(size=16)
+        with pytest.raises(ValueError):
+            rom.load_image(b"\x00" * 17)
+
+    def test_axi_read(self):
+        rom = BootRom(size=64)
+        rom.load_image(b"\x11\x22\x33\x44")
+        result = rom.read(0, 4, now=0)
+        assert result.ok and result.data == b"\x11\x22\x33\x44"
+
+    def test_axi_write_rejected(self):
+        rom = BootRom(size=64)
+        assert rom.write(0, b"\x00" * 4, now=0).resp is AxiResp.SLVERR
+
+    def test_out_of_range_read(self):
+        rom = BootRom(size=8)
+        assert rom.read(8, 4, now=0).resp is AxiResp.SLVERR

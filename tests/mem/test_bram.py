@@ -1,0 +1,25 @@
+import pytest
+
+from repro.axi.types import AxiResp
+from repro.mem.bram import Bram
+
+
+class TestBram:
+    def test_roundtrip(self):
+        ram = Bram(256)
+        ram.write(0x10, b"scratch", now=0)
+        assert ram.read(0x10, 7, now=1).data == b"scratch"
+
+    def test_single_cycle_latency(self):
+        ram = Bram(256)
+        assert ram.read(0, 4, now=50).complete_at == 51
+        assert ram.write(0, b"\x00" * 4, now=50).complete_at == 51
+
+    def test_bounds(self):
+        ram = Bram(16)
+        assert ram.read(12, 8, now=0).resp is AxiResp.SLVERR
+        assert ram.write(16, b"\x00", now=0).resp is AxiResp.SLVERR
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ValueError):
+            Bram(0)

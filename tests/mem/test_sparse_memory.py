@@ -1,0 +1,55 @@
+import pytest
+
+from repro.mem.sparse_memory import SparseMemory
+
+
+class TestSparseMemory:
+    def test_zero_initialized(self):
+        mem = SparseMemory(1 << 20)
+        assert mem.load(0x1234, 16) == bytes(16)
+        assert mem.allocated_pages == 0
+
+    def test_store_load_roundtrip(self):
+        mem = SparseMemory(1 << 20)
+        mem.store(0x8000, b"hello world")
+        assert mem.load(0x8000, 11) == b"hello world"
+
+    def test_cross_page_access(self):
+        mem = SparseMemory(1 << 20, page_bits=12)
+        data = bytes(range(256)) * 32  # 8 KiB spanning 3 pages
+        mem.store(0x0FFE, data)
+        assert mem.load(0x0FFE, len(data)) == data
+        assert mem.allocated_pages == 3
+
+    def test_sparse_allocation(self):
+        mem = SparseMemory(1 << 28)
+        mem.store(0x0, b"\x01")
+        mem.store(0x800_0000, b"\x02")
+        assert mem.allocated_pages == 2
+
+    def test_out_of_range_rejected(self):
+        mem = SparseMemory(0x1000)
+        with pytest.raises(IndexError):
+            mem.load(0xFFF, 2)
+        with pytest.raises(IndexError):
+            mem.store(0x1000, b"\x00")
+
+    def test_word_helpers_little_endian(self):
+        mem = SparseMemory(0x1000)
+        mem.store_word(0x10, 0xDEADBEEF, 4)
+        assert mem.load(0x10, 4) == b"\xef\xbe\xad\xde"
+        assert mem.load_word(0x10, 4) == 0xDEADBEEF
+
+    def test_word_helper_masks_value(self):
+        mem = SparseMemory(0x1000)
+        mem.store_word(0x0, 0x1_FFFF_FFFF, 4)
+        assert mem.load_word(0x0, 4) == 0xFFFF_FFFF
+
+    def test_fill(self):
+        mem = SparseMemory(0x1000)
+        mem.fill(0x100, 64, 0xAA)
+        assert mem.load(0x100, 64) == b"\xAA" * 64
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            SparseMemory(0)

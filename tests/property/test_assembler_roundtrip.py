@@ -1,0 +1,60 @@
+"""Encoder <-> decoder round trips over randomized operand fields."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.riscv import isa
+from repro.riscv.decoder import decode
+
+regs = st.integers(min_value=0, max_value=31)
+imm12 = st.integers(min_value=-2048, max_value=2047)
+
+
+@given(regs, regs, imm12)
+def test_itype_roundtrip(rd, rs1, imm):
+    d = decode(isa.encode_i(isa.OP_IMM, 0, rd, rs1, imm))
+    assert (d.name, d.rd, d.rs1, d.imm) == ("addi", rd, rs1, imm)
+
+
+@given(regs, regs, imm12)
+def test_load_roundtrip(rd, rs1, imm):
+    d = decode(isa.encode_i(isa.OP_LOAD, 3, rd, rs1, imm))
+    assert (d.name, d.rd, d.rs1, d.imm) == ("ld", rd, rs1, imm)
+
+
+@given(regs, regs, imm12)
+def test_store_roundtrip(rs1, rs2, imm):
+    d = decode(isa.encode_s(isa.OP_STORE, 3, rs1, rs2, imm))
+    assert (d.name, d.rs1, d.rs2, d.imm) == ("sd", rs1, rs2, imm)
+
+
+@given(regs, regs, st.integers(min_value=-2048, max_value=2047).map(lambda x: x * 2))
+def test_branch_roundtrip(rs1, rs2, offset):
+    d = decode(isa.encode_b(isa.OP_BRANCH, 1, rs1, rs2, offset))
+    assert (d.name, d.rs1, d.rs2, d.imm) == ("bne", rs1, rs2, offset)
+
+
+@given(regs, st.integers(min_value=-(2**19), max_value=2**19 - 1).map(lambda x: x * 2))
+def test_jal_roundtrip(rd, offset):
+    d = decode(isa.encode_j(isa.OP_JAL, rd, offset))
+    assert (d.name, d.rd, d.imm) == ("jal", rd, offset)
+
+
+@given(regs, st.integers(min_value=0, max_value=2**20 - 1))
+def test_lui_roundtrip(rd, upper):
+    d = decode(isa.encode_u(isa.OP_LUI, rd, upper))
+    from repro.utils.bits import sext
+    assert (d.name, d.rd) == ("lui", rd)
+    assert d.imm == sext(upper << 12, 32)
+
+
+@given(regs, regs, st.integers(min_value=0, max_value=63))
+def test_shift_roundtrip(rd, rs1, shamt):
+    d = decode(isa.encode_shift_i(5, 0b010000, rd, rs1, shamt))
+    assert (d.name, d.rd, d.rs1, d.imm) == ("srai", rd, rs1, shamt)
+
+
+@given(regs, regs, st.integers(min_value=0, max_value=0xFFF))
+def test_csr_roundtrip(rd, rs1, csr):
+    d = decode(isa.encode_csr(2, rd, rs1, csr))
+    assert (d.name, d.rd, d.rs1, d.csr) == ("csrrs", rd, rs1, csr)

@@ -1,0 +1,57 @@
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.bits import (
+    MASK64,
+    bitrev32,
+    bits,
+    insert,
+    sext,
+    swap32_endianness,
+    to_signed64,
+    to_unsigned64,
+)
+
+u32 = st.integers(min_value=0, max_value=2**32 - 1)
+u64 = st.integers(min_value=0, max_value=2**64 - 1)
+
+
+@given(u64, st.integers(min_value=1, max_value=64))
+def test_sext_preserves_low_bits(value, width):
+    assert sext(value, width) & ((1 << width) - 1) == value & ((1 << width) - 1)
+
+
+@given(u64, st.integers(min_value=1, max_value=64))
+def test_sext_range(value, width):
+    result = sext(value, width)
+    assert -(1 << (width - 1)) <= result < (1 << (width - 1))
+
+
+@given(st.integers(min_value=-(2**63), max_value=2**63 - 1))
+def test_signed_unsigned_roundtrip(value):
+    assert to_signed64(to_unsigned64(value)) == value
+
+
+@given(u64, st.integers(0, 63), st.integers(0, 63))
+def test_bits_insert_roundtrip(value, a, b):
+    hi, lo = max(a, b), min(a, b)
+    field = bits(value, hi, lo)
+    assert insert(value, field, hi, lo) == value
+
+
+@given(u64, u64, st.integers(0, 63), st.integers(0, 63))
+def test_insert_then_extract(value, field, a, b):
+    hi, lo = max(a, b), min(a, b)
+    width = hi - lo + 1
+    result = insert(value, field, hi, lo)
+    assert bits(result, hi, lo) == field & ((1 << width) - 1)
+
+
+@given(u32)
+def test_bitrev32_involution(value):
+    assert bitrev32(bitrev32(value)) == value
+
+
+@given(st.binary(min_size=0, max_size=64).filter(lambda b: len(b) % 4 == 0))
+def test_swap32_involution(data):
+    assert swap32_endianness(swap32_endianness(data)) == data

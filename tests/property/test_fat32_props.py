@@ -1,0 +1,59 @@
+"""Randomized operation sequences against a dict reference model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fat32.blockdev import RamBlockDevice
+from repro.fat32.mkfs import format_volume
+
+names = st.sampled_from([f"F{i}.BIN" for i in range(8)])
+contents = st.binary(min_size=0, max_size=12_000)
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("write"), names, contents),
+        st.tuples(st.just("delete"), names),
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(operations)
+def test_filesystem_matches_dict_model(ops):
+    fs = format_volume(RamBlockDevice(32768))
+    model: dict[str, bytes] = {}
+    for op in ops:
+        if op[0] == "write":
+            _kind, name, data = op
+            fs.write_file(name, data)
+            model[name] = data
+        else:
+            _kind, name = op
+            if name in model:
+                fs.delete_file(name)
+                del model[name]
+    listed = {entry.name: entry.size for entry in fs.list_dir()}
+    assert listed == {name: len(data) for name, data in model.items()}
+    for name, data in model.items():
+        assert fs.read_file(name) == data
+
+
+@settings(max_examples=20, deadline=None)
+@given(contents)
+def test_single_file_roundtrip(data):
+    fs = format_volume(RamBlockDevice(32768))
+    fs.write_file("X.BIN", data)
+    assert fs.read_file("X.BIN") == data
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.lists(contents, min_size=2, max_size=5))
+def test_overwrites_preserve_free_space_invariant(versions):
+    fs = format_volume(RamBlockDevice(32768))
+    baseline = fs.fat.count_free()
+    for data in versions:
+        fs.write_file("X.BIN", data)
+    fs.delete_file("X.BIN")
+    # all clusters return to the pool: no leaks across overwrites
+    assert fs.fat.count_free() == baseline

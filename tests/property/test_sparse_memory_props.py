@@ -1,0 +1,42 @@
+"""Sparse memory vs a flat bytearray reference model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem.sparse_memory import SparseMemory
+
+SIZE = 1 << 16
+
+writes = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=SIZE - 1),
+        st.binary(min_size=1, max_size=600),
+    ).filter(lambda t: t[0] + len(t[1]) <= SIZE),
+    min_size=1,
+    max_size=20,
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(writes)
+def test_matches_bytearray_model(operations):
+    mem = SparseMemory(SIZE, page_bits=10)
+    model = bytearray(SIZE)
+    for addr, data in operations:
+        mem.store(addr, data)
+        model[addr : addr + len(data)] = data
+    assert mem.load(0, SIZE) == bytes(model)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=SIZE - 8),
+    st.integers(min_value=0, max_value=2**64 - 1),
+    st.sampled_from([1, 2, 4, 8]),
+)
+def test_word_helpers_consistent_with_bytes(addr, value, nbytes):
+    mem = SparseMemory(SIZE)
+    mem.store_word(addr, value, nbytes)
+    mask = (1 << (8 * nbytes)) - 1
+    assert mem.load_word(addr, nbytes) == value & mask
+    assert mem.load(addr, nbytes) == (value & mask).to_bytes(nbytes, "little")

@@ -1,0 +1,55 @@
+import pytest
+
+from repro.errors import ResourceModelError
+from repro.resources.model import ResourceCost, ResourceReport
+
+
+class TestResourceCost:
+    def test_addition(self):
+        a = ResourceCost(10, 20, 1, 2)
+        b = ResourceCost(5, 5, 0, 1)
+        assert a + b == ResourceCost(15, 25, 1, 3)
+
+    def test_subtraction(self):
+        a = ResourceCost(10, 20, 1, 2)
+        assert a - a == ResourceCost()
+
+    def test_scaling(self):
+        assert ResourceCost(3, 4, 1, 0).scaled(3) == ResourceCost(9, 12, 3, 0)
+
+    def test_utilization_percentages(self):
+        cost = ResourceCost(2317, 3953, 6, 0)
+        device = ResourceCost(203800, 407600, 445, 840)
+        pct = cost.utilization_of(device)
+        assert pct["luts"] == pytest.approx(1.137, abs=0.01)
+        assert pct["dsps"] == 0.0
+
+    def test_utilization_of_zero_capacity(self):
+        with pytest.raises(ResourceModelError):
+            ResourceCost(dsps=1).utilization_of(ResourceCost(luts=10))
+
+    def test_fits_in(self):
+        assert ResourceCost(1, 1, 0, 0).fits_in(ResourceCost(2, 2, 1, 1))
+        assert not ResourceCost(3, 0, 0, 0).fits_in(ResourceCost(2, 9, 9, 9))
+
+
+class TestResourceReport:
+    def test_tree_totals(self):
+        root = ResourceReport("soc")
+        root.add_child(ResourceReport("a", ResourceCost(10, 10, 1, 0)))
+        sub = root.add_child(ResourceReport("b", ResourceCost(5, 5, 0, 0)))
+        sub.add_child(ResourceReport("b1", ResourceCost(1, 2, 0, 1)))
+        assert root.total == ResourceCost(16, 17, 1, 1)
+
+    def test_find(self):
+        root = ResourceReport("soc")
+        root.add_child(ResourceReport("dma", ResourceCost(1, 1, 0, 0)))
+        assert root.find("dma").cost.luts == 1
+        with pytest.raises(ResourceModelError):
+            root.find("ghost")
+
+    def test_render_contains_all_names(self):
+        root = ResourceReport("soc")
+        root.add_child(ResourceReport("child", ResourceCost(1, 2, 3, 4)))
+        text = root.render()
+        assert "soc" in text and "child" in text

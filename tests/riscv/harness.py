@@ -1,0 +1,53 @@
+"""Minimal standalone hart harness for executing assembly snippets."""
+
+from __future__ import annotations
+
+from repro.axi.crossbar import AxiCrossbar
+from repro.mem.bootrom import BootRom
+from repro.mem.ddr import DdrController
+from repro.riscv.assembler import assemble
+from repro.riscv.hart import Hart
+from repro.sim.kernel import Simulator
+
+ROM_BASE = 0x1_0000
+DDR_BASE = 0x8000_0000
+DDR_SIZE = 1 << 24
+
+
+class MiniSystem:
+    """A hart + boot ROM + DDR, nothing else."""
+
+    def __init__(self) -> None:
+        self.sim = Simulator()
+        self.rom = BootRom(64 * 1024)
+        self.ddr = DdrController(DDR_SIZE)
+        self.xbar = AxiCrossbar("mini")
+        self.xbar.attach("ddr", DDR_BASE, DDR_SIZE, self.ddr)
+        self.hart: Hart | None = None
+
+    def run_asm(self, body: str, *, max_instructions: int = 2_000_000) -> Hart:
+        """Assemble ``body`` (with an implicit _start label) and run it."""
+        program = assemble(f"_start:\n{body}\n", base=ROM_BASE)
+        self.rom.load_image(program.text)
+        hart = Hart(
+            self.sim,
+            self.xbar,
+            fetch_backdoor=lambda a, n: self.rom.fetch(a - ROM_BASE, n),
+            data_load=lambda a, n: self.ddr.memory.load_word(a - DDR_BASE, n),
+            data_store=lambda a, v, n: self.ddr.memory.store_word(a - DDR_BASE, v, n),
+            is_cacheable=lambda a: a >= DDR_BASE,
+            reset_pc=program.entry,
+        )
+        self.hart = hart
+        hart.run(max_instructions=max_instructions)
+        return hart
+
+
+def run_asm(body: str) -> Hart:
+    """One-shot helper: run assembly on a fresh mini system."""
+    return MiniSystem().run_asm(body)
+
+
+def reg(hart: Hart, name: str) -> int:
+    from repro.riscv.isa import register_number
+    return hart.reg(register_number(name))

@@ -1,0 +1,151 @@
+import pytest
+
+from repro.errors import AssemblerError
+from repro.riscv.assembler import assemble
+from repro.riscv.decoder import decode
+
+
+def first_word(source: str, base: int = 0x1_0000) -> int:
+    return int.from_bytes(assemble(source, base).text[:4], "little")
+
+
+class TestBasics:
+    def test_empty_source(self):
+        assert assemble("").size == 0
+
+    def test_comments_stripped(self):
+        prog = assemble("""
+            # full line comment
+            nop       # trailing
+            nop       // c++ style
+            nop       ; asm style
+        """)
+        assert prog.size == 12
+
+    def test_labels_resolve(self):
+        prog = assemble("""
+        _start:
+            j target
+            nop
+        target:
+            ebreak
+        """)
+        assert prog.address_of("target") == prog.base + 8
+        d = decode(int.from_bytes(prog.text[:4], "little"))
+        assert d.name == "jal" and d.imm == 8
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("x:\nnop\nx:\nnop")
+
+    def test_unknown_mnemonic_rejected(self):
+        with pytest.raises(AssemblerError) as exc:
+            assemble("bogus a0, a1")
+        assert "bogus" in str(exc.value)
+
+    def test_undefined_symbol_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("j nowhere")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(AssemblerError) as exc:
+            assemble("nop\nnop\nbad_mnemonic x1")
+        assert "line 3" in str(exc.value)
+
+
+class TestDirectives:
+    def test_equ_constants(self):
+        word = first_word(".equ MAGIC, 0x7B\naddi a0, zero, MAGIC")
+        d = decode(word)
+        assert d.imm == 0x7B
+
+    def test_equ_expressions(self):
+        word = first_word(".equ BASE, 0x100\n.equ OFF, BASE + 0x20\naddi a0, zero, OFF")
+        assert decode(word).imm == 0x120
+
+    def test_word_directive(self):
+        prog = assemble(".word 0xDEADBEEF, 0x12345678")
+        assert prog.text == bytes.fromhex("efbeadde78563412")
+
+    def test_dword_directive(self):
+        prog = assemble(".dword 0x1122334455667788")
+        assert prog.text == (0x1122334455667788).to_bytes(8, "little")
+
+    def test_byte_and_ascii(self):
+        prog = assemble('.byte 1, 2, 3\n.asciz "hi"')
+        assert prog.text == b"\x01\x02\x03hi\x00"
+
+    def test_align(self):
+        prog = assemble(".byte 1\n.align 3\n.byte 2")
+        assert prog.size == 9
+        assert prog.text[8] == 2
+
+    def test_space(self):
+        prog = assemble(".space 5, 0xAA")
+        assert prog.text == b"\xAA" * 5
+
+    def test_word_with_label_reference(self):
+        prog = assemble("""
+        table:
+            .dword table
+        """)
+        assert int.from_bytes(prog.text, "little") == prog.base
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble(".notathing 1")
+
+
+class TestOperandForms:
+    def test_memory_operand_forms(self):
+        d = decode(first_word("ld a0, 16(sp)"))
+        assert d.name == "ld" and d.rs1 == 2 and d.imm == 16
+        d = decode(first_word("ld a0, (sp)"))
+        assert d.imm == 0
+        d = decode(first_word("ld a0, -8(s0)"))
+        assert d.imm == -8
+
+    def test_register_aliases(self):
+        d = decode(first_word("add x10, x11, x12"))
+        assert (d.rd, d.rs1, d.rs2) == (10, 11, 12)
+        d = decode(first_word("add a0, a1, a2"))
+        assert (d.rd, d.rs1, d.rs2) == (10, 11, 12)
+        d = decode(first_word("add fp, s0, tp"))
+        assert (d.rd, d.rs1, d.rs2) == (8, 8, 4)
+
+    def test_csr_by_name_and_number(self):
+        a = first_word("csrrw a0, mstatus, a1")
+        b = first_word("csrrw a0, 0x300, a1")
+        assert a == b
+
+    def test_branch_swapped_aliases(self):
+        # bgt a, b == blt b, a
+        bgt = decode(first_word("x:\nbgt a0, a1, x"))
+        assert bgt.name == "blt" and bgt.rs1 == 11 and bgt.rs2 == 10
+
+    def test_immediate_out_of_range(self):
+        with pytest.raises(AssemblerError):
+            assemble("addi a0, a0, 5000")
+        with pytest.raises(AssemblerError):
+            assemble("slli a0, a0, 64")
+
+
+class TestFixtureEncodings:
+    """Cross-check against binutils-produced encodings."""
+
+    @pytest.mark.parametrize("source,expected", [
+        ("nop", 0x0000_0013),
+        ("ret", 0x0000_8067),
+        ("ecall", 0x0000_0073),
+        ("ebreak", 0x0010_0073),
+        ("mret", 0x3020_0073),
+        ("wfi", 0x1050_0073),
+        ("addi sp, sp, -16", 0xFF01_0113),
+        ("sd ra, 8(sp)", 0x0011_3423),
+        ("ld ra, 8(sp)", 0x0081_3083),
+        ("add a0, a1, a2", 0x00C5_8533),
+        ("lui a0, 0x80000", 0x8000_0537),
+        ("jalr zero, ra, 0", 0x0000_8067),
+    ])
+    def test_known_encodings(self, source, expected):
+        assert first_word(source) == expected

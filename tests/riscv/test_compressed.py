@@ -1,0 +1,119 @@
+import pytest
+
+from repro.errors import IllegalInstructionError
+from repro.riscv.compressed import expand
+
+
+class TestQuadrant0:
+    def test_c_addi4spn(self):
+        # c.addi4spn x8, sp, 16 : funct3=000, imm fields for 16
+        # nzuimm[5:4|9:6|2|3] at [12:5]; 16 -> imm[4]=1 -> bit 11
+        half = (0b000 << 13) | (1 << 11) | (0b000 << 2) | 0b00
+        d = expand(half)
+        assert d.name == "addi" and d.rd == 8 and d.rs1 == 2 and d.imm == 16
+        assert d.size == 2
+
+    def test_c_lw_sw_symmetry(self):
+        # c.lw x9, 4(x10) ; offset 4 -> imm[2]=1 at bit 6
+        lw = (0b010 << 13) | (0b010 << 7) | (1 << 6) | (0b001 << 2) | 0b00
+        d = expand(lw)
+        assert d.name == "lw" and d.rd == 9 and d.rs1 == 10 and d.imm == 4
+        sw = (0b110 << 13) | (0b010 << 7) | (1 << 6) | (0b001 << 2) | 0b00
+        d = expand(sw)
+        assert d.name == "sw" and d.rs1 == 10 and d.rs2 == 9 and d.imm == 4
+
+    def test_c_ld_sd(self):
+        ld = (0b011 << 13) | (0b001 << 10) | (0b010 << 7) | (0b011 << 2) | 0b00
+        d = expand(ld)
+        assert d.name == "ld" and d.imm == 8
+
+    def test_zero_halfword_illegal(self):
+        with pytest.raises(IllegalInstructionError):
+            expand(0)
+
+
+class TestQuadrant1:
+    def test_c_nop_and_addi(self):
+        d = expand(0x0001)  # c.nop
+        assert d.name == "addi" and d.rd == 0
+        # c.addi x10, -1 : rd=10, imm=-1 (imm5=1, imm[4:0]=11111)
+        half = (0b000 << 13) | (1 << 12) | (10 << 7) | (0b11111 << 2) | 0b01
+        d = expand(half)
+        assert d.name == "addi" and d.rd == 10 and d.rs1 == 10 and d.imm == -1
+
+    def test_c_li(self):
+        half = (0b010 << 13) | (5 << 7) | (0b01010 << 2) | 0b01
+        d = expand(half)
+        assert d.name == "addi" and d.rs1 == 0 and d.rd == 5 and d.imm == 10
+
+    def test_c_lui(self):
+        half = (0b011 << 13) | (5 << 7) | (0b00001 << 2) | 0b01
+        d = expand(half)
+        assert d.name == "lui" and d.imm == 0x1000
+
+    def test_c_j_roundtrip_offset(self):
+        # c.j with offset 0 would be an infinite loop; encode offset 2:
+        # offset[1] lives at bit 3
+        half = (0b101 << 13) | (1 << 3) | 0b01
+        d = expand(half)
+        assert d.name == "jal" and d.rd == 0 and d.imm == 2
+
+    def test_c_beqz(self):
+        # c.beqz x8, +8 : offset[2:1] at [4:3] -> offset 8 has bit3 set
+        half = (0b110 << 13) | (0b000 << 7) | (1 << 10) | 0b01
+        d = expand(half)
+        assert d.name == "beq" and d.rs1 == 8 and d.rs2 == 0 and d.imm == 8
+
+    def test_c_srli_andi(self):
+        srli = (0b100 << 13) | (0b00 << 10) | (0b010 << 7) | (4 << 2) | 0b01
+        d = expand(srli)
+        assert d.name == "srli" and d.rd == 10 and d.imm == 4
+        andi = (0b100 << 13) | (0b10 << 10) | (0b010 << 7) | (5 << 2) | 0b01
+        d = expand(andi)
+        assert d.name == "andi" and d.imm == 5
+
+    def test_c_register_ops(self):
+        sub = (0b100 << 13) | (0b011 << 10) | (0b000 << 7) | (0b00 << 5) | (0b001 << 2) | 0b01
+        d = expand(sub)
+        assert d.name == "sub" and d.rd == 8 and d.rs2 == 9
+
+
+class TestQuadrant2:
+    def test_c_slli(self):
+        half = (0b000 << 13) | (1 << 12) | (7 << 7) | (0b00010 << 2) | 0b10
+        d = expand(half)
+        assert d.name == "slli" and d.rd == 7 and d.imm == 34
+
+    def test_c_lwsp_ldsp(self):
+        lwsp = (0b010 << 13) | (1 << 12) | (5 << 7) | (0b0001 << 4) | 0b10
+        d = expand(lwsp)
+        assert d.name == "lw" and d.rs1 == 2 and d.rd == 5 and d.imm == 32 + 4
+
+    def test_c_jr_and_mv(self):
+        jr = (0b100 << 13) | (0 << 12) | (1 << 7) | (0 << 2) | 0b10
+        d = expand(jr)
+        assert d.name == "jalr" and d.rd == 0 and d.rs1 == 1
+        mv = (0b100 << 13) | (0 << 12) | (5 << 7) | (6 << 2) | 0b10
+        d = expand(mv)
+        assert d.name == "add" and d.rd == 5 and d.rs1 == 0 and d.rs2 == 6
+
+    def test_c_jalr_and_add(self):
+        jalr = (0b100 << 13) | (1 << 12) | (5 << 7) | (0 << 2) | 0b10
+        d = expand(jalr)
+        assert d.name == "jalr" and d.rd == 1 and d.rs1 == 5
+        add = (0b100 << 13) | (1 << 12) | (5 << 7) | (6 << 2) | 0b10
+        d = expand(add)
+        assert d.name == "add" and d.rd == 5 and d.rs1 == 5 and d.rs2 == 6
+
+    def test_c_ebreak(self):
+        half = (0b100 << 13) | (1 << 12) | 0b10
+        assert expand(half).name == "ebreak"
+
+    def test_c_swsp_sdsp(self):
+        swsp = (0b110 << 13) | (0b0001 << 9) | (5 << 2) | 0b10
+        d = expand(swsp)
+        assert d.name == "sw" and d.rs1 == 2 and d.rs2 == 5 and d.imm == 4
+
+    def test_full_width_word_rejected(self):
+        with pytest.raises(IllegalInstructionError):
+            expand(0x0003)  # low bits 11 = not compressed

@@ -1,0 +1,164 @@
+"""CSR access, trap entry/return and counters."""
+
+from repro.riscv import isa
+
+from .harness import DDR_BASE, reg, run_asm
+
+
+class TestCsrAccess:
+    def test_csrrw_swap(self):
+        hart = run_asm("""
+            li t0, 0x1234
+            csrw mscratch, t0
+            li t1, 0x5678
+            csrrw a0, mscratch, t1    # a0 = old, csr = new
+            csrr a1, mscratch
+            ebreak
+        """)
+        assert reg(hart, "a0") == 0x1234
+        assert reg(hart, "a1") == 0x5678
+
+    def test_csrrs_csrrc_bits(self):
+        hart = run_asm("""
+            li t0, 0xF0
+            csrw mscratch, t0
+            li t1, 0x0F
+            csrs mscratch, t1
+            csrr a0, mscratch         # 0xFF
+            li t2, 0xF0
+            csrc mscratch, t2
+            csrr a1, mscratch         # 0x0F
+            ebreak
+        """)
+        assert reg(hart, "a0") == 0xFF
+        assert reg(hart, "a1") == 0x0F
+
+    def test_immediate_forms(self):
+        hart = run_asm("""
+            csrwi mscratch, 21
+            csrr a0, mscratch
+            csrsi mscratch, 2
+            csrr a1, mscratch
+            csrci mscratch, 1
+            csrr a2, mscratch
+            ebreak
+        """)
+        assert reg(hart, "a0") == 21
+        assert reg(hart, "a1") == 23
+        assert reg(hart, "a2") == 22
+
+    def test_readonly_csrs(self):
+        hart = run_asm("""
+            csrr a0, mhartid
+            csrr a1, misa
+            li t0, 99
+            csrw mhartid, t0          # silently ignored (WARL)
+            csrr a2, mhartid
+            ebreak
+        """)
+        assert reg(hart, "a0") == 0
+        assert reg(hart, "a2") == 0
+        # misa advertises RV64IMAC
+        misa = reg(hart, "a1")
+        for letter in "IMAC":
+            assert misa & (1 << (ord(letter) - ord("A")))
+
+    def test_cycle_counter_monotone(self):
+        hart = run_asm("""
+            rdcycle a0
+            nop
+            nop
+            rdcycle a1
+            ebreak
+        """)
+        assert reg(hart, "a1") > reg(hart, "a0")
+
+    def test_instret_counts_instructions(self):
+        hart = run_asm("""
+            rdinstret a0
+            nop
+            nop
+            nop
+            rdinstret a1
+            ebreak
+        """)
+        assert reg(hart, "a1") - reg(hart, "a0") == 4  # 3 nops + rdinstret
+
+
+class TestTraps:
+    def test_ecall_enters_handler(self):
+        hart = run_asm("""
+            la t0, handler
+            csrw mtvec, t0
+            li a0, 0
+            ecall
+            j end
+        handler:
+            csrr a1, mcause
+            csrr a2, mepc
+            li a0, 1
+            csrr t1, mepc
+            addi t1, t1, 4
+            csrw mepc, t1
+            mret
+        end:
+            ebreak
+        """)
+        assert reg(hart, "a0") == 1
+        assert reg(hart, "a1") == isa.EXC_ECALL_M
+        assert hart.trap_count == 1
+
+    def test_mret_restores_mie(self):
+        hart = run_asm("""
+            la t0, handler
+            csrw mtvec, t0
+            csrsi mstatus, 8          # MIE on
+            ecall
+            j end
+        handler:
+            csrr a1, mstatus          # MIE cleared in handler
+            csrr t1, mepc
+            addi t1, t1, 4
+            csrw mepc, t1
+            mret
+        end:
+            csrr a2, mstatus          # MIE restored after mret
+            ebreak
+        """)
+        assert reg(hart, "a1") & isa.MSTATUS_MIE == 0
+        assert reg(hart, "a2") & isa.MSTATUS_MIE != 0
+
+    def test_illegal_instruction_traps(self):
+        hart = run_asm("""
+            la t0, handler
+            csrw mtvec, t0
+            .word 0xFFFFFFFF
+            j end
+        handler:
+            csrr a1, mcause
+            li a0, 1
+            ebreak
+        end:
+            ebreak
+        """)
+        assert reg(hart, "a0") == 1
+        assert reg(hart, "a1") == isa.EXC_ILLEGAL_INSTR
+
+    def test_store_access_fault_on_unmapped_mmio(self):
+        hart = run_asm(f"""
+            la t0, handler
+            csrw mtvec, t0
+            li t1, 0x40000000          # hole in the memory map
+            sw zero, 0(t1)
+            j end
+        handler:
+            csrr a1, mcause
+            csrr a2, mtval
+            li a0, 1
+            ebreak
+        end:
+            ebreak
+        """)
+        assert reg(hart, "a0") == 1
+        assert reg(hart, "a1") == isa.EXC_STORE_ACCESS
+        assert reg(hart, "a2") == 0x4000_0000

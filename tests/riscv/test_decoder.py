@@ -1,0 +1,129 @@
+import pytest
+
+from repro.errors import IllegalInstructionError
+from repro.riscv import isa
+from repro.riscv.decoder import decode
+
+
+class TestUpperImmediates:
+    def test_lui(self):
+        d = decode(isa.encode_u(isa.OP_LUI, 5, 0x12345))
+        assert d.name == "lui" and d.rd == 5 and d.imm == 0x12345 << 12
+
+    def test_lui_sign_extends(self):
+        d = decode(isa.encode_u(isa.OP_LUI, 1, 0x80000))
+        assert d.imm == -(1 << 31)
+
+    def test_auipc(self):
+        d = decode(isa.encode_u(isa.OP_AUIPC, 3, 0x00001))
+        assert d.name == "auipc" and d.imm == 0x1000
+
+
+class TestJumps:
+    def test_jal_positive_offset(self):
+        d = decode(isa.encode_j(isa.OP_JAL, 1, 2048))
+        assert d.name == "jal" and d.rd == 1 and d.imm == 2048
+
+    def test_jal_negative_offset(self):
+        d = decode(isa.encode_j(isa.OP_JAL, 0, -4))
+        assert d.imm == -4
+
+    def test_jalr(self):
+        d = decode(isa.encode_i(isa.OP_JALR, 0, 1, 2, -16))
+        assert d.name == "jalr" and d.rd == 1 and d.rs1 == 2 and d.imm == -16
+
+
+class TestBranches:
+    @pytest.mark.parametrize("name,f3", [("beq", 0), ("bne", 1), ("blt", 4),
+                                         ("bge", 5), ("bltu", 6), ("bgeu", 7)])
+    def test_branch_decodes(self, name, f3):
+        d = decode(isa.encode_b(isa.OP_BRANCH, f3, 10, 11, -64))
+        assert d.name == name and d.rs1 == 10 and d.rs2 == 11 and d.imm == -64
+
+    def test_branch_max_range(self):
+        d = decode(isa.encode_b(isa.OP_BRANCH, 0, 0, 0, 4094))
+        assert d.imm == 4094
+        d = decode(isa.encode_b(isa.OP_BRANCH, 0, 0, 0, -4096))
+        assert d.imm == -4096
+
+
+class TestLoadsStores:
+    @pytest.mark.parametrize("name,f3", [("lb", 0), ("lh", 1), ("lw", 2),
+                                         ("ld", 3), ("lbu", 4), ("lhu", 5),
+                                         ("lwu", 6)])
+    def test_loads(self, name, f3):
+        d = decode(isa.encode_i(isa.OP_LOAD, f3, 7, 8, 256))
+        assert d.name == name and d.rd == 7 and d.rs1 == 8 and d.imm == 256
+
+    @pytest.mark.parametrize("name,f3", [("sb", 0), ("sh", 1), ("sw", 2),
+                                         ("sd", 3)])
+    def test_stores(self, name, f3):
+        d = decode(isa.encode_s(isa.OP_STORE, f3, 8, 9, -32))
+        assert d.name == name and d.rs1 == 8 and d.rs2 == 9 and d.imm == -32
+
+
+class TestAlu:
+    def test_addi(self):
+        d = decode(isa.encode_i(isa.OP_IMM, 0, 1, 2, -2048))
+        assert d.name == "addi" and d.imm == -2048
+
+    def test_shift_immediates_rv64(self):
+        d = decode(isa.encode_shift_i(1, 0, 3, 4, 63))
+        assert d.name == "slli" and d.imm == 63
+        d = decode(isa.encode_shift_i(5, 0b010000, 3, 4, 63))
+        assert d.name == "srai" and d.imm == 63
+
+    def test_register_ops(self):
+        d = decode(isa.encode_r(isa.OP_REG, 0, 32, 1, 2, 3))
+        assert d.name == "sub"
+        d = decode(isa.encode_r(isa.OP_REG, 0, 1, 1, 2, 3))
+        assert d.name == "mul"
+
+    def test_word_ops(self):
+        d = decode(isa.encode_r(isa.OP_REG32, 0, 0, 1, 2, 3))
+        assert d.name == "addw"
+        d = decode(isa.encode_i(isa.OP_IMM32, 0, 1, 2, 5))
+        assert d.name == "addiw"
+
+
+class TestSystem:
+    def test_fixed_encodings(self):
+        assert decode(0x0000_0073).name == "ecall"
+        assert decode(0x0010_0073).name == "ebreak"
+        assert decode(0x3020_0073).name == "mret"
+        assert decode(0x1050_0073).name == "wfi"
+
+    def test_csr_instructions(self):
+        d = decode(isa.encode_csr(1, 5, 6, isa.CSR_MSTATUS))
+        assert d.name == "csrrw" and d.csr == isa.CSR_MSTATUS
+        d = decode(isa.encode_csr(6, 5, 3, isa.CSR_MIE))
+        assert d.name == "csrrsi" and d.rs1 == 3
+
+    def test_fence_is_accepted(self):
+        d = decode(isa.encode_i(isa.OP_FENCE, 0, 0, 0, 0xFF))
+        assert d.name == "fence"
+
+
+class TestAmo:
+    def test_amoswap_d(self):
+        d = decode(isa.encode_amo(3, 0b00001, 1, 2, 3))
+        assert d.name == "amoswap.d"
+
+    def test_lr_sc_w(self):
+        assert decode(isa.encode_amo(2, 0b00010, 1, 2, 0)).name == "lr.w"
+        assert decode(isa.encode_amo(2, 0b00011, 1, 2, 3)).name == "sc.w"
+
+
+class TestIllegal:
+    def test_all_zero_word(self):
+        with pytest.raises(IllegalInstructionError):
+            decode(0x0000_0003 | (0x7 << 12))  # load funct3=7 undefined
+
+    def test_garbage_opcode(self):
+        with pytest.raises(IllegalInstructionError):
+            decode(0xFFFF_FFFF)
+
+    def test_error_carries_pc(self):
+        with pytest.raises(IllegalInstructionError) as exc:
+            decode(0xFFFF_FFFF, pc=0x1234)
+        assert exc.value.pc == 0x1234

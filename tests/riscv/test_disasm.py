@@ -1,0 +1,42 @@
+from repro.riscv.assembler import assemble
+from repro.riscv.disasm import disassemble, disassemble_word
+
+
+class TestDisassembler:
+    def test_known_words(self):
+        assert disassemble_word(0x0000_0013) == "addi zero, zero, 0"
+        assert disassemble_word(0x0000_0073) == "ecall"
+        assert disassemble_word(0x0010_0073) == "ebreak"
+
+    def test_branch_target_annotation(self):
+        prog = assemble("x:\nbeq a0, a1, x")
+        word = int.from_bytes(prog.text[:4], "little")
+        text = disassemble_word(word, pc=prog.base)
+        assert "beq a0, a1" in text and hex(prog.base) in text
+
+    def test_memory_operands(self):
+        prog = assemble("ld a0, 16(sp)")
+        word = int.from_bytes(prog.text[:4], "little")
+        assert disassemble_word(word) == "ld a0, 16(sp)"
+
+    def test_illegal_words_shown_as_data(self):
+        assert disassemble_word(0xFFFF_FFFF).startswith(".word")
+
+    def test_image_roundtrip_lines(self):
+        source = """
+            li a0, 42
+            add a1, a0, a0
+            ebreak
+        """
+        prog = assemble(source)
+        lines = disassemble(prog.text, base=prog.base)
+        assert len(lines) == 3
+        assert all(line.startswith("0x") for line in lines)
+        assert "ebreak" in lines[-1]
+
+    def test_compressed_units_handled(self):
+        # hand-encode c.nop (0x0001) followed by ebreak
+        image = (0x0001).to_bytes(2, "little") + (0x0010_0073).to_bytes(4, "little")
+        lines = disassemble(image)
+        assert len(lines) == 2
+        assert "addi" in lines[0]

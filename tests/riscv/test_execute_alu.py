@@ -1,0 +1,125 @@
+"""Architectural tests for the integer ALU, run as real programs."""
+
+from repro.utils.bits import MASK64
+
+from .harness import reg, run_asm
+
+
+class TestArithmetic:
+    def test_add_sub_wrap(self):
+        hart = run_asm("""
+            li a0, -1
+            li a1, 1
+            add a2, a0, a1      # wraps to 0
+            sub a3, a1, a0      # 1 - (-1) = 2
+            ebreak
+        """)
+        assert reg(hart, "a2") == 0
+        assert reg(hart, "a3") == 2
+
+    def test_addi_negative(self):
+        hart = run_asm("li a0, 5\naddi a0, a0, -7\nebreak")
+        assert reg(hart, "a0") == MASK64 - 1  # -2 two's complement
+
+    def test_addiw_truncates_and_sign_extends(self):
+        hart = run_asm("""
+            li a0, 0x7FFFFFFF
+            addiw a1, a0, 1     # 32-bit overflow -> -2^31
+            ebreak
+        """)
+        assert reg(hart, "a1") == (-(1 << 31)) & MASK64
+
+    def test_slt_family(self):
+        hart = run_asm("""
+            li t0, -5
+            li t1, 3
+            slt a0, t0, t1      # signed: -5 < 3 -> 1
+            sltu a1, t0, t1     # unsigned: huge > 3 -> 0
+            slti a2, t1, 10
+            sltiu a3, t1, 2
+            ebreak
+        """)
+        assert reg(hart, "a0") == 1
+        assert reg(hart, "a1") == 0
+        assert reg(hart, "a2") == 1
+        assert reg(hart, "a3") == 0
+
+
+class TestLogic:
+    def test_bitwise_ops(self):
+        hart = run_asm("""
+            li t0, 0xF0F0
+            li t1, 0x0FF0
+            and a0, t0, t1
+            or a1, t0, t1
+            xor a2, t0, t1
+            andi a3, t0, 0xF0
+            ebreak
+        """)
+        assert reg(hart, "a0") == 0x00F0
+        assert reg(hart, "a1") == 0xFFF0
+        assert reg(hart, "a2") == 0xFF00
+        assert reg(hart, "a3") == 0x00F0
+
+
+class TestShifts:
+    def test_64bit_shifts(self):
+        hart = run_asm("""
+            li t0, 1
+            slli a0, t0, 63
+            li t1, -8
+            srai a1, t1, 1       # arithmetic: -4
+            srli a2, t1, 60      # logical: 0xF
+            ebreak
+        """)
+        assert reg(hart, "a0") == 1 << 63
+        assert reg(hart, "a1") == (-4) & MASK64
+        assert reg(hart, "a2") == 0xF
+
+    def test_register_shift_masks_amount(self):
+        hart = run_asm("""
+            li t0, 1
+            li t1, 65            # only low 6 bits used -> shift by 1
+            sll a0, t0, t1
+            ebreak
+        """)
+        assert reg(hart, "a0") == 2
+
+    def test_word_shifts(self):
+        hart = run_asm("""
+            li t0, 0x80000000
+            sraiw a0, t0, 4      # sign-extended word shift
+            srliw a1, t0, 4
+            slliw a2, t0, 1      # shifts out -> 0
+            ebreak
+        """)
+        assert reg(hart, "a0") == 0xFFFF_FFFF_F800_0000
+        assert reg(hart, "a1") == 0x0800_0000
+        assert reg(hart, "a2") == 0
+
+
+class TestZeroRegister:
+    def test_x0_writes_discarded(self):
+        hart = run_asm("""
+            li zero, 99
+            addi zero, zero, 5
+            mv a0, zero
+            ebreak
+        """)
+        assert reg(hart, "a0") == 0
+
+    def test_pseudo_ops(self):
+        hart = run_asm("""
+            li t0, 7
+            mv a0, t0
+            not a1, t0
+            neg a2, t0
+            seqz a3, zero
+            snez a4, t0
+            ebreak
+        """)
+        assert reg(hart, "a0") == 7
+        assert reg(hart, "a1") == (~7) & MASK64
+        assert reg(hart, "a2") == (-7) & MASK64
+        assert reg(hart, "a3") == 1
+        assert reg(hart, "a4") == 1

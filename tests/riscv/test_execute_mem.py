@@ -1,0 +1,191 @@
+"""Loads, stores, atomics and control flow against the DDR model."""
+
+from repro.utils.bits import MASK64
+
+from .harness import DDR_BASE, MiniSystem, reg, run_asm
+
+
+class TestLoadStore:
+    def test_all_widths_roundtrip(self):
+        hart = run_asm(f"""
+            li s0, {DDR_BASE:#x}
+            li t0, 0x1122334455667788
+            sd t0, 0(s0)
+            ld a0, 0(s0)
+            lw a1, 0(s0)         # sign-extended low word
+            lwu a2, 0(s0)
+            lh a3, 0(s0)
+            lhu a4, 0(s0)
+            lb a5, 0(s0)
+            lbu a6, 0(s0)
+            ebreak
+        """)
+        assert reg(hart, "a0") == 0x1122334455667788
+        assert reg(hart, "a1") == 0x55667788
+        assert reg(hart, "a2") == 0x55667788
+        assert reg(hart, "a3") == 0x7788
+        assert reg(hart, "a4") == 0x7788
+        assert reg(hart, "a5") == 0xFFFF_FFFF_FFFF_FF88
+        assert reg(hart, "a6") == 0x88
+
+    def test_sign_extension_of_negative_bytes(self):
+        hart = run_asm(f"""
+            li s0, {DDR_BASE:#x}
+            li t0, -1
+            sb t0, 0(s0)
+            lb a0, 0(s0)
+            lbu a1, 0(s0)
+            ebreak
+        """)
+        assert reg(hart, "a0") == MASK64
+        assert reg(hart, "a1") == 0xFF
+
+    def test_partial_store_preserves_neighbors(self):
+        hart = run_asm(f"""
+            li s0, {DDR_BASE:#x}
+            li t0, -1
+            sd t0, 0(s0)
+            sh zero, 2(s0)
+            ld a0, 0(s0)
+            ebreak
+        """)
+        assert reg(hart, "a0") == 0xFFFF_FFFF_0000_FFFF
+
+    def test_data_visible_in_backdoor(self):
+        system = MiniSystem()
+        system.run_asm(f"""
+            li s0, {DDR_BASE:#x}
+            li t0, 0xCAFE
+            sw t0, 0x40(s0)
+            ebreak
+        """)
+        assert system.ddr.memory.load_word(0x40, 4) == 0xCAFE
+
+
+class TestControlFlow:
+    def test_loop_sums_array(self):
+        hart = run_asm(f"""
+            li s0, {DDR_BASE:#x}
+            li t0, 1
+            sd t0, 0(s0)
+            li t0, 2
+            sd t0, 8(s0)
+            li t0, 3
+            sd t0, 16(s0)
+            li a0, 0
+            li t1, 3
+        sum_loop:
+            ld t2, 0(s0)
+            add a0, a0, t2
+            addi s0, s0, 8
+            addi t1, t1, -1
+            bnez t1, sum_loop
+            ebreak
+        """)
+        assert reg(hart, "a0") == 6
+
+    def test_call_ret(self):
+        hart = run_asm(f"""
+            li sp, {DDR_BASE + 0x1000:#x}
+            li a0, 20
+            call double_it
+            call double_it
+            ebreak
+        double_it:
+            add a0, a0, a0
+            ret
+        """)
+        assert reg(hart, "a0") == 80
+
+    def test_branch_all_conditions(self):
+        hart = run_asm("""
+            li a0, 0
+            li t0, -1
+            li t1, 1
+            bge t0, t1, fail
+            blt t1, t0, fail
+            bltu t1, t0, ok1    # unsigned: 1 < 0xFF..F
+            j fail
+        ok1:
+            bgeu t0, t1, ok2
+            j fail
+        ok2:
+            beq t0, t0, ok3
+            j fail
+        ok3:
+            bne t0, t1, done
+            j fail
+        fail:
+            li a0, 99
+        done:
+            ebreak
+        """)
+        assert reg(hart, "a0") == 0
+
+
+class TestAtomics:
+    def test_amoadd(self):
+        hart = run_asm(f"""
+            li s0, {DDR_BASE:#x}
+            li t0, 100
+            sd t0, 0(s0)
+            li t1, 5
+            amoadd.d a0, t1, (s0)
+            ld a1, 0(s0)
+            ebreak
+        """)
+        assert reg(hart, "a0") == 100   # returns old value
+        assert reg(hart, "a1") == 105
+
+    def test_amoswap_w_sign_extends(self):
+        hart = run_asm(f"""
+            li s0, {DDR_BASE:#x}
+            li t0, 0x80000000
+            sw t0, 0(s0)
+            li t1, 7
+            amoswap.w a0, t1, (s0)
+            lw a1, 0(s0)
+            ebreak
+        """)
+        assert reg(hart, "a0") == 0xFFFF_FFFF_8000_0000
+        assert reg(hart, "a1") == 7
+
+    def test_amomax_and_min(self):
+        hart = run_asm(f"""
+            li s0, {DDR_BASE:#x}
+            li t0, -10
+            sd t0, 0(s0)
+            li t1, 3
+            amomax.d a0, t1, (s0)
+            ld a1, 0(s0)        # max(-10, 3) = 3
+            li t2, -20
+            amominu.d a2, t2, (s0)
+            ld a3, 0(s0)        # unsigned min(3, huge) = 3
+            ebreak
+        """)
+        assert reg(hart, "a1") == 3
+        assert reg(hart, "a3") == 3
+
+    def test_lr_sc_success(self):
+        hart = run_asm(f"""
+            li s0, {DDR_BASE:#x}
+            li t0, 1
+            sd t0, 0(s0)
+            lr.d a0, (s0)
+            addi a1, a0, 1
+            sc.d a2, a1, (s0)   # should succeed -> 0
+            ld a3, 0(s0)
+            ebreak
+        """)
+        assert reg(hart, "a0") == 1
+        assert reg(hart, "a2") == 0
+        assert reg(hart, "a3") == 2
+
+    def test_sc_without_reservation_fails(self):
+        hart = run_asm(f"""
+            li s0, {DDR_BASE:#x}
+            li t0, 5
+            sc.d a0, t0, (s0)   # no matching lr -> failure (1)
+            ebreak
+        """)
+        assert reg(hart, "a0") == 1

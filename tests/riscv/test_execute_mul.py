@@ -1,0 +1,90 @@
+"""M-extension semantics, including the spec's division edge cases."""
+
+from repro.utils.bits import MASK64
+
+from .harness import reg, run_asm
+
+
+class TestMultiply:
+    def test_mul_basic(self):
+        hart = run_asm("li t0, 1234\nli t1, 5678\nmul a0, t0, t1\nebreak")
+        assert reg(hart, "a0") == 1234 * 5678
+
+    def test_mulh_signed(self):
+        hart = run_asm("""
+            li t0, -1
+            li t1, -1
+            mulh a0, t0, t1     # (-1)*(-1) = 1, high = 0
+            mulhu a1, t0, t1    # max*max, high = 0xFFFF...FFFE
+            mulhsu a2, t0, t1   # -1 * unsigned max
+            ebreak
+        """)
+        assert reg(hart, "a0") == 0
+        assert reg(hart, "a1") == MASK64 - 1
+        assert reg(hart, "a2") == MASK64  # high of -(2^64-1) is -1
+
+    def test_mulw(self):
+        hart = run_asm("""
+            li t0, 0x10000
+            mulw a0, t0, t0     # 2^32 truncated to 0
+            ebreak
+        """)
+        assert reg(hart, "a0") == 0
+
+
+class TestDivide:
+    def test_signed_division(self):
+        hart = run_asm("""
+            li t0, -7
+            li t1, 2
+            div a0, t0, t1      # -3 (toward zero)
+            rem a1, t0, t1      # -1
+            ebreak
+        """)
+        assert reg(hart, "a0") == (-3) & MASK64
+        assert reg(hart, "a1") == (-1) & MASK64
+
+    def test_divide_by_zero_returns_all_ones(self):
+        hart = run_asm("""
+            li t0, 42
+            div a0, t0, zero
+            divu a1, t0, zero
+            rem a2, t0, zero
+            remu a3, t0, zero
+            ebreak
+        """)
+        assert reg(hart, "a0") == MASK64
+        assert reg(hart, "a1") == MASK64
+        assert reg(hart, "a2") == 42
+        assert reg(hart, "a3") == 42
+
+    def test_signed_overflow_case(self):
+        hart = run_asm("""
+            li t0, -0x8000000000000000
+            li t1, -1
+            div a0, t0, t1      # overflow: returns dividend
+            rem a1, t0, t1      # overflow: returns 0
+            ebreak
+        """)
+        assert reg(hart, "a0") == 1 << 63
+        assert reg(hart, "a1") == 0
+
+    def test_word_division(self):
+        hart = run_asm("""
+            li t0, 100
+            li t1, -3
+            divw a0, t0, t1
+            remw a1, t0, t1
+            divuw a2, t0, zero
+            ebreak
+        """)
+        assert reg(hart, "a0") == (-33) & MASK64
+        assert reg(hart, "a1") == 1
+        assert reg(hart, "a2") == MASK64  # sext32(0xFFFFFFFF)
+
+
+class TestTimingCharge:
+    def test_div_costs_more_than_add(self):
+        a = run_asm("li t0, 9\nli t1, 3\nadd a0, t0, t1\nebreak")
+        b = run_asm("li t0, 9\nli t1, 3\ndiv a0, t0, t1\nebreak")
+        assert b.cycles > a.cycles

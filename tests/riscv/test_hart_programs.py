@@ -1,0 +1,104 @@
+"""Whole-program tests: real algorithms executing on the ISS."""
+
+import pytest
+
+from repro.errors import CpuError
+
+from .harness import DDR_BASE, MiniSystem, reg, run_asm
+
+
+class TestAlgorithms:
+    def test_fibonacci_iterative(self):
+        hart = run_asm("""
+            li a0, 0
+            li a1, 1
+            li t0, 20
+        fib:
+            add t1, a0, a1
+            mv a0, a1
+            mv a1, t1
+            addi t0, t0, -1
+            bnez t0, fib
+            ebreak
+        """)
+        assert reg(hart, "a0") == 6765  # fib(20)
+
+    def test_memcpy_loop(self):
+        system = MiniSystem()
+        src_data = bytes(range(1, 65))
+        system.ddr.load_image(0x100, src_data)
+        system.run_asm(f"""
+            li s0, {DDR_BASE + 0x100:#x}
+            li s1, {DDR_BASE + 0x800:#x}
+            li t0, 64
+        copy:
+            lb t1, 0(s0)
+            sb t1, 0(s1)
+            addi s0, s0, 1
+            addi s1, s1, 1
+            addi t0, t0, -1
+            bnez t0, copy
+            ebreak
+        """)
+        assert system.ddr.memory.load(0x800, 64) == src_data
+
+    def test_recursive_factorial(self):
+        hart = run_asm(f"""
+            li sp, {DDR_BASE + 0x4000:#x}
+            li a0, 10
+            call fact
+            ebreak
+        fact:
+            li t0, 2
+            bge a0, t0, recurse
+            li a0, 1
+            ret
+        recurse:
+            addi sp, sp, -16
+            sd ra, 8(sp)
+            sd a0, 0(sp)
+            addi a0, a0, -1
+            call fact
+            ld t1, 0(sp)
+            mul a0, a0, t1
+            ld ra, 8(sp)
+            addi sp, sp, 16
+            ret
+        """)
+        assert reg(hart, "a0") == 3628800
+
+    def test_crc_like_bit_loop(self):
+        hart = run_asm("""
+            li a0, 0xA5A5
+            li t0, 16
+            li a1, 0
+        bits:
+            andi t1, a0, 1
+            add a1, a1, t1     # popcount low 16
+            srli a0, a0, 1
+            addi t0, t0, -1
+            bnez t0, bits
+            ebreak
+        """)
+        assert reg(hart, "a1") == 8
+
+
+class TestRunLoopGuards:
+    def test_instruction_budget_enforced(self):
+        system = MiniSystem()
+        with pytest.raises(CpuError):
+            system.run_asm("spin:\nj spin", max_instructions=1000)
+
+    def test_wfi_with_no_events_deadlocks_loudly(self):
+        system = MiniSystem()
+        with pytest.raises(CpuError):
+            system.run_asm("wfi\nebreak")
+
+    def test_halt_reason_recorded(self):
+        hart = run_asm("ebreak")
+        assert hart.halted and hart.halt_reason == "ebreak"
+
+    def test_instret_and_cycles_relationship(self):
+        hart = run_asm("nop\nnop\nnop\nebreak")
+        assert hart.instret == 4
+        assert hart.cycles >= hart.instret  # CPI >= 1

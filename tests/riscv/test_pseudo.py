@@ -1,0 +1,108 @@
+"""li/la materialization and other pseudo-instruction expansions."""
+
+import pytest
+
+from repro.riscv.assembler.pseudo import la_sequence, li_sequence
+from repro.utils.bits import MASK64
+
+from .harness import reg, run_asm
+
+
+class TestLiSequenceShapes:
+    def test_small_constants_one_instruction(self):
+        assert len(li_sequence("a0", 0)) == 1
+        assert len(li_sequence("a0", 2047)) == 1
+        assert len(li_sequence("a0", -2048)) == 1
+
+    def test_32bit_constants_two_instructions(self):
+        assert len(li_sequence("a0", 0x12345678)) == 2
+        assert len(li_sequence("a0", -(1 << 31))) <= 2
+
+    def test_page_aligned_32bit_single_lui(self):
+        assert len(li_sequence("a0", 0x12345000)) == 1
+
+    def test_64bit_constants_bounded(self):
+        assert len(li_sequence("a0", 0xDEADBEEFCAFEBABE)) <= 8
+
+    def test_la_fixed_length(self):
+        assert len(la_sequence("a0", "anywhere")) == 4
+
+
+class TestLiExecution:
+    @pytest.mark.parametrize("value", [
+        0, 1, -1, 2047, -2048, 2048, 0x7FFFFFFF, -0x80000000,
+        0x80000000, 0xFFFFFFFF, 0x100000000, 0x12345678_9ABCDEF0,
+        -0x8000000000000000, 0x7FFFFFFFFFFFFFFF, 0xAA995566,
+        0x8000_0000_0000_0000, 650892,
+    ])
+    def test_li_materializes_exactly(self, value):
+        hart = run_asm(f"li a0, {value}\nebreak")
+        assert reg(hart, "a0") == value & MASK64
+
+
+class TestLaExecution:
+    def test_la_of_code_label(self):
+        hart = run_asm("""
+            la a0, anchor
+            j go
+        anchor:
+            nop
+        go:
+            ebreak
+        """)
+        # anchor is 3 instructions in: la is 4 words + j is 1
+        assert reg(hart, "a0") == 0x1_0000 + 5 * 4
+
+    def test_la_of_high_ddr_address(self):
+        # symbols at/above 2^31 must zero-extend correctly
+        hart = run_asm("""
+            .equ SPOT, 0x80001234
+            li a0, SPOT
+            ebreak
+        """)
+        assert reg(hart, "a0") == 0x8000_1234
+
+
+class TestControlPseudos:
+    def test_j_and_call_and_tail(self):
+        hart = run_asm("""
+            li sp, 0x80001000
+            li a0, 1
+            call fn
+            j end
+        fn:
+            addi a0, a0, 10
+            ret
+        end:
+            ebreak
+        """)
+        assert reg(hart, "a0") == 11
+
+    def test_branch_zero_pseudos(self):
+        hart = run_asm("""
+            li a0, 0
+            li t0, -3
+            bltz t0, n1
+            j bad
+        n1: bgez zero, n2
+            j bad
+        n2: blez t0, n3
+            j bad
+        n3: li t1, 2
+            bgtz t1, done
+        bad:
+            li a0, 1
+        done:
+            ebreak
+        """)
+        assert reg(hart, "a0") == 0
+
+    def test_sext_w(self):
+        hart = run_asm("""
+            li a0, 0xFFFFFFFF
+            slli a0, a0, 32
+            srli a0, a0, 32     # a0 = 0x00000000FFFFFFFF
+            sext.w a1, a0
+            ebreak
+        """)
+        assert reg(hart, "a1") == MASK64

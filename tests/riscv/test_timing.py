@@ -1,0 +1,109 @@
+"""Pipeline timing model behaviours the HWICAP result depends on."""
+
+from repro.riscv.timing import CpuTiming, DCache
+
+from .harness import DDR_BASE, MiniSystem, run_asm
+
+
+class TestDCacheModel:
+    def test_first_access_misses_then_hits(self):
+        cache = DCache(CpuTiming())
+        hit, wb = cache.access(0x8000_0000, is_store=False)
+        assert not hit and not wb
+        hit, _ = cache.access(0x8000_0008, is_store=False)
+        assert hit  # same 64-byte line
+        assert cache.misses == 1 and cache.hits == 1
+
+    def test_conflict_eviction_with_writeback(self):
+        timing = CpuTiming()
+        cache = DCache(timing)
+        stride = timing.dcache_line_bytes * timing.dcache_lines
+        cache.access(0x0, is_store=True)          # dirty line
+        hit, wb = cache.access(stride, is_store=False)  # same set
+        assert not hit and wb
+        assert cache.writebacks == 1
+
+    def test_clean_eviction_no_writeback(self):
+        timing = CpuTiming()
+        cache = DCache(timing)
+        stride = timing.dcache_line_bytes * timing.dcache_lines
+        cache.access(0x0, is_store=False)
+        _, wb = cache.access(stride, is_store=False)
+        assert not wb
+
+    def test_flush(self):
+        cache = DCache(CpuTiming())
+        cache.access(0x100, is_store=False)
+        cache.flush()
+        hit, _ = cache.access(0x100, is_store=False)
+        assert not hit
+
+
+class TestPipelineEffects:
+    def test_taken_branch_costs_flush(self):
+        straight = run_asm("nop\nnop\nnop\nnop\nebreak")
+        taken = run_asm("""
+            j a
+        a:  j b
+        b:  j c
+        c:  nop
+            ebreak
+        """)
+        assert taken.cycles > straight.cycles
+
+    def test_cached_loads_amortize(self):
+        # 8 loads from one line: 1 miss + 7 hits
+        hart = run_asm(f"""
+            li s0, {DDR_BASE:#x}
+            ld t0, 0(s0)
+            ld t0, 8(s0)
+            ld t0, 16(s0)
+            ld t0, 24(s0)
+            ld t0, 32(s0)
+            ld t0, 40(s0)
+            ld t0, 48(s0)
+            ld t0, 56(s0)
+            ebreak
+        """)
+        assert hart.dcache.misses == 1
+        assert hart.dcache.hits == 7
+
+    def test_mmio_after_branch_pays_block(self):
+        """The Sec. IV-B effect: a conditional branch right before an
+        MMIO store is dramatically more expensive than the store alone."""
+        system_a = MiniSystem()
+        from repro.axi.interface import RegisterBank
+        system_a.xbar.attach("regs", 0x3000_0000, 0x1000, RegisterBank("r"))
+        a = system_a.run_asm("""
+            li s0, 0x30000000
+            li t0, 1
+            sw t0, 0(s0)
+            sw t0, 0(s0)
+            ebreak
+        """)
+        system_b = MiniSystem()
+        system_b.xbar.attach("regs", 0x3000_0000, 0x1000, RegisterBank("r"))
+        b = system_b.run_asm("""
+            li s0, 0x30000000
+            li t0, 1
+            sw t0, 0(s0)
+            bnez t0, next      # taken conditional branch
+        next:
+            sw t0, 0(s0)
+            ebreak
+        """)
+        block = system_b.hart.timing.mmio_after_branch_block
+        # the branch adds flush + the non-speculative MMIO block
+        assert b.cycles - a.cycles >= block
+
+    def test_mmio_counter(self):
+        system = MiniSystem()
+        from repro.axi.interface import RegisterBank
+        system.xbar.attach("regs", 0x3000_0000, 0x1000, RegisterBank("r"))
+        hart = system.run_asm("""
+            li s0, 0x30000000
+            sw zero, 0(s0)
+            lw t0, 0(s0)
+            ebreak
+        """)
+        assert hart.mmio_accesses == 2

@@ -1,0 +1,41 @@
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Clock, DerivedClock
+
+
+class TestClock:
+    def test_period(self):
+        clk = Clock("soc", 100e6)
+        assert clk.period_ns == pytest.approx(10.0)
+
+    def test_cycles_for_us(self):
+        clk = Clock("soc", 100e6)
+        assert clk.cycles_for_us(1651.0) == 165_100
+
+    def test_rejects_nonpositive_frequency(self):
+        with pytest.raises(SimulationError):
+            Clock("bad", 0)
+
+
+class TestDerivedClock:
+    def test_clint_timebase_is_5mhz(self):
+        soc = Clock("soc", 100e6)
+        clint = DerivedClock("clint", soc, divider=20)
+        assert clint.freq_hz == pytest.approx(5e6)
+
+    def test_tick_counting(self):
+        soc = Clock("soc", 100e6)
+        clint = DerivedClock("clint", soc, divider=20)
+        assert clint.ticks_at(19) == 0
+        assert clint.ticks_at(20) == 1
+        assert clint.ticks_at(165_100) == 8255  # the paper's 1651.0 us
+
+    def test_roundtrip(self):
+        soc = Clock("soc", 100e6)
+        clint = DerivedClock("clint", soc, divider=20)
+        assert clint.master_cycles_for_ticks(clint.ticks_at(400)) == 400
+
+    def test_rejects_zero_divider(self):
+        with pytest.raises(SimulationError):
+            DerivedClock("bad", Clock("soc", 1e6), 0)

@@ -1,0 +1,42 @@
+from repro.sim import Event
+
+
+class TestEvent:
+    def test_initially_untriggered(self):
+        evt = Event("e")
+        assert not evt.triggered
+        assert evt.value is None
+
+    def test_trigger_notifies_registered_callbacks(self):
+        evt = Event()
+        seen = []
+        evt.on_trigger(seen.append)
+        evt.on_trigger(seen.append)
+        evt.trigger(7)
+        assert seen == [7, 7]
+
+    def test_late_subscriber_fires_immediately(self):
+        evt = Event()
+        evt.trigger("payload")
+        seen = []
+        evt.on_trigger(seen.append)
+        assert seen == ["payload"]
+
+    def test_double_trigger_is_idempotent(self):
+        evt = Event()
+        seen = []
+        evt.on_trigger(seen.append)
+        evt.trigger(1)
+        evt.trigger(2)
+        assert seen == [1]
+        assert evt.value == 1
+
+    def test_reset_rearms(self):
+        evt = Event()
+        evt.trigger("first")
+        evt.reset()
+        assert not evt.triggered and evt.value is None
+        seen = []
+        evt.on_trigger(seen.append)
+        evt.trigger("second")
+        assert seen == ["second"]

@@ -1,0 +1,144 @@
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Delay, Event, Simulator, WaitEvent
+
+
+class TestScheduling:
+    def test_callbacks_fire_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(30, lambda: order.append("c"))
+        sim.schedule(10, lambda: order.append("a"))
+        sim.schedule(20, lambda: order.append("b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+        assert sim.now == 30
+
+    def test_same_cycle_fifo_order(self):
+        sim = Simulator()
+        order = []
+        for tag in "abc":
+            sim.schedule(5, lambda t=tag: order.append(t))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_schedule_in_past_raises(self):
+        sim = Simulator()
+        sim.schedule(10, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(5, lambda: None)
+
+    def test_negative_delay_raises(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1, lambda: None)
+
+    def test_run_until_stops_before_future_events(self):
+        sim = Simulator()
+        hits = []
+        sim.schedule(100, lambda: hits.append(1))
+        sim.run(until=50)
+        assert hits == [] and sim.now == 50
+        sim.run()
+        assert hits == [1] and sim.now == 100
+
+    def test_events_cascade(self):
+        sim = Simulator()
+        hits = []
+        def first():
+            hits.append(sim.now)
+            sim.schedule(5, second)
+        def second():
+            hits.append(sim.now)
+        sim.schedule(10, first)
+        sim.run()
+        assert hits == [10, 15]
+
+    def test_runaway_guard(self):
+        sim = Simulator()
+        def rearm():
+            sim.schedule(1, rearm)
+        sim.schedule(0, rearm)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=1000)
+
+
+class TestAdvanceTo:
+    def test_advance_executes_due_events(self):
+        sim = Simulator()
+        hits = []
+        sim.schedule(10, lambda: hits.append(sim.now))
+        sim.advance_to(15)
+        assert hits == [10]
+        assert sim.now == 15
+
+    def test_advance_backwards_raises(self):
+        sim = Simulator()
+        sim.advance_to(10)
+        with pytest.raises(SimulationError):
+            sim.advance_to(5)
+
+    def test_peek_next_time(self):
+        sim = Simulator()
+        assert sim.peek_next_time() is None
+        sim.schedule(42, lambda: None)
+        assert sim.peek_next_time() == 42
+
+
+class TestProcesses:
+    def test_delay_sequencing(self):
+        sim = Simulator()
+        trace = []
+        def proc():
+            trace.append(sim.now)
+            yield Delay(10)
+            trace.append(sim.now)
+            yield Delay(5)
+            trace.append(sim.now)
+            return "done"
+        finished = sim.add_process(proc())
+        sim.run()
+        assert trace == [0, 10, 15]
+        assert finished.triggered and finished.value == "done"
+
+    def test_wait_event_receives_payload(self):
+        sim = Simulator()
+        evt = Event("data")
+        got = []
+        def consumer():
+            value = yield WaitEvent(evt)
+            got.append((sim.now, value))
+        def producer():
+            yield Delay(7)
+            evt.trigger(123)
+        sim.add_process(consumer())
+        sim.add_process(producer())
+        sim.run()
+        assert got == [(7, 123)]
+
+    def test_yielding_event_directly(self):
+        sim = Simulator()
+        evt = Event()
+        def proc():
+            value = yield evt
+            return value
+        finished = sim.add_process(proc())
+        sim.schedule(3, lambda: evt.trigger("ok"))
+        sim.run()
+        assert finished.value == "ok"
+
+    def test_bad_yield_raises(self):
+        sim = Simulator()
+        def proc():
+            yield "nonsense"
+        sim.add_process(proc())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_time_units(self):
+        sim = Simulator(freq_hz=100e6)
+        sim.advance_to(165_100)
+        assert sim.now_us == pytest.approx(1651.0)
+        assert sim.cycles_to_us(100) == pytest.approx(1.0)

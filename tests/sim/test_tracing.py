@@ -1,0 +1,71 @@
+import pytest
+
+from repro.sim.tracing import TraceEvent, TraceRecorder, format_stats
+
+
+class TestTraceRecorder:
+    def test_records_in_order(self):
+        recorder = TraceRecorder()
+        recorder.record(10, "dma.mm2s", "start")
+        recorder.record(20, "icap", "desync (ok)")
+        assert [e.category for e in recorder.events] == ["dma.mm2s", "icap"]
+
+    def test_category_filter(self):
+        recorder = TraceRecorder(enabled_categories={"icap"})
+        recorder.record(1, "dma.mm2s", "ignored")
+        recorder.record(2, "icap", "kept")
+        assert len(recorder.events) == 1
+
+    def test_capacity_bound(self):
+        recorder = TraceRecorder(capacity=3)
+        for i in range(10):
+            recorder.record(i, "x", "m")
+        assert len(recorder.events) == 3
+        assert recorder.dropped == 7
+
+    def test_by_category_and_clear(self):
+        recorder = TraceRecorder()
+        recorder.record(1, "a", "x")
+        recorder.record(2, "b", "y")
+        assert len(recorder.by_category("a")) == 1
+        recorder.clear()
+        assert not recorder.events and recorder.dropped == 0
+
+    def test_event_formatting(self):
+        event = TraceEvent(cycle=165_100, category="icap", message="done")
+        text = event.format(100e6)
+        assert "1651.00 us" in text and "icap" in text
+
+
+class TestSocIntegration:
+    def test_trace_captures_reconfiguration(self, provisioned_manager_factory):
+        soc, manager = provisioned_manager_factory()
+        recorder = soc.attach_trace()
+        manager.load_module("sobel")
+        categories = {e.category for e in recorder.events}
+        assert "dma.mm2s" in categories
+        assert "icap" in categories
+        # start then complete, time-ordered
+        dma = recorder.by_category("dma.mm2s")
+        assert "start" in dma[0].message and "complete" in dma[1].message
+        assert dma[0].cycle < dma[1].cycle
+        assert "650892 bytes" in dma[0].message
+
+    def test_stats_snapshot(self, provisioned_manager_factory):
+        soc, manager = provisioned_manager_factory()
+        manager.load_module("median")
+        stats = soc.stats()
+        assert stats["icap_reconfigurations"] == 1
+        assert stats["config_frames_written"] == soc.rp.frames
+        assert stats["ddr_bytes_read"] >= 650_892
+        assert stats["plic_claims"] == 1
+        assert stats["icap_errors"] == 0
+        text = format_stats(stats)
+        assert "icap_reconfigurations" in text
+
+    def test_timeline_rendering(self, provisioned_manager_factory):
+        soc, manager = provisioned_manager_factory()
+        recorder = soc.attach_trace()
+        manager.load_module("gaussian")
+        timeline = recorder.format_timeline(soc.sim.freq_hz)
+        assert "us]" in timeline and "dma.mm2s" in timeline

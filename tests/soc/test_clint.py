@@ -1,0 +1,80 @@
+import pytest
+
+from repro.riscv import isa
+from repro.sim import Simulator
+from repro.soc.clint import MSIP_OFFSET, MTIME_OFFSET, MTIMECMP_OFFSET, Clint
+
+
+@pytest.fixture()
+def setup():
+    sim = Simulator()
+    clint = Clint(sim, divider=20)
+    mip: dict[int, bool] = {}
+    clint.connect_hart(lambda bit, value: mip.__setitem__(bit, value))
+    return sim, clint, mip
+
+
+class TestTimebase:
+    def test_mtime_is_divided_cycle_count(self, setup):
+        sim, clint, _ = setup
+        sim.advance_to(200)
+        assert clint.mtime == 10
+        sim.advance_to(219)
+        assert clint.mtime == 10
+        sim.advance_to(220)
+        assert clint.mtime == 11
+
+    def test_mtime_mmio_read(self, setup):
+        sim, clint, _ = setup
+        sim.advance_to(165_100)
+        lo = clint.read(MTIME_OFFSET, 4, now=sim.now).value()
+        hi = clint.read(MTIME_OFFSET + 4, 4, now=sim.now).value()
+        assert (hi << 32) | lo == 8255
+
+    def test_ticks_to_us(self, setup):
+        _, clint, _ = setup
+        assert clint.ticks_to_us(8255) == pytest.approx(1651.0)
+
+
+class TestSoftwareInterrupt:
+    def test_msip_sets_and_clears(self, setup):
+        _, clint, mip = setup
+        clint.write(MSIP_OFFSET, (1).to_bytes(4, "little"), now=0)
+        assert mip[isa.IRQ_MSI] is True
+        clint.write(MSIP_OFFSET, (0).to_bytes(4, "little"), now=1)
+        assert mip[isa.IRQ_MSI] is False
+
+
+class TestTimerInterrupt:
+    def test_reset_mtimecmp_is_max(self, setup):
+        _, clint, mip = setup
+        assert mip[isa.IRQ_MTI] is False
+
+    def test_compare_match_fires_event(self, setup):
+        sim, clint, mip = setup
+        # set mtimecmp = 5 ticks = cycle 100
+        clint.write(MTIMECMP_OFFSET, (5).to_bytes(4, "little"), now=0)
+        clint.write(MTIMECMP_OFFSET + 4, (0).to_bytes(4, "little"), now=0)
+        assert mip[isa.IRQ_MTI] is False
+        sim.run(until=99)
+        assert mip[isa.IRQ_MTI] is False
+        sim.run(until=120)
+        sim.advance_to(120)
+        assert mip[isa.IRQ_MTI] is True
+
+    def test_rewriting_mtimecmp_cancels_stale_event(self, setup):
+        sim, clint, mip = setup
+        clint.write(MTIMECMP_OFFSET, (5).to_bytes(4, "little"), now=0)
+        clint.write(MTIMECMP_OFFSET + 4, (0).to_bytes(4, "little"), now=0)
+        # push the compare far into the future before it fires
+        clint.write(MTIMECMP_OFFSET, (1000).to_bytes(4, "little"), now=0)
+        sim.run(until=200)
+        sim.advance_to(200)
+        assert mip[isa.IRQ_MTI] is False
+
+    def test_past_compare_fires_immediately(self, setup):
+        sim, clint, mip = setup
+        sim.advance_to(1000)
+        clint.write(MTIMECMP_OFFSET, (1).to_bytes(4, "little"), now=sim.now)
+        clint.write(MTIMECMP_OFFSET + 4, (0).to_bytes(4, "little"), now=sim.now)
+        assert mip[isa.IRQ_MTI] is True

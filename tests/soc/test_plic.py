@@ -1,0 +1,98 @@
+import pytest
+
+from repro.riscv import isa
+from repro.sim import Simulator
+from repro.soc.plic import (
+    CLAIM_OFFSET,
+    ENABLE_OFFSET,
+    PRIORITY_BASE,
+    THRESHOLD_OFFSET,
+    Plic,
+)
+
+
+@pytest.fixture()
+def setup():
+    sim = Simulator()
+    plic = Plic(sim, latency=3)
+    mip: dict[int, bool] = {}
+    plic.connect_hart(lambda bit, value: mip.__setitem__(bit, value))
+
+    def write(offset, value):
+        plic.write(offset, value.to_bytes(4, "little"), now=sim.now)
+
+    def read(offset):
+        return plic.read(offset, 4, now=sim.now).value()
+
+    return sim, plic, mip, write, read
+
+
+class TestGateway:
+    def test_irq_latches_after_latency(self, setup):
+        sim, plic, mip, write, read = setup
+        write(PRIORITY_BASE + 4, 5)
+        write(ENABLE_OFFSET, 1 << 1)
+        plic.raise_irq(1)
+        assert plic.pending == 0
+        sim.run()
+        assert plic.pending & (1 << 1)
+        assert mip[isa.IRQ_MEI] is True
+        assert sim.now == 3
+
+    def test_out_of_range_source_rejected(self, setup):
+        _, plic, _, _, _ = setup
+        with pytest.raises(ValueError):
+            plic.raise_irq(0)
+        with pytest.raises(ValueError):
+            plic.raise_irq(32)
+
+
+class TestClaimComplete:
+    def test_claim_returns_highest_priority(self, setup):
+        sim, plic, mip, write, read = setup
+        write(PRIORITY_BASE + 4, 2)
+        write(PRIORITY_BASE + 8, 6)
+        write(ENABLE_OFFSET, 0b110)
+        plic.raise_irq(1)
+        plic.raise_irq(2)
+        sim.run()
+        assert read(CLAIM_OFFSET) == 2  # higher priority wins
+        assert read(CLAIM_OFFSET) == 1
+        assert read(CLAIM_OFFSET) == 0  # nothing left
+
+    def test_claim_clears_pending_and_meip(self, setup):
+        sim, plic, mip, write, read = setup
+        write(PRIORITY_BASE + 4, 1)
+        write(ENABLE_OFFSET, 0b10)
+        plic.raise_irq(1)
+        sim.run()
+        assert read(CLAIM_OFFSET) == 1
+        assert mip[isa.IRQ_MEI] is False
+        write(CLAIM_OFFSET, 1)  # complete
+        assert plic.in_service is None
+
+    def test_disabled_source_not_claimable(self, setup):
+        sim, plic, mip, write, read = setup
+        write(PRIORITY_BASE + 4, 7)
+        plic.raise_irq(1)
+        sim.run()
+        assert read(CLAIM_OFFSET) == 0
+        assert mip.get(isa.IRQ_MEI) is not True
+
+    def test_threshold_masks_low_priority(self, setup):
+        sim, plic, mip, write, read = setup
+        write(PRIORITY_BASE + 4, 2)
+        write(ENABLE_OFFSET, 0b10)
+        write(THRESHOLD_OFFSET, 3)
+        plic.raise_irq(1)
+        sim.run()
+        assert mip[isa.IRQ_MEI] is False
+        write(THRESHOLD_OFFSET, 1)
+        assert mip[isa.IRQ_MEI] is True
+
+    def test_zero_priority_never_interrupts(self, setup):
+        sim, plic, mip, write, read = setup
+        write(ENABLE_OFFSET, 0b10)  # enabled but priority 0
+        plic.raise_irq(1)
+        sim.run()
+        assert mip[isa.IRQ_MEI] is False

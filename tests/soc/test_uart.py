@@ -1,0 +1,46 @@
+from repro.soc.uart import (
+    RXDATA_OFFSET,
+    STATUS_OFFSET,
+    STATUS_RX_VALID,
+    STATUS_TX_READY,
+    TXDATA_OFFSET,
+    Uart,
+)
+
+
+def _w(uart, offset, value):
+    uart.write(offset, value.to_bytes(4, "little"), now=0)
+
+
+def _r(uart, offset):
+    return uart.read(offset, 4, now=0).value()
+
+
+class TestUart:
+    def test_tx_collects_output(self):
+        uart = Uart()
+        for ch in b"done\n":
+            _w(uart, TXDATA_OFFSET, ch)
+        assert uart.output == "done\n"
+
+    def test_tx_always_ready(self):
+        uart = Uart()
+        assert _r(uart, STATUS_OFFSET) & STATUS_TX_READY
+
+    def test_rx_fifo_order(self):
+        uart = Uart()
+        uart.feed_input(b"ab")
+        assert _r(uart, STATUS_OFFSET) & STATUS_RX_VALID
+        assert _r(uart, RXDATA_OFFSET) == ord("a")
+        assert _r(uart, RXDATA_OFFSET) == ord("b")
+        assert not _r(uart, STATUS_OFFSET) & STATUS_RX_VALID
+
+    def test_rx_empty_returns_zero(self):
+        uart = Uart()
+        assert _r(uart, RXDATA_OFFSET) == 0
+
+    def test_clear_output(self):
+        uart = Uart()
+        _w(uart, TXDATA_OFFSET, ord("x"))
+        uart.clear_output()
+        assert uart.output == ""

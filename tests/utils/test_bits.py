@@ -1,0 +1,95 @@
+import pytest
+
+from repro.utils.bits import (
+    MASK32,
+    MASK64,
+    align_down,
+    align_up,
+    bit,
+    bitrev32,
+    bits,
+    insert,
+    is_aligned,
+    sext,
+    swap32_endianness,
+    to_signed32,
+    to_signed64,
+    to_unsigned32,
+    to_unsigned64,
+)
+
+
+class TestBitfields:
+    def test_bit_extracts_single_positions(self):
+        assert bit(0b1010, 1) == 1
+        assert bit(0b1010, 0) == 0
+        assert bit(1 << 63, 63) == 1
+
+    def test_bits_inclusive_range(self):
+        assert bits(0xDEADBEEF, 31, 16) == 0xDEAD
+        assert bits(0xDEADBEEF, 15, 0) == 0xBEEF
+        assert bits(0xFF, 3, 3) == 1
+
+    def test_bits_invalid_range_raises(self):
+        with pytest.raises(ValueError):
+            bits(0, 0, 1)
+
+    def test_insert_replaces_field(self):
+        assert insert(0x0000, 0xA, 7, 4) == 0x00A0
+        assert insert(0xFFFF, 0, 7, 4) == 0xFF0F
+
+    def test_insert_masks_oversized_field(self):
+        assert insert(0, 0x1F, 3, 0) == 0xF
+
+
+class TestSignConversion:
+    def test_sext_negative(self):
+        assert sext(0xFFF, 12) == -1
+        assert sext(0x800, 12) == -2048
+
+    def test_sext_positive(self):
+        assert sext(0x7FF, 12) == 2047
+        assert sext(0x000, 12) == 0
+
+    def test_to_signed32_boundaries(self):
+        assert to_signed32(0x7FFF_FFFF) == 2**31 - 1
+        assert to_signed32(0x8000_0000) == -(2**31)
+        assert to_signed32(MASK32) == -1
+
+    def test_to_signed64_boundaries(self):
+        assert to_signed64(MASK64) == -1
+        assert to_signed64(1 << 63) == -(2**63)
+
+    def test_unsigned_wrapping(self):
+        assert to_unsigned32(-1) == MASK32
+        assert to_unsigned64(-1) == MASK64
+        assert to_unsigned32(2**32) == 0
+
+
+class TestAlignment:
+    def test_align_down_up(self):
+        assert align_down(0x1234, 0x100) == 0x1200
+        assert align_up(0x1234, 0x100) == 0x1300
+        assert align_up(0x1200, 0x100) == 0x1200
+
+    def test_is_aligned(self):
+        assert is_aligned(0x1000, 8)
+        assert not is_aligned(0x1001, 8)
+
+
+class TestWordTricks:
+    def test_bitrev32_involution(self):
+        for value in (0, 1, 0xAA995566, 0xFFFFFFFF, 0x12345678):
+            assert bitrev32(bitrev32(value)) == value
+
+    def test_bitrev32_known_value(self):
+        assert bitrev32(0x1) == 0x8000_0000
+        assert bitrev32(0x8000_0000) == 0x1
+
+    def test_swap32_endianness(self):
+        assert swap32_endianness(b"\x01\x02\x03\x04") == b"\x04\x03\x02\x01"
+        assert swap32_endianness(b"") == b""
+
+    def test_swap32_rejects_partial_word(self):
+        with pytest.raises(ValueError):
+            swap32_endianness(b"\x01\x02\x03")

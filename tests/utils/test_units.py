@@ -1,0 +1,43 @@
+import pytest
+
+from repro.utils.units import (
+    cycles_to_us,
+    format_bytes,
+    format_time_us,
+    mb_per_s,
+    us_to_cycles,
+)
+
+
+class TestThroughput:
+    def test_paper_reference_point(self):
+        # 650892 bytes over 156.45 ms is the paper's 4.16 MB/s
+        assert mb_per_s(650892, 156.45e-3) == pytest.approx(4.16, abs=0.01)
+
+    def test_icap_ceiling(self):
+        # 4 bytes/cycle at 100 MHz = 400 MB/s
+        assert mb_per_s(4 * 100_000_000, 1.0) == 400.0
+
+    def test_rejects_nonpositive_time(self):
+        with pytest.raises(ValueError):
+            mb_per_s(1, 0)
+
+
+class TestCycleConversion:
+    def test_cycles_to_us_at_100mhz(self):
+        assert cycles_to_us(165_100, 100e6) == pytest.approx(1651.0)
+
+    def test_roundtrip(self):
+        assert us_to_cycles(cycles_to_us(12345, 100e6), 100e6) == 12345
+
+
+class TestFormatting:
+    def test_format_bytes(self):
+        assert format_bytes(100) == "100 B"
+        assert format_bytes(650892) == "635.6 KiB"
+        assert "MiB" in format_bytes(2 * 1024 * 1024)
+
+    def test_format_time(self):
+        assert format_time_us(12.3456) == "12.35 us"
+        assert format_time_us(1651.0) == "1.65 ms"
+        assert format_time_us(2_500_000) == "2.500 s"
