@@ -10,7 +10,7 @@ block that costs 420 LUT / 909 FF in the RV-CAP integration and
 from __future__ import annotations
 
 from repro.axi.interface import AxiSlave
-from repro.axi.types import AxiResp, AxiResult
+from repro.axi.types import AxiResult
 
 
 class Axi4ToLiteConverter(AxiSlave):

@@ -6,6 +6,7 @@ Commands:
 * ``fig3``     — the reconfiguration-time-vs-RP-size sweep (Fig. 3)
 * ``unroll``   — the HWICAP loop-unrolling firmware study (Sec. IV-B)
 * ``reconfig`` — one reconfiguration with a trace timeline and stats
+* ``faults``   — fault-injection sweep: detection and recovery rates
 * ``asm``      — assemble an RV64 source file (optionally RVC-compressed)
 * ``disasm``   — disassemble a flat binary image
 """
@@ -67,6 +68,22 @@ def _cmd_reconfig(args: argparse.Namespace) -> int:
     print(recorder.format_timeline(soc.sim.freq_hz))
     print("\nstats:")
     print(format_stats(soc.stats()))
+    return 0
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from repro.eval.fault_sweep import fault_sweep
+    if args.points < 1:
+        print("faults: --points must be >= 1", file=sys.stderr)
+        return 2
+    report = fault_sweep(points=args.points, seed=args.seed,
+                         kinds=args.kinds or None, mode=args.mode,
+                         module=args.module)
+    print(report.render())
+    if report.recovery_rate < args.min_recovery:
+        print(f"recovery rate below the {100 * args.min_recovery:.0f}% "
+              "threshold")
+        return 1
     return 0
 
 
@@ -139,6 +156,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--controller", choices=["rvcap", "hwicap"],
                    default="rvcap")
     p.set_defaults(func=_cmd_reconfig)
+
+    p = sub.add_parser("faults", help="fault-injection sweep: detection "
+                                      "and recovery rates")
+    p.add_argument("--points", type=int, default=2,
+                   help="injection points per fault kind")
+    p.add_argument("--seed", type=int, default=2026)
+    p.add_argument("--kinds", nargs="*",
+                   choices=["ddr-read", "bitflip", "truncate",
+                            "dma-reset", "sd-read"],
+                   help="subset of fault kinds (default: all)")
+    p.add_argument("--mode", choices=["interrupt", "polling"],
+                   default="interrupt")
+    p.add_argument("--module", default=None,
+                   help="RM to reconfigure (default: first registered)")
+    p.add_argument("--min-recovery", type=float, default=0.95,
+                   help="exit 1 when the recovery rate falls below this")
+    p.set_defaults(func=_cmd_faults)
 
     p = sub.add_parser("validate", help="fast anchor self-check "
                                         "(~10 s; exit 1 on mismatch)")

@@ -80,15 +80,29 @@ class DmaChannel:
         self.bytes_done = 0
         self.busy = False
         self.transfers_completed = 0
+        self.transfers_errored = 0
+        self.transfers_aborted = 0
         self.last_start_cycle = 0
         self.last_complete_cycle = 0
         self.trace = None  # optional TraceRecorder
+        self._active_gen = None  # in-flight _run generator (for reset abort)
 
     # ------------------------------------------------------------------
     # register behaviour (invoked by AxiDma)
     # ------------------------------------------------------------------
     def write_cr(self, value: int) -> None:
         if value & CR_RESET:
+            if self._active_gen is not None:
+                # a soft reset aborts the in-flight transfer engine: the
+                # generator unwinds (GeneratorExit) and never reports
+                # completion, so no stale data reaches the stream side
+                self._active_gen.close()
+                self._active_gen = None
+                self.transfers_aborted += 1
+                if self.trace is not None:
+                    self.trace.record(self.sim.now, f"dma.{self.name}",
+                                      f"reset: aborted after "
+                                      f"{self.bytes_done} bytes")
             self.control = 0
             self.status = SR_HALTED
             self.busy = False
@@ -127,7 +141,8 @@ class DmaChannel:
             self.trace.record(self.sim.now, f"dma.{self.name}",
                               f"start: {self.length} bytes from/to "
                               f"{self.address:#x}")
-        self.sim.add_process(self._run(), name=f"dma.{self.name}")
+        self._active_gen = self._run()
+        self.sim.add_process(self._active_gen, name=f"dma.{self.name}")
 
     # ------------------------------------------------------------------
     # the transfer engine
@@ -135,13 +150,28 @@ class DmaChannel:
     def _run(self):
         yield Delay(self.start_latency)
         if self.is_mm2s:
-            yield from self._run_mm2s()
+            ok = yield from self._run_mm2s()
         else:
-            yield from self._run_s2mm()
+            ok = yield from self._run_s2mm()
         self.busy = False
+        self._active_gen = None
+        self.last_complete_cycle = self.sim.now
+        if not ok:
+            # PG021 error semantics: the channel halts, DMASR.Err_Irq
+            # latches, and the run/stop bit drops.  The transfer is NOT
+            # reported complete — no IDLE, no IOC, no completion count.
+            self.status |= SR_ERR_IRQ | SR_HALTED
+            self.control &= ~CR_RS
+            self.transfers_errored += 1
+            if self.trace is not None:
+                self.trace.record(self.sim.now, f"dma.{self.name}",
+                                  f"error: burst failed after "
+                                  f"{self.bytes_done} bytes")
+            if self.control & CR_ERR_IRQ_EN and self.irq_callback is not None:
+                self.irq_callback()
+            return
         self.status |= SR_IDLE | SR_IOC_IRQ
         self.transfers_completed += 1
-        self.last_complete_cycle = self.sim.now
         if self.trace is not None:
             self.trace.record(self.sim.now, f"dma.{self.name}",
                               f"complete: {self.bytes_done} bytes in "
@@ -159,8 +189,7 @@ class DmaChannel:
             nbytes = min(self.burst_bytes, remaining)
             result = self.mem_port.read_burst(addr, nbytes, read_time)
             if not result.ok:
-                self.status |= SR_ERR_IRQ
-                return
+                return False
             read_time = result.complete_at
             accept_done = self.sink.accept(result.data, result.complete_at)
             addr += nbytes
@@ -174,6 +203,7 @@ class DmaChannel:
         final = max(read_time, accept_done)
         if final > self.sim.now:
             yield Delay(final - self.sim.now)
+        return True
 
     def _run_s2mm(self):
         if self.source is None:
@@ -197,8 +227,7 @@ class DmaChannel:
             pull_time = ready
             result = self.mem_port.write_burst(addr, data, max(pull_time, write_time))
             if not result.ok:
-                self.status |= SR_ERR_IRQ
-                return
+                return False
             write_time = result.complete_at
             addr += len(data)
             remaining -= len(data)
@@ -209,6 +238,7 @@ class DmaChannel:
         final = max(pull_time, write_time)
         if final > self.sim.now:
             yield Delay(final - self.sim.now)
+        return True
 
 
 class AxiDma(RegisterBank):

@@ -20,6 +20,7 @@ RM_CTRL_OFFSET = 0x08
 RM_STATUS_OFFSET = 0x0C
 VERSION_OFFSET = 0x10
 RM_SELECT_OFFSET = 0x14
+ICAP_RESET_OFFSET = 0x18
 
 PORT_ICAP = "icap"
 PORT_RM = "rm"
@@ -39,7 +40,7 @@ class RpControlInterface(RegisterBank):
     acceleration datapath when ``SELECT_ICAP`` is 0.
     """
 
-    VERSION = 0x0001_0100  # v1.1: multi-RP
+    VERSION = 0x0001_0200  # v1.2: multi-RP + ICAP reset (fault recovery)
 
     def __init__(self, switch: AxiStreamSwitch) -> None:
         super().__init__("rp_ctrl", size=0x1000)
@@ -47,6 +48,7 @@ class RpControlInterface(RegisterBank):
         self._axi_isolators: dict[int, List[AxiIsolator]] = {}
         self._stream_isolators: dict[int, List[StreamIsolator]] = {}
         self._rm_start_hooks: List[Callable[[], None]] = []
+        self._icap_reset_hooks: List[Callable[[], None]] = []
         self._rm_busy: Callable[[], bool] = lambda: False
         self.decouple_mask = 0
         self.icap_selected = False
@@ -61,6 +63,7 @@ class RpControlInterface(RegisterBank):
         self.define_register(VERSION_OFFSET, reset=self.VERSION)
         self.define_register(RM_SELECT_OFFSET, on_write=self._write_rm_select,
                              on_read=lambda _o: self.rm_selected)
+        self.define_register(ICAP_RESET_OFFSET, on_write=self._write_icap_reset)
 
     @property
     def decoupled(self) -> bool:
@@ -79,6 +82,10 @@ class RpControlInterface(RegisterBank):
 
     def attach_rm_start(self, hook: Callable[[], None]) -> None:
         self._rm_start_hooks.append(hook)
+
+    def attach_icap_reset(self, hook: Callable[[], None]) -> None:
+        """Register the ICAP parser-reset action behind ICAP_RESET."""
+        self._icap_reset_hooks.append(hook)
 
     def set_rm_busy_source(self, source: Callable[[], bool]) -> None:
         self._rm_busy = source
@@ -111,6 +118,11 @@ class RpControlInterface(RegisterBank):
         self.rm_selected = value & 0xF
         if not self.icap_selected:
             self._route_switch()
+
+    def _write_icap_reset(self, value: int) -> None:
+        if value & 1:
+            for hook in self._icap_reset_hooks:
+                hook()
 
     def _write_rm_ctrl(self, value: int) -> None:
         if value & 1:

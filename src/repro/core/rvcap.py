@@ -23,7 +23,6 @@ from repro.core.axis2icap import Axis2Icap
 from repro.core.dma import AxiDma
 from repro.core.rp_control import (
     PORT_ICAP,
-    PORT_RM,
     RpControlInterface,
     rm_port_name,
 )
@@ -50,6 +49,9 @@ class RvCapController:
         self.switch = AxiStreamSwitch("rvcap_axis_switch")
         self.axis2icap = Axis2Icap(icap, decompress=decompress)
         self.rp_control = RpControlInterface(self.switch)
+        # the driver's recovery path resets the ICAP packet parser
+        # through an RP-control register (no backdoor needed)
+        self.rp_control.attach_icap_reset(icap.reset)
         self.dma = AxiDma(sim, ddr_port, mem_port_s2mm=ddr_port_s2mm,
                           burst_beats=burst_beats,
                           start_latency=dma_start_latency)

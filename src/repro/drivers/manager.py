@@ -19,6 +19,7 @@ from repro.drivers.mmio import HostPort
 from repro.drivers.rvcap_driver import ReconfigResult, RvCapDriver
 from repro.errors import ControllerError
 from repro.fat32 import Fat32FileSystem, SdBackdoorBlockDevice, make_disk_image
+from repro.fat32.blockdev import BlockDevice
 from repro.soc.soc import Soc
 
 
@@ -68,10 +69,16 @@ class ReconfigurationManager:
         for lba in image_device.populated_blocks():
             backdoor.write_block(lba, image_device.read_block(lba))
 
-    def init_rmodules(self, modules: Optional[list[str]] = None) -> None:
-        """Mount the card and load every pbit into DDR (Listing 1 step 1)."""
+    def init_rmodules(self, modules: Optional[list[str]] = None, *,
+                      block_device: Optional[BlockDevice] = None) -> None:
+        """Mount the card and load every pbit into DDR (Listing 1 step 1).
+
+        ``block_device`` overrides the default backdoor card access —
+        the injection seam the fault campaign uses to model SD read
+        failures without touching the drivers.
+        """
         names = modules or self.soc.registered_modules
-        device = SdBackdoorBlockDevice(self.soc.sdcard)
+        device = block_device or SdBackdoorBlockDevice(self.soc.sdcard)
         filesystem = Fat32FileSystem.mount(device)
         self.store = PbitStore(self.port, filesystem)
         self.store.init_rmodules(names)

@@ -15,6 +15,14 @@ driver's ISR claims the interrupt, clears the DMA status and re-couples
 the partition.  Timing is measured with the CLINT exactly like the
 paper: T_d from API entry to the DMA kick, T_r from the start of the
 data transfer until the transfer-complete interrupt is handled.
+
+Error handling: a failed DMA burst raises the same PLIC source with
+DMASR.Err_Irq latched instead of IOC; the ISR distinguishes the two and
+the driver never reports an errored transfer as a completion.  Every
+completion wait is timeout-bounded, every failure path restores the
+RP coupling and switch routing, and :meth:`RvCapDriver.recover_and_retry`
+implements the full recovery sequence (abort, ICAP parser reset,
+re-couple, backoff, retry).
 """
 
 from __future__ import annotations
@@ -26,7 +34,12 @@ from repro.core import rp_control as rp_regs
 from repro.drivers.fileio import RmDescriptor
 from repro.drivers.mmio import HostPort
 from repro.drivers.timer import ClintTimer
-from repro.errors import ControllerError
+from repro.errors import (
+    BusError,
+    ControllerError,
+    ReconfigAbortError,
+    ReconfigTimeoutError,
+)
 from repro.soc.config import IRQ_DMA_MM2S, IRQ_DMA_S2MM
 from repro.soc.plic import CLAIM_OFFSET, ENABLE_OFFSET, PRIORITY_BASE
 
@@ -84,8 +97,19 @@ class RvCapDriver:
         """Set the DMA CR run/stop bit (and the interrupt mode)."""
         control = dma_regs.CR_RS
         if irq_enabled:
-            control |= dma_regs.CR_IOC_IRQ_EN
+            # both completion and error interrupts ride the same PLIC
+            # source; the ISR reads DMASR to tell them apart
+            control |= dma_regs.CR_IOC_IRQ_EN | dma_regs.CR_ERR_IRQ_EN
         self.port.write32(self.dma_base + dma_regs.MM2S_DMACR, control)
+
+    def dma_reset(self) -> None:
+        """Soft-reset the MM2S channel, aborting any in-flight transfer."""
+        self.port.write32(self.dma_base + dma_regs.MM2S_DMACR,
+                          dma_regs.CR_RESET)
+
+    def reset_icap(self) -> None:
+        """Reset the ICAP packet parser through the RP-control register."""
+        self.port.write32(self.rp_ctrl_base + rp_regs.ICAP_RESET_OFFSET, 1)
 
     def dma_write_stream(self, address: int, nbytes: int) -> None:
         """Program SA and LENGTH; the LENGTH write launches the DMA."""
@@ -105,11 +129,29 @@ class RvCapDriver:
                           (1 << IRQ_DMA_MM2S) | (1 << IRQ_DMA_S2MM))
         self._plic_ready = True
 
+    def _timeout_cycles(self, timeout_us: float | None) -> int:
+        timing = self.port.soc.config.timing
+        us = timing.reconfig_timeout_us if timeout_us is None else timeout_us
+        return max(1, int(us * timing.soc_freq_hz / 1e6))
+
     def _handle_completion_irq(self, expected_source: int,
-                               status_offset: int) -> None:
-        """The ISR: claim, clear the DMA IOC bit, complete."""
+                               status_offset: int, *,
+                               timeout_us: float | None = None) -> None:
+        """The ISR: claim, read DMASR, clear the cause bit, complete.
+
+        Raises :class:`ReconfigTimeoutError` when no interrupt arrives
+        within the deadline and :class:`ControllerError` when the DMA
+        reports a transfer error instead of a completion.
+        """
         plic = self.port.soc.plic
-        self.port.wait_for(lambda: plic.pending & plic.enable)
+        try:
+            self.port.wait_for(lambda: plic.pending & plic.enable,
+                               timeout_cycles=self._timeout_cycles(timeout_us))
+        except BusError as exc:
+            raise ReconfigTimeoutError(
+                "no DMA interrupt within the completion deadline "
+                "(transfer stalled or externally aborted)"
+            ) from exc
         # trap entry, context save and handler dispatch before the body
         self.port.elapse(self.port.soc.config.timing.isr_latency_cycles)
         source = self.port.read32(self.plic_base + CLAIM_OFFSET)
@@ -117,23 +159,62 @@ class RvCapDriver:
             raise ControllerError(
                 f"unexpected PLIC source {source}, wanted {expected_source}"
             )
+        status = self.port.read32(self.dma_base + status_offset)
+        if status & dma_regs.SR_ERR_IRQ:
+            self.port.write32(self.dma_base + status_offset,
+                              dma_regs.SR_ERR_IRQ)
+            self.port.write32(self.plic_base + CLAIM_OFFSET, source)
+            raise ControllerError(
+                "DMA transfer error (DMASR.Err_Irq): the data stream "
+                "stopped before the bitstream was delivered"
+            )
         self.port.write32(self.dma_base + status_offset, dma_regs.SR_IOC_IRQ)
         self.port.write32(self.plic_base + CLAIM_OFFSET, source)
 
-    def _poll_completion(self, status_offset: int) -> None:
-        """Blocking mode: spin on DMASR until idle."""
-        def idle() -> bool:
-            return bool(self.port.read32(self.dma_base + status_offset)
-                        & dma_regs.SR_IDLE)
-        self.port.wait_for(idle)
+    def _poll_completion(self, status_offset: int, *,
+                         timeout_us: float | None = None) -> None:
+        """Blocking mode: spin on DMASR until idle, errored or halted."""
+        def read_sr() -> int:
+            return self.port.read32(self.dma_base + status_offset)
+
+        def settled() -> bool:
+            return bool(read_sr() & (dma_regs.SR_IDLE | dma_regs.SR_ERR_IRQ
+                                     | dma_regs.SR_HALTED))
+        try:
+            self.port.wait_for(settled,
+                               timeout_cycles=self._timeout_cycles(timeout_us))
+        except BusError as exc:
+            raise ReconfigTimeoutError(
+                "DMASR never settled within the completion deadline"
+            ) from exc
+        status = read_sr()
+        if status & dma_regs.SR_ERR_IRQ:
+            self.port.write32(self.dma_base + status_offset,
+                              dma_regs.SR_ERR_IRQ)
+            raise ControllerError(
+                "DMA transfer error (DMASR.Err_Irq): the data stream "
+                "stopped before the bitstream was delivered"
+            )
+        if not status & dma_regs.SR_IDLE:
+            # halted without idle: the channel was reset mid-transfer
+            raise ReconfigAbortError(
+                "DMA halted mid-transfer (channel reset before completion)"
+            )
         self.port.write32(self.dma_base + status_offset, dma_regs.SR_IOC_IRQ)
 
     # ------------------------------------------------------------------
     # the reconfiguration process (Listing 1)
     # ------------------------------------------------------------------
     def init_reconfig_process(self, descriptor: RmDescriptor, *,
-                              mode: str = "interrupt") -> ReconfigResult:
-        """Load the RM described by ``descriptor`` into the RP."""
+                              mode: str = "interrupt",
+                              timeout_us: float | None = None) -> ReconfigResult:
+        """Load the RM described by ``descriptor`` into the RP.
+
+        On any failure the driver restores a safe state — AXIS switch
+        back to the acceleration path, RP re-coupled — before the error
+        propagates, so a failed DPR never strands the partition
+        decoupled with the switch pointed at the ICAP.
+        """
         if mode not in ("interrupt", "polling"):
             raise ControllerError(f"unknown DMA mode {mode!r}")
         if mode == "interrupt":
@@ -148,20 +229,28 @@ class RvCapDriver:
         self.dma_start(irq_enabled=(mode == "interrupt"))
         t_start = self.timer.read_ticks()
         self.dma_write_stream(descriptor.start_address, descriptor.pbit_size)
-        if mode == "interrupt":
-            self._handle_completion_irq(IRQ_DMA_MM2S, dma_regs.MM2S_DMASR)
-        else:
-            self._poll_completion(dma_regs.MM2S_DMASR)
-        icap = self.port.soc.icap
-        if icap.error:
-            raise ControllerError(
-                f"reconfiguration of {descriptor.name!r} failed: ICAP error"
-            )
-        if icap.reconfigurations_completed == completions_before:
-            raise ControllerError(
-                f"reconfiguration of {descriptor.name!r} incomplete: the "
-                "bitstream never desynced (truncated or malformed)"
-            )
+        try:
+            if mode == "interrupt":
+                self._handle_completion_irq(IRQ_DMA_MM2S, dma_regs.MM2S_DMASR,
+                                            timeout_us=timeout_us)
+            else:
+                self._poll_completion(dma_regs.MM2S_DMASR,
+                                      timeout_us=timeout_us)
+            icap = self.port.soc.icap
+            if icap.error:
+                raise ControllerError(
+                    f"reconfiguration of {descriptor.name!r} failed: "
+                    "ICAP error"
+                )
+            if icap.reconfigurations_completed == completions_before:
+                raise ControllerError(
+                    f"reconfiguration of {descriptor.name!r} incomplete: the "
+                    "bitstream never desynced (truncated or malformed)"
+                )
+        except Exception:
+            self.select_icap(0)
+            self.decouple_accel(0)
+            raise
         t_done = self.timer.read_ticks()
         self.select_icap(0)
         self.decouple_accel(0)
@@ -171,6 +260,57 @@ class RvCapDriver:
             td_us=self.timer.ticks_to_us(t_start - t_entry),
             tr_us=self.timer.ticks_to_us(t_done - t_start),
         )
+
+    # ------------------------------------------------------------------
+    # fault recovery
+    # ------------------------------------------------------------------
+    def abort_reconfig(self) -> None:
+        """Abort an in-flight reconfiguration and restore a safe state.
+
+        Stops the DMA channel (aborting the transfer engine), clears
+        any latched DMA status bits, resets the ICAP packet parser so
+        a half-delivered bitstream cannot poison the next session, and
+        re-couples the RP with the switch on the acceleration path.
+        """
+        self.dma_reset()
+        self.port.write32(self.dma_base + dma_regs.MM2S_DMASR,
+                          dma_regs.SR_IOC_IRQ | dma_regs.SR_ERR_IRQ)
+        self.reset_icap()
+        self.select_icap(0)
+        self.decouple_accel(0)
+
+    def recover_and_retry(self, descriptor: RmDescriptor, *,
+                          mode: str = "interrupt",
+                          max_attempts: int = 3,
+                          backoff_us: float | None = None,
+                          timeout_us: float | None = None) -> ReconfigResult:
+        """Recover from a failed reconfiguration and retry it.
+
+        The sequence per attempt: abort (DMA reset + ICAP parser reset
+        + re-couple), wait out a backoff that doubles per attempt, then
+        rerun ``init_reconfig_process``.  Raises the last failure when
+        every attempt is exhausted.
+        """
+        if max_attempts < 1:
+            raise ControllerError("max_attempts must be >= 1")
+        timing = self.port.soc.config.timing
+        delay_us = timing.recovery_backoff_us if backoff_us is None \
+            else backoff_us
+        self.abort_reconfig()
+        last_error: Exception | None = None
+        for _attempt in range(max_attempts):
+            self.port.elapse(max(1, int(delay_us * timing.soc_freq_hz / 1e6)))
+            try:
+                return self.init_reconfig_process(descriptor, mode=mode,
+                                                  timeout_us=timeout_us)
+            except ControllerError as exc:
+                last_error = exc
+                self.abort_reconfig()
+                delay_us *= 2
+        raise ControllerError(
+            f"recovery of {descriptor.name!r} failed after "
+            f"{max_attempts} attempts"
+        ) from last_error
 
     # ------------------------------------------------------------------
     # acceleration mode (Sec. IV-D)

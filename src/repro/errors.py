@@ -66,5 +66,13 @@ class ControllerError(ReproError):
     """DPR controller driver detected an error condition."""
 
 
+class ReconfigTimeoutError(ControllerError):
+    """A reconfiguration completion wait exceeded its deadline."""
+
+
+class ReconfigAbortError(ControllerError):
+    """A reconfiguration stopped before completion (halted mid-transfer)."""
+
+
 class ResourceModelError(ReproError):
     """Resource estimation was asked for an unknown component."""

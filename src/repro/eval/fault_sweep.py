@@ -1,0 +1,27 @@
+"""Eval surface for the fault campaign: reference SoC, full sweep.
+
+``fault_sweep()`` is what the ``repro faults`` CLI command and the
+recovery-rate benchmark call: build the reference platform, provision
+it, and sweep every fault kind.  The heavy lifting (and the per-point
+mechanics) live in :mod:`repro.faults.campaign`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.eval.scenarios import reference_setup
+from repro.faults.campaign import FaultSweepReport, run_fault_sweep, sweep_kinds
+from repro.soc.config import SocConfig
+
+
+def fault_sweep(*, points: int = 2, seed: int = 2026,
+                kinds: Optional[Sequence[str]] = None,
+                mode: str = "interrupt",
+                module: Optional[str] = None,
+                config: SocConfig | None = None) -> FaultSweepReport:
+    """Run the fault campaign against a freshly provisioned reference SoC."""
+    _soc, manager = reference_setup(config)
+    return run_fault_sweep(manager, points=points, seed=seed,
+                           kinds=sweep_kinds(kinds), mode=mode,
+                           module=module)

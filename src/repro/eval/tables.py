@@ -9,11 +9,9 @@ import numpy as np
 
 from repro.accel import GOLDEN_FILTERS, scene_image
 from repro.drivers.manager import ExecutionTimes
-from repro.eval.baselines import BASELINES, BaselineController
+from repro.eval.baselines import BASELINES
 from repro.eval.scenarios import fig3_geometries, reference_setup
 from repro.eval.throughput import measure_reconfiguration, measure_size_sweep
-from repro.fpga.bitgen import Bitgen
-from repro.fpga.partition import ReconfigurableModule, ResourceBudget
 from repro.resources.library import (
     axi_dma,
     axi_hwicap_ip,

@@ -21,7 +21,7 @@ from repro.fat32.directory import (
     encode_83,
 )
 from repro.fat32.fat import FatTable
-from repro.fat32.layout import BiosParameterBlock, END_OF_CHAIN
+from repro.fat32.layout import BiosParameterBlock
 from repro.fat32.mbr import PARTITION_TYPE_FAT32_LBA, parse_mbr
 
 

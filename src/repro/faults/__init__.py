@@ -1,0 +1,35 @@
+"""Deterministic fault injection and the detection/recovery campaign."""
+
+from repro.faults.campaign import (
+    ALL_KINDS,
+    FaultOutcome,
+    FaultSweepReport,
+    run_fault_sweep,
+    sweep_kinds,
+)
+from repro.faults.injectors import (
+    DmaResetInjector,
+    FaultPlan,
+    FaultyAxiPort,
+    FaultyBlockDevice,
+    flip_word_bit,
+    install_mem_fault,
+    remove_mem_fault,
+    truncate_at_word,
+)
+
+__all__ = [
+    "ALL_KINDS",
+    "DmaResetInjector",
+    "FaultOutcome",
+    "FaultPlan",
+    "FaultSweepReport",
+    "FaultyAxiPort",
+    "FaultyBlockDevice",
+    "flip_word_bit",
+    "install_mem_fault",
+    "remove_mem_fault",
+    "run_fault_sweep",
+    "sweep_kinds",
+    "truncate_at_word",
+]

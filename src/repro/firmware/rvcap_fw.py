@@ -45,7 +45,7 @@ def build_rvcap_firmware(src_address: int, pbit_bytes: int, *,
     """)
     builder.add_crt0(enable_traps=True)
     builder.add_read_mtime()
-    builder.add(f"""
+    builder.add("""
     main:
         addi sp, sp, -16
         sd ra, 8(sp)

@@ -17,7 +17,7 @@ silently; the safe-DPR ablation exercises this path).
 from __future__ import annotations
 
 import enum
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
@@ -26,12 +26,9 @@ from repro.errors import ConfigurationError
 from repro.fpga.config_memory import ConfigMemory
 from repro.fpga.frames import FrameAddress
 from repro.fpga.packets import (
-    BUS_WIDTH_DETECT,
-    BUS_WIDTH_SYNC,
     Command,
     ConfigPacket,
     ConfigRegister,
-    DUMMY_WORD,
     NOOP_WORD,
     Opcode,
     SYNC_WORD,
@@ -60,6 +57,10 @@ class Icap(StreamSink):
         self._payload_reg: Optional[int] = None
         self._payload_remaining = 0
         self._fdri_words: List[np.ndarray] = []
+        #: frame writes staged while their bitstream is still unproven;
+        #: applied on CRC match / clean DESYNC, dropped on error (the
+        #: safe-DPR guarantee: a corrupted bitstream never half-applies)
+        self._pending_commits: List[Tuple[FrameAddress, np.ndarray]] = []
         self._crc = 0
         #: words produced by FDRO read requests, awaiting pickup by the
         #: configuration-port master (readback, UG470 ch. 6)
@@ -93,13 +94,22 @@ class Icap(StreamSink):
         return self._busy_until
 
     def reset(self) -> None:
-        """Port-level reset: abort any partial packet, clear errors."""
+        """Port-level reset: abort any partial packet, clear errors.
+
+        Clears *all* session state — including the readback queue, the
+        frame-address register and any staged frame writes — so an
+        aborted session can never leak data or addressing into the
+        next one.
+        """
         self._byte_buffer.clear()
         self._state = _ParseState.UNSYNCED
         self._payload_reg = None
         self._payload_remaining = 0
         self._fdri_words.clear()
+        self._pending_commits.clear()
         self._crc = 0
+        self.readback_queue.clear()
+        self.far = None
         self.crc_error = False
         self.protocol_error = False
         self.idcode_mismatch = False
@@ -189,6 +199,9 @@ class Icap(StreamSink):
         if reg == ConfigRegister.CRC:
             if self.crc_check and value != self._crc:
                 self.crc_error = True
+                self._drop_pending()
+            else:
+                self._apply_pending()
             self._crc = 0
             return
         if reg == ConfigRegister.CMD:
@@ -228,16 +241,39 @@ class Icap(StreamSink):
         if self.error:
             return  # never half-apply after an error
         wpf = self.config_memory.device.words_per_frame
+        # the partial-frame protocol check comes first: a guard must
+        # never be consulted with a truncated frame count
+        if len(payload) % wpf:
+            self.protocol_error = True
+            return
         frames = len(payload) // wpf
         if self.commit_guard is not None:
             if not self.commit_guard(self.far, frames):
                 raise ConfigurationError(
                     f"frame write at {self.far} blocked by commit guard"
                 )
-        if len(payload) % wpf:
-            self.protocol_error = True
-            return
-        self.far = self.config_memory.write_frames(self.far, payload)
+        if self.crc_check:
+            # safe-DPR: stage the write until the bitstream proves
+            # itself (CRC match or clean DESYNC); FAR auto-increments
+            # exactly as if the frames had been written
+            self._pending_commits.append((self.far, payload))
+            self.far = self.far.advance(frames)
+        else:
+            self.far = self.config_memory.write_frames(self.far, payload)
+
+    @property
+    def pending_frames(self) -> int:
+        """Frames staged but not yet applied to configuration memory."""
+        wpf = self.config_memory.device.words_per_frame
+        return sum(len(payload) // wpf for _f, payload in self._pending_commits)
+
+    def _apply_pending(self) -> None:
+        for far, payload in self._pending_commits:
+            self.config_memory.write_frames(far, payload)
+        self._pending_commits.clear()
+
+    def _drop_pending(self) -> None:
+        self._pending_commits.clear()
 
     def _serve_read(self, reg: int, count: int) -> None:
         """Service a read packet: queue response words for the master.
@@ -251,6 +287,8 @@ class Icap(StreamSink):
             if self.far is None:
                 self.protocol_error = True
                 return
+            # readback observes prior writes: synchronize staged frames
+            self._apply_pending()
             wpf = self.config_memory.device.words_per_frame
             # one pad frame of zeros precedes readback data (UG470)
             payload_words = count - wpf
@@ -283,6 +321,9 @@ class Icap(StreamSink):
                               f"desync ({status}), {self.words_consumed} "
                               "words consumed so far")
         if not self.error:
+            self._apply_pending()
             self.reconfigurations_completed += 1
             if self.on_complete is not None:
                 self.on_complete()
+        else:
+            self._drop_pending()

@@ -14,7 +14,7 @@ expansion) are resolved with the standard carry adjustment.
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List
 
 from repro.errors import AssemblerError

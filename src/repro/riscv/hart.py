@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
-from repro.errors import BusError, CpuError, IllegalInstructionError
+from repro.errors import CpuError, IllegalInstructionError
 from repro.riscv import isa
 from repro.riscv.compressed import expand
 from repro.riscv.csr import CsrFile

@@ -10,7 +10,7 @@ no recorder is attached.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Dict, List, Optional
 
 
 @dataclass(frozen=True)

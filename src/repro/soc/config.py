@@ -79,8 +79,15 @@ class TimingParams:
     #: (the paper's T_d = 18 us at 100 MHz)
     decision_cycles: int = 1640
     #: interrupt service latency: trap entry, context save, dispatch to
-    #: the completion handler and return (non-blocking mode, Sec. IV-B)
-    isr_latency_cycles: int = 2100
+    #: the completion handler and return (non-blocking mode, Sec. IV-B);
+    #: calibrated together with the handler's DMASR cause read so the
+    #: reference reconfiguration lands on the paper's Tr = 1651 us
+    isr_latency_cycles: int = 2080
+    #: driver-side completion deadline for one reconfiguration; ~12x the
+    #: reference Tr of 1651 us, so only a genuinely stuck transfer trips
+    reconfig_timeout_us: float = 20_000.0
+    #: initial recover-and-retry backoff (doubles per failed attempt)
+    recovery_backoff_us: float = 100.0
 
 
 @dataclass(frozen=True)

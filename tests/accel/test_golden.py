@@ -1,5 +1,4 @@
 import numpy as np
-import pytest
 
 from repro.accel.golden import gaussian3x3, median3x3, sobel3x3
 from repro.accel.images import (

@@ -10,9 +10,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.eval.scenarios import make_test_bitstream, small_rp
+from repro.eval.scenarios import make_test_bitstream
 from repro.soc.builder import build_soc
-from repro.soc.config import SocConfig
 
 
 @pytest.fixture()

@@ -130,6 +130,114 @@ class TestS2mm:
         assert _r(dma, dr.S2MM_DMASR, now=sim.now) & dr.SR_IDLE
 
 
+class TestErrorPaths:
+    """PG021 error semantics: an errored burst is never a completion."""
+
+    def _faulted_mm2s(self, system, *, control, fail_at=256, length=4096):
+        sim, ddr, dma = system
+        from repro.faults.injectors import install_mem_fault
+        dma.mm2s.sink = CaptureSink()
+        install_mem_fault(dma.mm2s, fail_read_at=fail_at)
+        _w(dma, dr.MM2S_DMACR, control)
+        _w(dma, dr.MM2S_LENGTH, length)
+        sim.run()
+        return dma
+
+    def test_errored_burst_sets_err_not_ioc(self, system):
+        dma = self._faulted_mm2s(system, control=dr.CR_RS)
+        sr = dma.mm2s.read_sr()
+        assert sr & dr.SR_ERR_IRQ
+        assert not sr & dr.SR_IOC_IRQ
+        assert not sr & dr.SR_IDLE
+        assert sr & dr.SR_HALTED  # the channel halts and RS drops
+        assert not dma.mm2s.control & dr.CR_RS
+
+    def test_errored_burst_not_counted_complete(self, system):
+        dma = self._faulted_mm2s(system, control=dr.CR_RS)
+        assert dma.mm2s.transfers_completed == 0
+        assert dma.mm2s.transfers_errored == 1
+
+    def test_err_irq_callback_gated_on_enable(self, system):
+        sim, ddr, dma = system
+        fired = []
+        dma.mm2s.irq_callback = lambda: fired.append(sim.now)
+        self._faulted_mm2s(system, control=dr.CR_RS | dr.CR_ERR_IRQ_EN)
+        assert len(fired) == 1
+
+    def test_no_ioc_callback_on_error(self, system):
+        sim, ddr, dma = system
+        fired = []
+        dma.mm2s.irq_callback = lambda: fired.append(sim.now)
+        # IOC enabled but ERR not: an errored transfer stays silent
+        self._faulted_mm2s(system, control=dr.CR_RS | dr.CR_IOC_IRQ_EN)
+        assert fired == []
+
+    def test_err_bit_write_one_clear(self, system):
+        sim, _ddr, dma = system
+        self._faulted_mm2s(system, control=dr.CR_RS)
+        _w(dma, dr.MM2S_DMASR, dr.SR_ERR_IRQ, now=sim.now)
+        assert not _r(dma, dr.MM2S_DMASR, now=sim.now) & dr.SR_ERR_IRQ
+
+    def test_s2mm_write_fault(self, system):
+        sim, ddr, dma = system
+        from repro.faults.injectors import install_mem_fault
+        dma.s2mm.source = BufferSource(b"x" * 4096)
+        install_mem_fault(dma.s2mm, fail_write_at=512)
+        _w(dma, dr.S2MM_DMACR, dr.CR_RS)
+        _w(dma, dr.S2MM_LENGTH, 4096)
+        sim.run()
+        sr = dma.s2mm.read_sr()
+        assert sr & dr.SR_ERR_IRQ and not sr & dr.SR_IDLE
+        assert dma.s2mm.transfers_completed == 0
+
+
+class TestResetAbort:
+    """DMACR.Reset must kill the in-flight transfer engine."""
+
+    def test_reset_mid_transfer_aborts(self, system):
+        sim, ddr, dma = system
+        sink = CaptureSink(bytes_per_cycle=4)
+        dma.mm2s.sink = sink
+        nbytes = 64 * 1024
+        _w(dma, dr.MM2S_DMACR, dr.CR_RS)
+        _w(dma, dr.MM2S_LENGTH, nbytes)
+        sim.advance_to(sim.now + 1000)  # partway into a ~16k-cycle move
+        assert dma.mm2s.busy
+        _w(dma, dr.MM2S_DMACR, dr.CR_RESET, now=sim.now)
+        assert not dma.mm2s.busy
+        assert dma.mm2s.transfers_aborted == 1
+        sim.run()  # the closed generator must never resume
+        assert dma.mm2s.transfers_completed == 0
+        assert len(sink.data) < nbytes
+        sr = dma.mm2s.read_sr()
+        assert sr & dr.SR_HALTED and not sr & (dr.SR_IDLE | dr.SR_IOC_IRQ)
+
+    def test_channel_restartable_after_reset(self, system):
+        sim, ddr, dma = system
+        payload = bytes(range(256))
+        ddr.load_image(0x3000, payload)
+        sink = CaptureSink(bytes_per_cycle=4)
+        dma.mm2s.sink = sink
+        _w(dma, dr.MM2S_DMACR, dr.CR_RS)
+        _w(dma, dr.MM2S_LENGTH, 32 * 1024)
+        sim.advance_to(sim.now + 500)
+        _w(dma, dr.MM2S_DMACR, dr.CR_RESET, now=sim.now)
+        # second, clean run after the abort
+        aborted = len(sink.data)
+        _w(dma, dr.MM2S_DMACR, dr.CR_RS, now=sim.now)
+        _w(dma, dr.MM2S_SA, 0x3000, now=sim.now)
+        _w(dma, dr.MM2S_LENGTH, len(payload), now=sim.now)
+        sim.run()
+        assert dma.mm2s.transfers_completed == 1
+        assert bytes(sink.data[aborted:]) == payload
+
+    def test_reset_when_idle_is_harmless(self, system):
+        _sim, _ddr, dma = system
+        _w(dma, dr.MM2S_DMACR, dr.CR_RESET)
+        assert dma.mm2s.transfers_aborted == 0
+        assert dma.mm2s.read_sr() & dr.SR_HALTED
+
+
 class TestThroughput:
     def test_mm2s_saturates_fast_sink(self, system):
         """With an 8 B/cycle sink the DMA sustains ~1 beat/cycle."""

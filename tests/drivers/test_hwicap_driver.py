@@ -3,7 +3,7 @@ import pytest
 from repro.drivers.hwicap_driver import HwIcapDriver
 from repro.drivers.mmio import HostPort
 from repro.errors import ControllerError
-from repro.eval.scenarios import make_test_bitstream, small_rp
+from repro.eval.scenarios import make_test_bitstream
 from repro.eval.throughput import measure_reconfiguration
 
 

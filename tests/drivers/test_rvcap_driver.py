@@ -1,6 +1,15 @@
 import pytest
 
-from repro.errors import ControllerError
+from repro.errors import (
+    ControllerError,
+    ReconfigAbortError,
+    ReconfigTimeoutError,
+)
+from repro.faults.injectors import (
+    DmaResetInjector,
+    install_mem_fault,
+    remove_mem_fault,
+)
 
 
 class TestReconfiguration:
@@ -58,3 +67,126 @@ class TestReconfiguration:
         with pytest.raises(ControllerError):
             manager.rvcap.init_reconfig_process(d)
         assert soc.icap.crc_error
+
+
+class TestFailurePathRestoresState:
+    """A failed DPR must never strand the RP decoupled / switch on ICAP."""
+
+    def _assert_safe_state(self, soc):
+        assert not soc.rvcap.rp_control.decoupled
+        assert not soc.rvcap.in_reconfiguration_mode
+
+    def test_icap_error_recouples(self, provisioned_manager_factory):
+        soc, manager = provisioned_manager_factory()
+        d = manager.descriptor("sobel")
+        raw = bytearray(soc.ddr_read(d.start_address, d.pbit_size))
+        raw[5000] ^= 0x01
+        soc.ddr_write(d.start_address, bytes(raw))
+        with pytest.raises(ControllerError):
+            manager.rvcap.init_reconfig_process(d)
+        self._assert_safe_state(soc)
+
+    def test_never_desynced_recouples(self, provisioned_manager_factory):
+        from dataclasses import replace
+        soc, manager = provisioned_manager_factory()
+        d = replace(manager.descriptor("sobel"), pbit_size=4096)
+        with pytest.raises(ControllerError):
+            manager.rvcap.init_reconfig_process(d)
+        self._assert_safe_state(soc)
+
+    @pytest.mark.parametrize("mode", ["interrupt", "polling"])
+    def test_dma_error_recouples(self, provisioned_manager_factory, mode):
+        soc, manager = provisioned_manager_factory()
+        d = manager.descriptor("sobel")
+        channel = soc.rvcap.dma.mm2s
+        proxy = install_mem_fault(channel, fail_read_at=d.pbit_size // 2)
+        try:
+            with pytest.raises(ControllerError):
+                manager.rvcap.init_reconfig_process(d, mode=mode)
+        finally:
+            remove_mem_fault(channel, proxy)
+        self._assert_safe_state(soc)
+        assert channel.transfers_errored == 1
+
+
+class TestTimeoutsAndAborts:
+    def test_interrupt_mode_times_out_on_silent_stall(
+            self, provisioned_manager_factory):
+        soc, manager = provisioned_manager_factory()
+        d = manager.descriptor("sobel")
+        DmaResetInjector(soc.sim, soc.rvcap.dma.mm2s,
+                         delay_cycles=d.pbit_size // 8)
+        with pytest.raises(ReconfigTimeoutError):
+            manager.rvcap.init_reconfig_process(d, timeout_us=3000.0)
+        assert not soc.rvcap.rp_control.decoupled
+
+    def test_polling_mode_detects_external_reset(
+            self, provisioned_manager_factory):
+        soc, manager = provisioned_manager_factory()
+        d = manager.descriptor("sobel")
+        DmaResetInjector(soc.sim, soc.rvcap.dma.mm2s,
+                         delay_cycles=d.pbit_size // 8)
+        with pytest.raises(ReconfigAbortError):
+            manager.rvcap.init_reconfig_process(d, mode="polling",
+                                                timeout_us=3000.0)
+
+
+class TestRecoverAndRetry:
+    def test_recovery_after_dma_fault(self, provisioned_manager_factory):
+        soc, manager = provisioned_manager_factory()
+        d = manager.descriptor("sobel")
+        channel = soc.rvcap.dma.mm2s
+        proxy = install_mem_fault(channel, fail_read_at=d.pbit_size // 2)
+        with pytest.raises(ControllerError):
+            manager.rvcap.init_reconfig_process(d)
+        remove_mem_fault(channel, proxy)
+        result = manager.rvcap.recover_and_retry(d)
+        assert soc.active_module_name == "sobel"
+        # the retried transfer hits the reference throughput again
+        assert result.tr_us == pytest.approx(1651.0, abs=2.0)
+
+    def test_transient_fault_retried_through(self,
+                                             provisioned_manager_factory):
+        """A once-armed fault fires during the first retry attempt;
+        the second attempt goes through clean."""
+        soc, manager = provisioned_manager_factory()
+        d = manager.descriptor("median")
+        channel = soc.rvcap.dma.mm2s
+        proxy = install_mem_fault(channel, fail_read_at=d.pbit_size // 3)
+        try:
+            result = manager.rvcap.recover_and_retry(d, max_attempts=3)
+        finally:
+            remove_mem_fault(channel, proxy)
+        assert proxy.faults_injected == 1
+        assert result.module == "median"
+        assert soc.active_module_name == "median"
+
+    def test_exhausted_attempts_raise_last_error(
+            self, provisioned_manager_factory):
+        soc, manager = provisioned_manager_factory()
+        d = manager.descriptor("sobel")
+        channel = soc.rvcap.dma.mm2s
+        proxy = install_mem_fault(channel, fail_read_at=0, once=False)
+        try:
+            with pytest.raises(ControllerError) as excinfo:
+                manager.rvcap.recover_and_retry(d, max_attempts=2)
+        finally:
+            remove_mem_fault(channel, proxy)
+        assert "after 2 attempts" in str(excinfo.value)
+        assert excinfo.value.__cause__ is not None
+        assert not soc.rvcap.rp_control.decoupled
+
+    def test_abort_reconfig_resets_icap_parser(
+            self, provisioned_manager_factory):
+        soc, manager = provisioned_manager_factory()
+        d = manager.descriptor("sobel")
+        # stall a transfer mid-flight, then abort
+        DmaResetInjector(soc.sim, soc.rvcap.dma.mm2s,
+                         delay_cycles=d.pbit_size // 8)
+        with pytest.raises(ControllerError):
+            manager.rvcap.init_reconfig_process(d, timeout_us=3000.0)
+        assert soc.icap.words_consumed > 0
+        manager.rvcap.abort_reconfig()
+        assert soc.icap.pending_frames == 0
+        assert not soc.icap.error
+        assert soc.icap.far is None

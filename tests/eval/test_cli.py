@@ -9,8 +9,8 @@ class TestParser:
     def test_all_commands_registered(self):
         parser = build_parser()
         text = parser.format_help()
-        for command in ("tables", "fig3", "unroll", "reconfig", "asm",
-                        "disasm"):
+        for command in ("tables", "fig3", "unroll", "reconfig", "faults",
+                        "asm", "disasm"):
             assert command in text
 
     def test_requires_a_command(self):
@@ -25,6 +25,19 @@ class TestReconfigCommand:
         assert "Tr=1651.0 us" in out
         assert "dma.mm2s" in out
         assert "icap_reconfigurations" in out
+
+
+class TestFaultsCommand:
+    def test_single_kind_sweep(self, capsys):
+        assert main(["faults", "--points", "1", "--kinds", "truncate",
+                     "--seed", "9"]) == 0
+        out = capsys.readouterr().out
+        assert "truncate" in out
+        assert "recovery rate: 100.0%" in out
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(SystemExit):
+            main(["faults", "--kinds", "gamma-ray"])
 
 
 class TestTableCommand:

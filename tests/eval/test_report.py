@@ -1,4 +1,4 @@
-from repro.eval.report import ReportSection, ReproductionReport
+from repro.eval.report import ReproductionReport
 
 
 class TestReportRendering:

@@ -1,10 +1,7 @@
-import pytest
-
 from repro.eval.scenarios import (
     REFERENCE_PBIT_BYTES,
     fig3_geometries,
     make_test_bitstream,
-    small_rp,
     sweep_bitstream_sizes,
 )
 from repro.fpga.bitgen import Bitgen

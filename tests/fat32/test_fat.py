@@ -2,7 +2,7 @@ import pytest
 
 from repro.errors import FilesystemError
 from repro.fat32.blockdev import RamBlockDevice
-from repro.fat32.layout import END_OF_CHAIN, FREE_CLUSTER
+from repro.fat32.layout import END_OF_CHAIN
 from repro.fat32.mkfs import format_volume
 
 

@@ -1,7 +1,6 @@
-from repro.firmware.runtime import MAILBOX_OFFSET, FirmwareBuilder
+from repro.firmware.runtime import FirmwareBuilder
 from repro.firmware.runner import run_firmware
 from repro.riscv.assembler import assemble
-from repro.soc.builder import build_soc
 
 
 def _assemble(builder: FirmwareBuilder):

@@ -125,6 +125,84 @@ class TestErrorPaths:
             icap.accept(make_test_bitstream().to_bytes(), now=0)
 
 
+class TestResetSemantics:
+    def test_reset_clears_readback_queue_and_far(self, icap):
+        icap.accept(make_test_bitstream().to_bytes(), now=0)
+        icap.readback_queue.extend([1, 2, 3])
+        assert icap.far is not None
+        icap.reset()
+        assert icap.readback_queue == []
+        assert icap.far is None
+
+    def test_reset_drops_staged_frames(self, icap):
+        """Frames staged mid-session must not leak past a reset."""
+        from repro.fpga.packets import ConfigRegister, type1_write
+        rp = small_rp()
+        data = make_test_bitstream(rp).to_bytes()
+        # feed everything up to (but excluding) the CRC check word:
+        # the frame payload is staged, unproven
+        cut = data.rindex(int(type1_write(ConfigRegister.CRC, 1))
+                          .to_bytes(4, "big"))
+        icap.accept(data[:cut], now=0)
+        assert icap.pending_frames > 0
+        icap.reset()
+        assert icap.pending_frames == 0
+        assert icap.config_memory.frames_written == 0
+
+    def test_session_after_reset_is_clean(self, icap):
+        rp = small_rp()
+        data = make_test_bitstream(rp).to_bytes()
+        icap.accept(data[: len(data) // 2], now=0)  # abort mid-payload
+        icap.reset()
+        t = icap.accept(data, now=10_000)
+        assert not icap.error
+        assert icap.reconfigurations_completed == 1
+        assert icap.config_memory.frames_written == rp.frames
+        assert t > 10_000
+
+
+class TestStagedCommits:
+    """Safe-DPR: frame writes apply only once the bitstream proves itself."""
+
+    def test_corrupt_crc_leaves_config_memory_unchanged(self):
+        cm = ConfigMemory(KINTEX7_325T)
+        icap = Icap(cm)
+        gen = Bitgen(options=BitgenOptions(corrupt_crc=True))
+        module = ReconfigurableModule("m", ResourceBudget(1, 1, 0, 0))
+        rp = small_rp()
+        before = cm.read_frames(rp.base_far, rp.frames).copy()
+        icap.accept(gen.generate(rp, module).to_bytes(), now=0)
+        assert icap.crc_error
+        assert cm.frames_written == 0
+        assert np.array_equal(cm.read_frames(rp.base_far, rp.frames), before)
+
+    def test_valid_bitstream_applies_on_crc_match(self, icap):
+        rp = small_rp()
+        icap.accept(make_test_bitstream(rp).to_bytes(), now=0)
+        assert icap.pending_frames == 0
+        assert icap.config_memory.frames_written == rp.frames
+
+    def test_guard_sees_full_frame_count_before_partial_check(self, icap):
+        """Protocol check precedes the guard: a truncated frame count
+        must flag protocol_error without consulting the guard."""
+        seen = []
+        icap.commit_guard = lambda far, frames: seen.append(frames) or True
+        from repro.fpga.packets import (
+            ConfigRegister, DUMMY_WORD, NOOP_WORD, SYNC_WORD,
+            type1_write,
+        )
+        wpf = icap.config_memory.device.words_per_frame
+        far_word = 0
+        words = [DUMMY_WORD, SYNC_WORD, NOOP_WORD,
+                 type1_write(ConfigRegister.FAR, 1), far_word,
+                 type1_write(ConfigRegister.FDRI, wpf // 2)]
+        words += [0] * (wpf // 2)  # half a frame: protocol violation
+        icap.accept(np.array(words, dtype=np.uint32).astype(">u4").tobytes(),
+                    now=0)
+        assert icap.protocol_error
+        assert seen == []  # the guard was never consulted
+
+
 class TestReadPackets:
     def test_stat_read_reports_done(self, icap):
         """A STAT register read through the port (UG470 status poll)."""

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.fpga.scrubber import FrameScrubber, ScrubReport, inject_seu
+from repro.fpga.scrubber import FrameScrubber, inject_seu
 
 
 @pytest.fixture()

@@ -1,7 +1,6 @@
 """Cross-subsystem integration flows."""
 
 import numpy as np
-import pytest
 
 from repro.accel import scene_image, sobel3x3
 from repro.drivers.fileio import PbitStore, SpiSdBlockDevice
@@ -74,7 +73,7 @@ class TestRepeatedOperation:
         soc, manager = provisioned_manager_factory()
         sequence = ["sobel", "median", "gaussian"] * 3
         for name in sequence:
-            result = manager.load_module(name, force=(manager.loaded_module == name))
+            manager.load_module(name, force=(manager.loaded_module == name))
             assert soc.active_module_name == name
         assert soc.icap.reconfigurations_completed == len(sequence)
         assert not soc.icap.error

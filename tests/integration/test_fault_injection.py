@@ -18,14 +18,18 @@ class TestCorruptBitstreams:
         src = soc.config.layout.ddr_base + (100 << 20)
         soc.ddr_write(src, bs.to_bytes())
         descriptor = RmDescriptor("evil", "E.PBI", src, bs.nbytes)
+        before = soc.config_memory.read_frames(soc.rp.base_far,
+                                               soc.rp.frames).copy()
         with pytest.raises(ControllerError):
             manager.rvcap.init_reconfig_process(descriptor)
         assert soc.icap.crc_error
-        # the CRC word arrives after the frame data (that is the
-        # protocol), so frames may have streamed in — but the device
-        # never completes startup and no module is ever activated
         assert soc.icap.reconfigurations_completed == 0
         assert soc.active_module_name is None and soc.active_rm is None
+        # safe-DPR: frame writes are staged until the CRC proves the
+        # bitstream, so a corrupted stream leaves the fabric untouched
+        after = soc.config_memory.read_frames(soc.rp.base_far, soc.rp.frames)
+        assert np.array_equal(before, after)
+        assert soc.config_memory.frames_written == 0
 
     def test_recovery_after_crc_error(self, provisioned_manager_factory):
         soc, manager = provisioned_manager_factory()
@@ -52,6 +56,38 @@ class TestCorruptBitstreams:
             # transfer finishes but the ICAP never saw DESYNC: the SoC
             # cannot recognize a module, and the manager flags it
             manager.rvcap.init_reconfig_process(truncated)
+
+
+class TestDdrFaultAcceptance:
+    """The issue's acceptance scenario: a DDR read fault mid-bitstream
+    yields Err_Irq (not IOC), leaves configuration memory unmodified,
+    and recover-and-retry then completes cleanly."""
+
+    @pytest.mark.parametrize("mode", ["interrupt", "polling"])
+    def test_ddr_fault_then_recovery(self, provisioned_manager_factory, mode):
+        from repro.core import dma as dma_regs
+        from repro.faults.injectors import install_mem_fault, remove_mem_fault
+
+        soc, manager = provisioned_manager_factory()
+        d = manager.descriptor("sobel")
+        channel = soc.rvcap.dma.mm2s
+        before = soc.config_memory.read_frames(soc.rp.base_far,
+                                               soc.rp.frames).copy()
+        proxy = install_mem_fault(channel, fail_read_at=d.pbit_size // 2)
+        with pytest.raises(ControllerError):
+            manager.rvcap.init_reconfig_process(d, mode=mode)
+        remove_mem_fault(channel, proxy)
+        # the error latched as Err_Irq, never as a completion
+        assert channel.transfers_errored == 1
+        assert channel.transfers_completed == 0
+        assert not channel.status & dma_regs.SR_IOC_IRQ
+        # configuration memory untouched by the half-delivered stream
+        after = soc.config_memory.read_frames(soc.rp.base_far, soc.rp.frames)
+        assert np.array_equal(before, after)
+        # recovery brings the module up with the reference timing
+        result = manager.rvcap.recover_and_retry(d, mode=mode)
+        assert soc.active_module_name == "sobel"
+        assert result.tr_us == pytest.approx(1651.0, rel=0.02)
 
 
 class TestDecouplingSafety:

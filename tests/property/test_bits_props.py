@@ -2,7 +2,6 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.utils.bits import (
-    MASK64,
     bitrev32,
     bits,
     insert,

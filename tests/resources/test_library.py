@@ -16,8 +16,6 @@ from repro.resources.library import (
     rvcap_controller,
     rvcap_controller_integrated,
 )
-from repro.resources.model import ResourceCost
-
 
 def _v(cost):
     return (cost.luts, cost.ffs, cost.brams, cost.dsps)

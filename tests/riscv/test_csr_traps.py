@@ -2,7 +2,7 @@
 
 from repro.riscv import isa
 
-from .harness import DDR_BASE, reg, run_asm
+from .harness import reg, run_asm
 
 
 class TestCsrAccess:
@@ -145,7 +145,7 @@ class TestTraps:
         assert reg(hart, "a1") == isa.EXC_ILLEGAL_INSTR
 
     def test_store_access_fault_on_unmapped_mmio(self):
-        hart = run_asm(f"""
+        hart = run_asm("""
             la t0, handler
             csrw mtvec, t0
             li t1, 0x40000000          # hole in the memory map

@@ -7,7 +7,7 @@ from repro.riscv.assembler.rvc import compress_word
 from repro.riscv.compressed import expand
 from repro.riscv.decoder import decode
 
-from .harness import DDR_BASE, MiniSystem, reg
+from .harness import DDR_BASE, MiniSystem
 
 
 def _roundtrip_ok(word: int) -> bool:

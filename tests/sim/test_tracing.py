@@ -1,5 +1,3 @@
-import pytest
-
 from repro.sim.tracing import TraceEvent, TraceRecorder, format_stats
 
 

@@ -1,7 +1,5 @@
 """Topology checks on the assembled reference SoC."""
 
-import pytest
-
 from repro.soc.builder import build_soc
 from repro.soc.config import MemoryLayout, SocConfig
 

@@ -1,7 +1,5 @@
 """SPI controller + SD card protocol tests."""
 
-import pytest
-
 from repro.soc.sdcard import (
     BLOCK_SIZE,
     DATA_START_TOKEN,
@@ -15,8 +13,6 @@ from repro.soc.spi import (
     CR_ENABLE,
     CR_OFFSET,
     RXDATA_OFFSET,
-    SR_OFFSET,
-    SR_RX_VALID,
     TXDATA_OFFSET,
     SpiController,
 )
