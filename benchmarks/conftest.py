@@ -6,18 +6,52 @@ live simulation and attaches paper-vs-measured values via
 EXPERIMENTS.md data source.  Regenerations are seconds-long full-system
 runs, so rounds are pinned to 1 (the simulations are deterministic —
 there is no run-to-run variance to average away).
+
+Each ``run_once`` call also records its wall time (and, when the bench
+declares ``work_bytes``, the simulated-payload throughput) into a
+session-wide registry; a terminal-summary hook prints the per-bench
+table at the end of the run so a plain ``pytest benchmarks/`` leaves a
+readable speed report without needing ``--benchmark-json``.
 """
+
+import time
+from typing import List, Tuple
 
 import pytest
 
+#: (bench name, wall seconds, simulated payload bytes) per run_once call
+_WALL_RESULTS: List[Tuple[str, float, int]] = []
 
-def run_once(benchmark, fn):
+
+def run_once(benchmark, fn, *, work_bytes: int = 0):
     """Run ``fn`` exactly once under the benchmark timer."""
-    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+    wall = [0.0]
+
+    def timed():
+        t0 = time.perf_counter()
+        out = fn()
+        wall[0] = time.perf_counter() - t0
+        return out
+
+    result = benchmark.pedantic(timed, rounds=1, iterations=1,
+                                warmup_rounds=0)
+    name = getattr(benchmark, "name", None) or fn.__name__
+    _WALL_RESULTS.append((name, wall[0], work_bytes))
+    return result
 
 
 @pytest.fixture()
 def once(benchmark):
-    def runner(fn):
-        return run_once(benchmark, fn)
+    def runner(fn, *, work_bytes: int = 0):
+        return run_once(benchmark, fn, work_bytes=work_bytes)
     return runner
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _WALL_RESULTS:
+        return
+    terminalreporter.write_sep("-", "simulator wall-clock summary")
+    terminalreporter.write_line(f"{'bench':44s} {'wall_s':>8s} {'MB/s':>9s}")
+    for name, wall, work in _WALL_RESULTS:
+        mb_s = f"{work / wall / 1e6:9.2f}" if work and wall > 0 else f"{'-':>9s}"
+        terminalreporter.write_line(f"{name:44s} {wall:8.3f} {mb_s}")

@@ -1,0 +1,271 @@
+"""Wall-clock perf harness for the DPR simulator.
+
+Runs the six canonical benches (bitstream generation, raw ICAP parse,
+end-to-end reconfiguration, the Table II sweep, the ISS unroll sweep and
+the fault campaign), records wall time plus simulated-payload throughput
+to ``BENCH_perf.json``, and — in ``--check`` mode — fails when a bench
+regresses more than 25 % against the committed baseline.
+
+Wall-clock numbers are machine-dependent, so every run also times a
+fixed pure-Python calibration workload (the scalar CRC reference over a
+known word block).  ``--check`` compares *calibration-normalized* wall
+times, which keeps the regression gate meaningful when CI runners and
+developer laptops differ in single-core speed.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf.py              # run + write JSON
+    PYTHONPATH=src python benchmarks/perf.py --check      # gate vs baseline
+    PYTHONPATH=src python benchmarks/perf.py --bench table2 --repeat 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_JSON = REPO_ROOT / "BENCH_perf.json"
+
+SCHEMA = "rvcap-perf/1"
+
+#: wall seconds measured on the pre-optimization tree (same machine that
+#: produced the committed baseline; used only for the speedup column).
+PRE_PR_WALL_S = {
+    "bitgen_ref": 0.387,
+    "icap_stream": 0.368,
+    "e2e_reconfig": 0.478,
+    "table2": 3.456,
+    "iss_unroll": 0.852,
+    "fault_sweep": 4.682,
+}
+
+#: allowed normalized wall-clock regression before --check fails
+REGRESSION_TOLERANCE = 1.25
+
+
+# ---------------------------------------------------------------------------
+# bench bodies — each returns the number of simulated payload bytes the
+# bench pushed through the model, so MB/s is comparable across machines
+# ---------------------------------------------------------------------------
+
+def _reference_pbit() -> bytes:
+    from repro.eval.scenarios import rp_for_geometry
+    from repro.fpga.bitgen import Bitgen
+    from repro.fpga.partition import (
+        ReconfigurableModule,
+        ResourceBudget,
+        RpGeometry,
+    )
+
+    rp = rp_for_geometry("rp_ref", RpGeometry(25, 4, 3, 1))
+    module = ReconfigurableModule("ref_mod", ResourceBudget(1, 1, 0, 0))
+    return Bitgen().generate(rp, module).to_bytes()
+
+
+def bench_bitgen_ref() -> int:
+    """Assemble the reference partial bitstream (CRC-heavy)."""
+    return len(_reference_pbit())
+
+
+def bench_icap_stream() -> int:
+    """Parse the reference bitstream through a bare ICAP model."""
+    from repro.fpga.config_memory import ConfigMemory
+    from repro.fpga.device import KINTEX7_325T
+    from repro.fpga.icap import Icap
+
+    pbit = _reference_pbit()
+    Icap(ConfigMemory(KINTEX7_325T)).accept(pbit, 0)
+    return len(pbit)
+
+
+def bench_e2e_reconfig() -> int:
+    """Full DMA -> ICAP reconfiguration of the reference bitstream."""
+    from repro.eval.throughput import measure_reconfiguration
+
+    pbit = _reference_pbit()
+    measure_reconfiguration(pbit)
+    return len(pbit)
+
+
+def bench_table2() -> int:
+    """Reproduce Table II (RV-CAP and HWICAP throughput rows)."""
+    from repro.eval.tables import table2
+
+    table2()
+    # both controller rows stream the reference partial bitstream
+    return 2 * 650_892
+
+
+def bench_iss_unroll() -> int:
+    """Firmware-driven unroll sweep at factor 16 (ISS-bound)."""
+    from repro.eval.figures import unroll_sweep
+
+    unroll_sweep((16,))
+    return 133_772
+
+
+def bench_fault_sweep() -> int:
+    """One fault-campaign point per fault kind on the reference SoC."""
+    from repro.eval.fault_sweep import fault_sweep
+    from repro.faults.campaign import sweep_kinds
+
+    report = fault_sweep(points=1, seed=2026)
+    return report.points * 650_892 if report.points else len(sweep_kinds(None)) * 650_892
+
+
+BENCHES: Dict[str, Callable[[], int]] = {
+    "bitgen_ref": bench_bitgen_ref,
+    "icap_stream": bench_icap_stream,
+    "e2e_reconfig": bench_e2e_reconfig,
+    "table2": bench_table2,
+    "iss_unroll": bench_iss_unroll,
+    "fault_sweep": bench_fault_sweep,
+}
+
+
+# ---------------------------------------------------------------------------
+# measurement helpers
+# ---------------------------------------------------------------------------
+
+def calibrate() -> float:
+    """Time a fixed scalar-CRC workload to normalize machine speed."""
+    from repro.utils.crc import crc32_config_word
+
+    payload = [(i * 0x9E3779B9) & 0xFFFF_FFFF for i in range(20_000)]
+    best = float("inf")
+    for _ in range(3):
+        crc = 0
+        t0 = time.perf_counter()
+        for word in payload:
+            crc = crc32_config_word(crc, word, 2)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run_bench(name: str, repeat: int) -> Tuple[float, int]:
+    fn = BENCHES[name]
+    best = float("inf")
+    work = 0
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        work = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, work
+
+
+def run_all(names: List[str], repeat: int) -> dict:
+    results = []
+    for name in names:
+        wall, work = run_bench(name, repeat)
+        mb_s = work / wall / 1e6 if wall > 0 else 0.0
+        baseline = PRE_PR_WALL_S.get(name)
+        entry = {
+            "name": name,
+            "wall_s": round(wall, 4),
+            "sim_mb_s": round(mb_s, 2),
+            "speedup_vs_baseline": round(baseline / wall, 2) if baseline else None,
+        }
+        results.append(entry)
+        print(
+            f"{name:14s} {wall:8.3f} s   {mb_s:9.2f} MB/s   "
+            f"{entry['speedup_vs_baseline'] or '-':>6}x vs pre-opt"
+        )
+    return {
+        "schema": SCHEMA,
+        "calibration_wall_s": round(calibrate(), 4),
+        "benches": results,
+    }
+
+
+# ---------------------------------------------------------------------------
+# regression gate
+# ---------------------------------------------------------------------------
+
+def check_regressions(current: dict, baseline_path: Path) -> int:
+    if not baseline_path.exists():
+        print(
+            f"perf-check: no committed baseline at {baseline_path}; "
+            "skipping gate (non-blocking first run)"
+        )
+        return 0
+    baseline = json.loads(baseline_path.read_text())
+    base_calib = baseline.get("calibration_wall_s") or 1.0
+    cur_calib = current.get("calibration_wall_s") or 1.0
+    base_by_name = {b["name"]: b for b in baseline.get("benches", [])}
+    failures = []
+    for bench in current["benches"]:
+        ref = base_by_name.get(bench["name"])
+        if ref is None:
+            continue
+        # normalize by the calibration workload so differently-fast
+        # machines compare like for like
+        cur_norm = bench["wall_s"] / cur_calib
+        ref_norm = ref["wall_s"] / base_calib
+        ratio = cur_norm / ref_norm if ref_norm > 0 else 1.0
+        tag = "FAIL" if ratio > REGRESSION_TOLERANCE else "ok"
+        print(
+            f"perf-check: {bench['name']:14s} normalized {ratio:5.2f}x "
+            f"of baseline [{tag}]"
+        )
+        if ratio > REGRESSION_TOLERANCE:
+            failures.append((bench["name"], ratio))
+    if failures:
+        worst = max(failures, key=lambda f: f[1])
+        print(
+            f"perf-check: FAILED — {len(failures)} bench(es) regressed "
+            f">{(REGRESSION_TOLERANCE - 1) * 100:.0f}% "
+            f"(worst: {worst[0]} at {worst[1]:.2f}x)"
+        )
+        return 1
+    print("perf-check: all benches within tolerance")
+    return 0
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--bench", action="append", choices=sorted(BENCHES),
+        help="run only the named bench (repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=2,
+        help="runs per bench; best-of-N wall time is recorded (default 2)",
+    )
+    parser.add_argument(
+        "--json", type=Path, default=None,
+        help=f"output path (default {DEFAULT_JSON})",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="compare against the committed baseline and fail on "
+             f">{(REGRESSION_TOLERANCE - 1) * 100:.0f}%% normalized regression",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=DEFAULT_JSON,
+        help="baseline JSON for --check (default: the committed one)",
+    )
+    args = parser.parse_args(argv)
+
+    names = args.bench or list(BENCHES)
+    current = run_all(names, max(1, args.repeat))
+
+    out_path = args.json
+    if args.check:
+        status = check_regressions(current, args.baseline)
+    else:
+        status = 0
+        if out_path is None:
+            out_path = DEFAULT_JSON
+    if out_path is not None:
+        out_path.write_text(json.dumps(current, indent=2) + "\n")
+        print(f"wrote {out_path}")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

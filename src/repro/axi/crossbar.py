@@ -45,6 +45,7 @@ class AxiCrossbar(AxiSlave):
         self.response_latency = response_latency
         self.memory_map = MemoryMap()
         self._busy_until: Dict[int, int] = {}
+        self._last_region: Region | None = None  # MRU decode fast path
         self.transactions = 0
         self.decode_errors = 0
 
@@ -65,10 +66,15 @@ class AxiCrossbar(AxiSlave):
         self, addr: int, now: int, burst: bool, is_read: bool,
         nbytes: int, data: bytes,
     ) -> AxiResult:
-        region = self.memory_map.decode(addr)
-        if region is None:
-            self.decode_errors += 1
-            return AxiResult(b"", now + self.request_latency, AxiResp.DECERR)
+        # most traffic streams to one slave (DMA bursts, polling loops):
+        # re-check the most recently decoded region before searching
+        region = self._last_region
+        if region is None or not (region.base <= addr < region.end):
+            region = self.memory_map.decode(addr)
+            if region is None:
+                self.decode_errors += 1
+                return AxiResult(b"", now + self.request_latency, AxiResp.DECERR)
+            self._last_region = region
         self.transactions += 1
         key = id(region)
         arrive = now + self.request_latency

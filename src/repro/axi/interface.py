@@ -102,6 +102,15 @@ class RegisterBank(AxiSlave):
     # ------------------------------------------------------------------
     def read(self, addr: int, nbytes: int, now: int) -> AxiResult:
         complete = now + self.read_latency
+        if nbytes == 4 and not addr % 4:
+            # AXI4-Lite single-word fast path (the dominant access)
+            if addr >= self.size:
+                return AxiResult(b"", complete, AxiResp.SLVERR)
+            hook = self._read_hooks.get(addr)
+            value = hook(addr) if hook else self._storage.get(addr, 0)
+            value &= 0xFFFF_FFFF
+            self._storage[addr] = value
+            return AxiResult(value.to_bytes(4, "little"), complete)
         if nbytes not in (4, 8) or addr % 4:
             return AxiResult(b"", complete, AxiResp.SLVERR)
         words = []
@@ -116,6 +125,15 @@ class RegisterBank(AxiSlave):
 
     def write(self, addr: int, data: bytes, now: int) -> AxiResult:
         complete = now + self.write_latency
+        if len(data) == 4 and not addr % 4:
+            if addr >= self.size:
+                return AxiResult(b"", complete, AxiResp.SLVERR)
+            value = int.from_bytes(data, "little")
+            self._storage[addr] = value
+            hook = self._write_hooks.get(addr)
+            if hook:
+                hook(value)
+            return AxiResult(b"", complete)
         if len(data) not in (4, 8) or addr % 4:
             return AxiResult(b"", complete, AxiResp.SLVERR)
         for i, off in enumerate(range(addr, addr + len(data), 4)):

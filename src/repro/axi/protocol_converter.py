@@ -29,6 +29,13 @@ class Axi4ToLiteConverter(AxiSlave):
 
     def read(self, addr: int, nbytes: int, now: int) -> AxiResult:
         time = self._start(now)
+        if nbytes <= self.lite_width:
+            # single AXI4-Lite beat: no serialization loop needed
+            result = self.inner.read(addr, nbytes, time)
+            self._busy_until = result.complete_at
+            return AxiResult(result.data,
+                             result.complete_at + self.stage_latency,
+                             result.resp)
         chunks: list[bytes] = []
         offset = 0
         while offset < nbytes:
@@ -46,6 +53,11 @@ class Axi4ToLiteConverter(AxiSlave):
 
     def write(self, addr: int, data: bytes, now: int) -> AxiResult:
         time = self._start(now)
+        if len(data) <= self.lite_width:
+            result = self.inner.write(addr, data, time)
+            self._busy_until = result.complete_at
+            return AxiResult(b"", result.complete_at + self.stage_latency,
+                             result.resp)
         offset = 0
         while offset < len(data):
             span = min(self.lite_width, len(data) - offset)

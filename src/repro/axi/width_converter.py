@@ -46,6 +46,10 @@ class AxiWidthConverter(AxiSlave):
 
     def read(self, addr: int, nbytes: int, now: int) -> AxiResult:
         time = now + self.stage_latency
+        if nbytes + addr % self.narrow_bytes <= self.narrow_bytes:
+            # single-beat fast path: the access already fits one
+            # naturally aligned narrow beat, so forward it unsplit
+            return self.inner.read(addr, nbytes, time)
         chunks: list[bytes] = []
         for beat_addr, span in self._split(addr, nbytes):
             result = self.inner.read(beat_addr, span, time)
@@ -57,6 +61,8 @@ class AxiWidthConverter(AxiSlave):
 
     def write(self, addr: int, data: bytes, now: int) -> AxiResult:
         time = now + self.stage_latency
+        if len(data) + addr % self.narrow_bytes <= self.narrow_bytes:
+            return self.inner.write(addr, data, time)
         offset = 0
         for beat_addr, span in self._split(addr, len(data)):
             result = self.inner.write(beat_addr, data[offset : offset + span], time)

@@ -9,6 +9,7 @@ Commands:
 * ``faults``   — fault-injection sweep: detection and recovery rates
 * ``asm``      — assemble an RV64 source file (optionally RVC-compressed)
 * ``disasm``   — disassemble a flat binary image
+* ``profile``  — cProfile a named simulator workload (pstats output)
 """
 
 from __future__ import annotations
@@ -125,6 +126,66 @@ def _cmd_disasm(args: argparse.Namespace) -> int:
     return 0
 
 
+def _profile_scenarios() -> dict:
+    """Named workloads for ``repro profile`` (lazily imported bodies)."""
+    def bitgen() -> None:
+        from repro.eval.scenarios import rp_for_geometry
+        from repro.fpga.bitgen import Bitgen
+        from repro.fpga.partition import (
+            ReconfigurableModule, ResourceBudget, RpGeometry,
+        )
+        rp = rp_for_geometry("rp_ref", RpGeometry(25, 4, 3, 1))
+        Bitgen().generate(rp, ReconfigurableModule(
+            "ref_mod", ResourceBudget(1, 1, 0, 0))).to_bytes()
+
+    def icap() -> None:
+        from repro.eval.scenarios import make_test_bitstream
+        from repro.fpga.config_memory import ConfigMemory
+        from repro.fpga.device import KINTEX7_325T
+        from repro.fpga.icap import Icap
+        pbit = make_test_bitstream().to_bytes()
+        Icap(ConfigMemory(KINTEX7_325T)).accept(pbit, 0)
+
+    def reconfig() -> None:
+        from repro.eval.scenarios import make_test_bitstream
+        from repro.eval.throughput import measure_reconfiguration
+        measure_reconfiguration(make_test_bitstream().to_bytes())
+
+    def table2() -> None:
+        from repro.eval.tables import table2 as run
+        run()
+
+    def unroll() -> None:
+        from repro.eval.figures import unroll_sweep
+        unroll_sweep((16,))
+
+    def faults() -> None:
+        from repro.eval.fault_sweep import fault_sweep
+        fault_sweep(points=1, seed=2026)
+
+    return {"bitgen": bitgen, "icap": icap, "reconfig": reconfig,
+            "table2": table2, "unroll": unroll, "faults": faults}
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import cProfile
+    import pstats
+
+    scenario = _profile_scenarios()[args.scenario]
+    profiler = cProfile.Profile()
+    profiler.enable()
+    scenario()
+    profiler.disable()
+    if args.output:
+        profiler.dump_stats(args.output)
+        print(f"profile written to {args.output} "
+              "(inspect with python -m pstats)")
+        return 0
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs().sort_stats(args.sort).print_stats(args.limit)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -199,6 +260,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("input")
     p.add_argument("--base", type=lambda x: int(x, 0), default=0x1_0000)
     p.set_defaults(func=_cmd_disasm)
+
+    p = sub.add_parser("profile", help="cProfile a named simulator "
+                                       "workload")
+    p.add_argument("scenario", choices=["bitgen", "icap", "reconfig",
+                                        "table2", "unroll", "faults"])
+    p.add_argument("--sort", default="cumulative",
+                   help="pstats sort key (default: cumulative)")
+    p.add_argument("--limit", type=int, default=30,
+                   help="rows of pstats output (default: 30)")
+    p.add_argument("-o", "--output", default=None,
+                   help="dump raw profile data instead of printing")
+    p.set_defaults(func=_cmd_profile)
 
     return parser
 

@@ -34,7 +34,7 @@ from repro.fpga.packets import (
     type2_write,
 )
 from repro.fpga.partition import ReconfigurableModule, ReconfigurablePartition
-from repro.utils.crc import crc32_config_word
+from repro.utils.crc import crc32_config_word, crc32_config_words
 
 
 @dataclass(frozen=True)
@@ -127,8 +127,7 @@ class Bitgen:
         frame_start = len(words)
         words.extend([0] * len(payload))  # placeholder, filled vectorized
 
-        for value in payload.tolist():
-            crc = crc32_config_word(crc, value, ConfigRegister.FDRI)
+        crc = crc32_config_words(crc, payload, ConfigRegister.FDRI)
 
         if opts.emit_crc:
             crc_value = crc ^ 0xDEAD_BEEF if opts.corrupt_crc else crc

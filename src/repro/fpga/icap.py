@@ -12,6 +12,17 @@ registers — and commits frame data into :class:`ConfigMemory`.  CRC
 errors and protocol violations latch error flags exactly like the real
 CFGERR behaviour (a corrupted partial bitstream must never half-apply
 silently; the safe-DPR ablation exercises this path).
+
+Performance: the parser has two interchangeable engines.  The
+**vectorized** engine (default) scans sync/NOOP runs with numpy,
+stages FDRI payload bursts as whole arrays and defers the running CRC
+into a backlog that is folded with the block-parallel
+:func:`~repro.utils.crc.crc32_config_words` the moment a non-FDRI word
+needs hashing or a CRC word is checked — O(chunks) Python work per
+bitstream instead of O(words).  The **scalar** engine
+(``vectorized=False``) is the original per-word state machine, kept as
+the reference implementation; the two are cross-checked
+word-for-word by ``tests/property/test_icap_vector_props.py``.
 """
 
 from __future__ import annotations
@@ -33,7 +44,12 @@ from repro.fpga.packets import (
     Opcode,
     SYNC_WORD,
 )
-from repro.utils.crc import crc32_config_word
+from repro.utils.crc import crc32_config_word, crc32_config_words
+
+#: byte payloads up to this size are parsed without numpy round-trips
+#: (the HWICAP keyhole path feeds single words; ndarray setup would
+#: dominate there)
+_SMALL_ACCEPT_BYTES = 64
 
 
 class _ParseState(enum.Enum):
@@ -48,15 +64,20 @@ class Icap(StreamSink):
     BYTES_PER_CYCLE = 4
 
     def __init__(self, config_memory: ConfigMemory, *,
-                 crc_check: bool = True) -> None:
+                 crc_check: bool = True, vectorized: bool = True) -> None:
         self.config_memory = config_memory
         self.crc_check = crc_check
+        self.vectorized = vectorized
         self._busy_until = 0
         self._byte_buffer = bytearray()
         self._state = _ParseState.UNSYNCED
         self._payload_reg: Optional[int] = None
         self._payload_remaining = 0
         self._fdri_words: List[np.ndarray] = []
+        #: FDRI payload chunks whose CRC contribution has not been folded
+        #: into ``_crc`` yet (vectorized engine only); flushed in one
+        #: block-parallel pass before any other word is hashed
+        self._crc_backlog: List[np.ndarray] = []
         #: frame writes staged while their bitstream is still unproven;
         #: applied on CRC match / clean DESYNC, dropped on error (the
         #: safe-DPR guarantee: a corrupted bitstream never half-applies)
@@ -106,6 +127,7 @@ class Icap(StreamSink):
         self._payload_reg = None
         self._payload_remaining = 0
         self._fdri_words.clear()
+        self._crc_backlog.clear()
         self._pending_commits.clear()
         self._crc = 0
         self.readback_queue.clear()
@@ -122,71 +144,137 @@ class Icap(StreamSink):
         self._busy_until = max(self._busy_until, now) + cycles
         self._byte_buffer.extend(data)
         whole = len(self._byte_buffer) // 4 * 4
-        if whole:
+        if not whole:
+            return self._busy_until
+        if not self.vectorized or whole <= _SMALL_ACCEPT_BYTES:
+            raw = bytes(self._byte_buffer[:whole])
+            del self._byte_buffer[:whole]
+            words = [int.from_bytes(raw[k:k + 4], "big")
+                     for k in range(0, whole, 4)]
+            self._consume_words_scalar(words)
+        else:
             words = np.frombuffer(bytes(self._byte_buffer[:whole]),
                                   dtype=">u4").astype(np.uint32)
             del self._byte_buffer[:whole]
-            self._consume_words(words)
+            self._consume_words_vec(words)
         return self._busy_until
 
     # ------------------------------------------------------------------
-    # configuration state machine
+    # configuration state machine — vectorized engine
     # ------------------------------------------------------------------
-    def _consume_words(self, words: np.ndarray) -> None:
-        self.words_consumed += int(words.size)
-        i = 0
+    def _consume_words_vec(self, words: np.ndarray) -> None:
         n = int(words.size)
+        self.words_consumed += n
+        i = 0
         while i < n:
-            if self._state is _ParseState.PAYLOAD:
+            state = self._state
+            if state is _ParseState.PAYLOAD:
                 take = min(self._payload_remaining, n - i)
-                self._payload(words[i : i + take])
+                self._payload_vec(words[i : i + take])
                 i += take
                 continue
-            word = int(words[i])
-            i += 1
-            if self._state is _ParseState.UNSYNCED:
+            if state is _ParseState.UNSYNCED:
                 # a desynced device ignores everything except the sync
                 # pattern (dummies, bus-width words, post-DESYNC padding)
-                if word == SYNC_WORD:
-                    self._state = _ParseState.IDLE
+                hits = np.nonzero(words[i:] == SYNC_WORD)[0]
+                if hits.size == 0:
+                    return
+                i += int(hits[0]) + 1
+                self._state = _ParseState.IDLE
                 continue
             # IDLE: expect NOP or a packet header
+            word = int(words[i])
             if word == NOOP_WORD:
+                # skip the whole NOP run in one scan
+                rest = np.nonzero(words[i:] != NOOP_WORD)[0]
+                if rest.size == 0:
+                    return
+                i += int(rest[0])
                 continue
-            try:
-                header = ConfigPacket.decode(word)
-            except Exception:
-                self.protocol_error = True
-                self._state = _ParseState.UNSYNCED
-                continue
-            if header.packet_type == 1:
-                self._payload_reg = header.register
-                self._payload_remaining = header.word_count
-            else:
-                if self._payload_reg is None:
-                    self.protocol_error = True
-                    continue
-                self._payload_remaining = header.word_count
-            if header.opcode == Opcode.WRITE and self._payload_remaining:
-                self._state = _ParseState.PAYLOAD
-            elif header.opcode == Opcode.READ and self._payload_remaining:
-                self._serve_read(self._payload_reg, self._payload_remaining)
-                self._payload_remaining = 0
+            i += 1
+            self._header(word)
 
-    def _payload(self, chunk: np.ndarray) -> None:
+    def _payload_vec(self, chunk: np.ndarray) -> None:
         reg = self._payload_reg
         assert reg is not None
         if reg == ConfigRegister.FDRI:
-            self._fdri_words.append(np.array(chunk, dtype=np.uint32))
+            self._fdri_words.append(chunk)
             if self.crc_check:
-                crc = self._crc
-                for value in chunk.tolist():
-                    crc = crc32_config_word(crc, value, reg)
-                self._crc = crc
+                self._crc_backlog.append(chunk)
         else:
             for value in chunk.tolist():
                 self._write_register(reg, value)
-        self._payload_remaining -= len(chunk)
+        self._finish_payload_chunk(reg, len(chunk))
+
+    # ------------------------------------------------------------------
+    # configuration state machine — scalar reference engine
+    # ------------------------------------------------------------------
+    def _consume_words_scalar(self, words: List[int]) -> None:
+        n = len(words)
+        self.words_consumed += n
+        i = 0
+        while i < n:
+            if self._state is _ParseState.PAYLOAD:
+                take = min(self._payload_remaining, n - i)
+                self._payload_scalar(words[i : i + take])
+                i += take
+                continue
+            word = words[i]
+            i += 1
+            if self._state is _ParseState.UNSYNCED:
+                if word == SYNC_WORD:
+                    self._state = _ParseState.IDLE
+                continue
+            if word == NOOP_WORD:
+                continue
+            self._header(word)
+
+    def _payload_scalar(self, chunk: List[int]) -> None:
+        reg = self._payload_reg
+        assert reg is not None
+        if reg == ConfigRegister.FDRI:
+            arr = np.array(chunk, dtype=np.uint32)
+            self._fdri_words.append(arr)
+            if self.crc_check:
+                if self.vectorized:
+                    # keyhole-sized accepts still batch their CRC work
+                    self._crc_backlog.append(arr)
+                else:
+                    crc = self._crc
+                    for value in chunk:
+                        crc = crc32_config_word(crc, value, reg)
+                    self._crc = crc
+        else:
+            for value in chunk:
+                self._write_register(reg, value)
+        self._finish_payload_chunk(reg, len(chunk))
+
+    # ------------------------------------------------------------------
+    # shared packet/register semantics
+    # ------------------------------------------------------------------
+    def _header(self, word: int) -> None:
+        try:
+            header = ConfigPacket.decode(word)
+        except Exception:
+            self.protocol_error = True
+            self._state = _ParseState.UNSYNCED
+            return
+        if header.packet_type == 1:
+            self._payload_reg = header.register
+            self._payload_remaining = header.word_count
+        else:
+            if self._payload_reg is None:
+                self.protocol_error = True
+                return
+            self._payload_remaining = header.word_count
+        if header.opcode == Opcode.WRITE and self._payload_remaining:
+            self._state = _ParseState.PAYLOAD
+        elif header.opcode == Opcode.READ and self._payload_remaining:
+            self._serve_read(self._payload_reg, self._payload_remaining)
+            self._payload_remaining = 0
+
+    def _finish_payload_chunk(self, reg: int, taken: int) -> None:
+        self._payload_remaining -= taken
         if self._payload_remaining == 0:
             # a DESYNC command inside the payload has already moved the
             # state to UNSYNCED; do not resurrect the packet parser
@@ -197,7 +285,7 @@ class Icap(StreamSink):
 
     def _write_register(self, reg: int, value: int) -> None:
         if reg == ConfigRegister.CRC:
-            if self.crc_check and value != self._crc:
+            if self.crc_check and value != self._running_crc():
                 self.crc_error = True
                 self._drop_pending()
             else:
@@ -207,6 +295,9 @@ class Icap(StreamSink):
         if reg == ConfigRegister.CMD:
             command = Command(value & 0x1F)
             if command == Command.RCRC:
+                # RCRC resets the running CRC; deferred FDRI
+                # contributions would be zeroed anyway, so drop them
+                self._crc_backlog.clear()
                 self._crc = 0
                 return  # the RCRC word itself is not hashed
             if command == Command.DESYNC:
@@ -225,9 +316,20 @@ class Icap(StreamSink):
             return
         self._hash(value, reg)
 
+    def _running_crc(self) -> int:
+        """The CRC over every word hashed so far (folds the backlog)."""
+        backlog = self._crc_backlog
+        if backlog:
+            payload = (backlog[0] if len(backlog) == 1
+                       else np.concatenate(backlog))
+            backlog.clear()
+            self._crc = crc32_config_words(self._crc, payload,
+                                           ConfigRegister.FDRI)
+        return self._crc
+
     def _hash(self, value: int, reg: int) -> None:
         if self.crc_check:
-            self._crc = crc32_config_word(self._crc, value, reg)
+            self._crc = crc32_config_word(self._running_crc(), value, reg)
 
     def _commit_frames(self) -> None:
         if not self._fdri_words:

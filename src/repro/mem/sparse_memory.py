@@ -3,12 +3,24 @@
 Backing storage for DDR (256 MiB address window) without allocating the
 full window.  Pages are ``bytearray`` blocks allocated on first touch;
 bulk reads/writes are sliced per page so multi-kilobyte DMA bursts cost
-O(pages), not O(bytes) of Python-level work.
+O(pages), not O(bytes) of Python-level work.  Accesses that stay inside
+one allocated page — every cache-line fill and almost every DMA burst —
+take a fast path that slices the page directly, and the word helpers
+use pre-compiled :mod:`struct` codecs so aligned 2/4/8-byte accesses
+never materialize an intermediate ``bytes`` object.
 """
 
 from __future__ import annotations
 
+import struct
 from typing import Dict
+
+_WORD_CODECS = {
+    1: struct.Struct("<B"),
+    2: struct.Struct("<H"),
+    4: struct.Struct("<I"),
+    8: struct.Struct("<Q"),
+}
 
 
 class SparseMemory:
@@ -36,6 +48,13 @@ class SparseMemory:
     def load(self, addr: int, nbytes: int) -> bytes:
         """Read ``nbytes`` starting at ``addr``."""
         self._check_range(addr, nbytes)
+        offset = addr & (self.page_size - 1)
+        if offset + nbytes <= self.page_size:
+            # whole range inside one page: no zero-fill scratch buffer
+            page = self._pages.get(addr >> self.page_bits)
+            if page is None:
+                return bytes(nbytes)
+            return bytes(page[offset : offset + nbytes])
         out = bytearray(nbytes)
         pos = 0
         while pos < nbytes:
@@ -67,10 +86,29 @@ class SparseMemory:
     # word-granular convenience helpers used by the ISS hot path ------
     def load_word(self, addr: int, nbytes: int) -> int:
         """Little-endian unsigned integer load."""
+        codec = _WORD_CODECS.get(nbytes)
+        offset = addr & (self.page_size - 1)
+        if codec is not None and offset + nbytes <= self.page_size:
+            self._check_range(addr, nbytes)
+            page = self._pages.get(addr >> self.page_bits)
+            if page is None:
+                return 0
+            return codec.unpack_from(page, offset)[0]
         return int.from_bytes(self.load(addr, nbytes), "little")
 
     def store_word(self, addr: int, value: int, nbytes: int) -> None:
         """Little-endian unsigned integer store."""
+        codec = _WORD_CODECS.get(nbytes)
+        offset = addr & (self.page_size - 1)
+        if codec is not None and offset + nbytes <= self.page_size:
+            self._check_range(addr, nbytes)
+            page_idx = addr >> self.page_bits
+            page = self._pages.get(page_idx)
+            if page is None:
+                page = bytearray(self.page_size)
+                self._pages[page_idx] = page
+            codec.pack_into(page, offset, value & ((1 << (8 * nbytes)) - 1))
+            return
         self.store(addr, (value & ((1 << (8 * nbytes)) - 1)).to_bytes(nbytes, "little"))
 
     def fill(self, addr: int, nbytes: int, byte: int = 0) -> None:

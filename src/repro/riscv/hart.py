@@ -85,6 +85,14 @@ class Hart:
         self.in_wfi = False
         self._branch_shadow = False  # a conditional branch has not yet "committed"
         self._decode_cache: dict[int, Decoded] = {}
+        #: fused fetch/decode/execute cache: pc -> (handler, decoded,
+        #: fixed extra cycles, is-unconditional-jump).  Valid while the
+        #: instruction bytes at pc are unchanged; stores through the
+        #: hart invalidate overlapping entries (see ``store``), other
+        #: writers must call :meth:`invalidate_code_cache`.
+        self._pc_cache: dict[int, tuple] = {}
+        self._pc_cache_lo = 1 << 62  # lowest / highest cached pc bounds
+        self._pc_cache_hi = -1
         self._extra_cycles = 0  # charged by load/store during the current step
         self.mmio_accesses = 0
         self.trap_count = 0
@@ -178,6 +186,12 @@ class Hart:
         if self._is_cacheable(addr):
             self._line_fill(addr, is_store=True)
             self._data_store(addr, value, nbytes)
+            if addr + nbytes > self._pc_cache_lo and addr - 3 <= self._pc_cache_hi:
+                # a store into the cached code range: drop any fused
+                # entries whose instruction bytes it may overlap
+                cache = self._pc_cache
+                for overlapped in range(addr - 3, addr + nbytes):
+                    cache.pop(overlapped, None)
             return
         self._charge_mmio_entry()
         self._extra_cycles += self.timing.noncacheable_store_cost
@@ -259,6 +273,40 @@ class Hart:
             self._decode_cache[low] = cached
         return cached
 
+    def invalidate_code_cache(self) -> None:
+        """Drop all fused/decoded entries (call after rewriting code)."""
+        self._pc_cache.clear()
+        self._decode_cache.clear()
+        self._pc_cache_lo = 1 << 62
+        self._pc_cache_hi = -1
+
+    def _build_pc_entry(self, pc: int) -> tuple:
+        """Fuse fetch+decode+dispatch for ``pc`` into one cache entry.
+
+        The entry pre-resolves everything ``step`` would otherwise
+        recompute per retire: the EXEC handler, the fixed multi-cycle
+        cost of mul/div, and the unconditional-jump flag that charges
+        the frontend redirect penalty.
+        """
+        d = self._fetch_decoded()
+        handler = EXEC.get(d.name)
+        if handler is None:
+            raise Trap(isa.EXC_ILLEGAL_INSTR)
+        name = d.name
+        if name in ("mul", "mulh", "mulhsu", "mulhu", "mulw"):
+            fixed = self.timing.mul_cycles - 1
+        elif name.startswith(("div", "rem")):
+            fixed = self.timing.div_cycles - 1
+        else:
+            fixed = 0
+        entry = (handler, d, fixed, name == "jal" or name == "jalr")
+        self._pc_cache[pc] = entry
+        if pc < self._pc_cache_lo:
+            self._pc_cache_lo = pc
+        if pc > self._pc_cache_hi:
+            self._pc_cache_hi = pc
+        return entry
+
     def step(self) -> None:
         """Fetch, execute and retire one instruction (or take a trap)."""
         if self.halted:
@@ -275,22 +323,20 @@ class Hart:
             return
         self._extra_cycles = 0
         try:
-            try:
-                d = self._fetch_decoded()
-            except IllegalInstructionError as err:
-                raise Trap(isa.EXC_ILLEGAL_INSTR, err.word) from None
-            handler = EXEC.get(d.name)
-            if handler is None:
-                raise Trap(isa.EXC_ILLEGAL_INSTR)
+            entry = self._pc_cache.get(self.pc)
+            if entry is None:
+                try:
+                    entry = self._build_pc_entry(self.pc)
+                except IllegalInstructionError as err:
+                    raise Trap(isa.EXC_ILLEGAL_INSTR, err.word) from None
+            handler, d, fixed, is_jump = entry
             next_pc = handler(self, d)
-            if d.name in ("mul", "mulh", "mulhsu", "mulhu", "mulw"):
-                self._extra_cycles += self.timing.mul_cycles - 1
-            elif d.name.startswith(("div", "rem")):
-                self._extra_cycles += self.timing.div_cycles - 1
+            if fixed:
+                self._extra_cycles += fixed
             if next_pc is None:
                 self.pc = (self.pc + d.size) & MASK64
             else:
-                if d.name in ("jal", "jalr"):
+                if is_jump:
                     self._extra_cycles += self.timing.branch_taken_penalty
                 self.pc = next_pc
             self.instret += 1
@@ -313,18 +359,37 @@ class Hart:
         Returns the number of instructions retired.  Stops when the hart
         halts (``ebreak``) or ``max_instructions`` is exceeded (raises).
         """
+        return self.run_until(None, max_instructions=max_instructions,
+                              until_halted=until_halted)
+
+    def run_until(self, deadline: int | None, *,
+                  max_instructions: int = 200_000_000,
+                  until_halted: bool = True) -> int:
+        """Run until ``deadline`` (a cycle count), halt, or budget.
+
+        The hot loop keeps every per-instruction lookup in locals: the
+        bound ``step`` / ``peek_next_time`` methods and the instruction
+        budget are hoisted out so each retire costs one method call and
+        two compares of loop overhead.  ``deadline=None`` runs with no
+        time bound (the :meth:`run` behaviour).
+        """
         start_instret = self.instret
         budget = max_instructions
         sim = self.sim
+        step = self.step
+        peek = sim.peek_next_time
+        advance = sim.advance_to
         while not self.halted:
+            if deadline is not None and self.cycles >= deadline:
+                break
             if self.in_wfi:
-                nxt = sim.peek_next_time()
+                nxt = peek()
                 if nxt is None:
                     raise CpuError(
                         "hart is in wfi with no pending events: deadlock"
                     )
                 target = max(nxt, self.cycles)
-                sim.advance_to(target)
+                advance(target)
                 self.cycles = max(self.cycles, sim.now)
                 if self.pending_interrupt() is not None or (
                     self.csr.mip & self.csr.mie
@@ -332,19 +397,19 @@ class Hart:
                     # wfi wakes on pending-and-enabled regardless of MIE
                     self.in_wfi = False
                     continue
-                if sim.peek_next_time() is None:
+                if peek() is None:
                     raise CpuError("wfi wake condition unreachable: deadlock")
                 continue
-            nxt = sim.peek_next_time()
+            nxt = peek()
             if nxt is not None and self.cycles >= nxt:
-                sim.advance_to(self.cycles)
-            self.step()
+                advance(self.cycles)
+            step()
             budget -= 1
             if budget <= 0:
                 raise CpuError(f"instruction budget exceeded ({max_instructions})")
-            if not until_halted and sim.peek_next_time() is None:
+            if not until_halted and peek() is None:
                 break
         # fold the hart's final time into the kernel
         if self.cycles > sim.now:
-            sim.advance_to(self.cycles)
+            advance(self.cycles)
         return self.instret - start_instret

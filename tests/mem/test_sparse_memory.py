@@ -53,3 +53,50 @@ class TestSparseMemory:
     def test_rejects_bad_size(self):
         with pytest.raises(ValueError):
             SparseMemory(0)
+
+
+class TestFastPaths:
+    """The single-page / aligned-word fast paths match the general path."""
+
+    def test_single_page_load_unallocated_returns_zeros(self):
+        mem = SparseMemory(1 << 20)
+        assert mem.load(0x1000, 64) == bytes(64)
+        assert mem.allocated_pages == 0  # reads must not allocate
+
+    def test_single_page_load_matches_cross_page_semantics(self):
+        mem = SparseMemory(1 << 20, page_bits=8)
+        data = bytes(range(200))
+        mem.store(0x100, data)
+        # in-page (fast) and page-straddling (general) reads agree
+        assert mem.load(0x100, 200)[:100] == mem.load(0x100, 100)
+        tail = mem.load(0x150, 0x200 - 0x150)  # runs past the stored data
+        assert tail == data[0x50:] + bytes(len(tail) - len(data[0x50:]))
+
+    def test_word_helpers_on_page_boundaries(self):
+        mem = SparseMemory(1 << 16, page_bits=8)
+        # aligned in-page store/load takes the struct codec path
+        mem.store_word(0x100, 0x1122334455667788, 8)
+        assert mem.load_word(0x100, 8) == 0x1122334455667788
+        # straddling access falls back to the byte path, same result
+        mem.store_word(0xFE, 0xCAFEBABE, 4)
+        assert mem.load_word(0xFE, 4) == 0xCAFEBABE
+        assert mem.load(0xFE, 4) == (0xCAFEBABE).to_bytes(4, "little")
+
+    def test_word_load_unallocated_is_zero_without_alloc(self):
+        mem = SparseMemory(1 << 16)
+        assert mem.load_word(0x40, 4) == 0
+        assert mem.allocated_pages == 0
+
+    def test_word_helpers_reject_out_of_range(self):
+        import pytest
+
+        mem = SparseMemory(0x100, page_bits=12)
+        with pytest.raises(IndexError):
+            mem.load_word(0xFE, 4)
+        with pytest.raises(IndexError):
+            mem.store_word(0xFE, 0, 4)
+
+    def test_odd_width_uses_general_path(self):
+        mem = SparseMemory(1 << 16)
+        mem.store_word(0x10, 0x112233, 3)
+        assert mem.load_word(0x10, 3) == 0x112233
