@@ -1,10 +1,12 @@
 """Wall-clock perf harness for the DPR simulator.
 
-Runs the six canonical benches (bitstream generation, raw ICAP parse,
-end-to-end reconfiguration, the Table II sweep, the ISS unroll sweep and
-the fault campaign), records wall time plus simulated-payload throughput
-to ``BENCH_perf.json``, and — in ``--check`` mode — fails when a bench
-regresses more than 25 % against the committed baseline.
+Runs the canonical benches (bitstream generation, raw ICAP parse,
+end-to-end reconfiguration, the Table II sweep — tracer-off and
+tracer-on, the ISS unroll sweep and the fault campaign), records wall
+time plus simulated-payload throughput to ``BENCH_perf.json``, and — in
+``--check`` mode — fails when a bench regresses more than 25 % against
+the committed baseline.  ``--obs-check`` additionally gates the
+observability layer's detached overhead below 2 % on Table II.
 
 Wall-clock numbers are machine-dependent, so every run also times a
 fixed pure-Python calibration workload (the scalar CRC reference over a
@@ -46,6 +48,11 @@ PRE_PR_WALL_S = {
 
 #: allowed normalized wall-clock regression before --check fails
 REGRESSION_TOLERANCE = 1.25
+
+#: allowed tracer-off overhead of the observability layer: the guarded
+#: emit sites (`obs is not None` checks) must cost <2 % on the Table II
+#: workload vs the committed baseline (--obs-check)
+OBS_OVERHEAD_TOLERANCE = 1.02
 
 
 # ---------------------------------------------------------------------------
@@ -101,6 +108,19 @@ def bench_table2() -> int:
     return 2 * 650_892
 
 
+def bench_table2_obs() -> int:
+    """Table II with full observability attached (tracer-on cost)."""
+    from repro.eval.tables import table2
+    from repro.obs import Observability, set_default_observability
+
+    set_default_observability(Observability())
+    try:
+        table2()
+    finally:
+        set_default_observability(None)
+    return 2 * 650_892
+
+
 def bench_iss_unroll() -> int:
     """Firmware-driven unroll sweep at factor 16 (ISS-bound)."""
     from repro.eval.figures import unroll_sweep
@@ -123,6 +143,7 @@ BENCHES: Dict[str, Callable[[], int]] = {
     "icap_stream": bench_icap_stream,
     "e2e_reconfig": bench_e2e_reconfig,
     "table2": bench_table2,
+    "table2_obs": bench_table2_obs,
     "iss_unroll": bench_iss_unroll,
     "fault_sweep": bench_fault_sweep,
 }
@@ -226,6 +247,47 @@ def check_regressions(current: dict, baseline_path: Path) -> int:
     return 0
 
 
+def check_obs_overhead(repeat: int, baseline_path: Path) -> int:
+    """Gate the observability layer's cost on the Table II workload.
+
+    Two measurements: ``table2`` with the tracer detached (the emit
+    sites reduce to one ``is not None`` check each) and ``table2_obs``
+    with a full tracer+metrics registry attached.  The tracer-ON ratio
+    is informational; the gate is on tracer-OFF — calibration-normalized
+    against the committed baseline, it must stay under
+    ``OBS_OVERHEAD_TOLERANCE`` (2 %).
+    """
+    calib = calibrate()
+    off_wall, _ = run_bench("table2", repeat)
+    on_wall, _ = run_bench("table2_obs", repeat)
+    on_ratio = on_wall / off_wall if off_wall > 0 else 1.0
+    print(f"obs-check: table2 tracer-off {off_wall:7.3f} s")
+    print(f"obs-check: table2 tracer-on  {on_wall:7.3f} s "
+          f"({on_ratio:5.2f}x of tracer-off, informational)")
+    if not baseline_path.exists():
+        print(f"obs-check: no committed baseline at {baseline_path}; "
+              "skipping gate (non-blocking first run)")
+        return 0
+    baseline = json.loads(baseline_path.read_text())
+    base_calib = baseline.get("calibration_wall_s") or 1.0
+    ref = next((b for b in baseline.get("benches", [])
+                if b["name"] == "table2"), None)
+    if ref is None:
+        print("obs-check: baseline has no table2 entry; skipping gate")
+        return 0
+    ratio = (off_wall / calib) / (ref["wall_s"] / base_calib)
+    tag = "FAIL" if ratio > OBS_OVERHEAD_TOLERANCE else "ok"
+    print(f"obs-check: tracer-off normalized {ratio:5.3f}x of baseline "
+          f"(tolerance {OBS_OVERHEAD_TOLERANCE:.2f}x) [{tag}]")
+    if ratio > OBS_OVERHEAD_TOLERANCE:
+        print("obs-check: FAILED — detached observability costs more "
+              f"than {(OBS_OVERHEAD_TOLERANCE - 1) * 100:.0f}% on the "
+              "Table II workload")
+        return 1
+    print("obs-check: detached observability overhead within tolerance")
+    return 0
+
+
 def main(argv: List[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -249,7 +311,16 @@ def main(argv: List[str] | None = None) -> int:
         "--baseline", type=Path, default=DEFAULT_JSON,
         help="baseline JSON for --check (default: the committed one)",
     )
+    parser.add_argument(
+        "--obs-check", action="store_true",
+        help="gate the detached-observability overhead on the Table II "
+             f"workload (<{(OBS_OVERHEAD_TOLERANCE - 1) * 100:.0f}%% vs "
+             "baseline); tracer-on cost is reported alongside",
+    )
     args = parser.parse_args(argv)
+
+    if args.obs_check:
+        return check_obs_overhead(max(3, args.repeat), args.baseline)
 
     names = args.bench or list(BENCHES)
     current = run_all(names, max(1, args.repeat))

@@ -18,11 +18,14 @@ MM2S/S2MM traffic to the single DDR port in acceleration mode.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.axi.interface import AxiSlave
 from repro.axi.memory_map import MemoryMap, Region
 from repro.axi.types import AxiResp, AxiResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs import Observability
 
 
 class AxiCrossbar(AxiSlave):
@@ -48,6 +51,27 @@ class AxiCrossbar(AxiSlave):
         self._last_region: Region | None = None  # MRU decode fast path
         self.transactions = 0
         self.decode_errors = 0
+        self.obs: Optional["Observability"] = None
+        self._wait_counters: Dict[int, object] = {}
+        self._c_txn = None
+
+    def attach_obs(self, obs: "Observability") -> None:
+        self.obs = obs
+        self._wait_counters = {}
+        self._c_txn = obs.metrics.counter(
+            "axi_transactions_total",
+            "transactions routed through the crossbar",
+            labels={"xbar": self.name})
+
+    def _wait_counter(self, region: Region):
+        counter = self._wait_counters.get(id(region))
+        if counter is None:
+            counter = self.obs.metrics.counter(
+                "axi_wait_cycles_total",
+                "arbitration wait at the downstream port (contention)",
+                labels={"xbar": self.name, "region": region.name})
+            self._wait_counters[id(region)] = counter
+        return counter
 
     # ------------------------------------------------------------------
     # topology
@@ -79,6 +103,10 @@ class AxiCrossbar(AxiSlave):
         key = id(region)
         arrive = now + self.request_latency
         start = max(arrive, self._busy_until.get(key, 0))
+        if self.obs is not None:
+            self._c_txn.inc()
+            if start > arrive:
+                self._wait_counter(region).inc(start - arrive)
         local = addr - region.base
         slave = region.slave
         if is_read:

@@ -9,10 +9,13 @@ for the RM's output stream into the DMA's S2MM channel.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import TYPE_CHECKING, Callable, Dict, Optional
 
 from repro.axi.stream import StreamSink, StreamSource
 from repro.errors import BusError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs import Observability
 
 
 class AxiStreamSwitch(StreamSink):
@@ -30,6 +33,31 @@ class AxiStreamSwitch(StreamSink):
         self._sources: Dict[str, StreamSource] = {}
         self._selected: str | None = None
         self._in_flight = False
+        self.obs: Optional["Observability"] = None
+        self._clock: Callable[[], int] = lambda: 0
+        self._port_counters: Dict[str, object] = {}
+
+    def attach_obs(self, obs: "Observability",
+                   clock: Callable[[], int]) -> None:
+        """Attach observability; ``clock`` supplies the current cycle.
+
+        Register-write paths (``select``) carry no timestamp of their
+        own, so the switch reads the simulator clock through the
+        callable when stamping events.
+        """
+        self.obs = obs
+        self._clock = clock
+        self._port_counters = {}
+
+    def _port_counter(self, port: str):
+        counter = self._port_counters.get(port)
+        if counter is None:
+            counter = self.obs.metrics.counter(
+                "axis_switch_bytes_total",
+                "bytes routed through the AXIS switch, per output port",
+                labels={"switch": self.name, "port": port})
+            self._port_counters[port] = counter
+        return counter
 
     # ------------------------------------------------------------------
     # topology
@@ -55,6 +83,11 @@ class AxiStreamSwitch(StreamSink):
             raise BusError(
                 f"switch {self.name!r}: cannot switch ports mid-transfer"
             )
+        if self.obs is not None and port != self._selected:
+            now = self._clock()
+            self.obs.tracer.instant("axis.switch", "select", now, port=port)
+            self.obs.tracer.signal(
+                f"{self.name}_sel_icap", now, 1 if port == "icap" else 0)
         self._selected = port
 
     @property
@@ -77,6 +110,8 @@ class AxiStreamSwitch(StreamSink):
     def accept(self, data: bytes, now: int) -> int:
         """Forward a burst to the selected sink (adds one stage)."""
         sink = self._selected_sink()
+        if self.obs is not None:
+            self._port_counter(self._selected).inc(len(data))
         self._in_flight = True
         try:
             return sink.accept(data, now + self.stage_latency)
@@ -93,4 +128,6 @@ class AxiStreamSwitch(StreamSink):
                 f"switch {self.name!r}: port {self._selected!r} has no source"
             )
         data, done = source.produce(nbytes, now + self.stage_latency)
+        if self.obs is not None and data:
+            self._port_counter(self._selected).inc(len(data))
         return data, done

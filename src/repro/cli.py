@@ -6,6 +6,10 @@ Commands:
 * ``fig3``     — the reconfiguration-time-vs-RP-size sweep (Fig. 3)
 * ``unroll``   — the HWICAP loop-unrolling firmware study (Sec. IV-B)
 * ``reconfig`` — one reconfiguration with a trace timeline and stats
+  (``--trace-chrome``/``--trace-vcd``/``--metrics``/``--breakdown``
+  export span traces, signal dumps and metric snapshots)
+* ``trace``    — one traced reconfiguration; Perfetto/VCD/metrics
+  exports plus the Tr latency-breakdown report
 * ``faults``   — fault-injection sweep: detection and recovery rates
 * ``asm``      — assemble an RV64 source file (optionally RVC-compressed)
 * ``disasm``   — disassemble a flat binary image
@@ -51,6 +55,48 @@ def _cmd_unroll(args: argparse.Namespace) -> int:
     return 0
 
 
+def _export_observability(soc, obs, args: argparse.Namespace) -> None:
+    """Write whichever trace/metric artifacts the flags requested."""
+    soc.capture_stats_metrics()
+    if getattr(args, "trace_chrome", None):
+        Path(args.trace_chrome).write_text(obs.chrome_trace(soc.sim.freq_hz))
+        print(f"chrome trace written to {args.trace_chrome}")
+    if getattr(args, "trace_vcd", None):
+        Path(args.trace_vcd).write_text(obs.vcd(soc.sim.freq_hz))
+        print(f"vcd dump written to {args.trace_vcd}")
+    if getattr(args, "metrics", None):
+        Path(args.metrics).write_text(obs.prometheus())
+        print(f"prometheus metrics written to {args.metrics}")
+    if getattr(args, "metrics_json", None):
+        Path(args.metrics_json).write_text(obs.json_metrics())
+        print(f"json metrics written to {args.metrics_json}")
+
+
+def _print_breakdown(soc, obs, result) -> None:
+    from repro.obs import build_tr_breakdown, render_tr_breakdown
+    try:
+        breakdown = build_tr_breakdown(obs.tracer, soc.sim.freq_hz,
+                                       tr_reported_us=result.tr_us)
+    except ValueError as exc:
+        print(f"breakdown unavailable: {exc}", file=sys.stderr)
+        return
+    print()
+    print(render_tr_breakdown(breakdown))
+
+
+def _add_obs_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--trace-chrome", metavar="FILE", default=None,
+                   help="write a Perfetto-loadable Chrome trace JSON")
+    p.add_argument("--trace-vcd", metavar="FILE", default=None,
+                   help="write a VCD signal dump")
+    p.add_argument("--metrics", metavar="FILE", default=None,
+                   help="write Prometheus text-format metrics")
+    p.add_argument("--metrics-json", metavar="FILE", default=None,
+                   help="write a JSON metrics snapshot")
+    p.add_argument("--breakdown", action="store_true",
+                   help="print the Tr latency-breakdown report")
+
+
 def _cmd_reconfig(args: argparse.Namespace) -> int:
     from repro.drivers.manager import ReconfigurationManager
     from repro.soc.builder import build_soc
@@ -58,6 +104,9 @@ def _cmd_reconfig(args: argparse.Namespace) -> int:
 
     soc = build_soc()
     recorder = soc.attach_trace()
+    wants_obs = any((args.trace_chrome, args.trace_vcd, args.metrics,
+                     args.metrics_json, args.breakdown))
+    obs = soc.attach_observability() if wants_obs else None
     manager = ReconfigurationManager(soc, controller=args.controller)
     manager.provision_sdcard()
     manager.init_rmodules()
@@ -69,6 +118,34 @@ def _cmd_reconfig(args: argparse.Namespace) -> int:
     print(recorder.format_timeline(soc.sim.freq_hz))
     print("\nstats:")
     print(format_stats(soc.stats()))
+    if obs is not None:
+        _export_observability(soc, obs, args)
+        if args.breakdown:
+            _print_breakdown(soc, obs, result)
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """One traced DPR: exports are the point, the console stays terse."""
+    from repro.drivers.manager import ReconfigurationManager
+    from repro.soc.builder import build_soc
+
+    soc = build_soc()
+    obs = soc.attach_observability()
+    manager = ReconfigurationManager(soc, controller="rvcap")
+    manager.provision_sdcard()
+    manager.init_rmodules()
+    result = manager.load_module(args.module)
+    print(f"module {result.module}: Td={result.td_us:.1f} us, "
+          f"Tr={result.tr_us:.1f} us, "
+          f"{result.throughput_mb_s:.1f} MB/s")
+    # `trace` spells the flags --chrome/--vcd; reuse the shared exporter
+    # by aliasing them onto the reconfig-style attribute names
+    args.trace_chrome = args.chrome
+    args.trace_vcd = args.vcd
+    _export_observability(soc, obs, args)
+    if not args.no_breakdown:
+        _print_breakdown(soc, obs, result)
     return 0
 
 
@@ -216,7 +293,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("module", choices=["sobel", "median", "gaussian"])
     p.add_argument("--controller", choices=["rvcap", "hwicap"],
                    default="rvcap")
+    _add_obs_flags(p)
     p.set_defaults(func=_cmd_reconfig)
+
+    p = sub.add_parser("trace", help="run one traced DPR and export "
+                                     "Perfetto/VCD/metrics artifacts")
+    p.add_argument("module", nargs="?", default="sobel",
+                   choices=["sobel", "median", "gaussian"])
+    p.add_argument("--chrome", metavar="FILE", default=None,
+                   help="write a Perfetto-loadable Chrome trace JSON")
+    p.add_argument("--vcd", metavar="FILE", default=None,
+                   help="write a VCD signal dump")
+    p.add_argument("--metrics", metavar="FILE", default=None,
+                   help="write Prometheus text-format metrics")
+    p.add_argument("--metrics-json", metavar="FILE", default=None,
+                   help="write a JSON metrics snapshot")
+    p.add_argument("--no-breakdown", action="store_true",
+                   help="skip the Tr latency-breakdown report")
+    p.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser("faults", help="fault-injection sweep: detection "
                                       "and recovery rates")

@@ -14,10 +14,15 @@ it reaches the port.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Optional
+
 import numpy as np
 
 from repro.axi.stream import StreamSink
 from repro.fpga.compression import rle_decompress
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs import Observability
 
 
 class Axis2Icap(StreamSink):
@@ -31,12 +36,28 @@ class Axis2Icap(StreamSink):
         self.bytes_in = 0
         self.bytes_out = 0
         self._carry = bytearray()  # sub-record residue in compressed mode
+        self.obs: Optional["Observability"] = None
+        self._c_in = None
+        self._c_out = None
+
+    def attach_obs(self, obs: "Observability") -> None:
+        self.obs = obs
+        self._c_in = obs.metrics.counter(
+            "axis2icap_bytes_in_total",
+            "bytes entering the 64b->32b width converter")
+        self._c_out = obs.metrics.counter(
+            "axis2icap_bytes_out_total",
+            "bytes written to the ICAP data port (post-decompression)")
 
     def accept(self, data: bytes, now: int) -> int:
         self.bytes_in += len(data)
+        if self.obs is not None:
+            self._c_in.inc(len(data))
         arrival = now + self.stage_latency
         if not self.decompress:
             self.bytes_out += len(data)
+            if self.obs is not None:
+                self._c_out.inc(len(data))
             return self.icap.accept(data, arrival)
         # decompression path: records are word-granular, so buffer any
         # partial words/records across bursts
@@ -50,6 +71,8 @@ class Axis2Icap(StreamSink):
         expanded = rle_decompress(usable)
         payload = expanded.astype(">u4").tobytes()
         self.bytes_out += len(payload)
+        if self.obs is not None:
+            self._c_out.inc(len(payload))
         return self.icap.accept(payload, arrival)
 
     def _take_complete_records(self, whole_words: int) -> tuple[np.ndarray, int]:

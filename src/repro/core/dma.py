@@ -86,6 +86,31 @@ class DmaChannel:
         self.last_complete_cycle = 0
         self.trace = None  # optional TraceRecorder
         self._active_gen = None  # in-flight _run generator (for reset abort)
+        # observability (attach_obs): tracer spans + metric instruments;
+        # every emit below is guarded so the detached cost is one check
+        self.obs = None
+        self._span = None
+        self._h_burst = None
+        self._h_transfer = None
+        self._c_bytes = None
+        self._c_stall = None
+
+    def attach_obs(self, obs) -> None:
+        """Wire the channel into an :class:`~repro.obs.Observability`."""
+        self.obs = obs
+        metrics = obs.metrics
+        self._h_burst = metrics.histogram(
+            f"dma_{self.name}_burst_latency_cycles",
+            "per-burst memory-port latency of the DMA engine")
+        self._h_transfer = metrics.histogram(
+            f"dma_{self.name}_transfer_cycles",
+            "end-to-end cycles per completed DMA transfer")
+        self._c_bytes = metrics.counter(
+            f"dma_{self.name}_bytes_total",
+            "payload bytes moved by the channel")
+        self._c_stall = metrics.counter(
+            f"dma_{self.name}_stall_cycles_total",
+            "cycles the engine paced itself behind memory or the sink")
 
     # ------------------------------------------------------------------
     # register behaviour (invoked by AxiDma)
@@ -103,6 +128,15 @@ class DmaChannel:
                     self.trace.record(self.sim.now, f"dma.{self.name}",
                                       f"reset: aborted after "
                                       f"{self.bytes_done} bytes")
+                if self.obs is not None:
+                    tracer = self.obs.tracer
+                    if self._span is not None:
+                        tracer.end(self._span, self.sim.now,
+                                   status="aborted", bytes=self.bytes_done)
+                        self._span = None
+                    tracer.instant(f"dma.{self.name}", "reset", self.sim.now,
+                                   bytes_done=self.bytes_done)
+                    tracer.signal(f"dma_{self.name}_busy", self.sim.now, 0)
             self.control = 0
             self.status = SR_HALTED
             self.busy = False
@@ -141,6 +175,11 @@ class DmaChannel:
             self.trace.record(self.sim.now, f"dma.{self.name}",
                               f"start: {self.length} bytes from/to "
                               f"{self.address:#x}")
+        if self.obs is not None:
+            self._span = self.obs.tracer.begin(
+                f"dma.{self.name}", "transfer", self.sim.now,
+                address=self.address, length=self.length)
+            self.obs.tracer.signal(f"dma_{self.name}_busy", self.sim.now, 1)
         self._active_gen = self._run()
         self.sim.add_process(self._active_gen, name=f"dma.{self.name}")
 
@@ -167,6 +206,15 @@ class DmaChannel:
                 self.trace.record(self.sim.now, f"dma.{self.name}",
                                   f"error: burst failed after "
                                   f"{self.bytes_done} bytes")
+            if self.obs is not None:
+                tracer = self.obs.tracer
+                if self._span is not None:
+                    tracer.end(self._span, self.sim.now, status="error",
+                               bytes=self.bytes_done)
+                    self._span = None
+                tracer.instant(f"dma.{self.name}", "error", self.sim.now,
+                               bytes_done=self.bytes_done)
+                tracer.signal(f"dma_{self.name}_busy", self.sim.now, 0)
             if self.control & CR_ERR_IRQ_EN and self.irq_callback is not None:
                 self.irq_callback()
             return
@@ -176,6 +224,15 @@ class DmaChannel:
             self.trace.record(self.sim.now, f"dma.{self.name}",
                               f"complete: {self.bytes_done} bytes in "
                               f"{self.sim.now - self.last_start_cycle} cycles")
+        if self.obs is not None:
+            cycles = self.sim.now - self.last_start_cycle
+            if self._span is not None:
+                self.obs.tracer.end(self._span, self.sim.now, status="ok",
+                                    bytes=self.bytes_done)
+                self._span = None
+            self.obs.tracer.signal(f"dma_{self.name}_busy", self.sim.now, 0)
+            self._h_transfer.record(cycles)
+            self._c_bytes.inc(self.bytes_done)
         if self.control & CR_IOC_IRQ_EN and self.irq_callback is not None:
             self.irq_callback()
 
@@ -187,6 +244,7 @@ class DmaChannel:
         read_time = self.sim.now
         while remaining:
             nbytes = min(self.burst_bytes, remaining)
+            issue_time = read_time
             result = self.mem_port.read_burst(addr, nbytes, read_time)
             if not result.ok:
                 return False
@@ -195,10 +253,14 @@ class DmaChannel:
             addr += nbytes
             remaining -= nbytes
             self.bytes_done += nbytes
+            if self.obs is not None:
+                self._h_burst.record(read_time - issue_time)
             # pace the engine: at most one burst ahead of the consumer
             # (models the IP's small store-and-forward FIFO)
             wait = max(read_time, accept_done - self.burst_bytes) - self.sim.now
             if wait > 0:
+                if self.obs is not None:
+                    self._c_stall.inc(wait)
                 yield Delay(wait)
         final = max(read_time, accept_done)
         if final > self.sim.now:
@@ -225,15 +287,20 @@ class DmaChannel:
                 # transfer (the real IP latches the received length)
                 break
             pull_time = ready
-            result = self.mem_port.write_burst(addr, data, max(pull_time, write_time))
+            issue_time = max(pull_time, write_time)
+            result = self.mem_port.write_burst(addr, data, issue_time)
             if not result.ok:
                 return False
             write_time = result.complete_at
             addr += len(data)
             remaining -= len(data)
             self.bytes_done += len(data)
+            if self.obs is not None:
+                self._h_burst.record(write_time - issue_time)
             wait = max(pull_time, write_time - self.burst_bytes) - self.sim.now
             if wait > 0:
+                if self.obs is not None:
+                    self._c_stall.inc(wait)
                 yield Delay(wait)
         final = max(pull_time, write_time)
         if final > self.sim.now:
@@ -274,6 +341,11 @@ class AxiDma(RegisterBank):
         self.define_register(S2MM_DA, on_write=self._set_s2mm_da_lo)
         self.define_register(S2MM_DA_MSB, on_write=self._set_s2mm_da_hi)
         self.define_register(S2MM_LENGTH, on_write=self.s2mm.write_length)
+
+    def attach_obs(self, obs) -> None:
+        """Attach observability to both channels."""
+        self.mm2s.attach_obs(obs)
+        self.s2mm.attach_obs(obs)
 
     def _set_mm2s_sa_lo(self, value: int) -> None:
         self.mm2s.address = (self.mm2s.address & ~0xFFFF_FFFF) | value

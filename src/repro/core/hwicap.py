@@ -66,6 +66,18 @@ class AxiHwIcap(RegisterBank):
         self.define_register(WFV_OFFSET, on_read=self._read_wfv)
         self.define_register(RFO_OFFSET, on_read=lambda _o: len(self._read_fifo))
         self._now = 0  # updated on every access via read/write overrides
+        self.obs = None
+        self._c_words = None
+        self._c_drains = None
+
+    def attach_obs(self, obs) -> None:
+        self.obs = obs
+        self._c_words = obs.metrics.counter(
+            "hwicap_words_total",
+            "words drained from the AXI_HWICAP write FIFO into the ICAP")
+        self._c_drains = obs.metrics.counter(
+            "hwicap_drains_total",
+            "CR.Write-triggered FIFO drain operations")
 
     # ------------------------------------------------------------------
     # time plumbing: RegisterBank hooks have no time argument, so track
@@ -125,6 +137,12 @@ class AxiHwIcap(RegisterBank):
             start = max(self._now, self._drain_done_at)
             self._drain_done_at = self.icap.accept(payload, start)
             self.words_transferred += len(words)
+            if self.obs is not None:
+                self._c_words.inc(len(words))
+                self._c_drains.inc()
+                span = self.obs.tracer.begin(
+                    "hwicap", "fifo_drain", start, words=len(words))
+                self.obs.tracer.end(span, self._drain_done_at)
 
     def _read_sr(self, _offset: int) -> int:
         status = SR_EOS

@@ -8,11 +8,15 @@ coupling/decoupling".  The driver APIs ``decouple_accel()`` and
 
 from __future__ import annotations
 
-from typing import Callable, List
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from repro.axi.interface import RegisterBank
 from repro.axi.isolator import AxiIsolator, StreamIsolator
 from repro.axi.stream_switch import AxiStreamSwitch
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs import Observability
+    from repro.obs.tracer import Span
 
 DECOUPLE_OFFSET = 0x00
 SELECT_ICAP_OFFSET = 0x04
@@ -53,6 +57,9 @@ class RpControlInterface(RegisterBank):
         self.decouple_mask = 0
         self.icap_selected = False
         self.rm_selected = 0
+        self.obs: Optional["Observability"] = None
+        self._clock: Callable[[], int] = lambda: 0
+        self._decouple_spans: Dict[int, "Span"] = {}
 
         self.define_register(DECOUPLE_OFFSET, on_write=self._write_decouple,
                              on_read=lambda _o: self.decouple_mask)
@@ -90,10 +97,31 @@ class RpControlInterface(RegisterBank):
     def set_rm_busy_source(self, source: Callable[[], bool]) -> None:
         self._rm_busy = source
 
+    def attach_obs(self, obs: "Observability",
+                   clock: Callable[[], int]) -> None:
+        """Attach observability; register writes stamp via ``clock``."""
+        self.obs = obs
+        self._clock = clock
+
     # ------------------------------------------------------------------
     # register behaviour
     # ------------------------------------------------------------------
     def _write_decouple(self, value: int) -> None:
+        if self.obs is not None and value != self.decouple_mask:
+            now = self._clock()
+            self.obs.tracer.signal("rp_decouple", now, value)
+            known = (set(self._axi_isolators) | set(self._stream_isolators)
+                     | {0})
+            for rp_index in sorted(known):
+                was = bool(self.decouple_mask & (1 << rp_index))
+                is_now = bool(value & (1 << rp_index))
+                if is_now and not was:
+                    self._decouple_spans[rp_index] = self.obs.tracer.begin(
+                        "rp", f"rp{rp_index}_decoupled", now)
+                elif was and not is_now:
+                    span = self._decouple_spans.pop(rp_index, None)
+                    if span is not None:
+                        self.obs.tracer.end(span, now)
         self.decouple_mask = value
         for rp_index, isolators in self._axi_isolators.items():
             state = bool(value & (1 << rp_index))
@@ -112,6 +140,9 @@ class RpControlInterface(RegisterBank):
 
     def _write_select(self, value: int) -> None:
         self.icap_selected = bool(value & 1)
+        if self.obs is not None:
+            self.obs.tracer.signal(
+                "axis_icap_sel", self._clock(), int(self.icap_selected))
         self._route_switch()
 
     def _write_rm_select(self, value: int) -> None:
@@ -121,6 +152,8 @@ class RpControlInterface(RegisterBank):
 
     def _write_icap_reset(self, value: int) -> None:
         if value & 1:
+            if self.obs is not None:
+                self.obs.tracer.instant("rp", "icap_reset", self._clock())
             for hook in self._icap_reset_hooks:
                 hook()
 

@@ -156,16 +156,28 @@ class PbitStore:
         from repro.fpga.bitfile import is_bit_file, parse_bit_file
 
         layout = self.port.soc.config.layout
+        soc = self.port.soc
+        obs = getattr(soc, "obs", None)
         address = base_address if base_address is not None \
             else layout.ddr_base + (16 << 20)
         for name in names:
             file_name = f"{name.upper()}.PBI"
+            span = None
+            if obs is not None:
+                span = obs.tracer.begin("driver", "sd_load", soc.sim.now,
+                                        module=name, file=file_name)
             data = self.fs.read_file(file_name)
             if is_bit_file(data):
                 # .bit container: strip the header, keep the raw words
                 _header, bitstream = parse_bit_file(data)
                 data = bitstream.to_bytes()
             self.port.soc.ddr_write(address, data)
+            if obs is not None:
+                obs.tracer.end(span, soc.sim.now, bytes=len(data))
+                obs.metrics.counter(
+                    "sd_pbit_bytes_total",
+                    "partial-bitstream bytes loaded from the SD card"
+                ).inc(len(data))
             self.descriptors[name] = RmDescriptor(
                 name=name,
                 file_name=file_name,

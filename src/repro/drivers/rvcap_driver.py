@@ -72,6 +72,17 @@ class RvCapDriver:
         self._rm_selected = 0  # mirrors the RM_SELECT reset value
 
     # ------------------------------------------------------------------
+    # observability plumbing
+    # ------------------------------------------------------------------
+    @property
+    def obs(self):
+        """The SoC's attached observability (None when detached)."""
+        return getattr(self.port.soc, "obs", None)
+
+    def _now(self) -> int:
+        return self.port.soc.sim.now
+
+    # ------------------------------------------------------------------
     # Listing-1 primitives
     # ------------------------------------------------------------------
     def decouple_accel(self, value: int) -> None:
@@ -152,6 +163,18 @@ class RvCapDriver:
                 "no DMA interrupt within the completion deadline "
                 "(transfer stalled or externally aborted)"
             ) from exc
+        obs = self.obs
+        isr_span = None
+        if obs is not None:
+            now = self._now()
+            open_span = obs.tracer.open_span("driver")
+            if open_span is not None and open_span.name == "transfer":
+                channel = (self.port.soc.rvcap.dma.mm2s
+                           if expected_source == IRQ_DMA_MM2S
+                           else self.port.soc.rvcap.dma.s2mm)
+                obs.tracer.end(open_span, now,
+                               dma_done_cycle=channel.last_complete_cycle)
+            isr_span = obs.tracer.begin("driver", "isr", now)
         # trap entry, context save and handler dispatch before the body
         self.port.elapse(self.port.soc.config.timing.isr_latency_cycles)
         source = self.port.read32(self.plic_base + CLAIM_OFFSET)
@@ -170,6 +193,8 @@ class RvCapDriver:
             )
         self.port.write32(self.dma_base + status_offset, dma_regs.SR_IOC_IRQ)
         self.port.write32(self.plic_base + CLAIM_OFFSET, source)
+        if obs is not None and isr_span is not None:
+            obs.tracer.end(isr_span, self._now(), source=source)
 
     def _poll_completion(self, status_offset: int, *,
                          timeout_us: float | None = None) -> None:
@@ -187,6 +212,18 @@ class RvCapDriver:
             raise ReconfigTimeoutError(
                 "DMASR never settled within the completion deadline"
             ) from exc
+        obs = self.obs
+        complete_span = None
+        if obs is not None:
+            now = self._now()
+            open_span = obs.tracer.open_span("driver")
+            if open_span is not None and open_span.name == "transfer":
+                channel = (self.port.soc.rvcap.dma.mm2s
+                           if status_offset == dma_regs.MM2S_DMASR
+                           else self.port.soc.rvcap.dma.s2mm)
+                obs.tracer.end(open_span, now,
+                               dma_done_cycle=channel.last_complete_cycle)
+            complete_span = obs.tracer.begin("driver", "complete", now)
         status = read_sr()
         if status & dma_regs.SR_ERR_IRQ:
             self.port.write32(self.dma_base + status_offset,
@@ -201,6 +238,8 @@ class RvCapDriver:
                 "DMA halted mid-transfer (channel reset before completion)"
             )
         self.port.write32(self.dma_base + status_offset, dma_regs.SR_IOC_IRQ)
+        if obs is not None and complete_span is not None:
+            obs.tracer.end(complete_span, self._now())
 
     # ------------------------------------------------------------------
     # the reconfiguration process (Listing 1)
@@ -220,15 +259,40 @@ class RvCapDriver:
         if mode == "interrupt":
             self.setup_interrupts()
         completions_before = self.port.soc.icap.reconfigurations_completed
+        obs = self.obs
+        if obs is not None:
+            obs.tracer.begin("driver", "reconfig", self._now(),
+                             module=descriptor.name,
+                             pbit_size=descriptor.pbit_size, mode=mode)
         t_entry = self.timer.read_ticks()
+        if obs is not None:
+            decision = obs.tracer.begin("driver", "decision", self._now())
         # software decision time: select the requested RM, prepare the
         # descriptor, and decide between ICAP and accelerator paths
         self.port.elapse(self.port.soc.config.timing.decision_cycles)
+        if obs is not None:
+            obs.tracer.end(decision, self._now())
+            decouple = obs.tracer.begin("driver", "decouple", self._now())
         self.decouple_accel(1)
         self.select_icap(1)
+        if obs is not None:
+            obs.tracer.end(decouple, self._now())
         self.dma_start(irq_enabled=(mode == "interrupt"))
         t_start = self.timer.read_ticks()
+        # the Tr window opens exactly where the CLINT measurement does:
+        # at the cycle t_start was sampled.  Its children (kick, transfer,
+        # isr/complete) are contiguous, so their cycle sum equals the
+        # window duration by construction — the breakdown report asserts
+        # that identity.
+        if obs is not None:
+            c0 = self._now()
+            tr_window = obs.tracer.begin("driver", "tr_window", c0)
+            kick = obs.tracer.begin("driver", "kick", c0)
         self.dma_write_stream(descriptor.start_address, descriptor.pbit_size)
+        if obs is not None:
+            c1 = self._now()
+            obs.tracer.end(kick, c1)
+            obs.tracer.begin("driver", "transfer", c1)
         try:
             if mode == "interrupt":
                 self._handle_completion_irq(IRQ_DMA_MM2S, dma_regs.MM2S_DMASR,
@@ -236,6 +300,8 @@ class RvCapDriver:
             else:
                 self._poll_completion(dma_regs.MM2S_DMASR,
                                       timeout_us=timeout_us)
+            if obs is not None:
+                obs.tracer.end(tr_window, self._now())
             icap = self.port.soc.icap
             if icap.error:
                 raise ControllerError(
@@ -248,18 +314,44 @@ class RvCapDriver:
                     "bitstream never desynced (truncated or malformed)"
                 )
         except Exception:
+            if obs is not None:
+                obs.tracer.end_open("driver", self._now(), status="error")
+                obs.metrics.counter(
+                    "driver_reconfig_failures_total",
+                    "init_reconfig_process calls that raised").inc()
             self.select_icap(0)
             self.decouple_accel(0)
             raise
         t_done = self.timer.read_ticks()
+        if obs is not None:
+            recouple = obs.tracer.begin("driver", "recouple", self._now())
         self.select_icap(0)
         self.decouple_accel(0)
-        return ReconfigResult(
+        result = ReconfigResult(
             module=descriptor.name,
             pbit_size=descriptor.pbit_size,
             td_us=self.timer.ticks_to_us(t_start - t_entry),
             tr_us=self.timer.ticks_to_us(t_done - t_start),
         )
+        if obs is not None:
+            now = self._now()
+            obs.tracer.end(recouple, now)
+            obs.tracer.end_open("driver", now)  # close the reconfig root
+            metrics = obs.metrics
+            metrics.counter(
+                "driver_reconfigurations_total",
+                "completed init_reconfig_process calls").inc()
+            metrics.histogram(
+                "driver_tr_cycles",
+                "Tr window duration per reconfiguration").record(
+                    tr_window.duration)
+            metrics.gauge(
+                "driver_last_tr_us",
+                "CLINT-measured Tr of the most recent DPR").set(result.tr_us)
+            metrics.gauge(
+                "driver_last_td_us",
+                "CLINT-measured Td of the most recent DPR").set(result.td_us)
+        return result
 
     # ------------------------------------------------------------------
     # fault recovery
@@ -272,6 +364,14 @@ class RvCapDriver:
         a half-delivered bitstream cannot poison the next session, and
         re-couples the RP with the switch on the acceleration path.
         """
+        obs = self.obs
+        if obs is not None:
+            now = self._now()
+            obs.tracer.end_open("driver", now, status="aborted")
+            obs.tracer.instant("driver", "abort", now)
+            obs.metrics.counter(
+                "driver_aborts_total",
+                "abort_reconfig invocations (fault recovery)").inc()
         self.dma_reset()
         self.port.write32(self.dma_base + dma_regs.MM2S_DMASR,
                           dma_regs.SR_IOC_IRQ | dma_regs.SR_ERR_IRQ)
@@ -335,20 +435,40 @@ class RvCapDriver:
                 f"no accelerator is loaded in RP {rp_index}")
         rm.reset()
         t0 = self.timer.read_ticks()
+        obs = self.obs
+        accel_span = None
+        if obs is not None:
+            accel_span = obs.tracer.begin(
+                "driver", "accel_run", self._now(), rp_index=rp_index,
+                bytes_in=nbytes_in, bytes_out=nbytes_out)
         irq = mode == "interrupt"
-        self.port.write32(self.dma_base + dma_regs.S2MM_DMACR,
-                          dma_regs.CR_RS | (dma_regs.CR_IOC_IRQ_EN if irq else 0))
-        self.port.write32(self.dma_base + dma_regs.S2MM_DA,
-                          dst_address & 0xFFFF_FFFF)
-        self.port.write32(self.dma_base + dma_regs.S2MM_DA_MSB, dst_address >> 32)
-        self.port.write32(self.dma_base + dma_regs.S2MM_LENGTH, nbytes_out)
-        self.dma_start(irq_enabled=irq)
-        self.dma_write_stream(src_address, nbytes_in)
-        if irq:
-            self._handle_completion_irq(IRQ_DMA_MM2S, dma_regs.MM2S_DMASR)
-            self._handle_completion_irq(IRQ_DMA_S2MM, dma_regs.S2MM_DMASR)
-        else:
-            self._poll_completion(dma_regs.MM2S_DMASR)
-            self._poll_completion(dma_regs.S2MM_DMASR)
+        try:
+            self.port.write32(self.dma_base + dma_regs.S2MM_DMACR,
+                              dma_regs.CR_RS
+                              | (dma_regs.CR_IOC_IRQ_EN if irq else 0))
+            self.port.write32(self.dma_base + dma_regs.S2MM_DA,
+                              dst_address & 0xFFFF_FFFF)
+            self.port.write32(self.dma_base + dma_regs.S2MM_DA_MSB,
+                              dst_address >> 32)
+            self.port.write32(self.dma_base + dma_regs.S2MM_LENGTH, nbytes_out)
+            self.dma_start(irq_enabled=irq)
+            self.dma_write_stream(src_address, nbytes_in)
+            if irq:
+                self._handle_completion_irq(IRQ_DMA_MM2S, dma_regs.MM2S_DMASR)
+                self._handle_completion_irq(IRQ_DMA_S2MM, dma_regs.S2MM_DMASR)
+            else:
+                self._poll_completion(dma_regs.MM2S_DMASR)
+                self._poll_completion(dma_regs.S2MM_DMASR)
+        except Exception:
+            if obs is not None:
+                obs.tracer.end_open("driver", self._now(), status="error")
+            raise
         t1 = self.timer.read_ticks()
-        return self.timer.ticks_to_us(t1 - t0)
+        tc_us = self.timer.ticks_to_us(t1 - t0)
+        if obs is not None and accel_span is not None:
+            obs.tracer.end(accel_span, self._now())
+            obs.metrics.histogram(
+                "driver_tc_cycles",
+                "accelerator run duration (Tc window)").record(
+                    accel_span.duration)
+        return tc_us

@@ -102,6 +102,25 @@ class Icap(StreamSink):
         self.on_complete: Optional[Callable[[], None]] = None
         #: optional TraceRecorder for completion/error events
         self.trace = None
+        # observability (attach_obs): session spans + port metrics;
+        # detached cost is a single ``is not None`` check per accept
+        self.obs = None
+        self._session_span = None
+        self._c_words = None
+        self._c_stall = None
+        self._c_sessions = None
+
+    def attach_obs(self, obs) -> None:
+        """Wire the port into an :class:`~repro.obs.Observability`."""
+        self.obs = obs
+        metrics = obs.metrics
+        self._c_words = metrics.counter(
+            "icap_words_total", "32-bit words consumed by the ICAP port")
+        self._c_stall = metrics.counter(
+            "icap_stall_cycles_total",
+            "cycles arriving data waited for the 4 B/cycle port to drain")
+        self._c_sessions = metrics.counter(
+            "icap_sessions_total", "configuration sessions (sync..desync)")
 
     # ------------------------------------------------------------------
     # status
@@ -141,6 +160,14 @@ class Icap(StreamSink):
     # ------------------------------------------------------------------
     def accept(self, data: bytes, now: int) -> int:
         cycles = -(-len(data) // self.BYTES_PER_CYCLE)
+        if self.obs is not None:
+            if self._busy_until > now:
+                self._c_stall.inc(self._busy_until - now)
+            self._c_words.inc(len(data) // 4)
+            if self._session_span is None:
+                self._session_span = self.obs.tracer.begin(
+                    "icap", "session", now)
+                self.obs.tracer.signal("icap_session", now, 1)
         self._busy_until = max(self._busy_until, now) + cycles
         self._byte_buffer.extend(data)
         whole = len(self._byte_buffer) // 4 * 4
@@ -422,6 +449,20 @@ class Icap(StreamSink):
             self.trace.record(self._busy_until, "icap",
                               f"desync ({status}), {self.words_consumed} "
                               "words consumed so far")
+        if self.obs is not None:
+            self._c_sessions.inc()
+            if self._session_span is not None:
+                self.obs.tracer.end(
+                    self._session_span, self._busy_until,
+                    status="error" if self.error else "ok",
+                    words=self.words_consumed)
+                self._session_span = None
+            self.obs.tracer.signal("icap_session", self._busy_until, 0)
+            if self.error:
+                self.obs.tracer.instant(
+                    "icap", "config_error", self._busy_until,
+                    crc=self.crc_error, protocol=self.protocol_error,
+                    idcode=self.idcode_mismatch)
         if not self.error:
             self._apply_pending()
             self.reconfigurations_completed += 1

@@ -1,0 +1,208 @@
+"""Metrics registry: named counters, gauges and HDR-style histograms.
+
+Components register instruments once (at observability attach time) and
+update them on hot paths with plain attribute operations — no dict
+lookups, no string formatting.  The registry unifies the counters that
+used to be hand-collected by ``collect_soc_stats`` and adds
+distribution-valued measurements (per-burst DMA latency, interrupt
+service latency, crossbar contention) the scalar snapshot cannot hold.
+
+Histograms use HDR-style bucketing: values below 8 get exact unit
+buckets, larger values land in power-of-two octaves split into 8
+sub-buckets, bounding the relative quantization error at 12.5 % while
+keeping memory constant for any value range — the standard shape for
+latency distributions in serving systems.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+_SUB_BITS = 3          # 8 sub-buckets per octave
+_SUB = 1 << _SUB_BITS
+_LINEAR_LIMIT = 1 << _SUB_BITS
+
+
+def _bucket_index(value: int) -> int:
+    if value < _LINEAR_LIMIT:
+        return max(0, value)
+    shift = value.bit_length() - 1 - _SUB_BITS
+    return (shift << _SUB_BITS) + (value >> shift)
+
+
+def _bucket_upper_bound(index: int) -> int:
+    """Largest value that maps into bucket ``index`` (inclusive)."""
+    if index < _LINEAR_LIMIT:
+        return index
+    # indexes [8, 15] come from shift 0 (values 8..15), [16, 23] from
+    # shift 1, ... — the octave is (index >> _SUB_BITS) - 1
+    shift = (index >> _SUB_BITS) - 1
+    sub = index & (_SUB - 1) | _SUB
+    return ((sub + 1) << shift) - 1
+
+
+LabelItems = Tuple[Tuple[str, str], ...]
+
+
+class _Instrument:
+    """Shared identity: a name plus optional prometheus-style labels."""
+
+    __slots__ = ("name", "help", "labels")
+
+    def __init__(self, name: str, help_text: str,
+                 labels: Optional[Dict[str, str]]) -> None:
+        self.name = name
+        self.help = help_text
+        self.labels: LabelItems = tuple(sorted((labels or {}).items()))
+
+    @property
+    def label_suffix(self) -> str:
+        if not self.labels:
+            return ""
+        inner = ",".join(f'{k}="{v}"' for k, v in self.labels)
+        return "{" + inner + "}"
+
+
+class Counter(_Instrument):
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, name: str, help_text: str = "",
+                 labels: Optional[Dict[str, str]] = None) -> None:
+        super().__init__(name, help_text, labels)
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge(_Instrument):
+    """A value that can go up and down."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, name: str, help_text: str = "",
+                 labels: Optional[Dict[str, str]] = None) -> None:
+        super().__init__(name, help_text, labels)
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram(_Instrument):
+    """HDR-style histogram over non-negative integer values (cycles)."""
+
+    __slots__ = ("buckets", "count", "total", "min", "max")
+
+    def __init__(self, name: str, help_text: str = "",
+                 labels: Optional[Dict[str, str]] = None) -> None:
+        super().__init__(name, help_text, labels)
+        self.buckets: Dict[int, int] = {}
+        self.count = 0
+        self.total = 0
+        self.min: Optional[int] = None
+        self.max: Optional[int] = None
+
+    def record(self, value: int) -> None:
+        value = int(value)
+        if value < 0:
+            value = 0
+        index = _bucket_index(value)
+        self.buckets[index] = self.buckets.get(index, 0) + 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> int:
+        """Value at quantile ``q`` in [0, 1] (bucket upper bound)."""
+        if not self.count:
+            return 0
+        target = max(1, int(q * self.count + 0.5))
+        seen = 0
+        for index in sorted(self.buckets):
+            seen += self.buckets[index]
+            if seen >= target:
+                return min(_bucket_upper_bound(index),
+                           self.max if self.max is not None else 0)
+        return self.max or 0
+
+    def cumulative_buckets(self) -> List[Tuple[int, int]]:
+        """Sorted (upper_bound, cumulative_count) pairs (prometheus le)."""
+        out: List[Tuple[int, int]] = []
+        seen = 0
+        for index in sorted(self.buckets):
+            seen += self.buckets[index]
+            out.append((_bucket_upper_bound(index), seen))
+        return out
+
+
+class MetricsRegistry:
+    """Instrument factory and container; idempotent per (name, labels)."""
+
+    def __init__(self) -> None:
+        self._instruments: Dict[Tuple[str, LabelItems], _Instrument] = {}
+
+    def _get(self, cls, name: str, help_text: str,
+             labels: Optional[Dict[str, str]]):
+        key = (name, tuple(sorted((labels or {}).items())))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = cls(name, help_text, labels)
+            self._instruments[key] = instrument
+        elif not isinstance(instrument, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(instrument).__name__}")
+        return instrument
+
+    def counter(self, name: str, help_text: str = "",
+                labels: Optional[Dict[str, str]] = None) -> Counter:
+        return self._get(Counter, name, help_text, labels)
+
+    def gauge(self, name: str, help_text: str = "",
+              labels: Optional[Dict[str, str]] = None) -> Gauge:
+        return self._get(Gauge, name, help_text, labels)
+
+    def histogram(self, name: str, help_text: str = "",
+                  labels: Optional[Dict[str, str]] = None) -> Histogram:
+        return self._get(Histogram, name, help_text, labels)
+
+    def instruments(self) -> List[_Instrument]:
+        """All instruments, sorted by (name, labels) for stable export."""
+        return [self._instruments[key] for key in sorted(self._instruments)]
+
+    def get(self, name: str,
+            labels: Optional[Dict[str, str]] = None) -> Optional[_Instrument]:
+        return self._instruments.get(
+            (name, tuple(sorted((labels or {}).items()))))
+
+    def snapshot(self) -> Dict[str, object]:
+        """Plain-data view of every instrument (JSON-exportable)."""
+        out: Dict[str, object] = {}
+        for instrument in self.instruments():
+            key = instrument.name + instrument.label_suffix
+            if isinstance(instrument, Counter):
+                out[key] = instrument.value
+            elif isinstance(instrument, Gauge):
+                out[key] = instrument.value
+            else:
+                assert isinstance(instrument, Histogram)
+                out[key] = {
+                    "count": instrument.count,
+                    "sum": instrument.total,
+                    "min": instrument.min,
+                    "max": instrument.max,
+                    "mean": round(instrument.mean, 3),
+                    "p50": instrument.percentile(0.50),
+                    "p99": instrument.percentile(0.99),
+                }
+        return out

@@ -1,0 +1,171 @@
+"""Span-based tracing: hierarchical cycle-timestamped spans.
+
+A :class:`SpanTracer` turns the simulator's instrumented components into
+a causal timeline: every DMA transfer, ICAP session, interrupt delivery
+and driver API phase is a *span* — a named interval with begin/end cycle
+timestamps, a track (one per component), and a parent (the span that was
+open on the same track when it began).  Alongside spans the tracer
+records *instant* events (point-in-time markers), *counter samples*
+(time series for Perfetto counter tracks) and *signal changes* (for the
+VCD exporter).
+
+Everything is recorded in cycles, never wall-clock, so two identical
+simulations produce byte-identical exports.  Recording is opt-in: a
+component's emit path is guarded by an ``obs is not None`` check and
+costs nothing when no tracer is attached.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+
+class Span:
+    """One traced interval on a track; ``end_cycle`` None while open."""
+
+    __slots__ = ("span_id", "track", "name", "start_cycle", "end_cycle",
+                 "parent_id", "args")
+
+    def __init__(self, span_id: int, track: str, name: str,
+                 start_cycle: int, parent_id: Optional[int],
+                 args: Optional[Dict[str, Any]]) -> None:
+        self.span_id = span_id
+        self.track = track
+        self.name = name
+        self.start_cycle = start_cycle
+        self.end_cycle: Optional[int] = None
+        self.parent_id = parent_id
+        self.args: Dict[str, Any] = args or {}
+
+    @property
+    def duration(self) -> int:
+        if self.end_cycle is None:
+            raise ValueError(f"span {self.name!r} is still open")
+        return self.end_cycle - self.start_cycle
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<Span {self.track}/{self.name} "
+                f"[{self.start_cycle}, {self.end_cycle}]>")
+
+
+class InstantEvent:
+    """A point-in-time marker on a track."""
+
+    __slots__ = ("cycle", "track", "name", "args")
+
+    def __init__(self, cycle: int, track: str, name: str,
+                 args: Optional[Dict[str, Any]]) -> None:
+        self.cycle = cycle
+        self.track = track
+        self.name = name
+        self.args: Dict[str, Any] = args or {}
+
+
+class SpanTracer:
+    """Collects spans, instants, counter samples and signal changes."""
+
+    def __init__(self) -> None:
+        self.spans: List[Span] = []
+        self.instants: List[InstantEvent] = []
+        #: (cycle, series name, value) samples for counter tracks
+        self.counter_samples: List[Tuple[int, str, float]] = []
+        #: signal name -> [(cycle, value)] change lists (VCD source data)
+        self.signals: Dict[str, List[Tuple[int, int]]] = {}
+        self._open: Dict[str, List[Span]] = {}  # per-track span stack
+        self._next_id = 1
+
+    # ------------------------------------------------------------------
+    # spans
+    # ------------------------------------------------------------------
+    def begin(self, track: str, name: str, cycle: int, **args: Any) -> Span:
+        """Open a span on ``track``; nests under the open span, if any."""
+        stack = self._open.setdefault(track, [])
+        parent_id = stack[-1].span_id if stack else None
+        span = Span(self._next_id, track, name, cycle, parent_id, args or None)
+        self._next_id += 1
+        self.spans.append(span)
+        stack.append(span)
+        return span
+
+    def end(self, span: Span, cycle: int, **args: Any) -> Span:
+        """Close ``span`` at ``cycle``; later args win on key collision."""
+        if span.end_cycle is not None:
+            raise ValueError(f"span {span.name!r} already ended")
+        if cycle < span.start_cycle:
+            raise ValueError(
+                f"span {span.name!r} cannot end at {cycle} before its "
+                f"start {span.start_cycle}")
+        span.end_cycle = cycle
+        if args:
+            span.args.update(args)
+        stack = self._open.get(span.track)
+        if stack and span in stack:
+            stack.remove(span)
+        return span
+
+    def open_span(self, track: str) -> Optional[Span]:
+        """The innermost open span on ``track`` (None when idle)."""
+        stack = self._open.get(track)
+        return stack[-1] if stack else None
+
+    def end_open(self, track: str, cycle: int, **args: Any) -> int:
+        """Close every open span on ``track`` (error-path cleanup).
+
+        Returns the number of spans closed, innermost first.
+        """
+        stack = self._open.get(track)
+        closed = 0
+        while stack:
+            self.end(stack[-1], cycle, **args)
+            closed += 1
+        return closed
+
+    # ------------------------------------------------------------------
+    # instants / counters / signals
+    # ------------------------------------------------------------------
+    def instant(self, track: str, name: str, cycle: int, **args: Any) -> None:
+        self.instants.append(InstantEvent(cycle, track, name, args or None))
+
+    def count(self, name: str, cycle: int, value: float) -> None:
+        """Record one sample of a counter time series."""
+        self.counter_samples.append((cycle, name, value))
+
+    def signal(self, name: str, cycle: int, value: int) -> None:
+        """Record a signal change (deduplicated against the last value)."""
+        changes = self.signals.setdefault(name, [])
+        if changes and changes[-1][1] == value:
+            return
+        changes.append((cycle, value))
+
+    # ------------------------------------------------------------------
+    # queries (used by the latency-breakdown report and tests)
+    # ------------------------------------------------------------------
+    def find(self, track: str, name: str) -> List[Span]:
+        return [s for s in self.spans
+                if s.track == track and s.name == name]
+
+    def last(self, track: str, name: str) -> Optional[Span]:
+        spans = self.find(track, name)
+        return spans[-1] if spans else None
+
+    def children(self, span: Span) -> List[Span]:
+        return [s for s in self.spans if s.parent_id == span.span_id]
+
+    @property
+    def tracks(self) -> List[str]:
+        seen: List[str] = []
+        for span in self.spans:
+            if span.track not in seen:
+                seen.append(span.track)
+        for event in self.instants:
+            if event.track not in seen:
+                seen.append(event.track)
+        return seen
+
+    def clear(self) -> None:
+        self.spans.clear()
+        self.instants.clear()
+        self.counter_samples.clear()
+        self.signals.clear()
+        self._open.clear()
+        self._next_id = 1

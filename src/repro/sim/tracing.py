@@ -9,8 +9,9 @@ no recorder is attached.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional
 
 
 @dataclass(frozen=True)
@@ -26,29 +27,40 @@ class TraceEvent:
         return f"[{us:12.2f} us] {self.category:12} {self.message}"
 
 
-@dataclass
 class TraceRecorder:
-    """Bounded in-memory event log with per-category filtering."""
+    """Bounded in-memory event log with per-category filtering.
 
-    capacity: int = 100_000
-    enabled_categories: Optional[set[str]] = None
-    events: List[TraceEvent] = field(default_factory=list)
-    dropped: int = 0
+    The buffer is a *ring*: when full, recording a new event evicts the
+    oldest one, so the log always holds the most recent ``capacity``
+    events of a long run (the interesting tail, not the boring start).
+    ``dropped`` counts the evictions.
+    """
+
+    def __init__(self, capacity: int = 100_000,
+                 enabled_categories: Optional[set[str]] = None) -> None:
+        self.capacity = capacity
+        self.enabled_categories = enabled_categories
+        self._ring: Deque[TraceEvent] = deque(maxlen=capacity)
+        self.dropped = 0
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        """The retained events, oldest first."""
+        return list(self._ring)
 
     def record(self, cycle: int, category: str, message: str) -> None:
         if (self.enabled_categories is not None
                 and category not in self.enabled_categories):
             return
-        if len(self.events) >= self.capacity:
+        if len(self._ring) >= self.capacity:
             self.dropped += 1
-            return
-        self.events.append(TraceEvent(cycle, category, message))
+        self._ring.append(TraceEvent(cycle, category, message))
 
     def by_category(self, category: str) -> List[TraceEvent]:
-        return [e for e in self.events if e.category == category]
+        return [e for e in self._ring if e.category == category]
 
     def clear(self) -> None:
-        self.events.clear()
+        self._ring.clear()
         self.dropped = 0
 
     def format_timeline(self, freq_hz: float = 100e6,
@@ -103,6 +115,8 @@ def collect_soc_stats(soc) -> Dict[str, int | float]:
 
 
 def format_stats(stats: Dict[str, int | float]) -> str:
+    if not stats:
+        return ""
     width = max(len(k) for k in stats)
     lines = []
     for key, value in stats.items():

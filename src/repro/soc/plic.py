@@ -9,11 +9,15 @@ single hart context.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Optional
 
 from repro.axi.interface import RegisterBank
 from repro.riscv import isa
 from repro.sim.kernel import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs import Observability
+    from repro.obs.tracer import Span
 
 PRIORITY_BASE = 0x0000
 PENDING_OFFSET = 0x1000
@@ -38,6 +42,9 @@ class Plic(RegisterBank):
         self.in_service: Optional[int] = None
         self.claims = 0
         self._set_mip: Optional[Callable[[int, bool], None]] = None
+        self.obs: Optional["Observability"] = None
+        self._pending_spans: Dict[int, "Span"] = {}
+        self._h_service = None
 
         for source in range(1, MAX_SOURCES + 1):
             self.define_register(
@@ -59,6 +66,12 @@ class Plic(RegisterBank):
     def connect_hart(self, set_mip: Callable[[int, bool], None]) -> None:
         self._set_mip = set_mip
 
+    def attach_obs(self, obs: "Observability") -> None:
+        self.obs = obs
+        self._h_service = obs.metrics.histogram(
+            "plic_irq_service_cycles",
+            "cycles from PLIC gateway latch to the hart's claim read")
+
     def raise_irq(self, source: int) -> None:
         """Device-side interrupt assertion (edge into the gateway)."""
         if not 1 <= source <= MAX_SOURCES:
@@ -67,6 +80,11 @@ class Plic(RegisterBank):
 
     def _latch(self, source: int) -> None:
         self.pending |= 1 << source
+        if self.obs is not None and source not in self._pending_spans:
+            now = self.sim.now
+            self._pending_spans[source] = self.obs.tracer.begin(
+                "plic", f"irq{source}", now, source=source)
+            self.obs.tracer.signal(f"plic_pending_{source}", now, 1)
         self._update_meip()
 
     # ------------------------------------------------------------------
@@ -99,6 +117,13 @@ class Plic(RegisterBank):
             self.pending &= ~(1 << source)
             self.in_service = source
             self.claims += 1
+            if self.obs is not None:
+                now = self.sim.now
+                span = self._pending_spans.pop(source, None)
+                if span is not None:
+                    self.obs.tracer.end(span, now, claimed=True)
+                    self._h_service.record(now - span.start_cycle)
+                self.obs.tracer.signal(f"plic_pending_{source}", now, 0)
             self._update_meip()
         return source
 

@@ -59,6 +59,9 @@ class Soc:
         self.bitgen: Bitgen
         self.hart: Optional[Hart] = None
 
+        #: attached observability (None = detached, zero emit overhead)
+        self.obs = None
+
         #: (rp_index, content signature) -> module name
         self._module_signatures: Dict[tuple[int, str], str] = {}
         self._modules: Dict[str, ReconfigurableModule] = {}
@@ -199,6 +202,42 @@ class Soc:
         self.rvcap.dma.s2mm.trace = recorder
         self.icap.trace = recorder
         return recorder
+
+    def attach_observability(self, obs=None):
+        """Attach a span tracer + metrics registry to every instrumented
+        component (DMA channels, ICAP parser, AXIS2ICAP, AXIS switch, RP
+        control, PLIC, both crossbars, AXI_HWICAP).
+
+        Returns the :class:`~repro.obs.Observability` (a fresh one is
+        created when None is given).  Detached components pay only an
+        ``is not None`` check per emit site.
+        """
+        from repro.obs import Observability
+        if obs is None:
+            obs = Observability()
+        self.obs = obs
+        clock = lambda: self.sim.now
+        self.rvcap.dma.attach_obs(obs)
+        self.icap.attach_obs(obs)
+        self.rvcap.axis2icap.attach_obs(obs)
+        self.rvcap.switch.attach_obs(obs, clock)
+        self.rvcap.rp_control.attach_obs(obs, clock)
+        self.plic.attach_obs(obs)
+        self.xbar.attach_obs(obs)
+        self.dma_xbar.attach_obs(obs)
+        self.hwicap.attach_obs(obs)
+        return obs
+
+    def capture_stats_metrics(self):
+        """Mirror the legacy counter snapshot into ``obs.metrics`` as
+        ``soc_*`` gauges so one metrics export carries both worlds."""
+        if self.obs is None:
+            return
+        for key, value in self.stats().items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                self.obs.metrics.gauge(
+                    f"soc_{key}", "legacy collect_soc_stats counter"
+                ).set(value)
 
     def stats(self):
         """Counter snapshot across all subsystems."""

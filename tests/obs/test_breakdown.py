@@ -1,0 +1,87 @@
+"""Integration tests: full-SoC instrumentation and the Tr breakdown."""
+
+import pytest
+
+from repro.obs import Observability
+from repro.obs.report import build_tr_breakdown, render_tr_breakdown
+from repro.obs.tracer import SpanTracer
+
+
+@pytest.fixture(scope="module")
+def traced_run(provisioned_manager_factory):
+    soc, manager = provisioned_manager_factory()
+    obs = soc.attach_observability()
+    result = manager.load_module("sobel")
+    return soc, obs, result
+
+
+class TestInstrumentedReconfig:
+    def test_driver_span_tree(self, traced_run):
+        _, obs, _ = traced_run
+        tracer = obs.tracer
+        reconfig = tracer.last("driver", "reconfig")
+        assert reconfig is not None and reconfig.end_cycle is not None
+        assert reconfig.args["module"] == "sobel"
+        child_names = {s.name for s in tracer.children(reconfig)}
+        assert {"decision", "decouple", "tr_window", "recouple"} \
+            <= child_names
+        window = tracer.last("driver", "tr_window")
+        inner = {s.name for s in tracer.children(window)}
+        assert inner == {"kick", "transfer", "isr"}
+
+    def test_component_tracks_populated(self, traced_run):
+        _, obs, _ = traced_run
+        tracks = set(obs.tracer.tracks)
+        assert {"driver", "dma.mm2s", "icap", "plic", "rp"} <= tracks
+
+    def test_metrics_populated(self, traced_run):
+        _, obs, _ = traced_run
+        snap = obs.metrics.snapshot()
+        assert snap["driver_reconfigurations_total"] == 1
+        assert snap["icap_words_total"] == 650_892 // 4
+        assert snap["plic_irq_service_cycles"]["count"] == 1
+        assert snap["driver_tr_cycles"]["count"] == 1
+
+    def test_anchor_metrics_unperturbed(self, traced_run):
+        # passive instrumentation: the CLINT-measured anchors are exact
+        _, _, result = traced_run
+        assert result.tr_us == pytest.approx(1651.0, abs=0.01)
+        assert result.td_us == pytest.approx(18.0, abs=0.01)
+
+
+class TestTrBreakdown:
+    def test_phase_sum_equals_window_exactly(self, traced_run):
+        _, obs, result = traced_run
+        breakdown = build_tr_breakdown(obs.tracer,
+                                       tr_reported_us=result.tr_us)
+        assert breakdown.consistent
+        assert breakdown.phase_sum_cycles == breakdown.tr_window_cycles
+        names = [p.name for p in breakdown.tr_phases]
+        assert names == ["kick", "dma+icap stream", "irq delivery", "isr"]
+
+    def test_phases_contiguous(self, traced_run):
+        _, obs, _ = traced_run
+        breakdown = build_tr_breakdown(obs.tracer)
+        phases = breakdown.tr_phases
+        for left, right in zip(phases, phases[1:]):
+            assert left.end_cycle == right.start_cycle
+
+    def test_window_matches_clint_within_quantization(self, traced_run):
+        _, obs, result = traced_run
+        breakdown = build_tr_breakdown(obs.tracer)
+        window_us = breakdown.cycles_to_us(breakdown.tr_window_cycles)
+        # CLINT runs at 5 MHz: quantization below one tick (0.4 us)
+        assert abs(result.tr_us - window_us) < 0.4
+
+    def test_render_reports_ok(self, traced_run):
+        _, obs, result = traced_run
+        breakdown = build_tr_breakdown(obs.tracer,
+                                       tr_reported_us=result.tr_us)
+        text = render_tr_breakdown(breakdown)
+        assert "OK" in text and "MISMATCH" not in text
+        assert "dma+icap stream" in text
+        assert "CLINT-reported Tr" in text
+
+    def test_empty_tracer_rejected(self):
+        with pytest.raises(ValueError):
+            build_tr_breakdown(SpanTracer())

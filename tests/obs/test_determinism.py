@@ -1,0 +1,43 @@
+"""Satellite: two identical traced runs produce byte-identical artifacts."""
+
+from repro.cli import main
+
+
+def _run_reconfig(tmp_path, tag):
+    chrome = tmp_path / f"trace_{tag}.json"
+    prom = tmp_path / f"metrics_{tag}.prom"
+    rc = main([
+        "reconfig", "sobel",
+        "--trace-chrome", str(chrome),
+        "--metrics", str(prom),
+    ])
+    assert rc == 0
+    return chrome.read_bytes(), prom.read_bytes()
+
+
+class TestTraceDeterminism:
+    def test_reconfig_chrome_trace_byte_identical(self, tmp_path, capsys):
+        chrome_a, prom_a = _run_reconfig(tmp_path, "a")
+        chrome_b, prom_b = _run_reconfig(tmp_path, "b")
+        capsys.readouterr()
+        assert chrome_a == chrome_b
+        assert prom_a == prom_b
+        assert chrome_a  # non-empty artifact
+
+    def test_trace_subcommand_all_artifacts_identical(self, tmp_path, capsys):
+        outputs = []
+        for tag in ("a", "b"):
+            paths = {
+                "--chrome": tmp_path / f"t{tag}.json",
+                "--vcd": tmp_path / f"t{tag}.vcd",
+                "--metrics": tmp_path / f"t{tag}.prom",
+                "--metrics-json": tmp_path / f"t{tag}.mjson",
+            }
+            argv = ["trace", "sobel", "--no-breakdown"]
+            for flag, path in paths.items():
+                argv += [flag, str(path)]
+            assert main(argv) == 0
+            outputs.append({k: p.read_bytes() for k, p in paths.items()})
+        capsys.readouterr()
+        for flag in outputs[0]:
+            assert outputs[0][flag] == outputs[1][flag], flag

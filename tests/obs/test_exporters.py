@@ -1,0 +1,157 @@
+"""Unit tests for the Chrome-trace, Prometheus, JSON and VCD exporters."""
+
+import json
+
+from repro.obs.exporters import (
+    chrome_trace_json,
+    metrics_json,
+    prometheus_text,
+    validate_chrome_trace,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import SpanTracer
+from repro.obs.vcd import vcd_dump
+
+
+def _sample_tracer() -> SpanTracer:
+    tracer = SpanTracer()
+    root = tracer.begin("driver", "reconfig", 0, module="sobel")
+    inner = tracer.begin("driver", "transfer", 10)
+    tracer.end(inner, 200, dma_done_cycle=190)
+    tracer.end(root, 250)
+    tracer.instant("dma", "error", 55, code=3)
+    tracer.count("icap_words", 100, 42)
+    tracer.signal("busy", 0, 0)
+    tracer.signal("busy", 10, 1)
+    tracer.signal("busy", 200, 0)
+    return tracer
+
+
+class TestChromeTrace:
+    def test_valid_against_schema(self):
+        text = chrome_trace_json(_sample_tracer())
+        assert validate_chrome_trace(text) == []
+
+    def test_event_shapes(self):
+        doc = json.loads(chrome_trace_json(_sample_tracer()))
+        events = doc["traceEvents"]
+        xs = [e for e in events if e["ph"] == "X"]
+        assert {e["name"] for e in xs} == {"reconfig", "transfer"}
+        transfer = next(e for e in xs if e["name"] == "transfer")
+        # 10 cycles at 100 MHz = 0.1 us
+        assert transfer["ts"] == 0.1
+        assert transfer["dur"] == 1.9
+        assert transfer["args"]["dma_done_cycle"] == 190
+        assert transfer["args"]["dur_cycles"] == 190
+        instants = [e for e in events if e["ph"] == "i"]
+        assert instants[0]["name"] == "error"
+        counters = [e for e in events if e["ph"] == "C"]
+        assert counters[0]["args"]["value"] == 42
+
+    def test_thread_metadata_per_track(self):
+        doc = json.loads(chrome_trace_json(_sample_tracer()))
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        names = {e["args"]["name"] for e in meta}
+        assert names == {"driver", "dma"}
+
+    def test_open_spans_excluded(self):
+        tracer = SpanTracer()
+        tracer.begin("t", "open", 0)
+        closed = tracer.begin("t2", "closed", 0)
+        tracer.end(closed, 5)
+        doc = json.loads(chrome_trace_json(tracer))
+        xs = [e["name"] for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert xs == ["closed"]
+
+    def test_same_input_byte_identical(self):
+        a = chrome_trace_json(_sample_tracer())
+        b = chrome_trace_json(_sample_tracer())
+        assert a == b
+
+    def test_validator_rejects_garbage(self):
+        assert validate_chrome_trace("not json")
+        assert validate_chrome_trace("[]")
+        assert validate_chrome_trace('{"traceEvents": {}}')
+        bad_phase = json.dumps({"traceEvents": [{"ph": "Z"}]})
+        assert any("phase" in p for p in validate_chrome_trace(bad_phase))
+        missing_dur = json.dumps(
+            {"traceEvents": [{"ph": "X", "name": "s", "ts": 0, "tid": 1}]})
+        assert any("dur" in p for p in validate_chrome_trace(missing_dur))
+
+
+class TestPrometheus:
+    def test_counter_and_gauge_lines(self):
+        reg = MetricsRegistry()
+        reg.counter("hits", "total hits").inc(7)
+        reg.gauge("level", "current level").set(1.5)
+        text = prometheus_text(reg)
+        assert "# HELP hits total hits" in text
+        assert "# TYPE hits counter" in text
+        assert "\nhits 7" in text
+        assert "# TYPE level gauge" in text
+        assert "\nlevel 1.5" in text
+
+    def test_labels_rendered_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("bytes", labels={"port": "icap", "dir": "in"}).inc(3)
+        text = prometheus_text(reg)
+        assert 'bytes{dir="in",port="icap"} 3' in text
+
+    def test_histogram_series(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", "latency")
+        for v in (1, 2, 2, 100):
+            h.record(v)
+        text = prometheus_text(reg)
+        assert "# TYPE lat histogram" in text
+        assert 'lat_bucket{le="+Inf"} 4' in text
+        assert "lat_sum 105" in text
+        assert "lat_count 4" in text
+        # cumulative counts never decrease
+        counts = [int(line.rsplit(" ", 1)[1]) for line in text.splitlines()
+                  if line.startswith("lat_bucket")]
+        assert counts == sorted(counts)
+
+    def test_json_metrics_round_trips(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        reg.histogram("h").record(5)
+        data = json.loads(metrics_json(reg))
+        assert data["c"] == 2
+        assert data["h"]["count"] == 1
+
+
+class TestVcd:
+    def test_header_and_changes(self):
+        tracer = SpanTracer()
+        tracer.signal("busy", 0, 0)
+        tracer.signal("busy", 10, 1)
+        tracer.signal("busy", 42, 0)
+        text = vcd_dump(tracer, 100e6)
+        assert "$timescale 10 ns $end" in text
+        assert "$var wire 1 ! busy $end" in text
+        assert "$dumpvars" in text
+        body = text.split("$end", 10)[-1]
+        assert "#10" in text and "#42" in text
+        assert body.index("#10") < body.index("#42")
+
+    def test_multibit_signals(self):
+        tracer = SpanTracer()
+        tracer.signal("mask", 5, 5)  # needs 3 bits
+        text = vcd_dump(tracer, 100e6)
+        assert "$var wire 3 ! mask $end" in text
+        assert "b101 !" in text
+
+    def test_no_host_timestamps(self):
+        tracer = SpanTracer()
+        tracer.signal("s", 1, 1)
+        text = vcd_dump(tracer, 100e6)
+        assert "$date" not in text
+        assert vcd_dump(tracer, 100e6) == text
+
+    def test_initial_values_default_zero(self):
+        tracer = SpanTracer()
+        tracer.signal("late", 100, 1)
+        text = vcd_dump(tracer, 100e6)
+        dumpvars = text.split("$dumpvars")[1].split("$end")[0]
+        assert "0!" in dumpvars

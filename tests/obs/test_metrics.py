@@ -1,0 +1,134 @@
+"""Unit tests for the metrics registry and HDR histogram bucketing."""
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    _bucket_index,
+    _bucket_upper_bound,
+)
+
+
+class TestBucketing:
+    def test_small_values_exact(self):
+        for value in range(8):
+            index = _bucket_index(value)
+            assert _bucket_upper_bound(index) == value
+
+    def test_monotone_nondecreasing(self):
+        indices = [_bucket_index(v) for v in range(1, 100_000, 37)]
+        assert indices == sorted(indices)
+
+    def test_relative_error_bounded(self):
+        # HDR property: bucket upper bound within 12.5% of any member
+        for value in (9, 100, 1_000, 65_535, 1_000_000, 123_456_789):
+            upper = _bucket_upper_bound(_bucket_index(value))
+            assert upper >= value
+            assert (upper - value) / value <= 0.125
+
+    def test_value_within_own_bucket(self):
+        for value in (8, 15, 16, 17, 255, 256, 1 << 20):
+            index = _bucket_index(value)
+            assert _bucket_upper_bound(index) >= value
+            if index > 0:
+                assert _bucket_upper_bound(index - 1) < value
+
+
+class TestInstruments:
+    def test_counter(self):
+        c = Counter("n")
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+
+    def test_gauge(self):
+        g = Gauge("n")
+        g.set(2.5)
+        assert g.value == 2.5
+        g.set(-1)
+        assert g.value == -1
+
+    def test_histogram_stats(self):
+        h = Histogram("n")
+        for v in (10, 20, 30, 40):
+            h.record(v)
+        assert h.count == 4
+        assert h.total == 100
+        assert h.mean == 25.0
+        assert h.min == 10 and h.max == 40
+
+    def test_histogram_percentiles(self):
+        h = Histogram("n")
+        for v in range(1, 101):
+            h.record(v)
+        assert h.percentile(0.0) <= h.percentile(0.5) <= h.percentile(1.0)
+        assert h.percentile(1.0) == 100
+        # p50 within HDR quantization error of the true median
+        assert 50 <= h.percentile(0.5) <= 57
+
+    def test_histogram_negative_clamped(self):
+        h = Histogram("n")
+        h.record(-5)
+        assert h.min == 0 and h.count == 1
+
+    def test_empty_histogram(self):
+        h = Histogram("n")
+        assert h.mean == 0.0
+        assert h.percentile(0.99) == 0
+
+    def test_cumulative_buckets(self):
+        h = Histogram("n")
+        for v in (1, 1, 2, 100):
+            h.record(v)
+        pairs = h.cumulative_buckets()
+        assert pairs[-1][1] == 4  # total count
+        uppers = [u for u, _ in pairs]
+        assert uppers == sorted(uppers)
+
+    def test_label_suffix(self):
+        c = Counter("n", labels={"b": "2", "a": "1"})
+        assert c.label_suffix == '{a="1",b="2"}'  # sorted, stable
+
+
+class TestRegistry:
+    def test_idempotent_per_name_and_labels(self):
+        reg = MetricsRegistry()
+        a = reg.counter("hits")
+        b = reg.counter("hits")
+        assert a is b
+        c = reg.counter("hits", labels={"port": "icap"})
+        assert c is not a
+
+    def test_kind_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+    def test_instruments_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("zz")
+        reg.counter("aa")
+        reg.counter("mm", labels={"k": "v"})
+        names = [i.name for i in reg.instruments()]
+        assert names == ["aa", "mm", "zz"]
+
+    def test_get(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x", labels={"a": "b"})
+        assert reg.get("x", {"a": "b"}) is c
+        assert reg.get("x") is None
+
+    def test_snapshot_shapes(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        reg.gauge("g").set(1.5)
+        h = reg.histogram("h")
+        h.record(10)
+        snap = reg.snapshot()
+        assert snap["c"] == 3
+        assert snap["g"] == 1.5
+        assert snap["h"]["count"] == 1 and snap["h"]["p99"] >= 10

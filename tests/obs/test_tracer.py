@@ -1,0 +1,118 @@
+"""Unit tests for the span tracer."""
+
+import pytest
+
+from repro.obs.tracer import SpanTracer
+
+
+class TestSpans:
+    def test_begin_end_duration(self):
+        tracer = SpanTracer()
+        span = tracer.begin("dma", "transfer", 100, length=64)
+        tracer.end(span, 250, status="ok")
+        assert span.duration == 150
+        assert span.args == {"length": 64, "status": "ok"}
+
+    def test_nesting_assigns_parent(self):
+        tracer = SpanTracer()
+        outer = tracer.begin("driver", "reconfig", 0)
+        inner = tracer.begin("driver", "decision", 5)
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        tracer.end(inner, 10)
+        sibling = tracer.begin("driver", "decouple", 10)
+        assert sibling.parent_id == outer.span_id
+        assert tracer.children(outer) == [inner, sibling]
+
+    def test_tracks_are_independent(self):
+        tracer = SpanTracer()
+        a = tracer.begin("dma", "transfer", 0)
+        b = tracer.begin("icap", "session", 3)
+        assert b.parent_id is None
+        assert a.parent_id is None
+
+    def test_end_before_start_rejected(self):
+        tracer = SpanTracer()
+        span = tracer.begin("t", "s", 100)
+        with pytest.raises(ValueError):
+            tracer.end(span, 99)
+
+    def test_double_end_rejected(self):
+        tracer = SpanTracer()
+        span = tracer.begin("t", "s", 0)
+        tracer.end(span, 1)
+        with pytest.raises(ValueError):
+            tracer.end(span, 2)
+
+    def test_duration_of_open_span_rejected(self):
+        tracer = SpanTracer()
+        span = tracer.begin("t", "s", 0)
+        with pytest.raises(ValueError):
+            _ = span.duration
+
+    def test_open_span_and_end_open(self):
+        tracer = SpanTracer()
+        outer = tracer.begin("driver", "reconfig", 0)
+        inner = tracer.begin("driver", "transfer", 5)
+        assert tracer.open_span("driver") is inner
+        closed = tracer.end_open("driver", 42, status="error")
+        assert closed == 2
+        assert inner.end_cycle == 42 and outer.end_cycle == 42
+        assert inner.args["status"] == "error"
+        assert tracer.open_span("driver") is None
+
+    def test_end_open_idle_track_is_noop(self):
+        tracer = SpanTracer()
+        assert tracer.end_open("nothing", 10) == 0
+
+    def test_find_and_last(self):
+        tracer = SpanTracer()
+        s1 = tracer.begin("t", "s", 0)
+        tracer.end(s1, 1)
+        s2 = tracer.begin("t", "s", 2)
+        tracer.end(s2, 3)
+        assert tracer.find("t", "s") == [s1, s2]
+        assert tracer.last("t", "s") is s2
+        assert tracer.last("t", "missing") is None
+
+
+class TestInstantsCountersSignals:
+    def test_instant_events(self):
+        tracer = SpanTracer()
+        tracer.instant("dma", "error", 123, code=5)
+        event = tracer.instants[0]
+        assert (event.cycle, event.track, event.name) == (123, "dma", "error")
+        assert event.args == {"code": 5}
+
+    def test_counter_samples(self):
+        tracer = SpanTracer()
+        tracer.count("bytes", 10, 64)
+        tracer.count("bytes", 20, 128)
+        assert tracer.counter_samples == [(10, "bytes", 64),
+                                          (20, "bytes", 128)]
+
+    def test_signal_changes_deduplicated(self):
+        tracer = SpanTracer()
+        tracer.signal("busy", 0, 0)
+        tracer.signal("busy", 5, 1)
+        tracer.signal("busy", 7, 1)  # same value: dropped
+        tracer.signal("busy", 9, 0)
+        assert tracer.signals["busy"] == [(0, 0), (5, 1), (9, 0)]
+
+    def test_tracks_lists_first_appearance_order(self):
+        tracer = SpanTracer()
+        tracer.begin("b", "s", 0)
+        tracer.begin("a", "s", 1)
+        tracer.instant("c", "i", 2)
+        assert tracer.tracks == ["b", "a", "c"]
+
+    def test_clear(self):
+        tracer = SpanTracer()
+        tracer.begin("t", "s", 0)
+        tracer.instant("t", "i", 1)
+        tracer.count("c", 2, 3)
+        tracer.signal("w", 3, 1)
+        tracer.clear()
+        assert not tracer.spans and not tracer.instants
+        assert not tracer.counter_samples and not tracer.signals
+        assert tracer.open_span("t") is None

@@ -21,6 +21,29 @@ class TestTraceRecorder:
         assert len(recorder.events) == 3
         assert recorder.dropped == 7
 
+    def test_ring_keeps_most_recent_on_wraparound(self):
+        recorder = TraceRecorder(capacity=3)
+        for i in range(10):
+            recorder.record(i, "x", f"event {i}")
+        # a ring buffer retains the tail of the run, oldest first
+        assert [e.cycle for e in recorder.events] == [7, 8, 9]
+        assert [e.message for e in recorder.events] == \
+            ["event 7", "event 8", "event 9"]
+        assert recorder.dropped == 7
+        # and keeps rolling: one more record evicts cycle 7
+        recorder.record(10, "x", "event 10")
+        assert [e.cycle for e in recorder.events] == [8, 9, 10]
+        assert recorder.dropped == 8
+
+    def test_clear_resets_ring(self):
+        recorder = TraceRecorder(capacity=2)
+        for i in range(5):
+            recorder.record(i, "x", "m")
+        recorder.clear()
+        assert recorder.events == [] and recorder.dropped == 0
+        recorder.record(9, "x", "fresh")
+        assert [e.cycle for e in recorder.events] == [9]
+
     def test_by_category_and_clear(self):
         recorder = TraceRecorder()
         recorder.record(1, "a", "x")
@@ -33,6 +56,15 @@ class TestTraceRecorder:
         event = TraceEvent(cycle=165_100, category="icap", message="done")
         text = event.format(100e6)
         assert "1651.00 us" in text and "icap" in text
+
+
+class TestFormatStats:
+    def test_empty_stats_formats_to_empty_string(self):
+        assert format_stats({}) == ""
+
+    def test_mixed_value_types(self):
+        text = format_stats({"a": 1, "bb": 2.5})
+        assert "a" in text and "2.50" in text
 
 
 class TestSocIntegration:
