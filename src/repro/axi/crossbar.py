@@ -26,6 +26,7 @@ from repro.axi.types import AxiResp, AxiResult
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.obs import Observability
+    from repro.obs.metrics import Counter
 
 
 class AxiCrossbar(AxiSlave):
@@ -52,8 +53,8 @@ class AxiCrossbar(AxiSlave):
         self.transactions = 0
         self.decode_errors = 0
         self.obs: Optional["Observability"] = None
-        self._wait_counters: Dict[int, object] = {}
-        self._c_txn = None
+        self._wait_counters: Dict[int, "Counter"] = {}
+        self._c_txn: Optional["Counter"] = None
 
     def attach_obs(self, obs: "Observability") -> None:
         self.obs = obs
@@ -63,10 +64,10 @@ class AxiCrossbar(AxiSlave):
             "transactions routed through the crossbar",
             labels={"xbar": self.name})
 
-    def _wait_counter(self, region: Region):
+    def _wait_counter(self, region: Region) -> "Counter":
         counter = self._wait_counters.get(id(region))
         if counter is None:
-            counter = self.obs.metrics.counter(
+            counter = self.obs.metrics.counter(  # type: ignore[union-attr]
                 "axi_wait_cycles_total",
                 "arbitration wait at the downstream port (contention)",
                 labels={"xbar": self.name, "region": region.name})
@@ -104,7 +105,7 @@ class AxiCrossbar(AxiSlave):
         arrive = now + self.request_latency
         start = max(arrive, self._busy_until.get(key, 0))
         if self.obs is not None:
-            self._c_txn.inc()
+            self._c_txn.inc()  # type: ignore[union-attr]
             if start > arrive:
                 self._wait_counter(region).inc(start - arrive)
         local = addr - region.base

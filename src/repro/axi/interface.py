@@ -57,6 +57,13 @@ class RegisterBank(AxiSlave):
     AXI4-Lite interfaces of the corresponding Xilinx IP cores.
     """
 
+    #: declared width contract: True means this register file models a
+    #: 32-bit AXI4-Lite IP port and must sit behind an AXI4->Lite
+    #: protocol converter on the 64-bit interconnect (the DRC enforces
+    #: this); platform blocks like the CLINT/PLIC accept native 64-bit
+    #: accesses and leave it False
+    lite_only: bool = False
+
     def __init__(self, name: str, size: int = 0x1000) -> None:
         self.name = name
         self.size = size

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional
+from typing import ClassVar, Iterator, List, Optional
 
 from repro.axi.interface import AxiSlave
 from repro.errors import BusError
@@ -18,11 +18,24 @@ class Region:
     size: int
     slave: AxiSlave
 
+    #: interconnect data-bus width every window must be a multiple of
+    BUS_BYTES: ClassVar[int] = 8
+
     def __post_init__(self) -> None:
         if self.size <= 0:
             raise BusError(f"region {self.name!r} must have positive size")
         if self.base < 0:
             raise BusError(f"region {self.name!r} has negative base")
+        if self.base % self.BUS_BYTES:
+            raise BusError(
+                f"region {self.name!r} base {self.base:#x} is not "
+                f"{self.BUS_BYTES}-byte aligned"
+            )
+        if self.size % self.BUS_BYTES:
+            raise BusError(
+                f"region {self.name!r} size {self.size:#x} is not a "
+                f"multiple of the {self.BUS_BYTES}-byte bus width"
+            )
 
     @property
     def end(self) -> int:

@@ -16,6 +16,7 @@ from repro.errors import BusError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.obs import Observability
+    from repro.obs.metrics import Counter
 
 
 class AxiStreamSwitch(StreamSink):
@@ -35,7 +36,7 @@ class AxiStreamSwitch(StreamSink):
         self._in_flight = False
         self.obs: Optional["Observability"] = None
         self._clock: Callable[[], int] = lambda: 0
-        self._port_counters: Dict[str, object] = {}
+        self._port_counters: Dict[str, "Counter"] = {}
 
     def attach_obs(self, obs: "Observability",
                    clock: Callable[[], int]) -> None:
@@ -49,10 +50,10 @@ class AxiStreamSwitch(StreamSink):
         self._clock = clock
         self._port_counters = {}
 
-    def _port_counter(self, port: str):
+    def _port_counter(self, port: str) -> "Counter":
         counter = self._port_counters.get(port)
         if counter is None:
-            counter = self.obs.metrics.counter(
+            counter = self.obs.metrics.counter(  # type: ignore[union-attr]
                 "axis_switch_bytes_total",
                 "bytes routed through the AXIS switch, per output port",
                 labels={"switch": self.name, "port": port})
@@ -111,7 +112,7 @@ class AxiStreamSwitch(StreamSink):
         """Forward a burst to the selected sink (adds one stage)."""
         sink = self._selected_sink()
         if self.obs is not None:
-            self._port_counter(self._selected).inc(len(data))
+            self._port_counter(self._selected).inc(len(data))  # type: ignore[arg-type]
         self._in_flight = True
         try:
             return sink.accept(data, now + self.stage_latency)
@@ -129,5 +130,5 @@ class AxiStreamSwitch(StreamSink):
             )
         data, done = source.produce(nbytes, now + self.stage_latency)
         if self.obs is not None and data:
-            self._port_counter(self._selected).inc(len(data))
+            self._port_counter(self._selected).inc(len(data))  # type: ignore[arg-type]
         return data, done

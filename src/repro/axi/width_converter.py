@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from repro.axi.interface import AxiSlave
 from repro.axi.types import AxiResp, AxiResult
+from repro.errors import DrcError
 
 
 class AxiWidthConverter(AxiSlave):
@@ -25,8 +26,16 @@ class AxiWidthConverter(AxiSlave):
         narrow_bytes: int = 4,
         stage_latency: int = 1,
     ) -> None:
+        if narrow_bytes <= 0 or wide_bytes <= narrow_bytes:
+            raise DrcError(
+                f"width converter must narrow: {wide_bytes} B -> "
+                f"{narrow_bytes} B is not a down-conversion"
+            )
         if wide_bytes % narrow_bytes:
-            raise ValueError("wide width must be a multiple of narrow width")
+            raise DrcError(
+                f"wide width ({wide_bytes} B) must be a multiple of the "
+                f"narrow width ({narrow_bytes} B)"
+            )
         self.inner = inner
         self.wide_bytes = wide_bytes
         self.narrow_bytes = narrow_bytes

@@ -11,6 +11,8 @@ Commands:
 * ``trace``    — one traced reconfiguration; Perfetto/VCD/metrics
   exports plus the Tr latency-breakdown report
 * ``faults``   — fault-injection sweep: detection and recovery rates
+* ``lint``     — static analysis: SoC design-rule checks + AST lints
+  (``--json`` for the CI artifact, ``--list-rules`` for the catalog)
 * ``asm``      — assemble an RV64 source file (optionally RVC-compressed)
 * ``disasm``   — disassemble a flat binary image
 * ``profile``  — cProfile a named simulator workload (pstats output)
@@ -185,6 +187,48 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Static analysis: SoC DRC + AST lints, human or JSON output."""
+    from repro.lint import (
+        Severity,
+        all_rules,
+        findings_to_json,
+        render_findings,
+        run_drc,
+    )
+    from repro.lint.astchecks import run_astchecks
+
+    if args.list_rules:
+        for drc_rule in all_rules():
+            print(f"{drc_rule.rule_id}  [{drc_rule.severity}]  "
+                  f"{drc_rule.title}")
+        return 0
+
+    run_both = not (args.drc or args.ast)
+    findings = []
+    if args.drc or run_both:
+        from repro.soc.builder import build_soc
+        report = run_drc(build_soc(), rules=args.rules or None,
+                         suppressions=args.suppress)
+        findings.extend(report.findings)
+    if args.ast or run_both:
+        from repro.lint.findings import suppress as apply_suppressions
+        findings.extend(
+            apply_suppressions(run_astchecks(), args.suppress))
+
+    if args.json:
+        text = findings_to_json(findings)
+        if args.output:
+            Path(args.output).write_text(text)
+            print(f"lint report written to {args.output}")
+        else:
+            print(text, end="")
+    else:
+        print(render_findings(findings))
+    has_errors = any(f.severity is Severity.ERROR for f in findings)
+    return 1 if has_errors else 0
+
+
 def _cmd_asm(args: argparse.Namespace) -> int:
     from repro.riscv.assembler import assemble
     source = Path(args.input).read_text()
@@ -341,6 +385,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--hwicap-mode", choices=["firmware", "host"],
                    default="firmware")
     p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser("lint", help="static analysis: SoC design-rule "
+                                    "checks + source lints")
+    p.add_argument("--json", action="store_true",
+                   help="emit the machine-readable JSON report")
+    p.add_argument("-o", "--output", default=None,
+                   help="write the report to a file instead of stdout")
+    p.add_argument("--drc", action="store_true",
+                   help="run only the SoC design-rule checks")
+    p.add_argument("--ast", action="store_true",
+                   help="run only the source-level AST lints")
+    p.add_argument("--rules", nargs="*", metavar="RULE_ID",
+                   help="restrict the DRC to these rule ids")
+    p.add_argument("--suppress", nargs="*", metavar="PATTERN", default=(),
+                   help="drop findings matching RULE_ID[:component-glob]")
+    p.add_argument("--list-rules", action="store_true",
+                   help="list registered DRC rules and exit")
+    p.set_defaults(func=_cmd_lint)
 
     p = sub.add_parser("asm", help="assemble an RV64 source file")
     p.add_argument("input")

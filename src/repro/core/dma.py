@@ -19,12 +19,16 @@ polling DMASR mid-transfer observes the true in-flight state.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Generator, Optional
 
 from repro.axi.interface import AxiSlave, RegisterBank
 from repro.axi.stream import StreamSink, StreamSource
 from repro.errors import ControllerError
 from repro.sim.kernel import Delay, Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs import Observability
+    from repro.obs.metrics import Counter, Histogram
 
 # register offsets (PG021 subset)
 MM2S_DMACR = 0x00
@@ -88,14 +92,14 @@ class DmaChannel:
         self._active_gen = None  # in-flight _run generator (for reset abort)
         # observability (attach_obs): tracer spans + metric instruments;
         # every emit below is guarded so the detached cost is one check
-        self.obs = None
+        self.obs: Optional["Observability"] = None
         self._span = None
-        self._h_burst = None
-        self._h_transfer = None
-        self._c_bytes = None
-        self._c_stall = None
+        self._h_burst: Optional["Histogram"] = None
+        self._h_transfer: Optional["Histogram"] = None
+        self._c_bytes: Optional["Counter"] = None
+        self._c_stall: Optional["Counter"] = None
 
-    def attach_obs(self, obs) -> None:
+    def attach_obs(self, obs: "Observability") -> None:
         """Wire the channel into an :class:`~repro.obs.Observability`."""
         self.obs = obs
         metrics = obs.metrics
@@ -141,7 +145,7 @@ class DmaChannel:
             self.status = SR_HALTED
             self.busy = False
             return
-        self.control = value
+        self.control = value & 0xFFFF_FFFF
         if value & CR_RS:
             self.status &= ~SR_HALTED
         else:
@@ -186,7 +190,7 @@ class DmaChannel:
     # ------------------------------------------------------------------
     # the transfer engine
     # ------------------------------------------------------------------
-    def _run(self):
+    def _run(self) -> Generator[Delay, None, None]:
         yield Delay(self.start_latency)
         if self.is_mm2s:
             ok = yield from self._run_mm2s()
@@ -231,12 +235,12 @@ class DmaChannel:
                                     bytes=self.bytes_done)
                 self._span = None
             self.obs.tracer.signal(f"dma_{self.name}_busy", self.sim.now, 0)
-            self._h_transfer.record(cycles)
-            self._c_bytes.inc(self.bytes_done)
+            self._h_transfer.record(cycles)  # type: ignore[union-attr]
+            self._c_bytes.inc(self.bytes_done)  # type: ignore[union-attr]
         if self.control & CR_IOC_IRQ_EN and self.irq_callback is not None:
             self.irq_callback()
 
-    def _run_mm2s(self):
+    def _run_mm2s(self) -> Generator[Delay, None, bool]:
         if self.sink is None:
             raise ControllerError(f"DMA {self.name}: no stream sink attached")
         addr = self.address
@@ -254,20 +258,20 @@ class DmaChannel:
             remaining -= nbytes
             self.bytes_done += nbytes
             if self.obs is not None:
-                self._h_burst.record(read_time - issue_time)
+                self._h_burst.record(read_time - issue_time)  # type: ignore[union-attr]
             # pace the engine: at most one burst ahead of the consumer
             # (models the IP's small store-and-forward FIFO)
             wait = max(read_time, accept_done - self.burst_bytes) - self.sim.now
             if wait > 0:
                 if self.obs is not None:
-                    self._c_stall.inc(wait)
+                    self._c_stall.inc(wait)  # type: ignore[union-attr]
                 yield Delay(wait)
         final = max(read_time, accept_done)
         if final > self.sim.now:
             yield Delay(final - self.sim.now)
         return True
 
-    def _run_s2mm(self):
+    def _run_s2mm(self) -> Generator[Delay, None, bool]:
         if self.source is None:
             raise ControllerError(f"DMA {self.name}: no stream source attached")
         addr = self.address
@@ -296,11 +300,11 @@ class DmaChannel:
             remaining -= len(data)
             self.bytes_done += len(data)
             if self.obs is not None:
-                self._h_burst.record(write_time - issue_time)
+                self._h_burst.record(write_time - issue_time)  # type: ignore[union-attr]
             wait = max(pull_time, write_time - self.burst_bytes) - self.sim.now
             if wait > 0:
                 if self.obs is not None:
-                    self._c_stall.inc(wait)
+                    self._c_stall.inc(wait)  # type: ignore[union-attr]
                 yield Delay(wait)
         final = max(pull_time, write_time)
         if final > self.sim.now:
@@ -310,6 +314,8 @@ class DmaChannel:
 
 class AxiDma(RegisterBank):
     """The AXI DMA IP: AXI4-Lite control port + two channels."""
+
+    lite_only = True  # 32-bit AXI4-Lite port: DRC requires a protocol converter
 
     def __init__(
         self,
@@ -342,7 +348,7 @@ class AxiDma(RegisterBank):
         self.define_register(S2MM_DA_MSB, on_write=self._set_s2mm_da_hi)
         self.define_register(S2MM_LENGTH, on_write=self.s2mm.write_length)
 
-    def attach_obs(self, obs) -> None:
+    def attach_obs(self, obs: "Observability") -> None:
         """Attach observability to both channels."""
         self.mm2s.attach_obs(obs)
         self.s2mm.attach_obs(obs)

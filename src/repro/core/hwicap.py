@@ -15,8 +15,15 @@ ceiling (8.23 MB/s at 16x loop unrolling, Table I).
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Optional
+
 from repro.axi.interface import RegisterBank
 from repro.axi.stream import StreamSink
+from repro.axi.types import AxiResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs import Observability
+    from repro.obs.metrics import Counter
 
 GIER_OFFSET = 0x1C
 ISR_OFFSET = 0x20
@@ -40,6 +47,8 @@ SR_EOS = 1 << 2    # end of startup: fabric configured and operational
 
 class AxiHwIcap(RegisterBank):
     """AXI_HWICAP register model with a parametric write FIFO."""
+
+    lite_only = True  # 32-bit AXI4-Lite port: DRC requires a protocol converter
 
     def __init__(self, icap: StreamSink, *, fifo_words: int = 1024,
                  read_fifo_words: int = 256) -> None:
@@ -67,10 +76,10 @@ class AxiHwIcap(RegisterBank):
         self.define_register(RFO_OFFSET, on_read=lambda _o: len(self._read_fifo))
         self._now = 0  # updated on every access via read/write overrides
         self.obs = None
-        self._c_words = None
-        self._c_drains = None
+        self._c_words: Optional["Counter"] = None
+        self._c_drains: Optional["Counter"] = None
 
-    def attach_obs(self, obs) -> None:
+    def attach_obs(self, obs: "Observability") -> None:
         self.obs = obs
         self._c_words = obs.metrics.counter(
             "hwicap_words_total",
@@ -83,11 +92,11 @@ class AxiHwIcap(RegisterBank):
     # time plumbing: RegisterBank hooks have no time argument, so track
     # the access time around each AXI transaction
     # ------------------------------------------------------------------
-    def read(self, addr, nbytes, now):
+    def read(self, addr: int, nbytes: int, now: int) -> AxiResult:
         self._now = now
         return super().read(addr, nbytes, now)
 
-    def write(self, addr, data, now):
+    def write(self, addr: int, data: bytes, now: int) -> AxiResult:
         self._now = now
         return super().write(addr, data, now)
 
@@ -138,8 +147,8 @@ class AxiHwIcap(RegisterBank):
             self._drain_done_at = self.icap.accept(payload, start)
             self.words_transferred += len(words)
             if self.obs is not None:
-                self._c_words.inc(len(words))
-                self._c_drains.inc()
+                self._c_words.inc(len(words))  # type: ignore[union-attr]
+                self._c_drains.inc()  # type: ignore[union-attr]
                 span = self.obs.tracer.begin(
                     "hwicap", "fifo_drain", start, words=len(words))
                 self.obs.tracer.end(span, self._drain_done_at)

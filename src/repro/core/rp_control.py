@@ -44,6 +44,8 @@ class RpControlInterface(RegisterBank):
     acceleration datapath when ``SELECT_ICAP`` is 0.
     """
 
+    lite_only = True  # 32-bit AXI4-Lite port: DRC requires a protocol converter
+
     VERSION = 0x0001_0200  # v1.2: multi-RP + ICAP reset (fault recovery)
 
     def __init__(self, switch: AxiStreamSwitch) -> None:
@@ -122,7 +124,7 @@ class RpControlInterface(RegisterBank):
                     span = self._decouple_spans.pop(rp_index, None)
                     if span is not None:
                         self.obs.tracer.end(span, now)
-        self.decouple_mask = value
+        self.decouple_mask = value & 0xFFFF_FFFF
         for rp_index, isolators in self._axi_isolators.items():
             state = bool(value & (1 << rp_index))
             for isolator in isolators:

@@ -76,3 +76,15 @@ class ReconfigAbortError(ControllerError):
 
 class ResourceModelError(ReproError):
     """Resource estimation was asked for an unknown component."""
+
+
+class DrcError(ReproError):
+    """A design rule was violated while assembling or checking the SoC.
+
+    Raised by construction-time structural checks (overlapping address
+    regions, impossible converter ratios, bad switch wiring) and by the
+    static design-rule checker in :mod:`repro.lint` when a caller asks
+    for violations to be fatal.  Subclassing :class:`ReproError` keeps
+    the lint/DRC failure mode inside the package taxonomy instead of
+    leaking bare ``ValueError``/``AssertionError``.
+    """

@@ -26,7 +26,8 @@ from repro.resources.model import ResourceCost
 
 
 def _fmt_row(cells: list, widths: list[int]) -> str:
-    return "  ".join(str(c).ljust(w) for c, w in zip(cells, widths))
+    return "  ".join(str(c).ljust(w) for c, w in zip(cells, widths,
+                                                      strict=True))
 
 
 # ---------------------------------------------------------------------------

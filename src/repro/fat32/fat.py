@@ -93,7 +93,8 @@ class FatTable:
         if len(allocated) < count:
             raise FilesystemError("volume full")
         self._next_free_hint = cluster
-        for a, b in zip(allocated, allocated[1:]):
+        # pairwise chain links: the second iterable is one short by design
+        for a, b in zip(allocated, allocated[1:], strict=False):
             self.write_entry(a, b)
         self.write_entry(allocated[-1], END_OF_CHAIN)
         if link_after is not None:

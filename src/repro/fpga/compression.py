@@ -45,7 +45,8 @@ def rle_compress(words: np.ndarray) -> np.ndarray:
             pos += span
         literal.clear()
 
-    for start, length in zip(starts.tolist(), lengths.tolist()):
+    for start, length in zip(starts.tolist(), lengths.tolist(),
+                             strict=True):
         value = int(data[start])
         if length >= 2:
             flush_literal()

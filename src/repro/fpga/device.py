@@ -9,7 +9,7 @@ DSP column.  Per clock-region row, one column provides 50 CLBs
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 
 @dataclass(frozen=True)
@@ -45,8 +45,8 @@ class FpgaDevice:
     words_per_frame: int = 101
     clock_region_rows: int = 7
     columns_per_row: int = 120
-    costs: ColumnCosts = ColumnCosts()
-    capacity: ColumnCapacity = ColumnCapacity()
+    costs: ColumnCosts = field(default_factory=ColumnCosts)
+    capacity: ColumnCapacity = field(default_factory=ColumnCapacity)
 
     @property
     def frame_bytes(self) -> int:

@@ -28,7 +28,7 @@ word-for-word by ``tests/property/test_icap_vector_props.py``.
 from __future__ import annotations
 
 import enum
-from typing import Callable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
 
 import numpy as np
 
@@ -45,6 +45,10 @@ from repro.fpga.packets import (
     SYNC_WORD,
 )
 from repro.utils.crc import crc32_config_word, crc32_config_words
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs import Observability
+    from repro.obs.metrics import Counter
 
 #: byte payloads up to this size are parsed without numpy round-trips
 #: (the HWICAP keyhole path feeds single words; ndarray setup would
@@ -106,11 +110,11 @@ class Icap(StreamSink):
         # detached cost is a single ``is not None`` check per accept
         self.obs = None
         self._session_span = None
-        self._c_words = None
-        self._c_stall = None
-        self._c_sessions = None
+        self._c_words: Optional["Counter"] = None
+        self._c_stall: Optional["Counter"] = None
+        self._c_sessions: Optional["Counter"] = None
 
-    def attach_obs(self, obs) -> None:
+    def attach_obs(self, obs: "Observability") -> None:
         """Wire the port into an :class:`~repro.obs.Observability`."""
         self.obs = obs
         metrics = obs.metrics
@@ -162,8 +166,8 @@ class Icap(StreamSink):
         cycles = -(-len(data) // self.BYTES_PER_CYCLE)
         if self.obs is not None:
             if self._busy_until > now:
-                self._c_stall.inc(self._busy_until - now)
-            self._c_words.inc(len(data) // 4)
+                self._c_stall.inc(self._busy_until - now)  # type: ignore[union-attr]
+            self._c_words.inc(len(data) // 4)  # type: ignore[union-attr]
             if self._session_span is None:
                 self._session_span = self.obs.tracer.begin(
                     "icap", "session", now)
@@ -450,7 +454,7 @@ class Icap(StreamSink):
                               f"desync ({status}), {self.words_consumed} "
                               "words consumed so far")
         if self.obs is not None:
-            self._c_sessions.inc()
+            self._c_sessions.inc()  # type: ignore[union-attr]
             if self._session_span is not None:
                 self.obs.tracer.end(
                     self._session_span, self._busy_until,

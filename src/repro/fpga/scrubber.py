@@ -14,7 +14,7 @@ corrupted frames.  This module provides:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import Callable, List
 
 import numpy as np
 
@@ -68,7 +68,9 @@ class FrameScrubber:
         self.golden = np.asarray(golden, dtype=np.uint32)
         self.passes = 0
 
-    def scrub(self, read_frames, write_frames, *,
+    def scrub(self,
+              read_frames: Callable[[FrameAddress, int], np.ndarray],
+              write_frames: Callable[[FrameAddress, np.ndarray], None], *,
               repair: bool = True, chunk_frames: int = 16) -> ScrubReport:
         """One scrub pass.
 

@@ -1,0 +1,50 @@
+"""Static analysis for the simulated SoC: DRC, AST lints, reporters.
+
+Three layers:
+
+* :mod:`repro.lint.drc` — design-rule checks over a constructed (but
+  not running) :class:`~repro.soc.soc.Soc`: address map, data widths,
+  stream topology, interrupt wiring, reconfiguration protocol,
+  partition/bitstream metadata.
+* :mod:`repro.lint.astchecks` — source-level lints for the repo's own
+  invariants (span pairing, no sim-time in ``repro.obs``, masked
+  register writes, annotation coverage).
+* :mod:`repro.lint.findings` — the shared finding record plus the
+  human and JSON reporters.
+
+Surface: ``repro lint`` (CLI) and the CI ``lint`` job.
+"""
+
+from repro.lint.drc import (
+    DrcReport,
+    DrcRule,
+    all_rules,
+    check_soc,
+    get_rule,
+    run_drc,
+)
+from repro.lint.findings import (
+    Finding,
+    Severity,
+    findings_to_json,
+    render_findings,
+    sort_findings,
+    suppress,
+    worst_severity,
+)
+
+__all__ = [
+    "DrcReport",
+    "DrcRule",
+    "Finding",
+    "Severity",
+    "all_rules",
+    "check_soc",
+    "findings_to_json",
+    "get_rule",
+    "render_findings",
+    "run_drc",
+    "sort_findings",
+    "suppress",
+    "worst_severity",
+]

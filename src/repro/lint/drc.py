@@ -1,0 +1,152 @@
+"""SoC design-rule checker: the rule engine.
+
+A :class:`DrcRule` inspects a constructed-but-not-run
+:class:`~repro.soc.soc.Soc` and reports structural violations — the
+class of wiring bug Vivado DRC catches before a bitstream ever reaches
+the ICAP, transplanted onto the simulated SoC.  Rules never mutate the
+SoC and never advance simulated time.
+
+Rules self-register through the :func:`rule` decorator at import time;
+:func:`run_drc` executes them against a SoC, applies suppressions and
+returns sorted findings.  :func:`check_soc` is the raising variant used
+by callers that want a hard gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import DrcError
+from repro.lint.findings import (
+    Finding,
+    Severity,
+    sort_findings,
+    suppress,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.soc.soc import Soc
+
+RuleCheck = Callable[["Soc"], Iterable[Finding]]
+
+
+@dataclass(frozen=True)
+class DrcRule:
+    """One design rule: identity, documentation and a check callable."""
+
+    rule_id: str
+    title: str
+    severity: Severity
+    check: RuleCheck
+    description: str = ""
+
+
+#: global registry, populated by the modules in :mod:`repro.lint.rules`
+_REGISTRY: Dict[str, DrcRule] = {}
+
+
+def rule(rule_id: str, title: str, *,
+         severity: Severity = Severity.ERROR) -> Callable[[RuleCheck], RuleCheck]:
+    """Decorator registering ``check`` as DRC rule ``rule_id``.
+
+    The decorated function's docstring becomes the rule description
+    shown by ``repro lint --list-rules``.
+    """
+    def register(check: RuleCheck) -> RuleCheck:
+        if rule_id in _REGISTRY:
+            raise DrcError(f"duplicate DRC rule id {rule_id!r}")
+        _REGISTRY[rule_id] = DrcRule(
+            rule_id=rule_id,
+            title=title,
+            severity=severity,
+            check=check,
+            description=(check.__doc__ or "").strip(),
+        )
+        return check
+    return register
+
+
+def finding(rule_id: str, component: str, message: str, *,
+            hint: str = "",
+            severity: Optional[Severity] = None) -> Finding:
+    """Build a :class:`Finding` for a registered rule.
+
+    The severity defaults to the rule's registered severity so a rule
+    body only spells it for downgraded (advisory) findings.
+    """
+    registered = _REGISTRY[rule_id]
+    return Finding(
+        rule_id=rule_id,
+        severity=registered.severity if severity is None else severity,
+        component=component,
+        message=message,
+        hint=hint,
+    )
+
+
+def all_rules() -> List[DrcRule]:
+    """Every registered rule, sorted by rule id (imports the rule set)."""
+    _load_builtin_rules()
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> DrcRule:
+    _load_builtin_rules()
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        raise DrcError(f"unknown DRC rule {rule_id!r}") from None
+
+
+def _load_builtin_rules() -> None:
+    # importing the package registers every built-in rule exactly once
+    import repro.lint.rules  # noqa: F401  (import-for-side-effect)
+
+
+@dataclass
+class DrcReport:
+    """Outcome of one DRC run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    rules_run: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not any(f.severity is Severity.ERROR for f in self.findings)
+
+
+def run_drc(soc: "Soc", *,
+            rules: Optional[Sequence[str]] = None,
+            suppressions: Sequence[str] = ()) -> DrcReport:
+    """Run DRC rules against ``soc`` and return the report.
+
+    ``rules`` restricts the run to the given rule ids; ``suppressions``
+    drops findings matching ``RULE_ID[:component-glob]`` patterns.
+    """
+    selected = all_rules()
+    if rules is not None:
+        wanted = set(rules)
+        unknown = wanted - {r.rule_id for r in selected}
+        if unknown:
+            raise DrcError(f"unknown DRC rule(s): {sorted(unknown)}")
+        selected = [r for r in selected if r.rule_id in wanted]
+    report = DrcReport()
+    for drc_rule in selected:
+        report.rules_run.append(drc_rule.rule_id)
+        report.findings.extend(drc_rule.check(soc))
+    report.findings = sort_findings(suppress(report.findings, suppressions))
+    return report
+
+
+def check_soc(soc: "Soc", *,
+              suppressions: Sequence[str] = ()) -> None:
+    """Raise :class:`DrcError` when ``soc`` has any ERROR finding."""
+    report = run_drc(soc, suppressions=suppressions)
+    errors = [f for f in report.findings if f.severity is Severity.ERROR]
+    if errors:
+        first = errors[0]
+        raise DrcError(
+            f"{len(errors)} DRC error(s); first: {first.rule_id} at "
+            f"{first.component}: {first.message}"
+        )

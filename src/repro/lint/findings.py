@@ -1,0 +1,121 @@
+"""Structured findings emitted by the static-analysis layers.
+
+Every DRC rule and AST lint reports :class:`Finding` records — a rule
+id, a severity, the component (or source location) the finding anchors
+to, a human message and a fix hint.  Two reporters render a finding
+list: a human-readable table for terminals and a JSON document for CI
+artifacts and machine consumption.
+"""
+
+from __future__ import annotations
+
+import enum
+import fnmatch
+import json
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+
+class Severity(enum.IntEnum):
+    """Finding severity; ordering lets callers gate on a floor."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One design-rule or lint violation."""
+
+    rule_id: str
+    severity: Severity
+    component: str
+    message: str
+    hint: str = ""
+
+    def to_dict(self) -> dict[str, str]:
+        out = {
+            "rule_id": self.rule_id,
+            "severity": str(self.severity),
+            "component": self.component,
+            "message": self.message,
+        }
+        if self.hint:
+            out["hint"] = self.hint
+        return out
+
+
+def sort_findings(findings: Iterable[Finding]) -> List[Finding]:
+    """Stable order: most severe first, then rule id, then component."""
+    return sorted(findings,
+                  key=lambda f: (-int(f.severity), f.rule_id, f.component))
+
+
+def suppress(findings: Iterable[Finding],
+             patterns: Sequence[str]) -> List[Finding]:
+    """Drop findings matched by any suppression pattern.
+
+    A pattern is ``RULE_ID`` or ``RULE_ID:component-glob``; both parts
+    accept shell-style wildcards (``DRC-ADDR-*``,
+    ``DRC-WIDTH-001:soc.xbar.*``).
+    """
+    kept: List[Finding] = []
+    for finding in findings:
+        dropped = False
+        for pattern in patterns:
+            rule_pat, _, comp_pat = pattern.partition(":")
+            if not fnmatch.fnmatchcase(finding.rule_id, rule_pat):
+                continue
+            if comp_pat and not fnmatch.fnmatchcase(finding.component,
+                                                    comp_pat):
+                continue
+            dropped = True
+            break
+        if not dropped:
+            kept.append(finding)
+    return kept
+
+
+def render_findings(findings: Sequence[Finding]) -> str:
+    """Human-readable report (one block per finding)."""
+    if not findings:
+        return "no findings"
+    lines: List[str] = []
+    for finding in sort_findings(findings):
+        lines.append(f"{finding.severity!s:>7}  {finding.rule_id}  "
+                     f"{finding.component}")
+        lines.append(f"         {finding.message}")
+        if finding.hint:
+            lines.append(f"         hint: {finding.hint}")
+    counts: dict[str, int] = {}
+    for finding in findings:
+        key = str(finding.severity)
+        counts[key] = counts.get(key, 0) + 1
+    summary = ", ".join(f"{n} {sev}" for sev, n in sorted(counts.items()))
+    lines.append(f"{len(findings)} finding(s): {summary}")
+    return "\n".join(lines)
+
+
+def findings_to_json(findings: Sequence[Finding], *,
+                     tool: str = "repro-lint") -> str:
+    """Machine-readable report (stable key order, newline-terminated)."""
+    document = {
+        "tool": tool,
+        "count": len(findings),
+        "errors": sum(1 for f in findings if f.severity is Severity.ERROR),
+        "findings": [f.to_dict() for f in sort_findings(findings)],
+    }
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+def worst_severity(findings: Sequence[Finding]) -> Severity:
+    """The highest severity present (INFO when the list is empty)."""
+    worst = Severity.INFO
+    for finding in findings:
+        if finding.severity > worst:
+            worst = finding.severity
+    return worst

@@ -1,0 +1,23 @@
+"""Built-in DRC rules.
+
+Importing this package registers every rule with the engine in
+:mod:`repro.lint.drc`; add new rule modules to the import list below.
+"""
+
+from repro.lint.rules import (  # noqa: F401  (import-for-side-effect)
+    address_map,
+    irq,
+    partition,
+    reconfig,
+    stream,
+    width,
+)
+
+__all__ = [
+    "address_map",
+    "irq",
+    "partition",
+    "reconfig",
+    "stream",
+    "width",
+]

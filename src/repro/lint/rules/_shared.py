@@ -1,0 +1,131 @@
+"""Topology-walking helpers shared by the DRC rules.
+
+The assembled SoC is a graph of wrapper objects (converters, isolators)
+around terminal slaves; rules reason about that graph, so the walkers
+live here rather than in each rule module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from repro.axi.crossbar import AxiCrossbar
+from repro.axi.interface import AxiSlave
+from repro.axi.isolator import AxiIsolator
+from repro.axi.protocol_converter import Axi4ToLiteConverter
+from repro.axi.width_converter import AxiWidthConverter
+from repro.soc.soc import Soc
+
+#: data-bus width of the main interconnect, in bytes
+BUS_BYTES = 8
+
+
+def iter_crossbars(soc: Soc) -> Iterator[Tuple[str, AxiCrossbar]]:
+    """Yield every crossbar reachable from the SoC, with its path.
+
+    Covers the main crossbar, the RV-CAP MM2S crossbar and — when the
+    S2MM channel rides its own crossbar — that one too.
+    """
+    seen: List[int] = []
+
+    def emit(path: str, xbar: object) -> Iterator[Tuple[str, AxiCrossbar]]:
+        if isinstance(xbar, AxiCrossbar) and id(xbar) not in seen:
+            seen.append(id(xbar))
+            yield path, xbar
+
+    yield from emit("soc.xbar", getattr(soc, "xbar", None))
+    yield from emit("soc.dma_xbar", getattr(soc, "dma_xbar", None))
+    rvcap = getattr(soc, "rvcap", None)
+    if rvcap is not None:
+        yield from emit("soc.rvcap.dma.mm2s.mem_port",
+                        rvcap.dma.mm2s.mem_port)
+        yield from emit("soc.rvcap.dma.s2mm.mem_port",
+                        rvcap.dma.s2mm.mem_port)
+
+
+@dataclass(frozen=True)
+class ChainStep:
+    """One wrapper (or the terminal) on a slave chain."""
+
+    component: object
+    #: data width (bytes) at which this component is entered
+    entry_width: int
+
+
+@dataclass(frozen=True)
+class SlaveChain:
+    """A fully unwrapped slave chain below one crossbar region."""
+
+    steps: Tuple[ChainStep, ...]
+
+    @property
+    def terminal(self) -> object:
+        return self.steps[-1].component
+
+    @property
+    def terminal_width(self) -> int:
+        return self.steps[-1].entry_width
+
+    def has(self, cls: type) -> bool:
+        return any(isinstance(step.component, cls) for step in self.steps)
+
+    def mismatches(self) -> List[str]:
+        """Width-contract violations along the chain (message list)."""
+        problems: List[str] = []
+        for step in self.steps:
+            component = step.component
+            if isinstance(component, AxiWidthConverter):
+                if component.wide_bytes != step.entry_width:
+                    problems.append(
+                        f"width converter expects {component.wide_bytes} B "
+                        f"upstream but is entered at {step.entry_width} B")
+            elif isinstance(component, Axi4ToLiteConverter):
+                if component.lite_width != step.entry_width:
+                    problems.append(
+                        f"AXI4->Lite converter serializes to "
+                        f"{component.lite_width} B beats but is entered at "
+                        f"{step.entry_width} B")
+        return problems
+
+
+def walk_slave_chain(slave: AxiSlave, *,
+                     entry_width: int = BUS_BYTES) -> SlaveChain:
+    """Unwrap converters/isolators down to the terminal slave.
+
+    Tracks the data width seen at each stage: a width converter narrows
+    it, a protocol converter and an isolator pass it through.
+    """
+    steps: List[ChainStep] = []
+    width = entry_width
+    current: object = slave
+    visited: List[int] = []
+    while True:
+        steps.append(ChainStep(component=current, entry_width=width))
+        if id(current) in visited:
+            break  # defensive: cyclic wiring, stop walking
+        visited.append(id(current))
+        if isinstance(current, AxiWidthConverter):
+            width = current.narrow_bytes
+            current = current.inner
+        elif isinstance(current, Axi4ToLiteConverter):
+            # downstream of the bridge every beat is a lite beat
+            width = current.lite_width
+            current = current.inner
+        elif isinstance(current, AxiIsolator):
+            current = current.inner
+        else:
+            break
+    return SlaveChain(steps=tuple(steps))
+
+
+def region_chain(soc: Soc, region_name: str,
+                 *, xbar_attr: str = "xbar") -> Optional[SlaveChain]:
+    """The unwrapped chain below a named region (None when unmapped)."""
+    xbar = getattr(soc, xbar_attr, None)
+    if not isinstance(xbar, AxiCrossbar):
+        return None
+    for region in xbar.memory_map:
+        if region.name == region_name:
+            return walk_slave_chain(region.slave)
+    return None

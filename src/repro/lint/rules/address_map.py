@@ -1,0 +1,96 @@
+"""Address-map design rules (DRC-ADDR-*).
+
+Applied to every crossbar in the SoC: window overlap, bus-width
+alignment, and sizing/alignment that keeps the address decoder a pure
+mask-compare (the property Vivado's address editor enforces).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.lint.drc import finding, rule
+from repro.lint.findings import Finding
+from repro.lint.rules._shared import BUS_BYTES, iter_crossbars
+from repro.soc.soc import Soc
+
+#: minimum decode granule for windows whose size is not a power of two
+DECODE_GRANULE = 0x1000
+
+
+@rule("DRC-ADDR-001", "address windows must not overlap")
+def check_region_overlap(soc: Soc) -> Iterator[Finding]:
+    """Two overlapping windows make address decode ambiguous: the
+    decoder picks one slave, silently shadowing part of the other.
+    Registration rejects overlaps, but maps assembled or mutated by
+    hand (tests, generators) bypass that path, so the DRC re-checks
+    the final map pairwise."""
+    for path, xbar in iter_crossbars(soc):
+        regions: List = list(xbar.memory_map)
+        for i, left in enumerate(regions):
+            for right in regions[i + 1:]:
+                if left.overlaps(right):
+                    yield finding(
+                        "DRC-ADDR-001",
+                        f"{path}.{left.name}",
+                        f"[{left.base:#x},{left.end:#x}) overlaps "
+                        f"{right.name!r} [{right.base:#x},{right.end:#x})",
+                        hint="move one window or shrink its size so the "
+                             "ranges are disjoint",
+                    )
+
+
+@rule("DRC-ADDR-002", "windows must be aligned to the bus width")
+def check_bus_alignment(soc: Soc) -> Iterator[Finding]:
+    """A window whose base or size is not a multiple of the 64-bit data
+    bus splits a single beat across two slaves; real interconnects
+    cannot route that."""
+    for path, xbar in iter_crossbars(soc):
+        for region in xbar.memory_map:
+            if region.base % BUS_BYTES:
+                yield finding(
+                    "DRC-ADDR-002",
+                    f"{path}.{region.name}",
+                    f"base {region.base:#x} is not {BUS_BYTES}-byte aligned",
+                    hint=f"align the base to the {BUS_BYTES}-byte bus width",
+                )
+            if region.size % BUS_BYTES:
+                yield finding(
+                    "DRC-ADDR-002",
+                    f"{path}.{region.name}",
+                    f"size {region.size:#x} is not a multiple of the "
+                    f"{BUS_BYTES}-byte bus width",
+                    hint=f"round the size up to a {BUS_BYTES}-byte multiple",
+                )
+
+
+@rule("DRC-ADDR-003", "window sizing must keep decode mask-friendly")
+def check_sizing(soc: Soc) -> Iterator[Finding]:
+    """Power-of-two windows must be size-aligned (natural alignment)
+    so decode is a single mask-compare; irregular sizes must at least
+    be a multiple of the 4 KiB decode granule.  Catches the classic
+    miswiring where a peripheral is placed at an unaligned base and
+    half its registers alias into the neighbour."""
+    for path, xbar in iter_crossbars(soc):
+        for region in xbar.memory_map:
+            size = region.size
+            if size <= 0:
+                continue  # DRC-ADDR-002 territory
+            if size & (size - 1) == 0:
+                if size >= DECODE_GRANULE and region.base % size:
+                    yield finding(
+                        "DRC-ADDR-003",
+                        f"{path}.{region.name}",
+                        f"power-of-two window ({size:#x} B) at {region.base:#x} "
+                        f"is not naturally aligned",
+                        hint=f"place the base at a multiple of {size:#x}",
+                    )
+            elif size % DECODE_GRANULE:
+                yield finding(
+                    "DRC-ADDR-003",
+                    f"{path}.{region.name}",
+                    f"window size {size:#x} is neither a power of two nor a "
+                    f"multiple of the {DECODE_GRANULE:#x} decode granule",
+                    hint="round the size to a 4 KiB multiple or a power "
+                         "of two",
+                )

@@ -1,0 +1,92 @@
+"""Interrupt-wiring rules (DRC-IRQ-*).
+
+Checks the declared PLIC source map (``soc.irq_sources``) for
+collisions and range violations, and the CLINT/PLIC address windows
+for presence, identity and sizing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List
+
+from repro.lint.drc import finding, rule
+from repro.lint.findings import Finding, Severity
+from repro.lint.rules._shared import region_chain
+from repro.soc.clint import MTIME_OFFSET, Clint
+from repro.soc.plic import CLAIM_OFFSET, MAX_SOURCES, Plic
+from repro.soc.soc import Soc
+
+
+@rule("DRC-IRQ-001", "PLIC source ids must be unique and in range")
+def check_source_ids(soc: Soc) -> Iterator[Finding]:
+    """Two wires sharing a PLIC source id are indistinguishable to the
+    claim/complete flow: the handler for one device acknowledges the
+    other's interrupt.  Source 0 is reserved ("no interrupt") and ids
+    above MAX_SOURCES are dropped by the gateway."""
+    max_sources = MAX_SOURCES
+    by_id: Dict[int, List[str]] = {}
+    for wire, source in sorted(soc.irq_sources.items()):
+        by_id.setdefault(source, []).append(wire)
+        if not 1 <= source <= max_sources:
+            yield finding(
+                "DRC-IRQ-001",
+                f"soc.irq_sources[{wire}]",
+                f"source id {source} outside the valid range "
+                f"1..{max_sources}",
+                hint="renumber the source; 0 means 'no interrupt' and is "
+                     "reserved",
+            )
+    for source, wires in sorted(by_id.items()):
+        if len(wires) > 1:
+            yield finding(
+                "DRC-IRQ-001",
+                f"soc.irq_sources[{wires[1]}]",
+                f"source id {source} is claimed by {len(wires)} wires: "
+                f"{', '.join(wires)}",
+                hint="give each interrupt wire its own PLIC source id",
+            )
+    if not soc.irq_sources:
+        yield finding(
+            "DRC-IRQ-001", "soc.irq_sources",
+            "no declared interrupt sources: the DRC cannot audit IRQ "
+            "wiring",
+            hint="fill soc.irq_sources when wiring irq callbacks",
+            severity=Severity.WARNING,
+        )
+
+
+@rule("DRC-IRQ-002", "CLINT and PLIC must be mapped and correctly sized")
+def check_platform_blocks(soc: Soc) -> Iterator[Finding]:
+    """The hart's timer and external-interrupt flows need the CLINT and
+    PLIC reachable at their configured windows, each window routing to
+    the right block and large enough for the registers firmware
+    touches (mtimecmp/mtime; claim/complete)."""
+    for name, cls, min_span in (
+        ("clint", Clint, MTIME_OFFSET + 8),
+        ("plic", Plic, CLAIM_OFFSET + 4),
+    ):
+        chain = region_chain(soc, name)
+        if chain is None:
+            yield finding(
+                "DRC-IRQ-002", f"soc.xbar.{name}",
+                f"no {name!r} window on the main crossbar",
+                hint=f"attach the {name} at its layout base",
+            )
+            continue
+        if not isinstance(chain.terminal, cls):
+            yield finding(
+                "DRC-IRQ-002", f"soc.xbar.{name}",
+                f"window {name!r} routes to "
+                f"{type(chain.terminal).__name__}, not {cls.__name__}",
+                hint=f"map the {cls.__name__} instance under this window",
+            )
+            continue
+        region = soc.xbar.memory_map.region_named(name)
+        if region.size < min_span:
+            yield finding(
+                "DRC-IRQ-002", f"soc.xbar.{name}",
+                f"window size {region.size:#x} cuts off registers below "
+                f"offset {min_span:#x}",
+                hint=f"grow the {name} window to at least {min_span:#x} "
+                     f"bytes",
+            )

@@ -1,0 +1,131 @@
+"""Partition / bitstream metadata rules (DRC-PART-*).
+
+Checks the floorplan against the device description: frame ranges
+inside device bounds, no two partitions sharing frames, and the
+bitstream toolchain (bitgen, configuration memory, partitions,
+registered modules) agreeing on one device and one resource budget.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import BitstreamError
+from repro.fpga.frames import FrameAddress
+from repro.lint.drc import finding, rule
+from repro.lint.findings import Finding
+from repro.soc.soc import Soc
+
+
+@rule("DRC-PART-001", "partition frames must lie inside the device")
+def check_device_bounds(soc: Soc) -> Iterator[Finding]:
+    """A frame range running past the device's last row or column
+    would make the ICAP write wrap into unrelated configuration frames
+    — bricking logic outside the partition.  Checked against the
+    clock-region row and column counts of each partition's device."""
+    for index, rp in enumerate(getattr(soc, "partitions", [])):
+        path = f"soc.partitions[{index}]"
+        device = rp.device
+        if rp.frames <= 0:
+            yield finding(
+                "DRC-PART-001", path,
+                f"partition {rp.name!r} spans no frames",
+                hint="give the pblock at least one column",
+            )
+            continue
+        try:
+            last = rp.base_far.advance(rp.frames - 1)
+        except BitstreamError as exc:
+            yield finding(
+                "DRC-PART-001", path,
+                f"frame range of {rp.name!r} is not addressable: {exc}",
+                hint="shrink the pblock or move its base FAR",
+            )
+            continue
+        for label, far in (("base", rp.base_far), ("last", last)):
+            if (far.row >= device.clock_region_rows
+                    or far.column >= device.columns_per_row):
+                yield finding(
+                    "DRC-PART-001", path,
+                    f"{label} frame of {rp.name!r} at row {far.row}, "
+                    f"column {far.column} exceeds device {device.name} "
+                    f"({device.clock_region_rows} rows x "
+                    f"{device.columns_per_row} columns)",
+                    hint="move the pblock inside the device grid or pick "
+                         "a larger part",
+                )
+
+
+@rule("DRC-PART-002", "partitions must not share configuration frames")
+def check_partition_overlap(soc: Soc) -> Iterator[Finding]:
+    """Two partitions claiming the same frames means reconfiguring one
+    silently corrupts the module loaded in the other."""
+    partitions = getattr(soc, "partitions", [])
+    spans = []
+    for index, rp in enumerate(partitions):
+        start = rp.base_far.linear_index()
+        spans.append((index, rp, start, start + rp.frames))
+    for i, (ai, a, a_start, a_end) in enumerate(spans):
+        for bi, b, b_start, b_end in spans[i + 1:]:
+            if a_start < b_end and b_start < a_end:
+                yield finding(
+                    "DRC-PART-002",
+                    f"soc.partitions[{bi}]",
+                    f"partition {b.name!r} frames "
+                    f"[{b_start},{b_end}) overlap {a.name!r} "
+                    f"[{a_start},{a_end})",
+                    hint="re-floorplan so each partition owns a disjoint "
+                         "frame range",
+                )
+
+
+@rule("DRC-PART-003", "bitstream metadata must agree across the toolchain")
+def check_metadata_consistency(soc: Soc) -> Iterator[Finding]:
+    """Bitgen, the configuration memory and every partition must
+    describe the same device (a partial bitstream generated for one
+    IDCODE is rejected — or worse, accepted — by another), and every
+    registered module must fit its target partition's resource
+    budget."""
+    config_memory = getattr(soc, "config_memory", None)
+    bitgen = getattr(soc, "bitgen", None)
+    if config_memory is None or bitgen is None:
+        return
+    device = config_memory.device
+    if bitgen.device.idcode != device.idcode:
+        yield finding(
+            "DRC-PART-003", "soc.bitgen",
+            f"bitgen targets {bitgen.device.name} "
+            f"(IDCODE {bitgen.device.idcode:#x}) but the configuration "
+            f"memory is a {device.name} ({device.idcode:#x})",
+            hint="construct Bitgen with the configuration memory's device",
+        )
+    for index, rp in enumerate(getattr(soc, "partitions", [])):
+        if rp.device.idcode != device.idcode:
+            yield finding(
+                "DRC-PART-003", f"soc.partitions[{index}]",
+                f"partition {rp.name!r} is floorplanned for "
+                f"{rp.device.name} but the fabric is a {device.name}",
+                hint="floorplan partitions on the configuration memory's "
+                     "device",
+            )
+    for name in soc.registered_modules:
+        module = soc.module(name)
+        rp_index = soc.module_rp_index(name)
+        try:
+            rp = soc.partitions[rp_index]
+        except IndexError:
+            yield finding(
+                "DRC-PART-003", f"soc.modules[{name}]",
+                f"module {name!r} targets partition index {rp_index}, "
+                f"which does not exist",
+                hint="register the module against an existing partition",
+            )
+            continue
+        try:
+            rp.check_fits(module)
+        except BitstreamError as exc:
+            yield finding(
+                "DRC-PART-003", f"soc.modules[{name}]",
+                str(exc),
+                hint="shrink the module or grow the partition's budget",
+            )

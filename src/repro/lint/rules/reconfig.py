@@ -1,0 +1,115 @@
+"""Reconfiguration-protocol rules (DRC-RP-*).
+
+The driver's reconfiguration sequence (Listing 1) is
+``decouple_accel(1)`` -> ``select_ICAP(1)`` -> DMA transfer -> couple.
+These rules check the structures that sequence depends on exist and
+are wired to the same physical objects: per-RP decouplers reachable
+from the RP-control register file, exactly one ICAP primitive behind
+both write paths, and the control ports mapped so the driver can run
+the protocol at all.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.axi.isolator import StreamIsolator
+from repro.core.axis2icap import Axis2Icap
+from repro.core.dma import AxiDma
+from repro.core.rp_control import PORT_ICAP, RpControlInterface
+from repro.fpga.icap import Icap
+from repro.lint.drc import finding, rule
+from repro.lint.findings import Finding
+from repro.lint.rules._shared import region_chain
+from repro.soc.soc import Soc
+
+
+@rule("DRC-RP-001", "every partition needs a reachable decoupler")
+def check_decouplers(soc: Soc) -> Iterator[Finding]:
+    """Writing DECOUPLE must isolate the targeted RP on every interface
+    it exposes.  An RP whose stream (or, for RP 0, AXI) decoupler is
+    not attached to the RP-control register file keeps driving the
+    static region while its frames are rewritten — the exact glitch
+    decoupling exists to prevent."""
+    rvcap = getattr(soc, "rvcap", None)
+    if rvcap is None or not getattr(soc, "partitions", None):
+        return
+    control = rvcap.rp_control
+    for index, rp in enumerate(soc.partitions):
+        path = f"soc.partitions[{index}]"
+        stream = control._stream_isolators.get(index, [])
+        if not any(isinstance(iso, StreamIsolator) for iso in stream):
+            yield finding(
+                "DRC-RP-001", path,
+                f"partition {rp.name!r} has no stream decoupler wired to "
+                f"DECOUPLE bit {index}",
+                hint="rp_control.attach_isolator(StreamIsolator(...), "
+                     f"rp_index={index})",
+            )
+    # RP 0 additionally exposes the RM's memory-mapped control port
+    if not control._axi_isolators.get(0):
+        yield finding(
+            "DRC-RP-001", "soc.partitions[0]",
+            "the RM control window has no AXI decoupler on DECOUPLE bit 0",
+            hint="wrap the rm window's slave in an AxiIsolator and attach "
+                 "it to rp_control",
+        )
+
+
+@rule("DRC-RP-002", "decouple-before-ICAP must be drivable end to end")
+def check_protocol_reachability(soc: Soc) -> Iterator[Finding]:
+    """The safe reconfiguration protocol is only enforceable when the
+    driver can actually reach every register it writes and all write
+    paths funnel into one ICAP primitive.  Checks: the RP-control and
+    DMA register files are mapped on the main crossbar; the switch's
+    ICAP port unwraps to the SoC's ICAP; the HWICAP baseline shares
+    that same primitive (two ICAPs would let one path bypass the
+    other's decoupling)."""
+    rvcap = getattr(soc, "rvcap", None)
+    icap = getattr(soc, "icap", None)
+    if rvcap is None or not isinstance(icap, Icap):
+        return
+    for name, want in (("rp_ctrl", RpControlInterface), ("dma", AxiDma)):
+        chain = region_chain(soc, name)
+        terminal = chain.terminal if chain is not None else None
+        if chain is None or not isinstance(terminal, want):
+            yield finding(
+                "DRC-RP-002", f"soc.xbar.{name}",
+                f"the driver's {name!r} window does not reach the "
+                f"{want.__name__} register file",
+                hint=f"map the {want.__name__} behind the {name!r} window "
+                     f"so the reconfiguration protocol is drivable",
+            )
+        elif name == "rp_ctrl" and terminal is not rvcap.rp_control:
+            yield finding(
+                "DRC-RP-002", "soc.xbar.rp_ctrl",
+                "rp_ctrl window routes to a different RpControlInterface "
+                "than the one wired to the decouplers",
+                hint="map rvcap.rp_control itself under the rp_ctrl window",
+            )
+        elif name == "dma" and terminal is not rvcap.dma:
+            yield finding(
+                "DRC-RP-002", "soc.xbar.dma",
+                "dma window routes to a different AxiDma than the RV-CAP "
+                "datapath's",
+                hint="map rvcap.dma itself under the dma window",
+            )
+    # the switch's ICAP port must end at the SoC's one ICAP primitive
+    sink = rvcap.switch._sinks.get(PORT_ICAP)
+    while isinstance(sink, StreamIsolator):
+        sink = sink.sink
+    if not isinstance(sink, Axis2Icap) or sink.icap is not icap:
+        yield finding(
+            "DRC-RP-002", "soc.rvcap.switch.port[icap]",
+            "the switch's ICAP port does not feed the SoC's ICAP through "
+            "the AXIS2ICAP converter",
+            hint="attach Axis2Icap(soc.icap) as the 'icap' sink",
+        )
+    hwicap = getattr(soc, "hwicap", None)
+    if hwicap is not None and hwicap.icap is not icap:
+        yield finding(
+            "DRC-RP-002", "soc.hwicap",
+            "AXI_HWICAP drives a different ICAP instance than RV-CAP: "
+            "two configuration ports cannot both own the fabric",
+            hint="construct AxiHwIcap with the same Icap instance",
+        )

@@ -1,0 +1,106 @@
+"""AXI-Stream datapath rules (DRC-AXIS-*).
+
+The AXIS switch is the mode selector of the RV-CAP architecture
+(Fig. 2): reconfiguration mode routes the DMA stream into the
+AXIS2ICAP converter, acceleration mode routes it through the loaded
+module.  These rules check the switch topology guarantees the two
+modes are mutually exclusive by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.axi.isolator import StreamIsolator
+from repro.core.rp_control import PORT_ICAP, rm_port_name
+from repro.lint.drc import finding, rule
+from repro.lint.findings import Finding
+from repro.soc.soc import Soc
+
+
+@rule("DRC-AXIS-001", "switch ports must keep the two modes exclusive")
+def check_port_exclusivity(soc: Soc) -> Iterator[Finding]:
+    """The ICAP port must be sink-only (configuration data never flows
+    back out of the ICAP into S2MM) and each RM port must pair its sink
+    and source on the same stream decoupler.  An ICAP port with a
+    source, or an RM port whose sink and source are different objects,
+    lets reconfiguration and acceleration traffic mix."""
+    rvcap = getattr(soc, "rvcap", None)
+    if rvcap is None:
+        return
+    switch = rvcap.switch
+    path = f"soc.rvcap.switch.port[{PORT_ICAP}]"
+    if PORT_ICAP not in switch._sinks:
+        yield finding(
+            "DRC-AXIS-001", path,
+            "switch has no ICAP sink: reconfiguration mode is unreachable",
+            hint="attach the AXIS2ICAP converter with "
+                 "switch.attach_sink('icap', axis2icap)",
+        )
+    if PORT_ICAP in switch._sources:
+        yield finding(
+            "DRC-AXIS-001", path,
+            "ICAP port has a source: S2MM could drain the reconfiguration "
+            "path while MM2S feeds it",
+            hint="the ICAP port must be sink-only; remove the source "
+                 "attachment",
+        )
+    for index in range(len(rvcap.rm_stream_isolators)):
+        port = rm_port_name(index)
+        rm_path = f"soc.rvcap.switch.port[{port}]"
+        sink = switch._sinks.get(port)
+        source = switch._sources.get(port)
+        if sink is None or source is None:
+            yield finding(
+                "DRC-AXIS-001", rm_path,
+                f"RM port {port!r} is missing its "
+                f"{'sink' if sink is None else 'source'} attachment",
+                hint="attach both directions of the RM stream decoupler "
+                     "to the same port",
+            )
+            continue
+        if sink is not source or not isinstance(sink, StreamIsolator):
+            yield finding(
+                "DRC-AXIS-001", rm_path,
+                f"RM port {port!r} sink and source are not the same stream "
+                f"decoupler",
+                hint="route both directions through one StreamIsolator so "
+                     "decoupling cuts the full loop",
+            )
+
+
+@rule("DRC-AXIS-002", "both DMA channels must traverse the one switch")
+def check_single_datapath(soc: Soc) -> Iterator[Finding]:
+    """MM2S's sink, S2MM's source and the RP-control select must all
+    reference the same switch instance.  If any of the three points at
+    a different object, the select register no longer governs the whole
+    datapath and the modes can be mixed mid-transfer."""
+    rvcap = getattr(soc, "rvcap", None)
+    if rvcap is None:
+        return
+    switch = rvcap.switch
+    if rvcap.dma.mm2s.sink is not switch:
+        yield finding(
+            "DRC-AXIS-002", "soc.rvcap.dma.mm2s",
+            "MM2S sink bypasses the AXIS switch",
+            hint="set dma.mm2s.sink = rvcap.switch",
+        )
+    if rvcap.dma.s2mm.source is not switch:
+        yield finding(
+            "DRC-AXIS-002", "soc.rvcap.dma.s2mm",
+            "S2MM source bypasses the AXIS switch",
+            hint="set dma.s2mm.source = rvcap.switch",
+        )
+    if rvcap.rp_control.switch is not switch:
+        yield finding(
+            "DRC-AXIS-002", "soc.rvcap.rp_control",
+            "RP control selects a different switch than the one on the "
+            "DMA datapath",
+            hint="construct RpControlInterface with the datapath switch",
+        )
+    if switch.selected is None:
+        yield finding(
+            "DRC-AXIS-002", "soc.rvcap.switch",
+            "switch has no port selected at reset",
+            hint="select the RM port at reset (acceleration mode)",
+        )

@@ -1,0 +1,76 @@
+"""Data-width design rules (DRC-WIDTH-*).
+
+Walks every converter chain hanging off every crossbar and checks that
+the declared widths agree stage by stage, and that every 32-bit
+AXI4-Lite IP port (``RegisterBank.lite_only``) is reached through an
+AXI4->Lite protocol converter at 4-byte width — the paper's converter
+chain for the RV-CAP control ports (Sec. III-B).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.axi.interface import RegisterBank
+from repro.axi.protocol_converter import Axi4ToLiteConverter
+from repro.lint.drc import finding, rule
+from repro.lint.findings import Finding
+from repro.lint.rules._shared import iter_crossbars, walk_slave_chain
+from repro.soc.soc import Soc
+
+LITE_BYTES = 4
+
+
+@rule("DRC-WIDTH-001", "converter chain widths must agree stage by stage")
+def check_converter_chain(soc: Soc) -> Iterator[Finding]:
+    """Each width converter's wide side must match the width delivered
+    by the stage above it, and each AXI4->Lite converter must be entered
+    at its declared lite width.  A mismatch means beats are silently
+    split or padded at the boundary — data corruption in hardware."""
+    for path, xbar in iter_crossbars(soc):
+        for region in xbar.memory_map:
+            chain = walk_slave_chain(region.slave)
+            for problem in chain.mismatches():
+                yield finding(
+                    "DRC-WIDTH-001",
+                    f"{path}.{region.name}",
+                    problem,
+                    hint="fix the converter instantiation so adjacent "
+                         "stages declare the same width",
+                )
+
+
+@rule("DRC-WIDTH-002", "lite-only register files need the full converter chain")
+def check_lite_ports(soc: Soc) -> Iterator[Finding]:
+    """A register file declaring ``lite_only`` models a 32-bit
+    AXI4-Lite IP port; connecting it straight to the 64-bit crossbar
+    (or at any width other than 4 bytes) drops the upper word of every
+    access.  The chain must narrow to 4 bytes and include an
+    AXI4->Lite protocol converter."""
+    for path, xbar in iter_crossbars(soc):
+        for region in xbar.memory_map:
+            chain = walk_slave_chain(region.slave)
+            terminal = chain.terminal
+            if not isinstance(terminal, RegisterBank) or not terminal.lite_only:
+                continue
+            component = f"{path}.{region.name}"
+            if not chain.has(Axi4ToLiteConverter):
+                yield finding(
+                    "DRC-WIDTH-002",
+                    component,
+                    f"32-bit port {terminal.name!r} is mapped without an "
+                    f"AXI4->Lite protocol converter",
+                    hint="wrap the slave in "
+                         "AxiWidthConverter(Axi4ToLiteConverter(slave), "
+                         "wide_bytes=8, narrow_bytes=4)",
+                )
+            if chain.terminal_width != LITE_BYTES:
+                yield finding(
+                    "DRC-WIDTH-002",
+                    component,
+                    f"32-bit port {terminal.name!r} is reached at "
+                    f"{chain.terminal_width}-byte width (expected "
+                    f"{LITE_BYTES})",
+                    hint="add or fix the 8->4 width converter in front of "
+                         "the protocol converter",
+                )

@@ -144,7 +144,7 @@ def _merge_labels(suffix_labels: Dict[str, str], base: str) -> str:
 def prometheus_text(registry: MetricsRegistry) -> str:
     """Render the registry in the Prometheus text exposition format."""
     lines: List[str] = []
-    seen_headers: set = set()
+    seen_headers: set[str] = set()
 
     def header(name: str, kind: str, help_text: str) -> None:
         if name in seen_headers:

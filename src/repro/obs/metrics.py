@@ -16,7 +16,7 @@ latency distributions in serving systems.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Type, TypeVar
 
 _SUB_BITS = 3          # 8 sub-buckets per octave
 _SUB = 1 << _SUB_BITS
@@ -61,6 +61,9 @@ class _Instrument:
             return ""
         inner = ",".join(f'{k}="{v}"' for k, v in self.labels)
         return "{" + inner + "}"
+
+
+_InstrumentT = TypeVar("_InstrumentT", bound=_Instrument)
 
 
 class Counter(_Instrument):
@@ -151,8 +154,8 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._instruments: Dict[Tuple[str, LabelItems], _Instrument] = {}
 
-    def _get(self, cls, name: str, help_text: str,
-             labels: Optional[Dict[str, str]]):
+    def _get(self, cls: Type[_InstrumentT], name: str, help_text: str,
+             labels: Optional[Dict[str, str]]) -> _InstrumentT:
         key = (name, tuple(sorted((labels or {}).items())))
         instrument = self._instruments.get(key)
         if instrument is None:

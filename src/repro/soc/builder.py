@@ -18,6 +18,7 @@
 from __future__ import annotations
 
 from repro.axi.crossbar import AxiCrossbar
+from repro.axi.interface import AxiSlave
 from repro.axi.isolator import AxiIsolator
 from repro.axi.protocol_converter import Axi4ToLiteConverter
 from repro.axi.width_converter import AxiWidthConverter
@@ -40,7 +41,7 @@ from repro.soc.uart import Uart
 from repro.accel import make_filter_module
 
 
-def _lite_port(slave, *, stage_latency: int = 1):
+def _lite_port(slave: AxiSlave, *, stage_latency: int = 1) -> AxiWidthConverter:
     """The converter chain every 32-bit control port sits behind."""
     return AxiWidthConverter(
         Axi4ToLiteConverter(slave, stage_latency=stage_latency),
@@ -116,7 +117,9 @@ def build_soc(config: SocConfig | None = None, *,
     soc.sdcard = SdCard()
     soc.spi.attach_device(soc.sdcard)
 
-    # DMA interrupts into the PLIC (non-blocking reconfiguration mode)
+    # DMA interrupts into the PLIC (non-blocking reconfiguration mode);
+    # the irq_sources map is the declared wiring the DRC audits
+    soc.irq_sources = {"dma_mm2s": IRQ_DMA_MM2S, "dma_s2mm": IRQ_DMA_S2MM}
     soc.rvcap.dma.mm2s.irq_callback = lambda: soc.plic.raise_irq(IRQ_DMA_MM2S)
     soc.rvcap.dma.s2mm.irq_callback = lambda: soc.plic.raise_irq(IRQ_DMA_S2MM)
 

@@ -10,7 +10,7 @@ runs.
 from __future__ import annotations
 
 import hashlib
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.accel import make_accelerator
 from repro.accel.base import StreamAccelerator
@@ -33,6 +33,10 @@ from repro.soc.plic import Plic
 from repro.soc.sdcard import SdCard
 from repro.soc.spi import SpiController
 from repro.soc.uart import Uart
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs import Observability
+    from repro.sim.tracing import TraceRecorder
 
 
 class Soc:
@@ -60,11 +64,17 @@ class Soc:
         self.hart: Optional[Hart] = None
 
         #: attached observability (None = detached, zero emit overhead)
-        self.obs = None
+        self.obs: Optional["Observability"] = None
+
+        #: symbolic wire name -> PLIC source id, filled by the builder;
+        #: the DRC checks this map for duplicate and out-of-range sources
+        self.irq_sources: Dict[str, int] = {}
 
         #: (rp_index, content signature) -> module name
         self._module_signatures: Dict[tuple[int, str], str] = {}
         self._modules: Dict[str, ReconfigurableModule] = {}
+        #: module name -> index of the partition it was registered for
+        self._module_rp_index: Dict[str, int] = {}
         self.active_rms: Dict[int, Optional[StreamAccelerator]] = {}
         self.active_module_names: Dict[int, Optional[str]] = {}
 
@@ -97,9 +107,14 @@ class Soc:
         signature = hashlib.sha256(payload.tobytes()).hexdigest()
         self._module_signatures[(rp_index, signature)] = module.name
         self._modules[module.name] = module
+        self._module_rp_index[module.name] = rp_index
 
     def module(self, name: str) -> ReconfigurableModule:
         return self._modules[name]
+
+    def module_rp_index(self, name: str) -> int:
+        """Partition index a registered module targets (default RP 0)."""
+        return self._module_rp_index.get(name, 0)
 
     @property
     def registered_modules(self) -> list[str]:
@@ -191,7 +206,9 @@ class Soc:
     # ------------------------------------------------------------------
     # observability
     # ------------------------------------------------------------------
-    def attach_trace(self, recorder=None):
+    def attach_trace(self,
+                     recorder: Optional["TraceRecorder"] = None
+                     ) -> "TraceRecorder":
         """Attach a TraceRecorder to the instrumented components.
 
         Returns the recorder (a fresh one is created when None given).
@@ -203,7 +220,9 @@ class Soc:
         self.icap.trace = recorder
         return recorder
 
-    def attach_observability(self, obs=None):
+    def attach_observability(self,
+                             obs: Optional["Observability"] = None
+                             ) -> "Observability":
         """Attach a span tracer + metrics registry to every instrumented
         component (DMA channels, ICAP parser, AXIS2ICAP, AXIS switch, RP
         control, PLIC, both crossbars, AXI_HWICAP).
@@ -228,7 +247,7 @@ class Soc:
         self.hwicap.attach_obs(obs)
         return obs
 
-    def capture_stats_metrics(self):
+    def capture_stats_metrics(self) -> None:
         """Mirror the legacy counter snapshot into ``obs.metrics`` as
         ``soc_*`` gauges so one metrics export carries both worlds."""
         if self.obs is None:
@@ -239,7 +258,7 @@ class Soc:
                     f"soc_{key}", "legacy collect_soc_stats counter"
                 ).set(value)
 
-    def stats(self):
+    def stats(self) -> Dict[str, object]:
         """Counter snapshot across all subsystems."""
         from repro.sim.tracing import collect_soc_stats
         return collect_soc_stats(self)

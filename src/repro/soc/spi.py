@@ -29,6 +29,8 @@ SR_RX_VALID = 1 << 1
 class SpiController(RegisterBank):
     """Memory-mapped SPI master with one attached device."""
 
+    lite_only = True  # 32-bit AXI4-Lite port: DRC requires a protocol converter
+
     def __init__(self, divider: int = 4) -> None:
         super().__init__("spi", size=0x1000)
         self.device: SdCard | None = None

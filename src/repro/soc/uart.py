@@ -22,6 +22,8 @@ STATUS_RX_VALID = 1 << 1
 class Uart(RegisterBank):
     """Always-ready transmit, buffered receive."""
 
+    lite_only = True  # 32-bit AXI4-Lite port: DRC requires a protocol converter
+
     def __init__(self) -> None:
         super().__init__("uart", size=0x1000)
         self.tx_log = bytearray()

@@ -19,7 +19,7 @@ class TestRegion:
 
     def test_overlap_detection(self):
         a = Region("a", 0x1000, 0x100, _slave())
-        b = Region("b", 0x10FF, 0x10, _slave())
+        b = Region("b", 0x10F8, 0x10, _slave())
         c = Region("c", 0x1100, 0x10, _slave())
         assert a.overlaps(b)
         assert not a.overlaps(c)
@@ -27,6 +27,14 @@ class TestRegion:
     def test_rejects_empty_region(self):
         with pytest.raises(BusError):
             Region("bad", 0, 0, _slave())
+
+    def test_rejects_unaligned_base(self):
+        with pytest.raises(BusError, match="aligned"):
+            Region("bad", 0x1004, 0x100, _slave())
+
+    def test_rejects_unaligned_size(self):
+        with pytest.raises(BusError, match="bus width"):
+            Region("bad", 0x1000, 0x0C, _slave())
 
 
 class TestMemoryMap:

@@ -1,5 +1,7 @@
 import pytest
 
+from repro.errors import DrcError
+
 from repro.axi.interface import RegisterBank
 from repro.axi.width_converter import AxiWidthConverter
 from repro.mem.bram import Bram
@@ -41,8 +43,12 @@ class TestWidthConversion:
         assert not conv.read(0x8, 16, now=0).ok
 
     def test_invalid_ratio_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(DrcError):
             AxiWidthConverter(Bram(16), wide_bytes=8, narrow_bytes=3)
+
+    def test_upconversion_rejected(self):
+        with pytest.raises(DrcError):
+            AxiWidthConverter(Bram(16), wide_bytes=4, narrow_bytes=8)
 
     def test_unaligned_start_split(self):
         ram = Bram(0x100)

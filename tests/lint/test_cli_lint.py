@@ -1,0 +1,42 @@
+"""CLI tests for ``repro lint``."""
+
+import json
+
+from repro.cli import main
+
+
+class TestListRules:
+    def test_lists_every_rule(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("DRC-ADDR-001", "DRC-WIDTH-002", "DRC-AXIS-001",
+                        "DRC-IRQ-001", "DRC-RP-001", "DRC-PART-001"):
+            assert rule_id in out
+        assert "[error]" in out
+
+
+class TestRun:
+    def test_clean_soc_exits_zero(self, capsys):
+        assert main(["lint"]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_json_report(self, capsys):
+        assert main(["lint", "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["errors"] == 0
+        assert document["findings"] == []
+
+    def test_json_report_to_file(self, tmp_path, capsys):
+        target = tmp_path / "lint.json"
+        assert main(["lint", "--json", "-o", str(target)]) == 0
+        document = json.loads(target.read_text())
+        assert document["tool"] == "repro-lint"
+        assert str(target) in capsys.readouterr().out
+
+    def test_rule_restriction(self, capsys):
+        assert main(["lint", "--drc", "--rules", "DRC-ADDR-001"]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_ast_only(self, capsys):
+        assert main(["lint", "--ast"]) == 0
+        assert "no findings" in capsys.readouterr().out

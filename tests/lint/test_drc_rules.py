@@ -1,0 +1,250 @@
+"""DRC rule tests: a clean SoC reports nothing, and each rule fires
+on a deliberately miswired fixture.
+
+The fixtures bypass the registration-time validation on purpose (the
+DRC exists precisely to catch maps assembled or mutated by hand), so
+they poke at private structures: that is the point, not an accident.
+"""
+
+import pytest
+
+from repro.axi.memory_map import Region
+from repro.axi.protocol_converter import Axi4ToLiteConverter
+from repro.core.rp_control import PORT_ICAP, rm_port_name
+from repro.errors import DrcError
+from repro.fpga.bitgen import Bitgen
+from repro.fpga.device import FpgaDevice
+from repro.fpga.frames import FrameAddress
+from repro.lint import Severity, all_rules, check_soc, run_drc
+from repro.soc.builder import build_soc
+from repro.soc.config import SocConfig
+
+
+def findings_for(soc, rule_id):
+    """Run one rule against ``soc`` and return its findings."""
+    return run_drc(soc, rules=[rule_id]).findings
+
+
+def assert_fires(soc, rule_id, *, severity=Severity.ERROR, fragment=""):
+    found = findings_for(soc, rule_id)
+    assert found, f"{rule_id} did not fire on the miswired SoC"
+    assert all(f.rule_id == rule_id for f in found)
+    assert any(f.severity is severity for f in found), \
+        f"{rule_id} fired but not at {severity}: {found}"
+    if fragment:
+        assert any(fragment in f.message for f in found), \
+            f"no finding message mentions {fragment!r}: {found}"
+
+
+def region_named(soc, name):
+    return soc.xbar.memory_map.region_named(name)
+
+
+def replace_slave(region, slave):
+    # Region is frozen; the fixture deliberately side-steps that to
+    # model a hand-mutated map
+    object.__setattr__(region, "slave", slave)
+
+
+class TestCleanSoc:
+    def test_reference_soc_has_zero_findings(self):
+        report = run_drc(build_soc())
+        assert report.findings == []
+        assert report.ok
+
+    def test_multi_rp_soc_has_zero_findings(self):
+        report = run_drc(build_soc(SocConfig(num_rps=3)))
+        assert report.findings == []
+
+    def test_every_registered_rule_ran(self):
+        report = run_drc(build_soc())
+        assert report.rules_run == [r.rule_id for r in all_rules()]
+        assert len(report.rules_run) >= 6
+
+    def test_check_soc_passes_clean(self):
+        check_soc(build_soc())  # must not raise
+
+
+class TestAddressRules:
+    def test_overlap_fires(self):
+        soc = build_soc()
+        clint = region_named(soc, "clint")
+        shadow = Region("shadow", clint.base + 0x10, 0x100, soc.bootrom)
+        soc.xbar.memory_map.regions.append(shadow)
+        assert_fires(soc, "DRC-ADDR-001", fragment="overlaps")
+
+    def test_unaligned_base_fires(self):
+        soc = build_soc()
+        region = region_named(soc, "uart")
+        object.__setattr__(region, "base", region.base + 4)
+        assert_fires(soc, "DRC-ADDR-002", fragment="aligned")
+
+    def test_unaligned_size_fires(self):
+        soc = build_soc()
+        region = region_named(soc, "uart")
+        object.__setattr__(region, "size", 0x1004)
+        assert_fires(soc, "DRC-ADDR-002", fragment="bus width")
+
+    def test_unnatural_pow2_alignment_fires(self):
+        soc = build_soc()
+        region = region_named(soc, "uart")
+        # power-of-two window placed off its natural boundary
+        object.__setattr__(region, "base", region.size + region.size // 2)
+        assert_fires(soc, "DRC-ADDR-003", fragment="naturally aligned")
+
+    def test_irregular_size_fires(self):
+        soc = build_soc()
+        region = region_named(soc, "uart")
+        object.__setattr__(region, "size", 0x1800)
+        assert_fires(soc, "DRC-ADDR-003", fragment="decode granule")
+
+
+class TestWidthRules:
+    def test_converter_entered_at_wrong_width_fires(self):
+        soc = build_soc()
+        # protocol converter straight on the 64-bit bus: entered at
+        # 8 bytes but serializes 4-byte lite beats
+        replace_slave(region_named(soc, "uart"),
+                      Axi4ToLiteConverter(soc.uart))
+        assert_fires(soc, "DRC-WIDTH-001", fragment="entered at 8 B")
+
+    def test_bare_lite_port_fires(self):
+        soc = build_soc()
+        replace_slave(region_named(soc, "uart"), soc.uart)
+        found = findings_for(soc, "DRC-WIDTH-002")
+        messages = " | ".join(f.message for f in found)
+        assert "without an AXI4->Lite protocol converter" in messages
+        assert "8-byte width" in messages
+
+    def test_clint_is_exempt_from_lite_contract(self):
+        # the CLINT accepts native 64-bit accesses: not lite_only
+        soc = build_soc()
+        assert not soc.clint.lite_only
+        assert findings_for(soc, "DRC-WIDTH-002") == []
+
+
+class TestStreamRules:
+    def test_missing_icap_sink_fires(self):
+        soc = build_soc()
+        del soc.rvcap.switch._sinks[PORT_ICAP]
+        assert_fires(soc, "DRC-AXIS-001", fragment="no ICAP sink")
+
+    def test_icap_source_fires(self):
+        soc = build_soc()
+        switch = soc.rvcap.switch
+        switch._sources[PORT_ICAP] = switch._sinks[PORT_ICAP]
+        assert_fires(soc, "DRC-AXIS-001", fragment="ICAP port has a source")
+
+    def test_split_rm_decoupler_fires(self):
+        soc = build_soc()
+        soc.rvcap.switch._sources.pop(rm_port_name(0))
+        assert_fires(soc, "DRC-AXIS-001", fragment="missing its source")
+
+    def test_dma_bypassing_switch_fires(self):
+        soc = build_soc()
+        soc.rvcap.dma.mm2s.sink = soc.rvcap.axis2icap
+        assert_fires(soc, "DRC-AXIS-002", fragment="MM2S sink bypasses")
+
+
+class TestIrqRules:
+    def test_duplicate_source_id_fires(self):
+        soc = build_soc()
+        taken = next(iter(soc.irq_sources.values()))
+        soc.irq_sources["spurious"] = taken
+        assert_fires(soc, "DRC-IRQ-001", fragment="claimed by 2 wires")
+
+    def test_out_of_range_source_fires(self):
+        soc = build_soc()
+        soc.irq_sources["reserved"] = 0
+        assert_fires(soc, "DRC-IRQ-001", fragment="outside the valid range")
+
+    def test_empty_map_warns(self):
+        soc = build_soc()
+        soc.irq_sources = {}
+        assert_fires(soc, "DRC-IRQ-001", severity=Severity.WARNING,
+                     fragment="no declared interrupt sources")
+
+    def test_missing_clint_window_fires(self):
+        soc = build_soc()
+        soc.xbar.memory_map.regions = [
+            r for r in soc.xbar.memory_map.regions if r.name != "clint"]
+        assert_fires(soc, "DRC-IRQ-002", fragment="no 'clint' window")
+
+    def test_truncated_plic_window_fires(self):
+        soc = build_soc()
+        object.__setattr__(region_named(soc, "plic"), "size", 0x1000)
+        assert_fires(soc, "DRC-IRQ-002", fragment="cuts off registers")
+
+
+class TestReconfigRules:
+    def test_coupled_rp_fires(self):
+        soc = build_soc()
+        soc.rvcap.rp_control._stream_isolators.clear()
+        assert_fires(soc, "DRC-RP-001", fragment="no stream decoupler")
+
+    def test_missing_axi_decoupler_fires(self):
+        soc = build_soc()
+        soc.rvcap.rp_control._axi_isolators.clear()
+        assert_fires(soc, "DRC-RP-001", fragment="no AXI decoupler")
+
+    def test_unmapped_rp_control_fires(self):
+        soc = build_soc()
+        replace_slave(region_named(soc, "rp_ctrl"), soc.bootrom)
+        assert_fires(soc, "DRC-RP-002",
+                     fragment="does not reach the RpControlInterface")
+
+    def test_split_icap_fires(self):
+        soc = build_soc()
+        from repro.core.hwicap import AxiHwIcap
+        from repro.fpga.config_memory import ConfigMemory
+        from repro.fpga.device import KINTEX7_325T
+        from repro.fpga.icap import Icap
+        rogue = Icap(ConfigMemory(KINTEX7_325T))
+        soc.hwicap = AxiHwIcap(rogue)
+        assert_fires(soc, "DRC-RP-002", fragment="different ICAP instance")
+
+
+class TestPartitionRules:
+    def test_out_of_bounds_frames_fire(self):
+        soc = build_soc()
+        soc.partitions[0].base_far = FrameAddress(row=10, column=10)
+        assert_fires(soc, "DRC-PART-001", fragment="exceeds device")
+
+    def test_overlapping_partitions_fire(self):
+        soc = build_soc(SocConfig(num_rps=2))
+        soc.partitions[1].base_far = soc.partitions[0].base_far
+        assert_fires(soc, "DRC-PART-002", fragment="overlap")
+
+    def test_device_mismatch_fires(self):
+        soc = build_soc()
+        artix = FpgaDevice(name="xc7a100t", idcode=0x13631093)
+        soc.bitgen = Bitgen(artix)
+        assert_fires(soc, "DRC-PART-003", fragment="IDCODE")
+
+    def test_module_targeting_missing_rp_fires(self):
+        soc = build_soc()
+        soc._module_rp_index["sobel"] = 5
+        assert_fires(soc, "DRC-PART-003", fragment="does not exist")
+
+
+class TestEngine:
+    def test_check_soc_raises_on_error(self):
+        soc = build_soc()
+        soc.irq_sources["spurious"] = next(iter(soc.irq_sources.values()))
+        with pytest.raises(DrcError, match="DRC-IRQ-001"):
+            check_soc(soc)
+
+    def test_suppression_silences_a_finding(self):
+        soc = build_soc()
+        soc.irq_sources["spurious"] = next(iter(soc.irq_sources.values()))
+        report = run_drc(soc, suppressions=["DRC-IRQ-001"])
+        assert report.findings == []
+
+    def test_unknown_rule_id_rejected(self):
+        with pytest.raises(DrcError, match="unknown DRC rule"):
+            run_drc(build_soc(), rules=["DRC-NOPE-001"])
+
+    def test_rules_carry_documentation(self):
+        for rule in all_rules():
+            assert rule.title
+            assert rule.description, f"{rule.rule_id} has no docstring"

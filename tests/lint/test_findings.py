@@ -1,0 +1,93 @@
+"""Finding model, sorting, suppression and reporter tests."""
+
+import json
+
+from repro.lint.findings import (
+    Finding,
+    Severity,
+    findings_to_json,
+    render_findings,
+    sort_findings,
+    suppress,
+    worst_severity,
+)
+
+
+def make(rule_id, severity=Severity.ERROR, component="soc.xbar.uart",
+         message="msg", hint=""):
+    return Finding(rule_id=rule_id, severity=severity, component=component,
+                   message=message, hint=hint)
+
+
+class TestOrdering:
+    def test_severity_then_rule_then_component(self):
+        findings = [
+            make("DRC-B", Severity.WARNING),
+            make("DRC-A", Severity.ERROR, component="soc.b"),
+            make("DRC-A", Severity.ERROR, component="soc.a"),
+            make("DRC-C", Severity.INFO),
+        ]
+        ordered = sort_findings(findings)
+        assert [(f.rule_id, f.component) for f in ordered] == [
+            ("DRC-A", "soc.a"), ("DRC-A", "soc.b"),
+            ("DRC-B", "soc.xbar.uart"), ("DRC-C", "soc.xbar.uart"),
+        ]
+
+    def test_worst_severity(self):
+        assert worst_severity([]) is Severity.INFO
+        assert worst_severity([make("X", Severity.WARNING)]) is Severity.WARNING
+        assert worst_severity(
+            [make("X", Severity.WARNING), make("Y", Severity.ERROR)]
+        ) is Severity.ERROR
+
+
+class TestSuppression:
+    def test_rule_id_pattern(self):
+        findings = [make("DRC-ADDR-001"), make("DRC-WIDTH-002")]
+        assert suppress(findings, ["DRC-ADDR-*"]) == [findings[1]]
+
+    def test_component_glob(self):
+        findings = [make("DRC-ADDR-001", component="soc.xbar.uart"),
+                    make("DRC-ADDR-001", component="soc.dma_xbar.ddr")]
+        kept = suppress(findings, ["DRC-ADDR-001:soc.xbar.*"])
+        assert kept == [findings[1]]
+
+    def test_component_glob_requires_rule_match(self):
+        findings = [make("DRC-WIDTH-002", component="soc.xbar.uart")]
+        assert suppress(findings, ["DRC-ADDR-001:soc.xbar.*"]) == findings
+
+    def test_no_patterns_keeps_everything(self):
+        findings = [make("DRC-ADDR-001")]
+        assert suppress(findings, []) == findings
+
+
+class TestReporters:
+    def test_empty_render(self):
+        assert render_findings([]) == "no findings"
+
+    def test_render_contains_rule_and_hint(self):
+        text = render_findings([make("DRC-ADDR-001", hint="move the window")])
+        assert "DRC-ADDR-001" in text
+        assert "hint: move the window" in text
+        assert "1 finding(s)" in text
+
+    def test_json_document_shape(self):
+        text = findings_to_json([
+            make("DRC-ADDR-001", Severity.ERROR, hint="fix it"),
+            make("DRC-IRQ-001", Severity.WARNING),
+        ])
+        document = json.loads(text)
+        assert document["tool"] == "repro-lint"
+        assert document["count"] == 2
+        assert document["errors"] == 1
+        first = document["findings"][0]
+        assert first["rule_id"] == "DRC-ADDR-001"
+        assert first["severity"] == "error"
+        assert first["hint"] == "fix it"
+        # hint is omitted, not empty, when absent
+        assert "hint" not in document["findings"][1]
+
+    def test_json_is_deterministic(self):
+        findings = [make("DRC-ADDR-001"), make("DRC-IRQ-001")]
+        assert findings_to_json(findings) == \
+            findings_to_json(list(reversed(findings)))
