@@ -129,6 +129,19 @@ def bench_iss_unroll() -> int:
     return 133_772
 
 
+def bench_sched_replay() -> int:
+    """Replay a 400-request stream through the asyncio DPR scheduler."""
+    from repro.sched import WorkloadSpec, bench
+
+    spec = WorkloadSpec(requests=400, arrival_rate_rps=2000.0, modules=8,
+                        frame=32, deadline_slack_us=20_000.0, seed=2026)
+    report = bench(spec, cache_bytes=1 << 20)
+    # payload bytes streamed both directions plus SD-faulted pbit bytes
+    frame_bytes = spec.frame * spec.frame
+    return 2 * frame_bytes * report.completed + \
+        int(report.cache["sd_bytes_loaded"])
+
+
 def bench_fault_sweep() -> int:
     """One fault-campaign point per fault kind on the reference SoC."""
     from repro.eval.fault_sweep import fault_sweep
@@ -146,6 +159,7 @@ BENCHES: Dict[str, Callable[[], int]] = {
     "table2_obs": bench_table2_obs,
     "iss_unroll": bench_iss_unroll,
     "fault_sweep": bench_fault_sweep,
+    "sched_replay": bench_sched_replay,
 }
 
 

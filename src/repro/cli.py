@@ -13,6 +13,10 @@ Commands:
 * ``faults``   — fault-injection sweep: detection and recovery rates
 * ``lint``     — static analysis: SoC design-rule checks + AST lints
   (``--json`` for the CI artifact, ``--list-rules`` for the catalog)
+* ``sched-bench`` — replay a synthetic multi-tenant swap-request stream
+  through the asyncio DPR scheduler; throughput/latency/miss report
+* ``serve``    — replay a recorded JSON request trace through the
+  scheduler (the interchange format ``sched-bench --emit-trace`` writes)
 * ``asm``      — assemble an RV64 source file (optionally RVC-compressed)
 * ``disasm``   — disassemble a flat binary image
 * ``profile``  — cProfile a named simulator workload (pstats output)
@@ -229,6 +233,150 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if has_errors else 0
 
 
+def _render_sched_report(report) -> str:
+    lines = [
+        f"requests            {report.requests}",
+        f"completed           {report.completed}",
+        f"deadline misses     {report.deadline_misses} "
+        f"({100 * report.deadline_miss_rate:.2f}%)",
+        f"span                {report.span_us / 1e3:.1f} ms simulated",
+        f"throughput          {report.throughput_rps:.0f} req/s",
+        f"latency p50 / p99   {report.latency_p50_us:.0f} / "
+        f"{report.latency_p99_us:.0f} us",
+        f"queue wait p99      {report.queue_wait_p99_us:.0f} us",
+        f"ICAP utilization    {100 * report.icap_utilization:.2f}%",
+        f"reconfigurations    {report.reconfigurations} "
+        f"(+{report.reconfig_skips} skips, "
+        f"{report.batches} batches, mean size "
+        f"{report.mean_batch_size:.2f})",
+    ]
+    if report.cache is not None:
+        cache = report.cache
+        lines.append(
+            f"cache               {cache['hits']} hits / "
+            f"{cache['misses']} misses "
+            f"({100 * cache['hit_rate']:.1f}%), "
+            f"{cache['evictions']} evictions, "
+            f"{cache['sd_bytes_loaded']} SD bytes")
+    lines.append(f"wall time           {report.wall_seconds:.2f} s")
+    return "\n".join(lines)
+
+
+def _sched_platform(args: argparse.Namespace, modules: int, frame: int):
+    """Build the serving SoC + cache from shared sched CLI flags."""
+    from repro.sched import build_sched_soc, make_cache
+    manager = build_sched_soc(modules, frame=frame,
+                              controller=args.controller)
+    cache = None
+    if args.cache_kb > 0:
+        cache = make_cache(manager, arena_bytes=args.cache_kb << 10,
+                           charge_sd_time=not args.no_sd_cost)
+    return manager, cache
+
+
+def _finish_sched(manager, report, args: argparse.Namespace) -> int:
+    import json as _json
+    if args.json:
+        print(_json.dumps(report.to_dict(), indent=2))
+    else:
+        print(_render_sched_report(report))
+    if getattr(args, "output", None):
+        Path(args.output).write_text(
+            _json.dumps(report.to_dict(), indent=2) + "\n")
+        print(f"report written to {args.output}")
+    soc = manager.soc
+    if soc.obs is not None:
+        _export_observability(soc, soc.obs, args)
+    return 0
+
+
+def _cmd_sched_bench(args: argparse.Namespace) -> int:
+    import json as _json
+    from dataclasses import replace
+    from repro.sched import (
+        WorkloadSpec, module_names, replay, save_trace, synthesize,
+    )
+
+    spec = WorkloadSpec(
+        requests=args.requests,
+        arrival_rate_rps=args.rate,
+        modules=args.modules,
+        zipf_s=args.zipf,
+        deadline_slack_us=args.deadline_slack_us,
+        slack_jitter=args.slack_jitter,
+        payload=not args.no_payload,
+        frame=args.frame,
+        timeout_us=args.timeout_us,
+        seed=args.seed,
+    )
+    if args.sweep:
+        from repro.sched import bench
+        curves = []
+        for rate in args.sweep:
+            report = bench(replace(spec, arrival_rate_rps=rate),
+                           cache_bytes=max(1, args.cache_kb) << 10,
+                           charge_sd_time=not args.no_sd_cost,
+                           batch_limit=args.batch_limit,
+                           drop_late=args.drop_late,
+                           controller=args.controller,
+                           reconfig_mode=args.mode)
+            entry = report.to_dict()
+            entry["arrival_rate_rps"] = rate
+            curves.append(entry)
+            if not args.json:
+                print(f"-- {rate:.0f} req/s --")
+                print(_render_sched_report(report), end="\n\n")
+        if args.json:
+            print(_json.dumps(curves, indent=2))
+        if args.output:
+            Path(args.output).write_text(
+                _json.dumps(curves, indent=2) + "\n")
+            print(f"sweep written to {args.output}")
+        return 0
+    requests = synthesize(spec)
+    if args.emit_trace:
+        save_trace(requests, args.emit_trace, spec=spec)
+        print(f"trace written to {args.emit_trace}")
+    manager, cache = _sched_platform(args, spec.modules, spec.frame)
+    warm = module_names(min(args.prefetch_hot, spec.modules))
+    report = replay(manager, requests, cache=cache,
+                    batch_limit=args.batch_limit, drop_late=args.drop_late,
+                    reconfig_mode=args.mode, prefetch=warm or None)
+    return _finish_sched(manager, report, args)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.sched import load_trace, replay
+
+    requests = load_trace(args.trace)
+    if not requests:
+        print("serve: trace holds no requests", file=sys.stderr)
+        return 2
+    names = {request.module for request in requests}
+    modules = args.modules
+    if modules is None:
+        # rmN catalogs size themselves; anything else counts names
+        indices = [int(name[2:]) for name in names
+                   if name.startswith("rm") and name[2:].isdigit()]
+        modules = max(indices) + 1 if len(indices) == len(names) \
+            else len(names)
+    frame = args.frame
+    if frame is None:
+        shapes = {request.payload_shape for request in requests
+                  if request.payload_shape is not None}
+        frame = next(iter(shapes))[0] if len(shapes) == 1 else 64
+    manager, cache = _sched_platform(args, modules, frame)
+    missing = names - set(manager.soc.registered_modules)
+    if missing:
+        print(f"serve: trace references unregistered modules "
+              f"{sorted(missing)}", file=sys.stderr)
+        return 2
+    report = replay(manager, requests, cache=cache,
+                    batch_limit=args.batch_limit, drop_late=args.drop_late,
+                    reconfig_mode=args.mode)
+    return _finish_sched(manager, report, args)
+
+
 def _cmd_asm(args: argparse.Namespace) -> int:
     from repro.riscv.assembler import assemble
     source = Path(args.input).read_text()
@@ -403,6 +551,81 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--list-rules", action="store_true",
                    help="list registered DRC rules and exit")
     p.set_defaults(func=_cmd_lint)
+
+    def _add_sched_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--cache-kb", type=int, default=1024,
+                       help="DDR bitstream-cache arena size in KiB "
+                            "(0 disables the cache)")
+        p.add_argument("--no-sd-cost", action="store_true",
+                       help="do not charge simulated SD time on cache "
+                            "misses")
+        p.add_argument("--batch-limit", type=int, default=64,
+                       help="max requests served per ICAP batch")
+        p.add_argument("--drop-late", action="store_true",
+                       help="drop requests whose deadline passed before "
+                            "service instead of running them")
+        p.add_argument("--controller", choices=["rvcap", "hwicap"],
+                       default="rvcap")
+        p.add_argument("--mode", choices=["interrupt", "polling"],
+                       default="interrupt",
+                       help="reconfiguration completion mode")
+        p.add_argument("--json", action="store_true",
+                       help="print the report as JSON")
+        p.add_argument("-o", "--output", default=None,
+                       help="also write the JSON report to a file")
+        p.add_argument("--trace-chrome", metavar="FILE", default=None,
+                       help="write a Perfetto-loadable Chrome trace JSON")
+        p.add_argument("--trace-vcd", metavar="FILE", default=None,
+                       help="write a VCD signal dump")
+        p.add_argument("--metrics", metavar="FILE", default=None,
+                       help="write Prometheus text-format metrics")
+        p.add_argument("--metrics-json", metavar="FILE", default=None,
+                       help="write a JSON metrics snapshot")
+
+    p = sub.add_parser("sched-bench",
+                       help="replay a synthetic request stream through "
+                            "the asyncio DPR scheduler")
+    p.add_argument("--requests", type=int, default=10_000)
+    p.add_argument("--rate", type=float, default=2000.0,
+                   help="mean arrival rate (requests per simulated "
+                        "second)")
+    p.add_argument("--modules", type=int, default=8,
+                   help="module catalog size (rm0..rmN-1)")
+    p.add_argument("--zipf", type=float, default=1.1,
+                   help="popularity skew exponent (0 = uniform)")
+    p.add_argument("--deadline-slack-us", type=float, default=20_000.0)
+    p.add_argument("--slack-jitter", type=float, default=0.5)
+    p.add_argument("--frame", type=int, default=64,
+                   help="square payload frame edge (pixels)")
+    p.add_argument("--no-payload", action="store_true",
+                   help="pure reconfiguration requests, no image "
+                        "streaming")
+    p.add_argument("--timeout-us", type=float, default=None,
+                   help="per-request queue timeout")
+    p.add_argument("--seed", type=int, default=2026)
+    p.add_argument("--prefetch-hot", type=int, default=0,
+                   help="warm the cache with the N hottest modules")
+    p.add_argument("--sweep", nargs="*", type=float, default=None,
+                   metavar="RATE",
+                   help="replay at each arrival rate; emit the curve")
+    p.add_argument("--emit-trace", metavar="FILE", default=None,
+                   help="save the synthesized trace for `repro serve`")
+    _add_sched_flags(p)
+    p.set_defaults(func=_cmd_sched_bench)
+
+    p = sub.add_parser("serve",
+                       help="replay a recorded JSON request trace "
+                            "through the scheduler")
+    p.add_argument("trace", help="trace file (see sched-bench "
+                                 "--emit-trace)")
+    p.add_argument("--modules", type=int, default=None,
+                   help="catalog size (default: inferred from the "
+                        "trace)")
+    p.add_argument("--frame", type=int, default=None,
+                   help="RM frame edge (default: inferred from the "
+                        "trace payloads)")
+    _add_sched_flags(p)
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("asm", help="assemble an RV64 source file")
     p.add_argument("input")

@@ -92,15 +92,36 @@ class ReconfigurationManager:
     # reconfiguration
     # ------------------------------------------------------------------
     def load_module(self, name: str, *, force: bool = False,
-                    mode: str = "interrupt") -> Optional[ReconfigResult]:
-        """Ensure ``name`` is loaded; skips the DPR when already active."""
+                    mode: str = "interrupt",
+                    descriptor: Optional[RmDescriptor] = None
+                    ) -> Optional[ReconfigResult]:
+        """Ensure ``name`` is loaded; skips the DPR when already active.
+
+        ``descriptor`` overrides the pbit-store lookup — the seam the
+        scheduler's bitstream cache uses to point the DMA at a cached
+        copy in DDR instead of the store's init_rmodules placement.
+        """
         if self.loaded_module == name and not force:
             return None
-        descriptor = self.descriptor(name)
-        if self.controller == "rvcap":
-            result = self.rvcap.init_reconfig_process(descriptor, mode=mode)
-        else:
-            result = self.hwicap.init_reconfig_process(descriptor)
+        if descriptor is None:
+            descriptor = self.descriptor(name)
+        elif descriptor.name != name:
+            raise ControllerError(
+                f"descriptor is for {descriptor.name!r}, not {name!r}")
+        try:
+            if self.controller == "rvcap":
+                result = self.rvcap.init_reconfig_process(descriptor,
+                                                          mode=mode)
+            else:
+                result = self.hwicap.init_reconfig_process(descriptor)
+        except Exception:
+            # A failed DPR leaves the partition in an unknown state (it
+            # may be partially scrubbed).  Invalidate the cached name so
+            # a later load of the *previous* module actually re-programs
+            # instead of skipping against stale state.
+            self.loaded_module = None
+            self.last_reconfig = None
+            raise
         if self.soc.active_module_name != name:
             raise ControllerError(
                 f"after reconfiguration the RP holds "
@@ -123,8 +144,12 @@ class ReconfigurationManager:
         if image.dtype != np.uint8 or image.ndim != 2:
             raise ControllerError("expected a 2-D uint8 image")
         layout = self.soc.config.layout
-        src = src_address or layout.ddr_base + (64 << 20)
-        dst = dst_address or layout.ddr_base + (80 << 20)
+        # compare against None, not truthiness: an explicit address of 0
+        # (or the DDR base itself when ddr_base == 0) is a valid target
+        src = src_address if src_address is not None \
+            else layout.ddr_base + (64 << 20)
+        dst = dst_address if dst_address is not None \
+            else layout.ddr_base + (80 << 20)
         reconfig = self.load_module(accelerator)
         td_us = reconfig.td_us if reconfig else 0.0
         tr_us = reconfig.tr_us if reconfig else 0.0

@@ -78,6 +78,14 @@ class ResourceModelError(ReproError):
     """Resource estimation was asked for an unknown component."""
 
 
+class SchedulerError(ReproError):
+    """The DPR request scheduler hit an unrecoverable condition."""
+
+
+class CacheCapacityError(SchedulerError):
+    """A bitstream does not fit the cache arena even after eviction."""
+
+
 class DrcError(ReproError):
     """A design rule was violated while assembling or checking the SoC.
 

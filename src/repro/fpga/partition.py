@@ -61,6 +61,11 @@ class ReconfigurableModule:
     #: key selecting the behavioural model in acceleration mode
     #: (e.g. "sobel"); None for pure-reconfiguration test modules
     behavior: Optional[str] = None
+    #: frame geometry the streaming RM is built for; the case-study
+    #: filters process 512x512 (Table IV), smaller tiles let the
+    #: scheduler serve thousands of requests per simulated second
+    frame_width: int = 512
+    frame_height: int = 512
 
     def utilization_of(self, rp_budget: ResourceBudget) -> dict[str, float]:
         """Percent utilization of the RP budget (Table III footnote)."""

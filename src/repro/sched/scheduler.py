@@ -1,0 +1,522 @@
+"""Asyncio DPR scheduler: EDF arbitration of the single ICAP port.
+
+The scheduler is the request-serving layer the ROADMAP's multi-tenant
+item calls for: tenants :meth:`~DprScheduler.submit` streams of
+:class:`~repro.sched.request.SwapRequest` and get back futures that
+resolve to :class:`~repro.sched.request.RequestOutcome`.  One arbiter
+task owns the fabric:
+
+* **EDF** — among requests whose arrival time has passed, the earliest
+  absolute deadline wins the ICAP port;
+* **same-module batching** — every other eligible request for the
+  winner's module rides the same partition residency (deadline order,
+  bounded by ``batch_limit``), so one reconfiguration amortizes over
+  the whole batch;
+* **bitstream cache** — the swap takes its descriptor from the
+  :class:`~repro.sched.cache.BitstreamCache`, so only cold modules pay
+  the SD fault; requests for the already-resident module skip the DPR
+  entirely.
+
+Time is *simulated* time throughout: the arbiter advances the SoC's
+clock to the next arrival when idle and otherwise lets the driver stack
+advance it, so a replay is deterministic and wall-clock independent.
+The asyncio layer models request concurrency (many tenants in flight),
+not hardware parallelism — while a batch holds the ICAP lock the event
+loop is busy exactly like the one physical configuration port is.
+
+Failed reconfigurations are retried through the driver's abort/recover
+path up to ``max_retries`` times; a batch that exhausts its retries
+fails its requests in-band (``status="failed"``) and the scheduler
+keeps serving.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.drivers.manager import ReconfigurationManager
+from repro.errors import ControllerError, SchedulerError
+from repro.sched.cache import BitstreamCache
+from repro.sched.request import (
+    CANCELLED,
+    COMPLETED,
+    DROPPED,
+    FAILED,
+    TIMED_OUT,
+    RequestOutcome,
+    SwapRequest,
+)
+
+#: span/metric track name
+TRACK = "sched"
+
+_PENDING = 0
+_CLAIMED = 1
+_DONE = 2
+
+
+class _Entry:
+    """Queue bookkeeping for one submitted request."""
+
+    __slots__ = ("request", "future", "seq", "arrival_cycle",
+                 "deadline_cycle", "state")
+
+    def __init__(self, request: SwapRequest, future: "asyncio.Future[RequestOutcome]",
+                 seq: int, freq_hz: float) -> None:
+        self.request = request
+        self.future = future
+        self.seq = seq
+        self.arrival_cycle = int(request.arrival_us * freq_hz / 1e6)
+        self.deadline_cycle = int(request.deadline_us * freq_hz / 1e6)
+        self.state = _PENDING
+
+
+class DprScheduler:
+    """Multi-tenant asyncio front end over one ReconfigurationManager."""
+
+    def __init__(self, manager: ReconfigurationManager, *,
+                 cache: Optional[BitstreamCache] = None,
+                 batch_limit: int = 64,
+                 drop_late: bool = False,
+                 max_retries: int = 1,
+                 reconfig_mode: str = "interrupt") -> None:
+        if batch_limit < 1:
+            raise SchedulerError("batch_limit must be >= 1")
+        if max_retries < 0:
+            raise SchedulerError("max_retries must be >= 0")
+        self.manager = manager
+        self.cache = cache
+        self.batch_limit = batch_limit
+        self.drop_late = drop_late
+        self.max_retries = max_retries
+        self.reconfig_mode = reconfig_mode
+        self._freq_hz = manager.soc.sim.freq_hz
+        #: not-yet-eligible entries, keyed by arrival
+        self._arrivals: List[Tuple[int, int, _Entry]] = []
+        #: eligible entries, keyed by deadline (EDF order)
+        self._ready: List[Tuple[int, int, _Entry]] = []
+        #: eligible entries per module, keyed by deadline (batch pulls)
+        self._by_module: Dict[str, List[Tuple[int, int, _Entry]]] = {}
+        self._pending_count = 0
+        self._seq = 0
+        self._wake = asyncio.Event()
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._task: Optional["asyncio.Task[None]"] = None
+        self._stopping = False
+        #: cycles the ICAP spent programming (utilization numerator)
+        self.icap_busy_cycles = 0
+        self._started_cycle: Optional[int] = None
+        self._payload_frames: Dict[Tuple[int, int], np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    @property
+    def soc(self):
+        return self.manager.soc
+
+    @property
+    def sim(self):
+        return self.manager.soc.sim
+
+    @property
+    def obs(self):
+        return getattr(self.manager.soc, "obs", None)
+
+    @property
+    def queue_depth(self) -> int:
+        return self._pending_count
+
+    def _cycles_to_us(self, cycles: int) -> float:
+        return cycles * 1e6 / self._freq_hz
+
+    def _sample_depth(self) -> None:
+        obs = self.obs
+        if obs is not None:
+            obs.metrics.gauge(
+                "sched_queue_depth",
+                "requests queued in the scheduler").set(
+                    float(self._pending_count))
+            obs.tracer.count("sched.queue_depth", self.sim.now,
+                             float(self._pending_count))
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Launch the arbiter task (idempotent)."""
+        if self._task is None or self._task.done():
+            self._stopping = False
+            self._task = asyncio.get_running_loop().create_task(
+                self._arbiter(), name="dpr-arbiter")
+
+    async def aclose(self) -> None:
+        """Stop after draining the queue."""
+        if self._task is None:
+            return
+        self._stopping = True
+        self._wake.set()
+        await self._task
+        self._task = None
+
+    async def drain(self) -> None:
+        """Wait until every queued request has been resolved."""
+        while self._pending_count:
+            self._idle.clear()
+            await self._idle.wait()
+
+    async def __aenter__(self) -> "DprScheduler":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *_exc) -> None:
+        await self.aclose()
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit(self, request: SwapRequest) -> "asyncio.Future[RequestOutcome]":
+        """Queue a request; the future resolves to its outcome."""
+        if self._stopping:
+            raise SchedulerError("scheduler is closing")
+        if request.module not in self.soc.registered_modules:
+            raise SchedulerError(
+                f"unknown module {request.module!r}: registered modules "
+                f"are {self.soc.registered_modules}")
+        try:
+            loop = asyncio.get_running_loop()
+        except RuntimeError as exc:  # pragma: no cover - usage error
+            raise SchedulerError(
+                "submit() requires a running event loop") from exc
+        future: "asyncio.Future[RequestOutcome]" = loop.create_future()
+        entry = _Entry(request, future, self._seq, self._freq_hz)
+        self._seq += 1
+        heapq.heappush(self._arrivals,
+                       (entry.arrival_cycle, entry.seq, entry))
+        self._pending_count += 1
+        obs = self.obs
+        if obs is not None:
+            obs.metrics.counter(
+                "sched_requests_total",
+                "requests submitted to the scheduler").inc()
+        self._sample_depth()
+        self._wake.set()
+        return future
+
+    async def submit_and_wait(self, request: SwapRequest) -> RequestOutcome:
+        return await self.submit(request)
+
+    # ------------------------------------------------------------------
+    # the arbiter
+    # ------------------------------------------------------------------
+    async def _arbiter(self) -> None:
+        while True:
+            self._promote_arrivals()
+            if not self._ready:
+                if self._arrivals:
+                    # idle until the earliest pending arrival
+                    target = self._arrivals[0][0]
+                    if target > self.sim.now:
+                        self.sim.advance_to(target)
+                    continue
+                if self._stopping:
+                    break
+                self._idle.set()
+                self._wake.clear()
+                await self._wake.wait()
+                continue
+            batch = self._collect_batch()
+            if batch:
+                self._service_batch(batch)
+            # yield so freshly submitted requests (and cancellations)
+            # land between batches
+            await asyncio.sleep(0)
+        self._idle.set()
+
+    def _promote_arrivals(self) -> None:
+        now = self.sim.now
+        moved = False
+        while self._arrivals and self._arrivals[0][0] <= now:
+            _, _, entry = heapq.heappop(self._arrivals)
+            key = (entry.deadline_cycle, entry.seq, entry)
+            heapq.heappush(self._ready, key)
+            heapq.heappush(
+                self._by_module.setdefault(entry.request.module, []), key)
+            moved = True
+        if moved:
+            self._sample_depth()
+
+    def _collect_batch(self) -> List[_Entry]:
+        """EDF winner plus same-module riders, in deadline order."""
+        winner: Optional[_Entry] = None
+        while self._ready:
+            _, _, entry = heapq.heappop(self._ready)
+            if entry.state is _PENDING:
+                winner = entry
+                break
+        if winner is None:
+            return []
+        winner.state = _CLAIMED
+        batch = [winner]
+        module_heap = self._by_module.get(winner.request.module, [])
+        while module_heap and len(batch) < self.batch_limit:
+            _, _, entry = heapq.heappop(module_heap)
+            if entry.state is not _PENDING:
+                continue
+            entry.state = _CLAIMED
+            batch.append(entry)
+        return batch
+
+    # ------------------------------------------------------------------
+    # service
+    # ------------------------------------------------------------------
+    def _service_batch(self, batch: List[_Entry]) -> None:
+        sim = self.sim
+        obs = self.obs
+        if self._started_cycle is None:
+            self._started_cycle = sim.now
+        module = batch[0].request.module
+        span = None
+        if obs is not None:
+            span = obs.tracer.begin(TRACK, "batch", sim.now, module=module,
+                                    size=len(batch))
+        try:
+            runnable = [e for e in batch if self._admit(e)]
+            if runnable:
+                self._run_batch(module, runnable)
+        finally:
+            if obs is not None:
+                obs.tracer.end(span, sim.now)
+                obs.metrics.counter(
+                    "sched_batches_total", "batches serviced").inc()
+                obs.metrics.histogram(
+                    "sched_batch_size",
+                    "requests per serviced batch").record(len(batch))
+        self._sample_depth()
+
+    def _admit(self, entry: _Entry) -> bool:
+        """Pre-service gate: cancellation, queue timeout, late drop."""
+        request = entry.request
+        now_us = self._cycles_to_us(self.sim.now)
+        if entry.future.cancelled():
+            self._finish(entry, None)
+            return False
+        if (request.timeout_us is not None
+                and now_us > request.arrival_us + request.timeout_us):
+            self._finish(entry, self._outcome(
+                entry, TIMED_OUT, start=None,
+                error=f"queue wait exceeded {request.timeout_us} us"))
+            return False
+        if self.drop_late and now_us > request.deadline_us:
+            self._finish(entry, self._outcome(
+                entry, DROPPED, start=None,
+                error="deadline passed before service"))
+            return False
+        return True
+
+    def _run_batch(self, module: str, entries: List[_Entry]) -> None:
+        sim = self.sim
+        obs = self.obs
+        start_us = self._cycles_to_us(sim.now)
+        cache_hit: Optional[bool] = None
+        td_us = tr_us = 0.0
+        reconfigured = False
+        try:
+            result, cache_hit = self._ensure_loaded(module)
+        except ControllerError as exc:
+            for entry in entries:
+                self._finish(entry, self._outcome(
+                    entry, FAILED, start=start_us, error=str(exc),
+                    cache_hit=cache_hit))
+            return
+        if result is not None:
+            reconfigured = True
+            td_us, tr_us = result.td_us, result.tr_us
+            busy = int(tr_us * self._freq_hz / 1e6)
+            self.icap_busy_cycles += busy
+            if obs is not None:
+                obs.metrics.counter(
+                    "sched_reconfigurations_total",
+                    "batches that programmed the ICAP").inc()
+                obs.metrics.counter(
+                    "sched_icap_busy_cycles",
+                    "cycles the ICAP spent programming").inc(busy)
+                obs.metrics.histogram(
+                    "sched_td_cycles", "per-swap decision time").record(
+                        int(td_us * self._freq_hz / 1e6))
+                obs.metrics.histogram(
+                    "sched_tr_cycles", "per-swap reconfiguration time"
+                ).record(busy)
+        elif obs is not None:
+            obs.metrics.counter(
+                "sched_reconfig_skips_total",
+                "batches served by the already-resident module").inc()
+        for index, entry in enumerate(entries):
+            self._run_payload(entry, start_us,
+                              td_us=td_us if index == 0 else 0.0,
+                              tr_us=tr_us if index == 0 else 0.0,
+                              cache_hit=cache_hit,
+                              reconfigured=reconfigured and index == 0,
+                              batched=index > 0)
+
+    def _ensure_loaded(self, module: str):
+        """Swap ``module`` in (through the cache when one is attached).
+
+        Returns ``(ReconfigResult | None, cache_hit | None)``; retries
+        through the driver's abort/recover path on failure.
+        """
+        manager = self.manager
+        cache_hit: Optional[bool] = None
+        if manager.loaded_module == module:
+            return None, None
+        attempts = 0
+        while True:
+            descriptor = None
+            if self.cache is not None:
+                descriptor, cache_hit = self.cache.get(module)
+            try:
+                return manager.load_module(
+                    module, descriptor=descriptor,
+                    mode=self.reconfig_mode), cache_hit
+            except ControllerError:
+                attempts += 1
+                obs = self.obs
+                if obs is not None:
+                    obs.metrics.counter(
+                        "sched_reconfig_retries_total",
+                        "reconfigurations retried after a failure").inc()
+                if attempts > self.max_retries:
+                    raise
+                self._recover()
+
+    def _recover(self) -> None:
+        """Driver-level cleanup between retry attempts."""
+        manager = self.manager
+        if manager.controller == "rvcap":
+            manager.rvcap.abort_reconfig()
+        timing = self.soc.config.timing
+        manager.port.elapse(max(1, int(
+            timing.recovery_backoff_us * timing.soc_freq_hz / 1e6)))
+
+    def _run_payload(self, entry: _Entry, start_us: float, *,
+                     td_us: float, tr_us: float,
+                     cache_hit: Optional[bool], reconfigured: bool,
+                     batched: bool) -> None:
+        request = entry.request
+        obs = self.obs
+        span = None
+        if obs is not None:
+            span = obs.tracer.begin(TRACK, "request", self.sim.now,
+                                    id=request.request_id,
+                                    module=request.module)
+        tc_us = 0.0
+        error: Optional[str] = None
+        try:
+            if request.payload_shape is not None:
+                image = self._payload_frame(request.payload_shape)
+                _out, times = self.manager.process_image(
+                    request.module, image)
+                tc_us = times.tc_us
+        except ControllerError as exc:
+            error = str(exc)
+        finally:
+            if obs is not None:
+                obs.tracer.end(span, self.sim.now)
+        status = FAILED if error is not None else COMPLETED
+        outcome = self._outcome(entry, status, start=start_us, error=error,
+                                cache_hit=cache_hit)
+        outcome.td_us, outcome.tr_us, outcome.tc_us = td_us, tr_us, tc_us
+        outcome.reconfigured = reconfigured
+        outcome.batched = batched
+        self._finish(entry, outcome)
+
+    # ------------------------------------------------------------------
+    # outcome bookkeeping
+    # ------------------------------------------------------------------
+    def _outcome(self, entry: _Entry, status: str, *,
+                 start: Optional[float], error: Optional[str] = None,
+                 cache_hit: Optional[bool] = None) -> RequestOutcome:
+        request = entry.request
+        finish = self._cycles_to_us(self.sim.now) \
+            if status == COMPLETED else None
+        return RequestOutcome(
+            request_id=request.request_id,
+            module=request.module,
+            status=status,
+            arrival_us=request.arrival_us,
+            deadline_us=request.deadline_us,
+            start_us=start,
+            finish_us=finish,
+            cache_hit=cache_hit,
+            error=error,
+        )
+
+    def _finish(self, entry: _Entry,
+                outcome: Optional[RequestOutcome]) -> None:
+        """Resolve the entry's future and record terminal metrics."""
+        entry.state = _DONE
+        self._pending_count -= 1
+        obs = self.obs
+        if outcome is None:  # cancelled upstream; future already dead
+            if obs is not None:
+                obs.metrics.counter(
+                    "sched_cancelled_total",
+                    "requests cancelled before service").inc()
+            return
+        if obs is not None:
+            obs.metrics.counter(
+                f"sched_{outcome.status}_total",
+                f"requests that finished {outcome.status}").inc()
+            if outcome.deadline_missed:
+                obs.metrics.counter(
+                    "sched_deadline_misses_total",
+                    "requests that missed their deadline").inc()
+                obs.tracer.instant(TRACK, "deadline_miss", self.sim.now,
+                                   id=outcome.request_id,
+                                   module=outcome.module)
+            if outcome.latency_us is not None:
+                obs.metrics.histogram(
+                    "sched_latency_cycles",
+                    "arrival-to-completion latency").record(
+                        int(outcome.latency_us * self._freq_hz / 1e6))
+            if outcome.start_us is not None:
+                wait = max(0.0, outcome.start_us - outcome.arrival_us)
+                obs.metrics.histogram(
+                    "sched_queue_wait_cycles",
+                    "arrival-to-service queue wait").record(
+                        int(wait * self._freq_hz / 1e6))
+            if outcome.tc_us:
+                obs.metrics.histogram(
+                    "sched_tc_cycles",
+                    "per-request payload compute time").record(
+                        int(outcome.tc_us * self._freq_hz / 1e6))
+        if not entry.future.cancelled():
+            entry.future.set_result(outcome)
+
+    # ------------------------------------------------------------------
+    # payload frames (content is irrelevant; geometry must match the RM)
+    # ------------------------------------------------------------------
+    def _payload_frame(self, shape: Tuple[int, int]) -> np.ndarray:
+        frame = self._payload_frames.get(shape)
+        if frame is None:
+            height, width = shape
+            frame = (np.add.outer(np.arange(height, dtype=np.uint16),
+                                  np.arange(width, dtype=np.uint16))
+                     & 0xFF).astype(np.uint8)
+            self._payload_frames[shape] = frame
+        return frame
+
+    # ------------------------------------------------------------------
+    # reporting helpers
+    # ------------------------------------------------------------------
+    def icap_utilization(self) -> float:
+        """Fraction of elapsed time the ICAP spent programming."""
+        if self._started_cycle is None:
+            return 0.0
+        elapsed = self.sim.now - self._started_cycle
+        return self.icap_busy_cycles / elapsed if elapsed else 0.0

@@ -144,7 +144,9 @@ class Soc:
             rp.loaded_module = module
             self.active_module_names[rp_index] = name
             if module.behavior is not None:
-                rm = make_accelerator(module.behavior)
+                rm = make_accelerator(module.behavior,
+                                      width=module.frame_width,
+                                      height=module.frame_height)
                 self.active_rms[rp_index] = rm
                 self.rvcap.attach_rm_streams(rm, rm, rp_index=rp_index)
             else:

@@ -85,3 +85,89 @@ class TestImagePipeline:
         out, times = manager.process_image("median", image)
         assert np.array_equal(out, GOLDEN_FILTERS["median"](image))
         assert times.tr_us > 10_000  # CPU-copy reconfig is slow
+
+
+class TestExplicitAddressRegression:
+    """process_image must honour explicit-but-falsy DMA addresses.
+
+    The old ``src_address or default`` idiom silently replaced address 0
+    — a perfectly valid target on a platform whose DDR window starts at
+    0 — with the scratch default, streaming the wrong memory.
+    """
+
+    @staticmethod
+    def _zero_base_manager():
+        from repro.drivers.manager import ReconfigurationManager
+        from repro.soc.builder import build_soc
+        from repro.soc.config import MemoryLayout, SocConfig
+        # DDR window starting at address 0; boot ROM moved clear of it,
+        # every other peripheral already sits above 16 MB
+        layout = MemoryLayout(ddr_base=0x0000_0000,
+                              ddr_size=16 * 1024 * 1024,
+                              bootrom_base=0x4000_0000)
+        soc = build_soc(SocConfig(layout=layout))
+        manager = ReconfigurationManager(soc)
+        manager.provision_sdcard()
+        # the default pbit placement (ddr_base + 16 MB) is outside this
+        # small window; pack the store at +1 MB instead
+        from repro.fat32 import Fat32FileSystem, SdBackdoorBlockDevice
+        from repro.drivers.fileio import PbitStore
+        fs = Fat32FileSystem.mount(SdBackdoorBlockDevice(soc.sdcard))
+        manager.store = PbitStore(manager.port, fs)
+        manager.store.init_rmodules(soc.registered_modules,
+                                    base_address=1 << 20)
+        return soc, manager
+
+    def test_source_address_zero_is_respected(self):
+        soc, manager = self._zero_base_manager()
+        image = checkerboard_image(512)
+        soc.ddr_write(0, image.tobytes())  # plant the frame at address 0
+        out, _times = manager.process_image(
+            "sobel", image, src_address=0, dst_address=8 << 20)
+        assert np.array_equal(out, GOLDEN_FILTERS["sobel"](image))
+
+    def test_destination_address_zero_is_respected(self):
+        soc, manager = self._zero_base_manager()
+        image = checkerboard_image(512)
+        out, _times = manager.process_image(
+            "median", image, src_address=8 << 20, dst_address=0)
+        golden = GOLDEN_FILTERS["median"](image)
+        assert np.array_equal(out, golden)
+        # the result really landed at address 0
+        written = np.frombuffer(soc.ddr_read(0, image.size),
+                                dtype=np.uint8).reshape(image.shape)
+        assert np.array_equal(written, golden)
+
+
+class TestFailedReconfigInvalidatesState:
+    """A failed DPR must clear ``loaded_module``/``last_reconfig``.
+
+    The partition may be partially scrubbed when ``init_reconfig_process``
+    raises; leaving the previous module name cached makes a later load
+    of that module skip the DPR against stale state.
+    """
+
+    def test_reload_of_previous_module_reprograms(
+            self, provisioned_manager_factory):
+        from repro.faults import install_mem_fault, remove_mem_fault
+
+        soc, manager = provisioned_manager_factory()
+        assert manager.load_module("sobel") is not None
+        channel = soc.rvcap.dma.mm2s
+        d = manager.descriptor("median")
+        proxy = install_mem_fault(channel, fail_read_at=d.pbit_size // 2)
+        try:
+            with pytest.raises(ControllerError):
+                manager.load_module("median")
+        finally:
+            remove_mem_fault(channel, proxy)
+        # the failure invalidated the cached driver state...
+        assert manager.loaded_module is None
+        assert manager.last_reconfig is None
+        # ...so after the driver-level abort (ICAP parser reset), a load
+        # of the pre-failure module really reprograms instead of
+        # skipping against the scrubbed partition
+        manager.rvcap.abort_reconfig()
+        result = manager.load_module("sobel")
+        assert result is not None
+        assert soc.active_module_name == "sobel"

@@ -1,0 +1,31 @@
+"""Fixtures for the scheduler suite.
+
+The serving platform (small RP + synthetic catalog) provisions in well
+under a second, so tests that mutate state build fresh instances from
+the factory instead of sharing one.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sched import build_sched_soc, make_cache
+
+
+@pytest.fixture()
+def sched_platform_factory():
+    """Build (manager, cache) pairs for scheduler tests."""
+
+    def build(modules: int = 4, *, frame: int = 32,
+              arena_bytes: int = 1 << 20, with_cache: bool = True,
+              charge_sd_time: bool = False, **cache_kwargs):
+        manager = build_sched_soc(modules, frame=frame)
+        manager.soc.attach_observability()
+        cache = None
+        if with_cache:
+            cache = make_cache(manager, arena_bytes=arena_bytes,
+                               charge_sd_time=charge_sd_time,
+                               **cache_kwargs)
+        return manager, cache
+
+    return build

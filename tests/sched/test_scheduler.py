@@ -1,0 +1,212 @@
+"""DprScheduler: EDF order, batching, failure modes, accounting.
+
+Tests drive the scheduler directly through asyncio.run — the arbiter
+advances *simulated* time, so every scenario is deterministic.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.faults import install_mem_fault, remove_mem_fault
+from repro.sched import (
+    COMPLETED,
+    DROPPED,
+    FAILED,
+    TIMED_OUT,
+    DprScheduler,
+    SwapRequest,
+)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def _serve_all(scheduler, requests):
+    async with scheduler:
+        futures = [scheduler.submit(r) for r in requests]
+        return await asyncio.gather(*futures)
+
+
+class TestArbitration:
+    def test_edf_serves_earliest_deadline_first(
+            self, sched_platform_factory):
+        manager, cache = sched_platform_factory()
+        scheduler = DprScheduler(manager, cache=cache, batch_limit=1)
+        requests = [
+            SwapRequest("rm0", 10.0, 90_000.0, request_id=0),
+            SwapRequest("rm1", 10.0, 30_000.0, request_id=1),
+            SwapRequest("rm2", 10.0, 60_000.0, request_id=2),
+        ]
+        outcomes = run(_serve_all(scheduler, requests))
+        by_start = sorted(outcomes, key=lambda o: o.start_us)
+        assert [o.module for o in by_start] == ["rm1", "rm2", "rm0"]
+        assert all(o.status == COMPLETED for o in outcomes)
+
+    def test_same_module_requests_batch_one_reconfiguration(
+            self, sched_platform_factory):
+        manager, cache = sched_platform_factory()
+        scheduler = DprScheduler(manager, cache=cache)
+        requests = [
+            SwapRequest("rm0", 10.0, 20_000.0, request_id=0),
+            SwapRequest("rm1", 10.0, 50_000.0, request_id=1),
+            SwapRequest("rm0", 10.0, 90_000.0, request_id=2),
+        ]
+        outcomes = run(_serve_all(scheduler, requests))
+        lead, other, rider = outcomes
+        # the far-deadline rm0 rides the first batch, ahead of rm1
+        assert rider.batched and not rider.reconfigured
+        assert rider.start_us == lead.start_us  # same batch as the lead
+        assert rider.finish_us <= other.start_us
+        assert lead.reconfigured and not lead.batched
+        # two reconfigurations total: rm0 once, rm1 once
+        reconfigs = manager.soc.obs.metrics.get(
+            "sched_reconfigurations_total")
+        assert reconfigs.value == 2
+
+    def test_batch_limit_bounds_riders(self, sched_platform_factory):
+        manager, cache = sched_platform_factory()
+        scheduler = DprScheduler(manager, cache=cache, batch_limit=2)
+        requests = [SwapRequest("rm0", 10.0, 90_000.0, request_id=i)
+                    for i in range(4)]
+        run(_serve_all(scheduler, requests))
+        hist = manager.soc.obs.metrics.get("sched_batch_size")
+        assert hist.max == 2 and hist.count == 2
+
+    def test_resident_module_skips_reconfiguration(
+            self, sched_platform_factory):
+        manager, cache = sched_platform_factory()
+        scheduler = DprScheduler(manager, cache=cache, batch_limit=1)
+        outcomes = run(_serve_all(scheduler, [
+            SwapRequest("rm0", 10.0, 50_000.0, request_id=0),
+            SwapRequest("rm0", 10.0, 90_000.0, request_id=1),
+        ]))
+        # batch_limit=1 forces two batches; the second finds rm0 loaded
+        second = max(outcomes, key=lambda o: o.start_us)
+        assert not second.reconfigured and second.tr_us == 0.0
+        skips = manager.soc.obs.metrics.get("sched_reconfig_skips_total")
+        assert skips.value == 1
+
+    def test_unknown_module_rejected_at_submit(
+            self, sched_platform_factory):
+        manager, cache = sched_platform_factory()
+        scheduler = DprScheduler(manager, cache=cache)
+
+        async def go():
+            async with scheduler:
+                with pytest.raises(SchedulerError):
+                    scheduler.submit(SwapRequest("nope", 0.0, 1.0))
+
+        run(go())
+
+
+class TestDeadlinesAndLateness:
+    def test_impossible_deadline_reported_as_miss(
+            self, sched_platform_factory):
+        manager, cache = sched_platform_factory()
+        scheduler = DprScheduler(manager, cache=cache)
+        outcome, = run(_serve_all(scheduler, [
+            SwapRequest("rm0", 10.0, 11.0, payload_shape=(32, 32)),
+        ]))
+        assert outcome.status == COMPLETED
+        assert outcome.deadline_missed
+        misses = manager.soc.obs.metrics.get(
+            "sched_deadline_misses_total")
+        assert misses.value == 1
+
+    def test_drop_late_sheds_requests_past_deadline(
+            self, sched_platform_factory):
+        manager, cache = sched_platform_factory()
+        scheduler = DprScheduler(manager, cache=cache, batch_limit=1,
+                                 drop_late=True)
+        outcomes = run(_serve_all(scheduler, [
+            # rm0 wins EDF; its ~80 us swap outlives rm1's deadline
+            SwapRequest("rm0", 10.0, 40.0, request_id=0),
+            SwapRequest("rm1", 10.0, 60.0, request_id=1),
+        ]))
+        statuses = {o.request_id: o.status for o in outcomes}
+        assert statuses[1] == DROPPED
+        dropped = next(o for o in outcomes if o.request_id == 1)
+        assert dropped.finish_us is None and dropped.deadline_missed
+
+    def test_queue_timeout_expires_waiting_request(
+            self, sched_platform_factory):
+        manager, cache = sched_platform_factory()
+        scheduler = DprScheduler(manager, cache=cache, batch_limit=1)
+        outcomes = run(_serve_all(scheduler, [
+            SwapRequest("rm0", 10.0, 50_000.0, request_id=0),
+            SwapRequest("rm1", 10.0, 90_000.0, timeout_us=5.0,
+                        request_id=1),
+        ]))
+        statuses = {o.request_id: o.status for o in outcomes}
+        assert statuses == {0: COMPLETED, 1: TIMED_OUT}
+        timed_out = next(o for o in outcomes if o.request_id == 1)
+        assert "queue wait" in timed_out.error
+
+
+class TestCancellation:
+    def test_cancelled_future_is_skipped_not_served(
+            self, sched_platform_factory):
+        manager, cache = sched_platform_factory()
+        scheduler = DprScheduler(manager, cache=cache)
+
+        async def go():
+            async with scheduler:
+                keep = scheduler.submit(
+                    SwapRequest("rm0", 10.0, 50_000.0, request_id=0))
+                drop = scheduler.submit(
+                    SwapRequest("rm1", 10.0, 90_000.0, request_id=1))
+                drop.cancel()
+                kept = await keep
+                with pytest.raises(asyncio.CancelledError):
+                    await drop
+                return kept
+
+        kept = run(go())
+        assert kept.status == COMPLETED
+        cancelled = manager.soc.obs.metrics.get("sched_cancelled_total")
+        assert cancelled.value == 1
+        # the cancelled module was never swapped in
+        assert manager.loaded_module == "rm0"
+
+
+class TestFaultHandling:
+    def test_transient_dma_fault_retried_to_completion(
+            self, sched_platform_factory):
+        manager, cache = sched_platform_factory()
+        channel = manager.soc.rvcap.dma.mm2s
+        pbit = cache.get("rm0")[0].pbit_size
+        cache.invalidate("rm0")
+        install_mem_fault(channel, fail_read_at=pbit // 2)  # once=True
+        scheduler = DprScheduler(manager, cache=cache, max_retries=1)
+        outcome, = run(_serve_all(scheduler, [
+            SwapRequest("rm0", 10.0, 90_000.0, request_id=0),
+        ]))
+        assert outcome.status == COMPLETED
+        assert manager.soc.active_module_name == "rm0"
+        retries = manager.soc.obs.metrics.get(
+            "sched_reconfig_retries_total")
+        assert retries.value == 1
+
+    def test_hard_fault_fails_request_scheduler_survives(
+            self, sched_platform_factory):
+        manager, cache = sched_platform_factory()
+        channel = manager.soc.rvcap.dma.mm2s
+        proxy = install_mem_fault(channel, fail_read_at=0, once=False)
+        scheduler = DprScheduler(manager, cache=cache, max_retries=1)
+
+        async def go():
+            async with scheduler:
+                failed = await scheduler.submit(
+                    SwapRequest("rm0", 10.0, 90_000.0, request_id=0))
+                remove_mem_fault(channel, proxy)
+                recovered = await scheduler.submit(
+                    SwapRequest("rm1", 10.0, 500_000.0, request_id=1))
+                return failed, recovered
+
+        failed, recovered = run(go())
+        assert failed.status == FAILED and failed.error
+        assert recovered.status == COMPLETED
+        assert manager.soc.active_module_name == "rm1"
