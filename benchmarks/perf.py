@@ -44,10 +44,19 @@ PRE_PR_WALL_S = {
     "table2": 3.456,
     "iss_unroll": 0.852,
     "fault_sweep": 4.682,
+    "sched_replay": 1.1552,
+    "table2_obs": 0.5312,
 }
 
 #: allowed normalized wall-clock regression before --check fails
 REGRESSION_TOLERANCE = 1.25
+
+#: block-engine gate: iss_unroll must stay >= this much faster than the
+#: interpreter-era seed measurement, calibration-normalized (the seed
+#: wall and its calibration were captured on the machine that set them)
+ISS_UNROLL_SEED_WALL_S = 0.341
+ISS_UNROLL_SEED_CALIB_S = 0.038
+ISS_UNROLL_MIN_SPEEDUP = 5.0
 
 #: allowed tracer-off overhead of the observability layer: the guarded
 #: emit sites (`obs is not None` checks) must cost <2 % on the Table II
@@ -249,6 +258,21 @@ def check_regressions(current: dict, baseline_path: Path) -> int:
         )
         if ratio > REGRESSION_TOLERANCE:
             failures.append((bench["name"], ratio))
+    for bench in current["benches"]:
+        if bench["name"] != "iss_unroll":
+            continue
+        # absolute gate: the block engine's win over the interpreter-era
+        # seed must hold, not just not-regress vs the last commit
+        seed_norm = ISS_UNROLL_SEED_WALL_S / ISS_UNROLL_SEED_CALIB_S
+        cur_norm = bench["wall_s"] / cur_calib
+        speedup = seed_norm / cur_norm if cur_norm > 0 else float("inf")
+        tag = "ok" if speedup >= ISS_UNROLL_MIN_SPEEDUP else "FAIL"
+        print(
+            f"perf-check: iss_unroll block-engine speedup {speedup:5.2f}x "
+            f"vs seed (need >= {ISS_UNROLL_MIN_SPEEDUP:.1f}x) [{tag}]"
+        )
+        if speedup < ISS_UNROLL_MIN_SPEEDUP:
+            failures.append(("iss_unroll(seed-speedup)", speedup))
     if failures:
         worst = max(failures, key=lambda f: f[1])
         print(

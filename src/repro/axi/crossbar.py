@@ -18,9 +18,9 @@ MM2S/S2MM traffic to the single DDR port in acceleration mode.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple
 
-from repro.axi.interface import AxiSlave
+from repro.axi.interface import AxiSlave, ReadPort, WritePort
 from repro.axi.memory_map import MemoryMap, Region
 from repro.axi.types import AxiResp, AxiResult
 
@@ -121,6 +121,106 @@ class AxiCrossbar(AxiSlave):
         return AxiResult(
             result.data, result.complete_at + self.response_latency, result.resp
         )
+
+    def resolve_read_port(self, addr: int, nbytes: int,
+                          lead: int = 0) -> Optional[ReadPort]:
+        region = self.memory_map.decode(addr)
+        if region is None:
+            return None
+        inner = region.slave.resolve_read_port(addr - region.base, nbytes)
+        if inner is None:
+            return None
+        busy = self._busy_until
+        key = id(region)
+        request = lead + self.request_latency
+        response = self.response_latency
+
+        def port(now: int) -> Tuple[int, int]:
+            self.transactions += 1
+            arrive = now + request
+            start = busy.get(key, 0)
+            if start < arrive:
+                start = arrive
+            if self.obs is not None:
+                self._c_txn.inc()  # type: ignore[union-attr]
+                if start > arrive:
+                    self._wait_counter(region).inc(start - arrive)
+            value, complete = inner(start)
+            busy[key] = complete
+            return value, complete + response
+
+        return port
+
+    def resolve_write_port(self, addr: int, nbytes: int,
+                           lead: int = 0) -> Optional[WritePort]:
+        region = self.memory_map.decode(addr)
+        if region is None:
+            return None
+        inner = region.slave.resolve_write_port(addr - region.base, nbytes)
+        if inner is None:
+            return None
+        busy = self._busy_until
+        key = id(region)
+        request = lead + self.request_latency
+        response = self.response_latency
+
+        def port(value: int, now: int) -> int:
+            self.transactions += 1
+            arrive = now + request
+            start = busy.get(key, 0)
+            if start < arrive:
+                start = arrive
+            if self.obs is not None:
+                self._c_txn.inc()  # type: ignore[union-attr]
+                if start > arrive:
+                    self._wait_counter(region).inc(start - arrive)
+            complete = inner(value, start)
+            busy[key] = complete
+            return complete + response
+
+        return port
+
+    def resolve_fill_port(self, lo: int, hi: int, nbytes: int) -> Optional[
+        "Callable[[int, int], int]"
+    ]:
+        """A timing-only burst-read port over one region window.
+
+        Returns ``f(addr, now) -> complete_at`` reproducing
+        :meth:`read_burst` timing (arbitration watermark, counters) for
+        an ``nbytes`` burst at any address inside [lo, hi), without
+        materializing the data.  Cache line fills are timing-only —
+        architectural data moves through the hart's zero-time backdoor
+        — so this removes the per-fill payload copy and routing frames.
+        Requires the whole window to decode to one region whose slave
+        exposes ``burst_read_timing``; ``None`` otherwise.
+        """
+        region = self.memory_map.decode(lo)
+        if region is None or hi > region.end or lo >= hi:
+            return None
+        timing_fn = getattr(region.slave, "burst_read_timing", None)
+        if timing_fn is None:
+            return None
+        busy = self._busy_until
+        key = id(region)
+        base = region.base
+        request = self.request_latency
+        response = self.response_latency
+
+        def port(addr: int, now: int) -> int:
+            self.transactions += 1
+            arrive = now + request
+            start = busy.get(key, 0)
+            if start < arrive:
+                start = arrive
+            if self.obs is not None:
+                self._c_txn.inc()  # type: ignore[union-attr]
+                if start > arrive:
+                    self._wait_counter(region).inc(start - arrive)
+            complete = int(timing_fn(addr - base, nbytes, start))
+            busy[key] = complete
+            return complete + response
+
+        return port
 
     def read(self, addr: int, nbytes: int, now: int) -> AxiResult:
         return self._route(addr, now, False, True, nbytes, b"")

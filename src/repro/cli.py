@@ -25,6 +25,7 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -436,10 +437,45 @@ def _profile_scenarios() -> dict:
             "table2": table2, "unroll": unroll, "faults": faults}
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.fleet import run_fleet
+    params: dict = {}
+    if args.task == "faults":
+        params = {"points": args.points, "mode": args.mode}
+        if args.kinds:
+            params["kinds"] = tuple(args.kinds)
+    elif args.task == "unroll":
+        if args.factors:
+            params = {"factors": tuple(args.factors)}
+    elif args.task == "sched":
+        params = {"requests": args.requests}
+        if args.rates:
+            params["rates"] = tuple(args.rates)
+    report = run_fleet(args.task, workers=args.workers, seed=args.seed,
+                       params=params)
+    if args.json:
+        text = report.stable_json() if args.stable \
+            else json.dumps(report.to_dict(), indent=2, sort_keys=True)
+        if args.output:
+            Path(args.output).write_text(text + "\n")
+            print(f"fleet report written to {args.output}")
+        else:
+            print(text)
+    else:
+        print(report.render())
+        if args.output:
+            Path(args.output).write_text(report.stable_json() + "\n")
+            print(f"fleet report written to {args.output}")
+    return 0
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     import cProfile
     import pstats
 
+    if args.engine:
+        from repro.riscv.hart import set_default_engine
+        set_default_engine(args.engine)
     scenario = _profile_scenarios()[args.scenario]
     profiler = cProfile.Profile()
     profiler.enable()
@@ -640,10 +676,42 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--base", type=lambda x: int(x, 0), default=0x1_0000)
     p.set_defaults(func=_cmd_disasm)
 
+    p = sub.add_parser("fleet", help="shard an evaluation workload over "
+                                     "worker processes")
+    p.add_argument("task", choices=["faults", "unroll", "sched"])
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes (1 = serial, same report)")
+    p.add_argument("--seed", type=int, default=2026,
+                   help="campaign seed (default: 2026)")
+    p.add_argument("--points", type=int, default=2,
+                   help="faults: injections per kind (default: 2)")
+    p.add_argument("--kinds", nargs="+", default=None, metavar="KIND",
+                   help="faults: subset of fault kinds to sweep")
+    p.add_argument("--mode", choices=["interrupt", "polling"],
+                   default="interrupt",
+                   help="faults: completion-wait mode (default: interrupt)")
+    p.add_argument("--factors", nargs="+", type=int, default=None,
+                   metavar="N", help="unroll: loop-unroll factors")
+    p.add_argument("--rates", nargs="+", type=float, default=None,
+                   metavar="RPS", help="sched: arrival rates to sweep")
+    p.add_argument("--requests", type=int, default=400,
+                   help="sched: requests per rate (default: 400)")
+    p.add_argument("--json", action="store_true",
+                   help="print the report as JSON")
+    p.add_argument("--stable", action="store_true",
+                   help="with --json: deterministic fields only "
+                        "(drops wall time and worker count)")
+    p.add_argument("-o", "--output", default=None,
+                   help="also write the stable JSON report to a file")
+    p.set_defaults(func=_cmd_fleet)
+
     p = sub.add_parser("profile", help="cProfile a named simulator "
                                        "workload")
     p.add_argument("scenario", choices=["bitgen", "icap", "reconfig",
                                         "table2", "unroll", "faults"])
+    p.add_argument("--engine", choices=["interp", "block"], default=None,
+                   help="ISS execution engine for the workload "
+                        "(default: process default)")
     p.add_argument("--sort", default="cumulative",
                    help="pstats sort key (default: cumulative)")
     p.add_argument("--limit", type=int, default=30,

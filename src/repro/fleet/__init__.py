@@ -1,0 +1,18 @@
+"""Multiprocessing fleet runner for independent simulation shards.
+
+See :mod:`repro.fleet.runner` for the determinism contract and
+:mod:`repro.fleet.tasks` for the shardable workload catalog.
+"""
+
+from __future__ import annotations
+
+from repro.fleet.runner import FleetReport, run_fleet
+from repro.fleet.tasks import FLEET_TASKS, FleetTask, derive_seed
+
+__all__ = [
+    "FleetReport",
+    "run_fleet",
+    "FLEET_TASKS",
+    "FleetTask",
+    "derive_seed",
+]

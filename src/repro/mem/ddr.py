@@ -141,6 +141,20 @@ class DdrController(AxiSlave):
     def write_burst(self, addr: int, data: bytes, now: int) -> AxiResult:
         return self._write("default", addr, data, now)
 
+    def burst_read_timing(self, addr: int, nbytes: int, now: int) -> int:
+        """Timing of a default-port read burst without the payload.
+
+        Exactly :meth:`read_burst`'s completion time and side effects
+        (row/port state, ``bytes_read``) minus the data copy; used by
+        the crossbar's resolved fill port for timing-only cache line
+        fills.
+        """
+        if addr + nbytes > self.size:
+            return now + 1
+        complete = self._service("default", addr, nbytes, now)
+        self.bytes_read += nbytes
+        return complete
+
     def _read(self, port: str, addr: int, nbytes: int, now: int) -> AxiResult:
         if addr + nbytes > self.size:
             return AxiResult(b"", now + 1, AxiResp.SLVERR)

@@ -89,7 +89,8 @@ class SparseMemory:
         codec = _WORD_CODECS.get(nbytes)
         offset = addr & (self.page_size - 1)
         if codec is not None and offset + nbytes <= self.page_size:
-            self._check_range(addr, nbytes)
+            if addr < 0 or addr + nbytes > self.size:
+                self._check_range(addr, nbytes)
             page = self._pages.get(addr >> self.page_bits)
             if page is None:
                 return 0
@@ -101,7 +102,8 @@ class SparseMemory:
         codec = _WORD_CODECS.get(nbytes)
         offset = addr & (self.page_size - 1)
         if codec is not None and offset + nbytes <= self.page_size:
-            self._check_range(addr, nbytes)
+            if addr < 0 or addr + nbytes > self.size:
+                self._check_range(addr, nbytes)
             page_idx = addr >> self.page_bits
             page = self._pages.get(page_idx)
             if page is None:

@@ -188,6 +188,37 @@ class MetricsRegistry:
         return self._instruments.get(
             (name, tuple(sorted((labels or {}).items()))))
 
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold ``other``'s instruments into this registry.
+
+        Counters and histogram contents add; gauges take the other
+        registry's last value (a merged gauge has no meaningful sum).
+        Used by the fleet runner to combine per-shard registries into
+        one process-wide view.
+        """
+        for instrument in other.instruments():
+            labels = dict(instrument.labels)
+            if isinstance(instrument, Counter):
+                self.counter(instrument.name, instrument.help,
+                             labels).inc(instrument.value)
+            elif isinstance(instrument, Gauge):
+                self.gauge(instrument.name, instrument.help,
+                           labels).set(instrument.value)
+            else:
+                assert isinstance(instrument, Histogram)
+                mine = self.histogram(instrument.name, instrument.help,
+                                      labels)
+                for index, n in instrument.buckets.items():
+                    mine.buckets[index] = mine.buckets.get(index, 0) + n
+                mine.count += instrument.count
+                mine.total += instrument.total
+                if instrument.min is not None and (
+                        mine.min is None or instrument.min < mine.min):
+                    mine.min = instrument.min
+                if instrument.max is not None and (
+                        mine.max is None or instrument.max > mine.max):
+                    mine.max = instrument.max
+
     def snapshot(self) -> Dict[str, object]:
         """Plain-data view of every instrument (JSON-exportable)."""
         out: Dict[str, object] = {}

@@ -1,0 +1,730 @@
+"""Basic-block compiler for the ISS (the "block" execution engine).
+
+The interpreter retires one instruction per :meth:`Hart.step` call and
+pays the full dispatch cost — pc-cache lookup, handler call, ``Decoded``
+field access, per-retire bookkeeping — for every instruction.  This
+module removes that cost for straight-line code: decoded instructions
+are grouped into *basic blocks* (up to the next branch / jump /
+system-class instruction) and each block is compiled, via Python source
+generation + ``exec``, into one specialized closure that executes the
+whole block with plain local-variable arithmetic.
+
+Equivalence contract
+--------------------
+A compiled block is *observationally identical* to running the
+interpreter over the same instructions:
+
+* registers, pc, csr state, ``cycles``, ``instret`` and the D-cache /
+  MMIO side effects match exactly;
+* the per-instruction co-sim quantum check is preserved: before every
+  instruction the block compares ``cycles`` against the earliest
+  pending event time (``limit``) and returns to the dispatcher when
+  reached, so device events fire and interrupts are taken at exactly
+  the same instruction boundary as under the interpreter;
+* after every memory access the block re-checks the interrupt-window
+  (``mstatus.MIE`` is hoisted per block — only CSR writes and traps can
+  change it, and neither occurs inside a block; ``mip`` is re-read
+  because device events raise it), the code-cache epoch (the access may
+  have invalidated the very block that is running), and the event
+  queue head (the access may have scheduled or drained events);
+* traps inside a block (load/store access faults) commit the partial
+  block — pc of the faulting instruction, retired count, cycles — and
+  re-raise for the dispatcher, which applies the interpreter's exact
+  trap accounting.
+
+Block boundaries
+----------------
+``beq/bne/blt/bge/bltu/bgeu/jal/jalr`` terminate a block and are
+compiled into it.  Anything with system-level side effects — csr ops,
+``ecall``/``ebreak``/``mret``/``wfi``/``fence.i``, AMOs, ``lr``/``sc``
+— ends the block *before* itself and is single-stepped by the
+interpreter, which keeps the rare/complex semantics in exactly one
+place.
+
+Invalidation
+------------
+Blocks cache decoded instruction bytes, so they follow the same
+staleness rules as the per-pc decode cache: ``Hart.store`` drops any
+block whose [start, end) byte range overlaps a written range (via a
+256-byte page index), ``fence.i`` and
+:meth:`Hart.invalidate_code_cache` flush everything, and every
+invalidation bumps ``Hart._code_epoch`` so an in-flight block exits at
+its next epoch check.
+"""
+
+from __future__ import annotations
+
+import struct
+from types import CodeType
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+
+from repro.riscv.decoder import Decoded
+from repro.riscv.execute import EXEC
+from repro.riscv.trap import Trap
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.riscv.hart import Hart
+
+#: longest block, in instructions (bounds compile time and the page
+#: span a single block can cover)
+MAX_BLOCK_INSTRUCTIONS = 64
+
+#: sentinel distinguishing "not yet resolved" from "no fast path" in
+#: the hart's MMIO/fill port caches (defined here, not in hart.py, so
+#: generated block code can bind it without a circular import)
+UNRESOLVED = object()
+
+#: invalidation-page granularity (bytes) for the block page index
+BLOCK_PAGE_SHIFT = 8
+
+_M64 = "0xFFFFFFFFFFFFFFFF"
+_HI32 = 0xFFFF_FFFF_0000_0000
+
+#: control transfers: compiled as block terminators
+_TERMINATORS = frozenset(
+    {"beq", "bne", "blt", "bge", "bltu", "bgeu", "jal", "jalr"}
+)
+
+#: pure register-file ops without a specialized emitter; executed via
+#: their EXEC handler from inside the block (handlers only touch
+#: regs through reg()/set_reg(), never pc/cycles/memory)
+_HANDLER_OPS = frozenset({
+    "slliw", "srliw", "sraiw", "sllw", "srlw", "sraw", "subw",
+    "mulh", "mulhsu", "mulhu", "mulw",
+    "div", "divu", "rem", "remu", "divw", "divuw", "remw", "remuw",
+    "fence",
+})
+
+_LOADS = {"lb": (1, True), "lh": (2, True), "lw": (4, True),
+          "ld": (8, True), "lbu": (1, False), "lhu": (2, False),
+          "lwu": (4, False)}
+_STORES = {"sb": 1, "sh": 2, "sw": 4, "sd": 8}
+
+_MUL_OPS = frozenset({"mul", "mulh", "mulhsu", "mulhu", "mulw"})
+
+#: little-endian word codecs matching SparseMemory's, for the in-page
+#: access fast path compiled into blocks
+_CODECS = {
+    1: struct.Struct("<B"),
+    2: struct.Struct("<H"),
+    4: struct.Struct("<I"),
+    8: struct.Struct("<Q"),
+}
+
+#: compiled-code cache keyed by generated source.  Blocks are
+#: re-compiled per SoC instance (benchmarks and sweeps build hundreds),
+#: but identical firmware + identical timing parameters generate
+#: byte-identical source, so the expensive ``compile()`` is shared; the
+#: per-hart bindings live in the exec namespace, not the code object.
+_CODE_CACHE: Dict[str, CodeType] = {}
+_CODE_CACHE_MAX = 4096
+
+
+class CompiledBlock:
+    """One compiled basic block: entry pc, byte span, and the closure.
+
+    ``fn(hart, limit, deadline, idle_stop)`` executes the block and
+    returns the number of instructions retired.  ``limit`` is the cycle
+    bound (earliest pending event or the deadline) at entry;
+    ``deadline`` the run bound; ``idle_stop`` mirrors the run loop's
+    ``until_halted=False`` early-exit when the event queue drains.
+    """
+
+    __slots__ = ("fn", "start", "end", "n_instr")
+
+    def __init__(self, fn: Callable[["Hart", int, int, bool], int],
+                 start: int, end: int, n_instr: int) -> None:
+        self.fn = fn
+        self.start = start
+        self.end = end
+        self.n_instr = n_instr
+
+
+def _u(reg: int) -> str:
+    """Unsigned value of register ``reg`` (local list ``r``)."""
+    return "0" if reg == 0 else f"r[{reg}]"
+
+
+def _sx(reg: int) -> str:
+    """Signed (two's-complement) value of register ``reg``."""
+    if reg == 0:
+        return "0"
+    return f"(r[{reg}] - ((r[{reg}] >> 63) << 64))"
+
+
+def _sext_load(var: str, nbytes: int) -> str:
+    """Sign-extend an ``nbytes`` little-endian load result in ``var``."""
+    sign = 1 << (8 * nbytes - 1)
+    high = 0xFFFF_FFFF_FFFF_FFFF ^ ((1 << (8 * nbytes)) - 1)
+    return f"{var} = {var} | {high:#x} if {var} & {sign:#x} else {var}"
+
+
+def _commit(pc: int, retired: int, indent: str) -> List[str]:
+    """Exit the block: architectural state, retired count, return."""
+    return [
+        f"{indent}h.pc = {pc:#x}",
+        f"{indent}h.cycles = cycles",
+        f"{indent}h.instret += {retired}",
+        f"{indent}return {retired}",
+    ]
+
+
+def _emit_alu(d: Decoded, pc: int) -> Optional[List[str]]:
+    """Specialized straight-line emitters; None -> no specialization."""
+    name, rd, rs1, rs2, imm = d.name, d.rd, d.rs1, d.rs2, d.imm
+    a, b = _u(rs1), _u(rs2)
+    expr: Optional[str] = None
+    if name == "addi":
+        if imm == 0:
+            expr = a if rs1 != 0 else "0"
+        elif rs1 == 0:
+            expr = f"{imm & 0xFFFF_FFFF_FFFF_FFFF:#x}"
+        else:
+            expr = f"({a} + {imm}) & {_M64}"
+    elif name == "lui":
+        expr = f"{imm & 0xFFFF_FFFF_FFFF_FFFF:#x}"
+    elif name == "auipc":
+        expr = f"{(pc + imm) & 0xFFFF_FFFF_FFFF_FFFF:#x}"
+    elif name == "andi":
+        expr = f"{a} & {imm}"
+    elif name == "ori":
+        expr = f"({a} | {imm}) & {_M64}" if imm < 0 else f"{a} | {imm}"
+    elif name == "xori":
+        expr = f"({a} ^ {imm}) & {_M64}" if imm < 0 else f"{a} ^ {imm}"
+    elif name == "slti":
+        expr = f"1 if {_sx(rs1)} < {imm} else 0"
+    elif name == "sltiu":
+        expr = f"1 if {a} < {imm & 0xFFFF_FFFF_FFFF_FFFF:#x} else 0"
+    elif name == "slli":
+        expr = f"({a} << {imm}) & {_M64}"
+    elif name == "srli":
+        expr = f"{a} >> {imm}"
+    elif name == "srai":
+        expr = f"({_sx(rs1)} >> {imm}) & {_M64}"
+    elif name == "add":
+        expr = f"({a} + {b}) & {_M64}"
+    elif name == "sub":
+        expr = f"({a} - {b}) & {_M64}"
+    elif name == "mul":
+        expr = f"({a} * {b}) & {_M64}"
+    elif name == "and":
+        expr = f"{a} & {b}"
+    elif name == "or":
+        expr = f"{a} | {b}"
+    elif name == "xor":
+        expr = f"{a} ^ {b}"
+    elif name == "sll":
+        expr = f"({a} << ({b} & 63)) & {_M64}"
+    elif name == "srl":
+        expr = f"{a} >> ({b} & 63)"
+    elif name == "sra":
+        expr = f"({_sx(rs1)} >> ({b} & 63)) & {_M64}"
+    elif name == "slt":
+        expr = f"1 if {_sx(rs1)} < {_sx(rs2)} else 0"
+    elif name == "sltu":
+        expr = f"1 if {a} < {b} else 0"
+    elif name in ("addiw", "addw"):
+        rhs = str(imm) if name == "addiw" else b
+        if rd == 0:
+            return []
+        return [
+            f"t = ({a} + {rhs}) & 0xFFFFFFFF",
+            f"r[{rd}] = t | {_HI32:#x} if t & 0x80000000 else t",
+        ]
+    if expr is None:
+        return None
+    if rd == 0:
+        return []  # architectural no-op; cycle cost charged by caller
+    return [f"r[{rd}] = {expr}"]
+
+
+_BRANCH_CONDS: Dict[str, Callable[[int, int], str]] = {
+    "beq": lambda a, b: f"{_u(a)} == {_u(b)}",
+    "bne": lambda a, b: f"{_u(a)} != {_u(b)}",
+    "blt": lambda a, b: f"{_sx(a)} < {_sx(b)}",
+    "bge": lambda a, b: f"{_sx(a)} >= {_sx(b)}",
+    "bltu": lambda a, b: f"{_u(a)} < {_u(b)}",
+    "bgeu": lambda a, b: f"{_u(a)} >= {_u(b)}",
+}
+
+
+def _drop_aliases(addr_alias: Dict[Tuple[int, int], str],
+                  port_alias: Dict[Tuple[int, int, int, bool], str],
+                  rd: int) -> None:
+    """Invalidate address/port aliases whose base register was written."""
+    for k in [k for k in addr_alias if k[0] == rd]:
+        del addr_alias[k]
+    for k in [k for k in port_alias if k[0] == rd]:
+        del port_alias[k]
+
+
+def _discover(hart: "Hart", entry_pc: int) -> List[Tuple[int, Decoded]]:
+    """Collect the decoded instructions of the block starting at pc."""
+    instrs: List[Tuple[int, Decoded]] = []
+    pc = entry_pc
+    for _ in range(MAX_BLOCK_INSTRUCTIONS):
+        try:
+            d = hart.decode_at(pc)
+        except Exception:
+            # discovery is speculative: it fetches *ahead* of execution
+            # and may run past the program into unmapped space.  Any
+            # failure (trap, illegal encoding, backend fetch error)
+            # just ends the block; if the pc is actually reached, the
+            # interpreter single-steps it and raises architecturally.
+            break
+        name = d.name
+        if name in _TERMINATORS:
+            instrs.append((pc, d))
+            break
+        if (name not in _HANDLER_OPS and name not in _LOADS
+                and name not in _STORES and _emit_alu(d, pc) is None):
+            break  # system-class op: single-stepped by the interpreter
+        instrs.append((pc, d))
+        pc += d.size
+    return instrs
+
+
+def compile_block(hart: "Hart", entry_pc: int) -> Optional[CompiledBlock]:
+    """Compile the basic block at ``entry_pc``; None when not compilable.
+
+    The compiled block is registered in the hart's block cache and page
+    index so stores into its byte range invalidate it.
+    """
+    instrs = _discover(hart, entry_pc)
+    if not instrs:
+        return None
+
+    timing = hart.timing
+    base = timing.base_cpi
+    penalty = timing.branch_taken_penalty
+    has_mem = any(d.name in _LOADS or d.name in _STORES
+                  for _, d in instrs)
+    has_store = any(d.name in _STORES for _, d in instrs)
+    # inline D-cache-hit fast path: valid only when the hart's windows
+    # are exhaustive (so a fast-memory-window address is definitely
+    # cacheable) and the inline tag-check geometry applies
+    fast = (has_mem and hart._dc_inline and hart._cw_exact
+            and hart._fm_load is not None)
+    # in-page word access compiled directly against the sparse-memory
+    # page dict (missing page / page-crossing falls back to the word
+    # helper, which returns 0 / splits exactly)
+    inline_pages = fast and hart._fm_pages is not None
+    load_widths = sorted({_LOADS[d.name][0] for _, d in instrs
+                          if d.name in _LOADS})
+    store_widths = sorted({_STORES[d.name] for _, d in instrs
+                           if d.name in _STORES})
+    fm_lo, fm_hi = hart._fm_lo, hart._fm_hi
+    ls = hart._dc_line_shift
+    im = hart._dc_index_mask
+    ts = hart._dc_tag_shift
+    cw0_lo, cw0_hi = hart._cw0_lo, hart._cw0_hi
+    cw1_lo, cw1_hi = hart._cw1_lo, hart._cw1_hi
+    mle = hart._mmio_load_extra
+    mse = hart._mmio_store_extra
+    msh = hart._mmio_shadow_extra
+
+    ns: Dict[str, object] = {
+        "TrapExc": Trap,
+        "CR": hart.csr._regs,
+        "Q": hart.sim._queue,
+    }
+    lines: List[str] = [
+        "def _bb(h, limit, deadline, idle_stop):",
+        "    r = h.regs",
+        "    cycles = h.cycles",
+    ]
+    ind = "    "
+    if has_mem:
+        lines += [
+            "    cr = CR",
+            "    q = Q",
+            "    mie_en = cr[0x300] & 8",   # mstatus.MIE, hoisted
+            "    mie_mask = cr[0x304]",     # mie, hoisted
+            "    ep = h._code_epoch",
+            "    i = 0",
+            f"    fpc = {entry_pc:#x}",
+        ]
+        if fast:
+            ns["DT"] = hart._dc_tags
+            ns["DD"] = hart._dc_dirty
+            ns["DC"] = hart.dcache
+            ns["LW"] = hart._fm_load
+            ns["SW"] = hart._fm_store
+            ns["SIM"] = hart.sim
+            ns["RP"] = hart._mmio_read_ports
+            ns["WP"] = hart._mmio_write_ports
+            ns["UN"] = UNRESOLVED
+            lines += [
+                "    dt = DT",
+                "    lw = LW",
+                "    dc = DC",
+                "    sim = SIM",
+                "    un = UN",
+                "    rp = RP",
+            ]
+            if inline_pages:
+                ns["PGS"] = hart._fm_pages
+                lines.append("    pgs = PGS")
+                for nb in load_widths:
+                    ns[f"U{nb}"] = _CODECS[nb].unpack_from
+                    lines.append(f"    u{nb} = U{nb}")
+                for nb in store_widths:
+                    ns[f"P{nb}"] = _CODECS[nb].pack_into
+                    lines.append(f"    p{nb} = P{nb}")
+            if has_store:
+                # code-range bounds for the self-modifying-code check;
+                # hoisting is safe: only step()/compile_block grow them
+                # and neither runs while a block is executing
+                lines += [
+                    "    dd = DD",
+                    "    sw = SW",
+                    "    wp = WP",
+                    "    pclo = h._pc_cache_lo",
+                    "    pchi = h._pc_cache_hi",
+                    "    blo = h._block_lo",
+                    "    bhi = h._block_hi",
+                ]
+        lines.append("    try:")
+        ind = "        "
+
+    # dataflow aliasing: a later access with the same (rs1, imm) — and
+    # no intervening write to rs1 — provably computes the same address,
+    # so the computed address variable and the resolved MMIO port
+    # variable are reused instead of recomputed/re-looked-up.  Port
+    # reuse is sound because classification (cacheable vs MMIO) is a
+    # pure function of the address: if a later aliased site reaches the
+    # MMIO branch, the earlier site did too (program order) and bound
+    # the port variable.
+    addr_alias: Dict[Tuple[int, int], str] = {}
+    port_alias: Dict[Tuple[int, int, int, bool], str] = {}
+
+    terminated = False
+    for idx, (pc, d) in enumerate(instrs):
+        name = d.name
+        next_pc = (pc + d.size) & 0xFFFF_FFFF_FFFF_FFFF
+        if idx > 0:
+            # co-sim quantum check: identical granularity to the
+            # interpreter's per-step event/deadline comparison
+            lines.append(f"{ind}if cycles >= limit:")
+            lines += _commit(pc, idx, ind + "    ")
+
+        if name in _LOADS or name in _STORES:
+            akey = (d.rs1, d.imm)
+            av = addr_alias.get(akey)
+            if av is None:
+                av = f"a{idx}"
+                addr = (f"({_u(d.rs1)} + {d.imm}) & {_M64}"
+                        if d.imm else _u(d.rs1))
+                if d.rs1 == 0:
+                    addr = f"{d.imm & 0xFFFF_FFFF_FFFF_FFFF:#x}"
+                lines.append(f"{ind}{av} = {addr}")
+                addr_alias[akey] = av
+            si = ind
+            if fast:
+                # D-cache-hit fast path: a hit in the fast-memory
+                # window advances no time, runs no events, and raises
+                # no mip bit, so the interrupt-window / event-queue /
+                # idle-stop re-checks are all provably no-ops and are
+                # skipped; the miss/MMIO/out-of-window path falls to
+                # the full hart access below
+                fi = ind + "    "
+                if name in _LOADS:
+                    nbytes, signed = _LOADS[name]
+                    lines += [
+                        f"{ind}if {fm_lo:#x} <= {av} < {fm_hi:#x} "
+                        f"and dt.get(({av} >> {ls}) & {im}) "
+                        f"== {av} >> {ls + ts}:",
+                        f"{fi}dc.hits += 1",
+                    ]
+                    if inline_pages:
+                        lines += [
+                            f"{fi}o = {av} - {fm_lo:#x}",
+                            f"{fi}of = o & 4095",
+                            f"{fi}pg = pgs.get(o >> 12)",
+                            f"{fi}t = u{nbytes}(pg, of)[0] "
+                            f"if pg is not None "
+                            f"and of <= {4096 - nbytes} "
+                            f"else lw(o, {nbytes})",
+                        ]
+                    else:
+                        lines.append(
+                            f"{fi}t = lw({av} - {fm_lo:#x}, {nbytes})")
+                    if signed and nbytes < 8:
+                        lines.append(f"{fi}{_sext_load('t', nbytes)}")
+                    if d.rd != 0:
+                        lines.append(f"{fi}r[{d.rd}] = t")
+                    lines.append(f"{fi}cycles += {base}")
+                else:
+                    nbytes = _STORES[name]
+                    # the window test short-circuits before the shift
+                    # arithmetic so MMIO stores (out of window) skip it
+                    lines += [
+                        f"{ind}if {fm_lo:#x} <= {av} < {fm_hi:#x} "
+                        f"and dt.get(({av} >> {ls}) & {im}) "
+                        f"== {av} >> {ls + ts}:",
+                        f"{fi}dc.hits += 1",
+                        f"{fi}dd[({av} >> {ls}) & {im}] = True",
+                    ]
+                    if inline_pages:
+                        sval = _u(d.rs2)
+                        if nbytes < 8:
+                            sval = (f"{sval} & "
+                                    f"{(1 << (8 * nbytes)) - 1:#x}")
+                        lines += [
+                            f"{fi}o = {av} - {fm_lo:#x}",
+                            f"{fi}of = o & 4095",
+                            f"{fi}pg = pgs.get(o >> 12)",
+                            f"{fi}if pg is not None "
+                            f"and of <= {4096 - nbytes}:",
+                            f"{fi}    p{nbytes}(pg, of, {sval})",
+                            f"{fi}else:",
+                            f"{fi}    sw(o, {_u(d.rs2)}, {nbytes})",
+                        ]
+                    else:
+                        lines.append(
+                            f"{fi}sw({av} - {fm_lo:#x}, "
+                            f"{_u(d.rs2)}, {nbytes})")
+                    lines += [
+                        f"{fi}cycles += {base}",
+                        # self-modifying code: invalidate overlapped
+                        # cache entries; exit if this block was hit
+                        f"{fi}if {av} + {nbytes} > pclo "
+                        f"and {av} - 3 <= pchi "
+                        f"or bhi >= 0 and {av} + {nbytes} > blo "
+                        f"and {av} < bhi:",
+                        f"{fi}    h._code_store({av}, {nbytes})",
+                        f"{fi}    if h._code_epoch != ep:",
+                        *_commit(next_pc, idx + 1, fi + "        "),
+                    ]
+                lines.append(f"{ind}else:")
+                si = fi
+            lines += [
+                f"{si}i = {idx}",
+                f"{si}fpc = {pc:#x}",
+                f"{si}h.cycles = cycles",
+            ]
+            if fast:
+                # classify inline: a cacheable miss (or ROM access)
+                # takes the full hart path; anything else is MMIO with
+                # the hart access prologue (issue-time charges, kernel
+                # sync, resolved-port lookup) compiled in.  ``ex`` is a
+                # literal: ``_extra_cycles`` is provably 0 at every
+                # instruction boundary (each consumer folds and zeroes
+                # it), matching the interpreter's ``_extra_cycles +
+                # const`` read exactly.
+                ci = si + "    "
+                is_load = name in _LOADS
+                lines.append(
+                    f"{si}if {cw0_lo:#x} <= {av} < {cw0_hi:#x} "
+                    f"or {cw1_lo:#x} <= {av} < {cw1_hi:#x}:")
+                if is_load:
+                    nbytes, signed = _LOADS[name]
+                    lines.append(f"{ci}t = h.load({av}, {nbytes})")
+                else:
+                    nbytes = _STORES[name]
+                    lines.append(
+                        f"{ci}h.store({av}, {_u(d.rs2)}, {nbytes})")
+                lines += [
+                    f"{ci}cycles += {base} + h._extra_cycles",
+                    f"{ci}h._extra_cycles = 0",
+                    f"{si}else:",
+                    f"{ci}h.mmio_accesses += 1",
+                    f"{ci}ex = {mle if is_load else mse}",
+                    f"{ci}if h._branch_shadow:",
+                    f"{ci}    ex += {msh}",
+                    f"{ci}    h._branch_shadow = False",
+                    f"{ci}issue = cycles + ex",
+                    f"{ci}if issue > sim._now:",
+                    f"{ci}    if q and q[0][0] <= issue:",
+                    f"{ci}        sim.advance_to(issue)",
+                    f"{ci}    else:",
+                    f"{ci}        sim._now = issue",
+                ]
+                pkey = (d.rs1, d.imm, nbytes, is_load)
+                pv = port_alias.get(pkey)
+                if pv is None:
+                    pv = f"p{idx}"
+                    port_alias[pkey] = pv
+                    table = "rp" if is_load else "wp"
+                    lines += [
+                        f"{ci}{pv} = {table}.get"
+                        f"({av} * 16 + {nbytes}, un)",
+                        f"{ci}if {pv} is un:",
+                        f"{ci}    {pv} = h._resolve_mmio_port"
+                        f"({av}, {nbytes}, {is_load})",
+                    ]
+                if is_load:
+                    lines += [
+                        f"{ci}if {pv} is not None:",
+                        f"{ci}    t, c = {pv}(issue)",
+                        f"{ci}    cycles += {base} + ex + c - issue",
+                        f"{ci}else:",
+                        f"{ci}    t = h._mmio_load_slow"
+                        f"({av}, {nbytes}, ex, issue)",
+                        f"{ci}    cycles += {base} + h._extra_cycles",
+                        f"{ci}    h._extra_cycles = 0",
+                    ]
+                    if signed and nbytes < 8:
+                        lines.append(f"{si}{_sext_load('t', nbytes)}")
+                    if d.rd != 0:
+                        lines.append(f"{si}r[{d.rd}] = t")
+                else:
+                    val = _u(d.rs2)
+                    masked = (val if nbytes == 8
+                              else f"{val} & {(1 << (8 * nbytes)) - 1:#x}")
+                    lines += [
+                        f"{ci}if {pv} is not None:",
+                        f"{ci}    cycles += {base} + ex "
+                        f"+ {pv}({masked}, issue) - issue",
+                        f"{ci}else:",
+                        f"{ci}    h._mmio_store_slow"
+                        f"({av}, {val}, {nbytes}, ex, issue)",
+                        f"{ci}    cycles += {base} + h._extra_cycles",
+                        f"{ci}    h._extra_cycles = 0",
+                    ]
+            else:
+                if name in _LOADS:
+                    nbytes, signed = _LOADS[name]
+                    lines.append(f"{si}t = h.load({av}, {nbytes})")
+                    if signed and nbytes < 8:
+                        lines.append(f"{si}{_sext_load('t', nbytes)}")
+                    if d.rd != 0:
+                        lines.append(f"{si}r[{d.rd}] = t")
+                else:
+                    nbytes = _STORES[name]
+                    lines.append(
+                        f"{si}h.store({av}, {_u(d.rs2)}, {nbytes})")
+                lines += [
+                    f"{si}cycles += {base} + h._extra_cycles",
+                    f"{si}h._extra_cycles = 0",
+                ]
+            lines += [
+                # interrupt window: device events during the access may
+                # have raised mip; exit so the dispatcher delivers at
+                # the same boundary the interpreter would
+                f"{si}if mie_en and cr[0x344] & mie_mask:",
+                *_commit(next_pc, idx + 1, si + "    "),
+                # the access may have invalidated this very block
+                f"{si}if h._code_epoch != ep:",
+                *_commit(next_pc, idx + 1, si + "    "),
+                # the access may have scheduled or drained events
+                f"{si}if q:",
+                f"{si}    limit = q[0][0]",
+                f"{si}    if limit > deadline:",
+                f"{si}        limit = deadline",
+                f"{si}elif idle_stop:",
+                *_commit(next_pc, idx + 1, si + "    "),
+                f"{si}else:",
+                f"{si}    limit = deadline",
+            ]
+            if name in _LOADS and d.rd != 0:
+                _drop_aliases(addr_alias, port_alias, d.rd)
+            continue
+
+        if name in _BRANCH_CONDS:
+            cond = _BRANCH_CONDS[name](d.rs1, d.rs2)
+            target = (pc + d.imm) & 0xFFFF_FFFF_FFFF_FFFF
+            lines += [
+                f"{ind}h._branch_shadow = True",
+                f"{ind}if {cond}:",
+                f"{ind}    h.pc = {target:#x}",
+                f"{ind}    h.cycles = cycles + {base + penalty}",
+                f"{ind}else:",
+                f"{ind}    h.pc = {next_pc:#x}",
+                f"{ind}    h.cycles = cycles + {base}",
+                f"{ind}h.instret += {idx + 1}",
+                f"{ind}return {idx + 1}",
+            ]
+            terminated = True
+            break
+
+        if name == "jal":
+            target = (pc + d.imm) & 0xFFFF_FFFF_FFFF_FFFF
+            if d.rd != 0:
+                lines.append(f"{ind}r[{d.rd}] = {next_pc:#x}")
+            lines += [
+                f"{ind}h.pc = {target:#x}",
+                f"{ind}h.cycles = cycles + {base + penalty}",
+                f"{ind}h.instret += {idx + 1}",
+                f"{ind}return {idx + 1}",
+            ]
+            terminated = True
+            break
+
+        if name == "jalr":
+            lines.append(
+                f"{ind}t = ({_u(d.rs1)} + {d.imm}) & 0xFFFFFFFFFFFFFFFE"
+            )
+            if d.rd != 0:
+                lines.append(f"{ind}r[{d.rd}] = {next_pc:#x}")
+            lines += [
+                f"{ind}h.pc = t",
+                f"{ind}h.cycles = cycles + {base + penalty}",
+                f"{ind}h.instret += {idx + 1}",
+                f"{ind}return {idx + 1}",
+            ]
+            terminated = True
+            break
+
+        body = _emit_alu(d, pc)
+        if body is not None:
+            lines += [ind + line for line in body]
+        else:
+            # pure register op via its interpreter handler
+            ns[f"E{idx}"] = EXEC[name]
+            ns[f"D{idx}"] = d
+            lines.append(f"{ind}E{idx}(h, D{idx})")
+        if name in _MUL_OPS:
+            cost = base + timing.mul_cycles - 1
+        elif name.startswith(("div", "rem")):
+            cost = base + timing.div_cycles - 1
+        else:
+            cost = base
+        lines.append(f"{ind}cycles += {cost}")
+        if d.rd != 0:
+            _drop_aliases(addr_alias, port_alias, d.rd)
+
+    if not terminated:
+        last_pc, last_d = instrs[-1]
+        lines += _commit((last_pc + last_d.size) & 0xFFFF_FFFF_FFFF_FFFF,
+                         len(instrs), ind)
+
+    if has_mem:
+        lines += [
+            "    except TrapExc:",
+            # h.cycles/_extra_cycles already hold the faulting access's
+            # partial charges; commit pc + retired count and re-raise
+            # for the dispatcher's interpreter-exact trap accounting
+            "        h.pc = fpc",
+            "        h.instret += i",
+            "        h._block_retired = i",
+            "        raise",
+        ]
+
+    source = "\n".join(lines)
+    code = _CODE_CACHE.get(source)
+    if code is None:
+        if len(_CODE_CACHE) >= _CODE_CACHE_MAX:
+            _CODE_CACHE.clear()
+        code = compile(source, f"<block@{entry_pc:#x}>", "exec")
+        _CODE_CACHE[source] = code
+    exec(code, ns)  # noqa: S102
+    fn = ns["_bb"]
+
+    last_pc, last_d = instrs[-1]
+    block = CompiledBlock(fn, entry_pc, last_pc + last_d.size,  # type: ignore[arg-type]
+                          len(instrs))
+    _register(hart, block)
+    return block
+
+
+def _register(hart: "Hart", block: CompiledBlock) -> None:
+    """Enter a block into the hart's cache, page index, and bounds."""
+    hart._block_cache[block.start] = block
+    shift = BLOCK_PAGE_SHIFT
+    for page in range(block.start >> shift, ((block.end - 1) >> shift) + 1):
+        hart._block_pages.setdefault(page, set()).add(block.start)
+    if block.start < hart._block_lo:
+        hart._block_lo = block.start
+    if block.end > hart._block_hi:
+        hart._block_hi = block.end

@@ -155,7 +155,11 @@ def decode(word: int, pc: int | None = None) -> Decoded:
         if name:
             return Decoded(name, rd=rd, rs1=rs1, rs2=rs2)
     if opcode == isa.OP_FENCE:
-        # fence / fence.i are memory-ordering no-ops in this TLM model
+        if funct3 == 1:
+            # fence.i: instruction-stream sync; the hart flushes its
+            # decode/pc/block caches (self-modifying code support)
+            return Decoded("fence.i", rd=rd, rs1=rs1, imm=_imm_i(word))
+        # plain fence is a memory-ordering no-op in this TLM model
         return Decoded("fence", rd=rd, rs1=rs1, imm=_imm_i(word))
     if opcode == isa.OP_SYSTEM:
         if funct3 == 0:

@@ -34,7 +34,7 @@ def format_decoded(d: Decoded, pc: int | None = None) -> str:
     if name in _CSR_OPS:
         src = str(d.rs1) if name.endswith("i") else r[d.rs1]
         return f"{name} {r[d.rd]}, {d.csr:#x}, {src}"
-    if name in ("ecall", "ebreak", "mret", "wfi", "fence"):
+    if name in ("ecall", "ebreak", "mret", "wfi", "fence", "fence.i"):
         return name
     if name.startswith(("amo", "lr.", "sc.")):
         if name.startswith("lr."):

@@ -424,6 +424,15 @@ def _fence(hart: "Hart", d: Decoded) -> Optional[int]:
     return None  # memory model is sequentially consistent here
 
 
+@_op("fence.i")
+def _fence_i(hart: "Hart", d: Decoded) -> Optional[int]:
+    # instruction-stream synchronization: any store that rewrote code is
+    # made visible to fetch by dropping every cached decode/fused entry
+    # and compiled basic block
+    hart.invalidate_code_cache()
+    return None
+
+
 @_op("csrrw")
 def _csrrw(hart: "Hart", d: Decoded) -> Optional[int]:
     old = hart.csr.read(d.csr) if d.rd != 0 else 0

@@ -14,10 +14,18 @@ i.e. exact whenever a device has anything scheduled.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+import os
+from typing import Callable, Dict, Optional
 
+from repro.axi.fastpath import fuse_read_port, fuse_write_port
 from repro.errors import CpuError, IllegalInstructionError
 from repro.riscv import isa
+from repro.riscv.blocks import (
+    BLOCK_PAGE_SHIFT,
+    UNRESOLVED,
+    CompiledBlock,
+    compile_block,
+)
 from repro.riscv.compressed import expand
 from repro.riscv.csr import CsrFile
 from repro.riscv.decoder import Decoded, decode
@@ -29,6 +37,34 @@ from repro.utils.bits import MASK64
 
 #: interrupt priority order per the privileged spec (MEI > MSI > MTI)
 _IRQ_PRIORITY = (isa.IRQ_MEI, isa.IRQ_MSI, isa.IRQ_MTI)
+
+#: sentinel distinguishing "not yet resolved" from "no fast path" in the
+#: per-hart MMIO/fill port caches (shared with the block compiler)
+_UNRESOLVED = UNRESOLVED
+
+#: the available ISS execution engines
+ENGINES = ("interp", "block")
+
+#: process-wide default engine; ``REPRO_ISS_ENGINE`` overrides it, an
+#: explicit ``Hart(engine=...)`` argument overrides both
+_DEFAULT_ENGINE = "block"
+
+
+def set_default_engine(name: str) -> None:
+    """Set the process-wide default ISS engine (CLI ``--engine``)."""
+    global _DEFAULT_ENGINE
+    if name not in ENGINES:
+        raise ValueError(f"unknown ISS engine {name!r}; expected one of {ENGINES}")
+    _DEFAULT_ENGINE = name
+
+
+def resolve_engine(name: Optional[str] = None) -> str:
+    """Resolve an engine choice: explicit arg > env var > default."""
+    if name is None:
+        name = os.environ.get("REPRO_ISS_ENGINE") or _DEFAULT_ENGINE
+    if name not in ENGINES:
+        raise ValueError(f"unknown ISS engine {name!r}; expected one of {ENGINES}")
+    return name
 
 
 class Hart:
@@ -62,7 +98,54 @@ class Hart:
         is_cacheable: Callable[[int], bool],
         timing: CpuTiming | None = None,
         reset_pc: int = 0x1_0000,
+        engine: Optional[str] = None,
+        cacheable_windows: Optional[
+            tuple[tuple[int, int], tuple[int, int]]
+        ] = None,
+        fast_memory: Optional[tuple[int, int, object]] = None,
     ) -> None:
+        #: execution engine: "interp" single-steps every instruction,
+        #: "block" compiles basic blocks (see repro.riscv.blocks)
+        self.engine = resolve_engine(engine)
+        # cacheable_windows: when given, an *exhaustive* pair of
+        # [lo, hi) windows equivalent to is_cacheable — lets the hot
+        # load/store paths classify with inline compares instead of a
+        # predicate call.  fast_memory: (lo, hi, memory) window whose
+        # word loads/stores may bypass the generic data backdoor and
+        # hit ``memory.load_word``/``store_word`` directly (the DDR).
+        if cacheable_windows is not None:
+            (self._cw0_lo, self._cw0_hi), (self._cw1_lo, self._cw1_hi) = (
+                cacheable_windows
+            )
+            self._cw_exact = True
+        else:
+            self._cw0_lo = self._cw1_lo = 1
+            self._cw0_hi = self._cw1_hi = 0
+            self._cw_exact = False
+        if fast_memory is not None:
+            self._fm_lo, self._fm_hi, memory = fast_memory
+            self._fm_load: Optional[Callable[[int, int], int]] = (
+                memory.load_word  # type: ignore[attr-defined]
+            )
+            self._fm_store: Optional[Callable[[int, int, int], None]] = (
+                memory.store_word  # type: ignore[attr-defined]
+            )
+            # page dict for block-compiled in-page word accesses; only
+            # when the geometry lets a same-page access stay in bounds
+            # (page-aligned window size) so the codegen's single bounds
+            # check matches load_word/store_word exactly
+            pages = getattr(memory, "_pages", None)
+            self._fm_pages: Optional[Dict[int, bytearray]] = (
+                pages if isinstance(pages, dict)
+                and getattr(memory, "page_bits", 0) == 12
+                and (self._fm_hi - self._fm_lo) % 4096 == 0
+                else None
+            )
+        else:
+            self._fm_lo, self._fm_hi = 1, 0
+            self._fm_load = None
+            self._fm_store = None
+            self._fm_pages = None
         self.sim = sim
         self.bus = bus
         self._fetch = fetch_backdoor
@@ -71,6 +154,20 @@ class Hart:
         self._is_cacheable = is_cacheable
         self.timing = timing or CpuTiming()
         self.dcache = DCache(self.timing)
+        # pre-computed D-cache geometry for the inline hit check in
+        # load/store (only valid for power-of-two line size/count; other
+        # geometries take the full DCache.access path)
+        line_bytes = self.timing.dcache_line_bytes
+        lines = self.timing.dcache_lines
+        self._dc_inline = (
+            line_bytes > 0 and not line_bytes & (line_bytes - 1)
+            and lines > 0 and not lines & (lines - 1)
+        )
+        self._dc_line_shift = line_bytes.bit_length() - 1
+        self._dc_index_mask = lines - 1
+        self._dc_tag_shift = lines.bit_length() - 1
+        self._dc_tags = self.dcache._tags
+        self._dc_dirty = self.dcache._dirty
         self.csr = CsrFile()
         self.csr.cycle_source = lambda: self.cycles
         self.csr.instret_source = lambda: self.instret
@@ -93,9 +190,41 @@ class Hart:
         self._pc_cache: dict[int, tuple] = {}
         self._pc_cache_lo = 1 << 62  # lowest / highest cached pc bounds
         self._pc_cache_hi = -1
+        #: compiled basic blocks: entry pc -> CompiledBlock, plus a
+        #: page index (BLOCK_PAGE_SHIFT granularity) mapping pages to
+        #: the entry pcs of blocks whose byte range touches them, and
+        #: byte bounds for the cheap store-overlap pre-check
+        self._block_cache: dict[int, CompiledBlock] = {}
+        self._block_pages: dict[int, set[int]] = {}
+        self._block_lo = 1 << 62
+        self._block_hi = -1
+        #: pcs where block compilation refused (first op not
+        #: compilable); cleared on every code-cache flush
+        self._block_refused: set[int] = set()
+        #: bumped on every block invalidation; running blocks compare
+        #: it after each memory access and exit when it moved
+        self._code_epoch = 0
+        #: instructions a trapping block retired before the fault
+        #: (written by the generated except path, read by the run loop)
+        self._block_retired = 0
         self._extra_cycles = 0  # charged by load/store during the current step
         self.mmio_accesses = 0
         self.trap_count = 0
+        # pre-summed MMIO charge constants (avoid per-access attribute
+        # chains through self.timing on the hot path)
+        self._mmio_load_extra = self.timing.mmio_issue_overhead
+        self._mmio_store_extra = (self.timing.mmio_issue_overhead
+                                  + self.timing.noncacheable_store_cost)
+        self._mmio_shadow_extra = self.timing.mmio_after_branch_block
+        #: resolved MMIO ports keyed by ``addr * 16 + nbytes`` (a single
+        #: int hashes faster than a tuple); an entry of None means the
+        #: path refused a fast port and the timed bus call is used.
+        #: Valid while the bus topology is static (always, here).
+        self._mmio_read_ports: dict[int, object] = {}
+        self._mmio_write_ports: dict[int, object] = {}
+        #: timing-only burst port for D-cache line fills in the fast
+        #: memory window (resolved lazily; None = no fast path)
+        self._fill_port: object = _UNRESOLVED
 
     # ------------------------------------------------------------------
     # register file
@@ -137,16 +266,6 @@ class Hart:
             self.sim.advance_to(local)
         return local
 
-    def _charge_mmio_entry(self) -> None:
-        self.mmio_accesses += 1
-        self._extra_cycles += self.timing.mmio_issue_overhead
-        if self._branch_shadow:
-            # Non-cacheable accesses may not issue speculatively: wait
-            # for the in-flight conditional branch to commit and the
-            # frontend to refill (Sec. IV-B of the paper).
-            self._extra_cycles += self.timing.mmio_after_branch_block
-            self._branch_shadow = False
-
     def _line_fill(self, addr: int, is_store: bool) -> None:
         """Charge a D-cache miss: line fill (+ optional writeback).
 
@@ -161,6 +280,17 @@ class Hart:
         line_bytes = self.timing.dcache_line_bytes
         line_addr = addr & ~(line_bytes - 1)
         local = self._local_time()
+        port = self._fill_port
+        if port is _UNRESOLVED:
+            port = self._resolve_fill_port()
+        if (port is not None and line_addr >= self._fm_lo
+                and line_addr + line_bytes <= self._fm_hi):
+            start = local
+            if writeback:
+                start = port(line_addr, start)  # type: ignore[operator]
+            complete = port(line_addr, start)  # type: ignore[operator]
+            self._extra_cycles += complete - local
+            return
         start = local
         if writeback:
             result = self.bus.read_burst(line_addr, line_bytes, start)
@@ -168,13 +298,113 @@ class Hart:
         result = self.bus.read_burst(line_addr, line_bytes, start)
         self._extra_cycles += result.complete_at - local
 
+    def _resolve_fill_port(self) -> object:
+        """Resolve (and memoize) the timing-only line-fill port."""
+        resolver = getattr(self.bus, "resolve_fill_port", None)
+        port = None
+        if resolver is not None and self._fm_lo < self._fm_hi:
+            port = resolver(self._fm_lo, self._fm_hi,
+                            self.timing.dcache_line_bytes)
+        self._fill_port = port
+        return port
+
+    def _resolve_mmio_port(self, addr: int, nbytes: int, is_read: bool) -> object:
+        """Resolve (and memoize) a flattened bus port for an MMIO access.
+
+        Tries the cross-layer fused closure first (one frame for the
+        whole interconnect chain), then the layered resolution.
+        """
+        if is_read:
+            port: object = fuse_read_port(self.bus, addr, nbytes)
+        else:
+            port = fuse_write_port(self.bus, addr, nbytes)
+        if port is None:
+            name = "resolve_read_port" if is_read else "resolve_write_port"
+            resolver = getattr(self.bus, name, None)
+            port = resolver(addr, nbytes) if resolver is not None else None
+        cache = self._mmio_read_ports if is_read else self._mmio_write_ports
+        cache[addr * 16 + nbytes] = port
+        return port
+
+    def _sync_time(self, issue: int) -> None:
+        """Advance the kernel clock to ``issue`` (MMIO issue side).
+
+        Inlines the no-pending-events case: with nothing scheduled
+        before ``issue`` the advance is a plain clock assignment, which
+        avoids the ``advance_to`` call on the dominant path.
+        """
+        sim = self.sim
+        if issue > sim._now:
+            queue = sim._queue
+            if queue and queue[0][0] <= issue:
+                sim.advance_to(issue)
+            else:
+                sim._now = issue
+
+    def _code_store(self, addr: int, nbytes: int) -> None:
+        """Invalidate fused pc entries and compiled blocks overlapping
+        a store into [addr, addr+nbytes) (self-modifying code)."""
+        if addr + nbytes > self._pc_cache_lo and addr - 3 <= self._pc_cache_hi:
+            # drop any fused entries whose instruction bytes overlap
+            cache = self._pc_cache
+            for overlapped in range(addr - 3, addr + nbytes):
+                cache.pop(overlapped, None)
+        if (self._block_hi >= 0 and addr + nbytes > self._block_lo
+                and addr < self._block_hi):
+            # likewise for compiled blocks *spanning* the written bytes
+            # (entry pc alone is not enough: the store may land
+            # mid-block)
+            self._invalidate_blocks(addr, nbytes)
+
     def load(self, addr: int, nbytes: int) -> int:
         addr &= MASK64
-        if self._is_cacheable(addr):
+        if (self._cw0_lo <= addr < self._cw0_hi
+                or self._cw1_lo <= addr < self._cw1_hi
+                or (not self._cw_exact and self._is_cacheable(addr))):
+            # inline D-cache *hit* check (the dominant path); any miss
+            # falls through to the full line-fill model
+            if self._dc_inline:
+                line = addr >> self._dc_line_shift
+                if (
+                    self._dc_tags.get(line & self._dc_index_mask)
+                    == line >> self._dc_tag_shift
+                ):
+                    self.dcache.hits += 1
+                    if self._fm_lo <= addr < self._fm_hi:
+                        return self._fm_load(addr - self._fm_lo, nbytes)  # type: ignore[misc]
+                    return self._data_load(addr, nbytes)
             self._line_fill(addr, is_store=False)
+            if self._fm_lo <= addr < self._fm_hi:
+                return self._fm_load(addr - self._fm_lo, nbytes)  # type: ignore[misc]
             return self._data_load(addr, nbytes)
-        self._charge_mmio_entry()
-        issue = self._local_time()
+        # MMIO: charge issue-side cycles (issue overhead, plus the
+        # branch-shadow block — non-cacheable accesses may not issue
+        # speculatively, Sec. IV-B of the paper), sync with the kernel,
+        # then use the resolved flat port when the path supports one.
+        self.mmio_accesses += 1
+        extra = self._extra_cycles + self._mmio_load_extra
+        if self._branch_shadow:
+            extra += self._mmio_shadow_extra
+            self._branch_shadow = False
+        issue = self.cycles + extra
+        self._sync_time(issue)
+        port = self._mmio_read_ports.get(addr * 16 + nbytes, _UNRESOLVED)
+        if port is _UNRESOLVED:
+            port = self._resolve_mmio_port(addr, nbytes, is_read=True)
+        if port is not None:
+            value, complete = port(issue)  # type: ignore[operator]
+            self._extra_cycles = extra + (complete - issue)
+            return value
+        return self._mmio_load_slow(addr, nbytes, extra, issue)
+
+    def _mmio_load_slow(self, addr: int, nbytes: int,
+                        extra: int, issue: int) -> int:
+        """Timed-bus fallback for an MMIO load with no resolved port.
+
+        Also called from generated block code, which inlines the common
+        prologue (issue-time computation, kernel sync, port lookup).
+        """
+        self._extra_cycles = extra
         result = self.bus.read(addr, nbytes, issue)
         if not result.ok:
             raise Trap(isa.EXC_LOAD_ACCESS, addr)
@@ -183,19 +413,49 @@ class Hart:
 
     def store(self, addr: int, value: int, nbytes: int) -> None:
         addr &= MASK64
-        if self._is_cacheable(addr):
-            self._line_fill(addr, is_store=True)
-            self._data_store(addr, value, nbytes)
-            if addr + nbytes > self._pc_cache_lo and addr - 3 <= self._pc_cache_hi:
-                # a store into the cached code range: drop any fused
-                # entries whose instruction bytes it may overlap
-                cache = self._pc_cache
-                for overlapped in range(addr - 3, addr + nbytes):
-                    cache.pop(overlapped, None)
+        if (self._cw0_lo <= addr < self._cw0_hi
+                or self._cw1_lo <= addr < self._cw1_hi
+                or (not self._cw_exact and self._is_cacheable(addr))):
+            if self._dc_inline:
+                line = addr >> self._dc_line_shift
+                index = line & self._dc_index_mask
+                if self._dc_tags.get(index) == line >> self._dc_tag_shift:
+                    self.dcache.hits += 1
+                    self._dc_dirty[index] = True
+                else:
+                    self._line_fill(addr, is_store=True)
+            else:
+                self._line_fill(addr, is_store=True)
+            if self._fm_lo <= addr < self._fm_hi:
+                self._fm_store(addr - self._fm_lo, value, nbytes)  # type: ignore[misc]
+            else:
+                self._data_store(addr, value, nbytes)
+            self._code_store(addr, nbytes)
             return
-        self._charge_mmio_entry()
-        self._extra_cycles += self.timing.noncacheable_store_cost
-        issue = self._local_time()
+        self.mmio_accesses += 1
+        extra = self._extra_cycles + self._mmio_store_extra
+        if self._branch_shadow:
+            extra += self._mmio_shadow_extra
+            self._branch_shadow = False
+        issue = self.cycles + extra
+        self._sync_time(issue)
+        port = self._mmio_write_ports.get(addr * 16 + nbytes, _UNRESOLVED)
+        if port is _UNRESOLVED:
+            port = self._resolve_mmio_port(addr, nbytes, is_read=False)
+        if port is not None:
+            complete = port(value & ((1 << (8 * nbytes)) - 1), issue)  # type: ignore[operator]
+            self._extra_cycles = extra + (complete - issue)
+            return
+        self._mmio_store_slow(addr, value, nbytes, extra, issue)
+
+    def _mmio_store_slow(self, addr: int, value: int, nbytes: int,
+                         extra: int, issue: int) -> None:
+        """Timed-bus fallback for an MMIO store with no resolved port.
+
+        Also called from generated block code, which inlines the common
+        prologue (issue-time computation, kernel sync, port lookup).
+        """
+        self._extra_cycles = extra
         data = (value & ((1 << (8 * nbytes)) - 1)).to_bytes(nbytes, "little")
         result = self.bus.write(addr, data, issue)
         if not result.ok:
@@ -251,7 +511,9 @@ class Hart:
     # fetch/decode/execute
     # ------------------------------------------------------------------
     def _fetch_decoded(self) -> Decoded:
-        pc = self.pc
+        return self.decode_at(self.pc)
+
+    def decode_at(self, pc: int) -> Decoded:
         if pc & 1:
             raise Trap(isa.EXC_INSTR_MISALIGNED, pc)
         raw = self._fetch(pc, 4)
@@ -274,11 +536,47 @@ class Hart:
         return cached
 
     def invalidate_code_cache(self) -> None:
-        """Drop all fused/decoded entries (call after rewriting code)."""
+        """Drop all fused/decoded/compiled entries (after rewriting
+        code; also the ``fence.i`` semantics)."""
         self._pc_cache.clear()
         self._decode_cache.clear()
         self._pc_cache_lo = 1 << 62
         self._pc_cache_hi = -1
+        self._block_cache.clear()
+        self._block_pages.clear()
+        self._block_refused.clear()
+        self._block_lo = 1 << 62
+        self._block_hi = -1
+        self._code_epoch += 1
+
+    def _invalidate_blocks(self, addr: int, nbytes: int) -> None:
+        """Drop every compiled block whose byte range overlaps the
+        written range [addr, addr+nbytes); bumps the epoch so a block
+        currently executing notices at its next epoch check."""
+        pages = self._block_pages
+        cache = self._block_cache
+        end = addr + nbytes
+        shift = BLOCK_PAGE_SHIFT
+        removed = False
+        for page in range(addr >> shift, ((end - 1) >> shift) + 1):
+            entries = pages.get(page)
+            if not entries:
+                continue
+            for entry_pc in list(entries):
+                block = cache.get(entry_pc)
+                if block is None:
+                    entries.discard(entry_pc)
+                    continue
+                if block.start < end and block.end > addr:
+                    del cache[entry_pc]
+                    for spanned in range(block.start >> shift,
+                                         ((block.end - 1) >> shift) + 1):
+                        owners = pages.get(spanned)
+                        if owners is not None:
+                            owners.discard(entry_pc)
+                    removed = True
+        if removed:
+            self._code_epoch += 1
 
     def _build_pc_entry(self, pc: int) -> tuple:
         """Fuse fetch+decode+dispatch for ``pc`` into one cache entry.
@@ -372,7 +670,15 @@ class Hart:
         budget are hoisted out so each retire costs one method call and
         two compares of loop overhead.  ``deadline=None`` runs with no
         time bound (the :meth:`run` behaviour).
+
+        With ``engine="block"`` the same loop runs at basic-block
+        granularity through compiled blocks (repro.riscv.blocks); the
+        architectural and timing behaviour is identical by contract.
         """
+        if self.engine == "block":
+            return self._run_until_blocks(deadline,
+                                          max_instructions=max_instructions,
+                                          until_halted=until_halted)
         start_instret = self.instret
         budget = max_instructions
         sim = self.sim
@@ -410,6 +716,95 @@ class Hart:
             if not until_halted and peek() is None:
                 break
         # fold the hart's final time into the kernel
+        if self.cycles > sim.now:
+            advance(self.cycles)
+        return self.instret - start_instret
+
+    def _run_until_blocks(self, deadline: int | None, *,
+                          max_instructions: int,
+                          until_halted: bool) -> int:
+        """Block-engine twin of the :meth:`run_until` loop.
+
+        Per iteration: handle wfi / pending interrupts / the event
+        quantum exactly as the interpreter loop does, then execute one
+        compiled basic block (falling back to a single :meth:`step` at
+        pcs that do not begin a compilable block, when the remaining
+        budget is smaller than the block, or when an idle-queue early
+        exit must stop at single-instruction granularity).
+        """
+        start_instret = self.instret
+        budget = max_instructions
+        sim = self.sim
+        step = self.step
+        peek = sim.peek_next_time
+        advance = sim.advance_to
+        cache = self._block_cache
+        refused = self._block_refused
+        big = 1 << 62
+        dl = big if deadline is None else deadline
+        while not self.halted:
+            if self.cycles >= dl:
+                break
+            if self.in_wfi:
+                nxt = peek()
+                if nxt is None:
+                    raise CpuError(
+                        "hart is in wfi with no pending events: deadlock"
+                    )
+                target = max(nxt, self.cycles)
+                advance(target)
+                self.cycles = max(self.cycles, sim.now)
+                if self.pending_interrupt() is not None or (
+                    self.csr.mip & self.csr.mie
+                ):
+                    self.in_wfi = False
+                    continue
+                if peek() is None:
+                    raise CpuError("wfi wake condition unreachable: deadlock")
+                continue
+            nxt = peek()
+            if nxt is not None and self.cycles >= nxt:
+                advance(self.cycles)
+                nxt = peek()
+            irq = self.pending_interrupt()
+            if irq is not None:
+                # interpreter-exact delivery (step()'s interrupt branch)
+                self.in_wfi = False
+                self.take_trap(irq, interrupt=True)
+                self.cycles += self._extra_cycles
+                self._extra_cycles = 0
+                budget -= 1
+                if budget <= 0:
+                    raise CpuError(
+                        f"instruction budget exceeded ({max_instructions})"
+                    )
+                continue
+            block = cache.get(self.pc)
+            if block is None and self.pc not in refused:
+                block = compile_block(self, self.pc)
+                if block is None:
+                    refused.add(self.pc)
+            if (block is None or block.n_instr >= budget
+                    or (not until_halted and nxt is None)):
+                step()
+                budget -= 1
+            else:
+                try:
+                    limit = nxt if nxt is not None and nxt < dl else dl
+                    budget -= block.fn(self, limit, dl, not until_halted)
+                except Trap as trap:
+                    budget -= self._block_retired + 1
+                    self.cycles += self.timing.base_cpi + self._extra_cycles
+                    self._extra_cycles = 0
+                    self.take_trap(trap.cause, trap.tval)
+                    self.cycles += self._extra_cycles
+                    self._extra_cycles = 0
+            if budget <= 0:
+                raise CpuError(
+                    f"instruction budget exceeded ({max_instructions})"
+                )
+            if not until_halted and peek() is None:
+                break
         if self.cycles > sim.now:
             advance(self.cycles)
         return self.instret - start_instret

@@ -10,7 +10,7 @@ runs.
 from __future__ import annotations
 
 import hashlib
-from typing import TYPE_CHECKING, Dict, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Optional
 
 from repro.accel import make_accelerator
 from repro.accel.base import StreamAccelerator
@@ -77,6 +77,13 @@ class Soc:
         self._module_rp_index: Dict[str, int] = {}
         self.active_rms: Dict[int, Optional[StreamAccelerator]] = {}
         self.active_module_names: Dict[int, Optional[str]] = {}
+
+        # memoized DDR window + bound accessors for the hart's cacheable
+        # data path (resolved on first use: self.ddr is builder-set)
+        self._ddr_lo = config.layout.ddr_base
+        self._ddr_span = config.layout.ddr_size
+        self._ddr_load_word: Optional[Callable[[int, int], int]] = None
+        self._ddr_store_word: Optional[Callable[[int, int, int], None]] = None
 
     @property
     def rp(self) -> ReconfigurablePartition:
@@ -156,7 +163,8 @@ class Soc:
     # ------------------------------------------------------------------
     # firmware support
     # ------------------------------------------------------------------
-    def load_firmware(self, program: Program) -> Hart:
+    def load_firmware(self, program: Program,
+                      engine: Optional[str] = None) -> Hart:
         """Program the boot memory and construct a hart at its entry."""
         layout = self.config.layout
         if program.base != layout.bootrom_base:
@@ -174,6 +182,17 @@ class Soc:
             is_cacheable=layout.is_cacheable,
             timing=self.config.timing.cpu,
             reset_pc=program.entry,
+            engine=engine,
+            # the two windows below are exactly is_cacheable's ranges,
+            # letting the hart classify accesses with inline compares
+            cacheable_windows=(
+                (layout.ddr_base, layout.ddr_base + layout.ddr_size),
+                (layout.bootrom_base,
+                 layout.bootrom_base + layout.bootrom_size),
+            ),
+            fast_memory=(layout.ddr_base,
+                         layout.ddr_base + layout.ddr_size,
+                         self.ddr.memory),
         )
         self.clint.connect_hart(hart.csr.set_mip_bit)
         self.plic.connect_hart(hart.csr.set_mip_bit)
@@ -190,18 +209,25 @@ class Soc:
         raise ControllerError(f"instruction fetch from unmapped {addr:#x}")
 
     def _data_load(self, addr: int, nbytes: int) -> int:
+        offset = addr - self._ddr_lo
+        if 0 <= offset < self._ddr_span:
+            fn = self._ddr_load_word
+            if fn is None:
+                fn = self._ddr_load_word = self.ddr.memory.load_word
+            return fn(offset, nbytes)
         layout = self.config.layout
-        if layout.ddr_base <= addr < layout.ddr_base + layout.ddr_size:
-            return self.ddr.memory.load_word(addr - layout.ddr_base, nbytes)
         if layout.bootrom_base <= addr < layout.bootrom_base + layout.bootrom_size:
             data = self.bootrom.fetch(addr - layout.bootrom_base, nbytes)
             return int.from_bytes(data, "little")
         raise ControllerError(f"cacheable load from unmapped {addr:#x}")
 
     def _data_store(self, addr: int, value: int, nbytes: int) -> None:
-        layout = self.config.layout
-        if layout.ddr_base <= addr < layout.ddr_base + layout.ddr_size:
-            self.ddr.memory.store_word(addr - layout.ddr_base, value, nbytes)
+        offset = addr - self._ddr_lo
+        if 0 <= offset < self._ddr_span:
+            fn = self._ddr_store_word
+            if fn is None:
+                fn = self._ddr_store_word = self.ddr.memory.store_word
+            fn(offset, value, nbytes)
             return
         raise ControllerError(f"cacheable store to unmapped {addr:#x}")
 
