@@ -28,7 +28,7 @@ import json
 import sys
 import time
 from pathlib import Path
-from typing import Callable, Dict, List, Tuple
+from typing import List, Tuple
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_JSON = REPO_ROOT / "BENCH_perf.json"
@@ -51,12 +51,26 @@ PRE_PR_WALL_S = {
 #: allowed normalized wall-clock regression before --check fails
 REGRESSION_TOLERANCE = 1.25
 
-#: block-engine gate: iss_unroll must stay >= this much faster than the
-#: interpreter-era seed measurement, calibration-normalized (the seed
-#: wall and its calibration were captured on the machine that set them)
-ISS_UNROLL_SEED_WALL_S = 0.341
-ISS_UNROLL_SEED_CALIB_S = 0.038
-ISS_UNROLL_MIN_SPEEDUP = 5.0
+#: block-engine gate: iss_unroll must run >= this much faster under the
+#: block-compiling engine than under the interpreter reference engine.
+#: Measured as a same-run A/B (both engines, same process, same
+#: machine), so CI-runner speed differences cancel exactly — the old
+#: fixed-constant formulation (5x vs the interpreter-*era* seed, which
+#: also predated the MMIO fastpath and kernel batching that sped the
+#: interpreter up too) flagged spurious failures whenever the runner
+#: drifted from the machine that captured the constants.  The block
+#: engine's marginal win measures ~2.3x; gate at 1.8x.
+ISS_UNROLL_MIN_SPEEDUP = 1.8
+
+#: serving-path seed gates: each bench must stay >= min_speedup faster
+#: than the pre-optimization engine, calibration-normalized.  The seed
+#: (wall_s, calibration_wall_s) pairs were captured by re-running the
+#: committed pre-optimization tree on the machine that refreshed the
+#: baseline, in the same session — name -> (wall, calib, min_speedup).
+SEED_GATES = {
+    "sched_replay": (1.4971, 0.0365, 3.0),
+    "table2_obs": (0.3069, 0.0365, 1.5),
+}
 
 #: allowed tracer-off overhead of the observability layer: the guarded
 #: emit sites (`obs is not None` checks) must cost <2 % on the Table II
@@ -65,111 +79,11 @@ OBS_OVERHEAD_TOLERANCE = 1.02
 
 
 # ---------------------------------------------------------------------------
-# bench bodies — each returns the number of simulated payload bytes the
-# bench pushed through the model, so MB/s is comparable across machines
+# bench bodies live in repro.eval.benches so `python -m repro profile`
+# runs the exact same workloads the regression gate times
 # ---------------------------------------------------------------------------
 
-def _reference_pbit() -> bytes:
-    from repro.eval.scenarios import rp_for_geometry
-    from repro.fpga.bitgen import Bitgen
-    from repro.fpga.partition import (
-        ReconfigurableModule,
-        ResourceBudget,
-        RpGeometry,
-    )
-
-    rp = rp_for_geometry("rp_ref", RpGeometry(25, 4, 3, 1))
-    module = ReconfigurableModule("ref_mod", ResourceBudget(1, 1, 0, 0))
-    return Bitgen().generate(rp, module).to_bytes()
-
-
-def bench_bitgen_ref() -> int:
-    """Assemble the reference partial bitstream (CRC-heavy)."""
-    return len(_reference_pbit())
-
-
-def bench_icap_stream() -> int:
-    """Parse the reference bitstream through a bare ICAP model."""
-    from repro.fpga.config_memory import ConfigMemory
-    from repro.fpga.device import KINTEX7_325T
-    from repro.fpga.icap import Icap
-
-    pbit = _reference_pbit()
-    Icap(ConfigMemory(KINTEX7_325T)).accept(pbit, 0)
-    return len(pbit)
-
-
-def bench_e2e_reconfig() -> int:
-    """Full DMA -> ICAP reconfiguration of the reference bitstream."""
-    from repro.eval.throughput import measure_reconfiguration
-
-    pbit = _reference_pbit()
-    measure_reconfiguration(pbit)
-    return len(pbit)
-
-
-def bench_table2() -> int:
-    """Reproduce Table II (RV-CAP and HWICAP throughput rows)."""
-    from repro.eval.tables import table2
-
-    table2()
-    # both controller rows stream the reference partial bitstream
-    return 2 * 650_892
-
-
-def bench_table2_obs() -> int:
-    """Table II with full observability attached (tracer-on cost)."""
-    from repro.eval.tables import table2
-    from repro.obs import Observability, set_default_observability
-
-    set_default_observability(Observability())
-    try:
-        table2()
-    finally:
-        set_default_observability(None)
-    return 2 * 650_892
-
-
-def bench_iss_unroll() -> int:
-    """Firmware-driven unroll sweep at factor 16 (ISS-bound)."""
-    from repro.eval.figures import unroll_sweep
-
-    unroll_sweep((16,))
-    return 133_772
-
-
-def bench_sched_replay() -> int:
-    """Replay a 400-request stream through the asyncio DPR scheduler."""
-    from repro.sched import WorkloadSpec, bench
-
-    spec = WorkloadSpec(requests=400, arrival_rate_rps=2000.0, modules=8,
-                        frame=32, deadline_slack_us=20_000.0, seed=2026)
-    report = bench(spec, cache_bytes=1 << 20)
-    # payload bytes streamed both directions plus SD-faulted pbit bytes
-    frame_bytes = spec.frame * spec.frame
-    return 2 * frame_bytes * report.completed + \
-        int(report.cache["sd_bytes_loaded"])
-
-
-def bench_fault_sweep() -> int:
-    """One fault-campaign point per fault kind on the reference SoC."""
-    from repro.eval.fault_sweep import fault_sweep
-    from repro.faults.campaign import sweep_kinds
-
-    report = fault_sweep(points=1, seed=2026)
-    return report.points * 650_892 if report.points else len(sweep_kinds(None)) * 650_892
-
-
-BENCHES: Dict[str, Callable[[], int]] = {
-    "bitgen_ref": bench_bitgen_ref,
-    "icap_stream": bench_icap_stream,
-    "e2e_reconfig": bench_e2e_reconfig,
-    "table2": bench_table2,
-    "table2_obs": bench_table2_obs,
-    "iss_unroll": bench_iss_unroll,
-    "fault_sweep": bench_fault_sweep,
-    "sched_replay": bench_sched_replay,
-}
+from repro.eval.benches import BENCHES  # noqa: E402
 
 
 # ---------------------------------------------------------------------------
@@ -259,20 +173,47 @@ def check_regressions(current: dict, baseline_path: Path) -> int:
         if ratio > REGRESSION_TOLERANCE:
             failures.append((bench["name"], ratio))
     for bench in current["benches"]:
-        if bench["name"] != "iss_unroll":
-            continue
-        # absolute gate: the block engine's win over the interpreter-era
-        # seed must hold, not just not-regress vs the last commit
-        seed_norm = ISS_UNROLL_SEED_WALL_S / ISS_UNROLL_SEED_CALIB_S
-        cur_norm = bench["wall_s"] / cur_calib
-        speedup = seed_norm / cur_norm if cur_norm > 0 else float("inf")
-        tag = "ok" if speedup >= ISS_UNROLL_MIN_SPEEDUP else "FAIL"
-        print(
-            f"perf-check: iss_unroll block-engine speedup {speedup:5.2f}x "
-            f"vs seed (need >= {ISS_UNROLL_MIN_SPEEDUP:.1f}x) [{tag}]"
-        )
-        if speedup < ISS_UNROLL_MIN_SPEEDUP:
-            failures.append(("iss_unroll(seed-speedup)", speedup))
+        gate = SEED_GATES.get(bench["name"])
+        if gate is not None:
+            # absolute gate: the optimized engine's win over the seed
+            # must hold, not just not-regress vs the last commit
+            seed_wall, seed_calib, min_speedup = gate
+            seed_norm = seed_wall / seed_calib
+            cur_norm = bench["wall_s"] / cur_calib
+            speedup = seed_norm / cur_norm if cur_norm > 0 else float("inf")
+            tag = "ok" if speedup >= min_speedup else "FAIL"
+            print(
+                f"perf-check: {bench['name']} seed speedup {speedup:5.2f}x "
+                f"(need >= {min_speedup:.1f}x) [{tag}]"
+            )
+            if speedup < min_speedup:
+                failures.append((f"{bench['name']}(seed-speedup)", speedup))
+        if bench["name"] == "iss_unroll":
+            # same-run A/B: time the bench under the interpreter
+            # reference engine and compare against the block-engine wall
+            # just measured — machine speed cancels exactly
+            import os
+
+            saved = os.environ.get("REPRO_ISS_ENGINE")
+            os.environ["REPRO_ISS_ENGINE"] = "interp"
+            try:
+                interp_wall, _ = run_bench("iss_unroll", 1)
+            finally:
+                if saved is None:
+                    del os.environ["REPRO_ISS_ENGINE"]
+                else:
+                    os.environ["REPRO_ISS_ENGINE"] = saved
+            block_wall = bench["wall_s"]
+            speedup = (interp_wall / block_wall if block_wall > 0
+                       else float("inf"))
+            tag = "ok" if speedup >= ISS_UNROLL_MIN_SPEEDUP else "FAIL"
+            print(
+                f"perf-check: iss_unroll block-engine speedup "
+                f"{speedup:5.2f}x vs interpreter (same-run A/B, need "
+                f">= {ISS_UNROLL_MIN_SPEEDUP:.1f}x) [{tag}]"
+            )
+            if speedup < ISS_UNROLL_MIN_SPEEDUP:
+                failures.append(("iss_unroll(seed-speedup)", speedup))
     if failures:
         worst = max(failures, key=lambda f: f[1])
         print(

@@ -25,6 +25,17 @@ from repro.errors import ControllerError
 
 BYTES_PER_BEAT = 8
 
+#: frames at or below this size memoize golden-filter slabs (bytes)
+_GOLDEN_MEMO_MAX_IMAGE = 64 * 1024
+#: memo entries kept before the table is recycled
+_GOLDEN_MEMO_MAX_ENTRIES = 256
+#: process-wide memo — accelerator instances are rebuilt on every
+#: reconfiguration (the SoC re-derives the RM from configuration
+#: memory), so the cache must outlive any single instance.  Keyed by
+#: the golden callable itself plus the exact input slab, hence safe
+#: for any pure filter.
+_GOLDEN_MEMO: dict = {}
+
 
 @dataclass(frozen=True)
 class AcceleratorTiming:
@@ -66,6 +77,13 @@ class StreamAccelerator(StreamSink, StreamSource):
         self._rows_computed = 0
         self._out_cursor = 0
         self.images_processed = 0
+        # golden filters are pure functions of the pixel data, so for
+        # small frames (the serving workload replays identical frames)
+        # the per-slab filter results are memoized on the exact input
+        # slab; content-keyed, hence observably identical to
+        # recomputing.  Large frames skip the memo (keying cost and
+        # retained output would not pay for themselves).
+        self._memo_enabled = self.image_bytes <= _GOLDEN_MEMO_MAX_IMAGE
 
     # ------------------------------------------------------------------
     # control
@@ -102,7 +120,8 @@ class StreamAccelerator(StreamSink, StreamSource):
         self._in_bytes.extend(data)
         self._beats_consumed += -(-len(data) // BYTES_PER_BEAT)
         consumed_cycles = self.timing.cycles_for_beats(self._beats_consumed)
-        self._in_busy = max(now, self._started_at + consumed_cycles)
+        paced = self._started_at + consumed_cycles
+        self._in_busy = paced if paced > now else now
         self._compute_ready_rows()
         return self._in_busy
 
@@ -125,23 +144,34 @@ class StreamAccelerator(StreamSink, StreamSource):
         if target <= self._rows_computed:
             return
         rows = self._rows_received()
-        image_so_far = np.frombuffer(
-            bytes(self._in_bytes[: rows * self.width]), dtype=np.uint8
-        ).reshape(rows, self.width)
         # compute on a replicated-edge slab so rows match the full-frame
         # golden output exactly
         r0 = self._rows_computed
         r1 = target
         lo = max(0, r0 - 1)
         hi = min(rows, r1 + 1)
-        # The golden filter edge-replicates the slab borders; extracted
-        # rows always have their true context rows inside the slab, so
-        # the synthetic replication never leaks into the output.
-        filtered = self.golden(image_so_far[lo:hi])
-        out_rows = filtered[r0 - lo : r1 - lo]
-        assert out_rows.shape[0] == r1 - r0
+        slab = bytes(self._in_bytes[lo * self.width : hi * self.width])
+        row_payloads: List[bytes] | None = None
+        if self._memo_enabled:
+            memo_key = (self.golden, self.width, r0 - lo, r1 - lo, slab)
+            row_payloads = _GOLDEN_MEMO.get(memo_key)
+        if row_payloads is None:
+            image_slab = np.frombuffer(slab, dtype=np.uint8).reshape(
+                hi - lo, self.width)
+            # The golden filter edge-replicates the slab borders;
+            # extracted rows always have their true context rows inside
+            # the slab, so the synthetic replication never leaks into
+            # the output.
+            filtered = self.golden(image_slab)
+            out_rows = filtered[r0 - lo : r1 - lo]
+            assert out_rows.shape[0] == r1 - r0
+            row_payloads = [row.tobytes() for row in out_rows]
+            if self._memo_enabled:
+                if len(_GOLDEN_MEMO) >= _GOLDEN_MEMO_MAX_ENTRIES:
+                    _GOLDEN_MEMO.clear()
+                _GOLDEN_MEMO[memo_key] = row_payloads
         out_beats_per_row = self.width // BYTES_PER_BEAT
-        for k, row in enumerate(out_rows):
+        for k, row in enumerate(row_payloads):
             row_index = r0 + k
             # the row leaves the pipeline startup_cycles after the
             # II-paced consumption of its last needed input beat
@@ -149,7 +179,7 @@ class StreamAccelerator(StreamSink, StreamSource):
             base = self._started_at if self._started_at is not None else 0
             avail = (base + self.timing.startup_cycles
                      + self.timing.cycles_for_beats(needed_beats))
-            self._out_rows.append((avail, row.tobytes()))
+            self._out_rows.append((avail, row))
         self._rows_computed = r1
         if self._rows_computed == self.height:
             self.images_processed += 1
@@ -162,7 +192,9 @@ class StreamAccelerator(StreamSink, StreamSource):
             if self._rows_computed >= self.height:
                 return b"", now  # end of frame
             # not ready: ask the DMA to retry once more input landed
-            retry = max(now + 1, self._in_busy)
+            retry = now + 1
+            if self._in_busy > retry:
+                retry = self._in_busy
             return b"", retry
         chunks: list[bytes] = []
         t = now
@@ -177,5 +209,6 @@ class StreamAccelerator(StreamSink, StreamSource):
                 self._out_cursor += 1
             chunks.append(row[:take])
             taken += take
-            t = max(t, avail)
+            if avail > t:
+                t = avail
         return b"".join(chunks), t

@@ -105,9 +105,9 @@ class AxiCrossbar(AxiSlave):
         arrive = now + self.request_latency
         start = max(arrive, self._busy_until.get(key, 0))
         if self.obs is not None:
-            self._c_txn.inc()  # type: ignore[union-attr]
+            self._c_txn.value += 1  # type: ignore[union-attr]
             if start > arrive:
-                self._wait_counter(region).inc(start - arrive)
+                self._wait_counter(region).value += start - arrive
         local = addr - region.base
         slave = region.slave
         if is_read:
@@ -142,9 +142,9 @@ class AxiCrossbar(AxiSlave):
             if start < arrive:
                 start = arrive
             if self.obs is not None:
-                self._c_txn.inc()  # type: ignore[union-attr]
+                self._c_txn.value += 1  # type: ignore[union-attr]
                 if start > arrive:
-                    self._wait_counter(region).inc(start - arrive)
+                    self._wait_counter(region).value += start - arrive
             value, complete = inner(start)
             busy[key] = complete
             return value, complete + response
@@ -171,10 +171,94 @@ class AxiCrossbar(AxiSlave):
             if start < arrive:
                 start = arrive
             if self.obs is not None:
-                self._c_txn.inc()  # type: ignore[union-attr]
+                self._c_txn.value += 1  # type: ignore[union-attr]
                 if start > arrive:
-                    self._wait_counter(region).inc(start - arrive)
+                    self._wait_counter(region).value += start - arrive
             complete = inner(value, start)
+            busy[key] = complete
+            return complete + response
+
+        return port
+
+    def resolve_burst_read(self, lo: int, hi: int) -> Optional[
+        "Callable[[int, int, int], Tuple[bytes, int]]"
+    ]:
+        """A fused data burst-read port over one region window.
+
+        Returns ``f(addr, nbytes, now) -> (data, complete_at)``
+        reproducing :meth:`read_burst` exactly (arbitration watermark,
+        counters, slave row/port state) for bursts wholly inside
+        [lo, hi).  The DMA descriptor engine resolves one per transfer,
+        replacing the per-burst crossbar walk with a single closure.
+        Requires the window to decode to one region whose slave itself
+        resolves (``None`` otherwise — callers fall back to
+        :meth:`read_burst`, which also covers fault-injection proxies).
+        """
+        region = self.memory_map.decode(lo)
+        if region is None or hi > region.end or lo >= hi:
+            return None
+        resolve = getattr(region.slave, "resolve_burst_read", None)
+        if resolve is None:
+            return None
+        inner = resolve(lo - region.base, hi - region.base)
+        if inner is None:
+            return None
+        busy = self._busy_until
+        key = id(region)
+        base = region.base
+        request = self.request_latency
+        response = self.response_latency
+
+        def port(addr: int, nbytes: int, now: int) -> Tuple[bytes, int]:
+            self.transactions += 1
+            arrive = now + request
+            start = busy.get(key, 0)
+            if start < arrive:
+                start = arrive
+            if self.obs is not None:
+                self._c_txn.value += 1  # type: ignore[union-attr]
+                if start > arrive:
+                    self._wait_counter(region).value += start - arrive
+            data, complete = inner(addr - base, nbytes, start)
+            busy[key] = complete
+            return data, complete + response
+
+        return port
+
+    def resolve_burst_write(self, lo: int, hi: int) -> Optional[
+        "Callable[[int, bytes, int], int]"
+    ]:
+        """A fused data burst-write port over one region window.
+
+        Mirror of :meth:`resolve_burst_read` for
+        ``f(addr, data, now) -> complete_at``.
+        """
+        region = self.memory_map.decode(lo)
+        if region is None or hi > region.end or lo >= hi:
+            return None
+        resolve = getattr(region.slave, "resolve_burst_write", None)
+        if resolve is None:
+            return None
+        inner = resolve(lo - region.base, hi - region.base)
+        if inner is None:
+            return None
+        busy = self._busy_until
+        key = id(region)
+        base = region.base
+        request = self.request_latency
+        response = self.response_latency
+
+        def port(addr: int, data: bytes, now: int) -> int:
+            self.transactions += 1
+            arrive = now + request
+            start = busy.get(key, 0)
+            if start < arrive:
+                start = arrive
+            if self.obs is not None:
+                self._c_txn.value += 1  # type: ignore[union-attr]
+                if start > arrive:
+                    self._wait_counter(region).value += start - arrive
+            complete = inner(addr - base, data, start)
             busy[key] = complete
             return complete + response
 
@@ -213,9 +297,9 @@ class AxiCrossbar(AxiSlave):
             if start < arrive:
                 start = arrive
             if self.obs is not None:
-                self._c_txn.inc()  # type: ignore[union-attr]
+                self._c_txn.value += 1  # type: ignore[union-attr]
                 if start > arrive:
-                    self._wait_counter(region).inc(start - arrive)
+                    self._wait_counter(region).value += start - arrive
             complete = int(timing_fn(addr - base, nbytes, start))
             busy[key] = complete
             return complete + response

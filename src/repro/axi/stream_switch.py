@@ -9,7 +9,7 @@ for the RM's output stream into the DMA's S2MM channel.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Dict, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple
 
 from repro.axi.stream import StreamSink, StreamSource
 from repro.errors import BusError
@@ -118,6 +118,60 @@ class AxiStreamSwitch(StreamSink):
             return sink.accept(data, now + self.stage_latency)
         finally:
             self._in_flight = False
+
+    def resolve_accept(self) -> Optional[Callable[[bytes, int], int]]:
+        """A fused accept closure for the currently selected route.
+
+        Exactly :meth:`accept`'s behaviour (stage latency, per-port byte
+        counter) with the switch frame and the downstream converter's
+        frame collapsed into one closure.  Resolved per descriptor by
+        the DMA engine, so a ``select`` between transfers simply yields
+        a new closure; switching mid-transfer is a protocol violation
+        regardless.  ``None`` when no sink is selected (the slow path
+        raises the proper error).
+        """
+        if self._selected is None:
+            return None
+        sink = self._sinks.get(self._selected)
+        if sink is None:
+            return None
+        inner_resolve = getattr(sink, "resolve_accept", None)
+        inner = inner_resolve() if inner_resolve is not None else None
+        if inner is None:
+            inner = sink.accept
+        stage = self.stage_latency
+        counter = (self._port_counter(self._selected)
+                   if self.obs is not None else None)
+        if counter is None:
+            def accept(data: bytes, now: int) -> int:
+                return inner(data, now + stage)
+        else:
+            def accept(data: bytes, now: int) -> int:
+                counter.value += len(data)
+                return inner(data, now + stage)
+        return accept
+
+    def resolve_produce(self) -> Optional[Callable[[int, int], Tuple[bytes, int]]]:
+        """A fused produce closure for the selected source, or ``None``."""
+        if self._selected is None:
+            return None
+        source = self._sources.get(self._selected)
+        if source is None:
+            return None
+        produce_inner = source.produce
+        stage = self.stage_latency
+        counter = (self._port_counter(self._selected)
+                   if self.obs is not None else None)
+        if counter is None:
+            def produce(nbytes: int, now: int) -> tuple[bytes, int]:
+                return produce_inner(nbytes, now + stage)
+        else:
+            def produce(nbytes: int, now: int) -> tuple[bytes, int]:
+                data, done = produce_inner(nbytes, now + stage)
+                if data:
+                    counter.value += len(data)
+                return data, done
+        return produce
 
     def produce(self, nbytes: int, now: int) -> tuple[bytes, int]:
         """Pull a burst from the selected source (adds one stage)."""

@@ -396,45 +396,10 @@ def _cmd_disasm(args: argparse.Namespace) -> int:
     return 0
 
 
-def _profile_scenarios() -> dict:
-    """Named workloads for ``repro profile`` (lazily imported bodies)."""
-    def bitgen() -> None:
-        from repro.eval.scenarios import rp_for_geometry
-        from repro.fpga.bitgen import Bitgen
-        from repro.fpga.partition import (
-            ReconfigurableModule, ResourceBudget, RpGeometry,
-        )
-        rp = rp_for_geometry("rp_ref", RpGeometry(25, 4, 3, 1))
-        Bitgen().generate(rp, ReconfigurableModule(
-            "ref_mod", ResourceBudget(1, 1, 0, 0))).to_bytes()
-
-    def icap() -> None:
-        from repro.eval.scenarios import make_test_bitstream
-        from repro.fpga.config_memory import ConfigMemory
-        from repro.fpga.device import KINTEX7_325T
-        from repro.fpga.icap import Icap
-        pbit = make_test_bitstream().to_bytes()
-        Icap(ConfigMemory(KINTEX7_325T)).accept(pbit, 0)
-
-    def reconfig() -> None:
-        from repro.eval.scenarios import make_test_bitstream
-        from repro.eval.throughput import measure_reconfiguration
-        measure_reconfiguration(make_test_bitstream().to_bytes())
-
-    def table2() -> None:
-        from repro.eval.tables import table2 as run
-        run()
-
-    def unroll() -> None:
-        from repro.eval.figures import unroll_sweep
-        unroll_sweep((16,))
-
-    def faults() -> None:
-        from repro.eval.fault_sweep import fault_sweep
-        fault_sweep(points=1, seed=2026)
-
-    return {"bitgen": bitgen, "icap": icap, "reconfig": reconfig,
-            "table2": table2, "unroll": unroll, "faults": faults}
+def _profile_names() -> list:
+    """Scenario names ``repro profile`` accepts (benches + aliases)."""
+    from repro.eval.benches import ALIASES, BENCHES
+    return sorted(BENCHES) + sorted(ALIASES)
 
 
 def _cmd_fleet(args: argparse.Namespace) -> int:
@@ -473,13 +438,15 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     import cProfile
     import pstats
 
+    from repro.eval.benches import resolve_bench
+
     if args.engine:
         from repro.riscv.hart import set_default_engine
         set_default_engine(args.engine)
-    scenario = _profile_scenarios()[args.scenario]
+    bench = resolve_bench(args.scenario)
     profiler = cProfile.Profile()
     profiler.enable()
-    scenario()
+    bench()
     profiler.disable()
     if args.output:
         profiler.dump_stats(args.output)
@@ -487,7 +454,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
               "(inspect with python -m pstats)")
         return 0
     stats = pstats.Stats(profiler, stream=sys.stdout)
-    stats.strip_dirs().sort_stats(args.sort).print_stats(args.limit)
+    stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
     return 0
 
 
@@ -705,16 +672,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also write the stable JSON report to a file")
     p.set_defaults(func=_cmd_fleet)
 
-    p = sub.add_parser("profile", help="cProfile a named simulator "
-                                       "workload")
-    p.add_argument("scenario", choices=["bitgen", "icap", "reconfig",
-                                        "table2", "unroll", "faults"])
+    p = sub.add_parser("profile", help="cProfile a named perf bench")
+    p.add_argument("scenario", choices=_profile_names(),
+                   help="any bench from benchmarks/perf.py (or a "
+                        "historical alias)")
     p.add_argument("--engine", choices=["interp", "block"], default=None,
                    help="ISS execution engine for the workload "
                         "(default: process default)")
     p.add_argument("--sort", default="cumulative",
                    help="pstats sort key (default: cumulative)")
-    p.add_argument("--limit", type=int, default=30,
+    p.add_argument("--top", "--limit", dest="top", type=int, default=30,
                    help="rows of pstats output (default: 30)")
     p.add_argument("-o", "--output", default=None,
                    help="dump raw profile data instead of printing")

@@ -14,7 +14,7 @@ it reaches the port.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 import numpy as np
 
@@ -48,6 +48,31 @@ class Axis2Icap(StreamSink):
         self._c_out = obs.metrics.counter(
             "axis2icap_bytes_out_total",
             "bytes written to the ICAP data port (post-decompression)")
+
+    def resolve_accept(self) -> Optional[Callable[[bytes, int], int]]:
+        """A fused accept closure for the pass-through (64b->2x32b) mode.
+
+        Identical to :meth:`accept` with the converter frame removed
+        and the byte counters inlined; ``None`` in decompression mode
+        (record buffering needs the full path).
+        """
+        if self.decompress:
+            return None
+        icap_accept = self.icap.accept
+        stage = self.stage_latency
+        c_in = self._c_in
+        c_out = self._c_out
+
+        def accept(data: bytes, now: int) -> int:
+            n = len(data)
+            self.bytes_in += n
+            self.bytes_out += n
+            if c_in is not None:
+                c_in.value += n
+                c_out.value += n
+            return icap_accept(data, now + stage)
+
+        return accept
 
     def accept(self, data: bytes, now: int) -> int:
         self.bytes_in += len(data)

@@ -11,15 +11,35 @@ paper's driver pseudo-code maps one-to-one: DMACR.RS starts the
 channel, writing LENGTH triggers the transfer, DMASR reports
 Halted/Idle/IOC_Irq, and the IOC interrupt fires on completion.
 
-Transfers proceed burst-by-burst as simulation events (128 B per event
-at the default 16-beat * 64-bit burst), so the DDR port, the stream
-switch and the ICAP all see correctly interleaved traffic, and a CPU
-polling DMASR mid-transfer observes the true in-flight state.
+Transfers proceed burst-by-burst (128 B per burst at the default
+16-beat * 64-bit burst), so the DDR port, the stream switch and the
+ICAP all see correctly interleaved traffic, and a CPU polling DMASR
+mid-transfer observes the true in-flight state.
+
+Two engines execute that burst schedule:
+
+* ``burst`` — the reference engine: one simulation event per pacing
+  step, exactly the generator process the model started with.
+* ``descriptor`` (default) — the fast engine: the whole descriptor runs
+  as a handful of bulk events.  The burst loop executes eagerly inside
+  one callback, tracking the virtual pacing position through
+  ``Simulator.batch_advance`` instead of yielding a ``Delay`` per
+  burst.  Every data-plane call takes explicit timestamps (memory
+  ports, stream sinks/sources maintain their own ``busy_until``
+  watermarks), so eager execution inside the kernel's batch window —
+  bounded by the next foreign event and the caller's observation
+  horizon — produces bit-identical timing.  When the next pacing target
+  would reach the window the engine falls back to yielding a real
+  ``Delay`` (split-on-interrupt), which preserves exact interleaving
+  with fault injectors, concurrent channels and CPU observation, and
+  keeps ``CR_RESET`` aborts working unchanged (the generator is always
+  suspended at a yield when foreign code runs).
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Generator, Optional
+import os
+from typing import TYPE_CHECKING, Callable, Generator, List, Optional
 
 from repro.axi.interface import AxiSlave, RegisterBank
 from repro.axi.stream import StreamSink, StreamSource
@@ -52,6 +72,32 @@ SR_IDLE = 1 << 1
 SR_IOC_IRQ = 1 << 12
 SR_ERR_IRQ = 1 << 14
 
+#: the available DMA transfer engines
+DMA_ENGINES = ("burst", "descriptor")
+
+#: process-wide default engine; ``REPRO_DMA_ENGINE`` overrides it, an
+#: explicit ``DmaChannel(engine=...)`` argument overrides both
+_DEFAULT_DMA_ENGINE = "descriptor"
+
+
+def set_default_dma_engine(name: str) -> None:
+    """Set the process-wide default DMA engine."""
+    global _DEFAULT_DMA_ENGINE
+    if name not in DMA_ENGINES:
+        raise ValueError(
+            f"unknown DMA engine {name!r}; expected one of {DMA_ENGINES}")
+    _DEFAULT_DMA_ENGINE = name
+
+
+def resolve_dma_engine(name: Optional[str] = None) -> str:
+    """Resolve an engine choice: explicit arg > env var > default."""
+    if name is None:
+        name = os.environ.get("REPRO_DMA_ENGINE") or _DEFAULT_DMA_ENGINE
+    if name not in DMA_ENGINES:
+        raise ValueError(
+            f"unknown DMA engine {name!r}; expected one of {DMA_ENGINES}")
+    return name
+
 
 class DmaChannel:
     """One DMA channel (MM2S: memory->stream, or S2MM: stream->memory)."""
@@ -66,6 +112,7 @@ class DmaChannel:
         burst_beats: int = 16,
         beat_bytes: int = 8,
         start_latency: int = 24,
+        engine: Optional[str] = None,
     ) -> None:
         self.name = name
         self.sim = sim
@@ -73,6 +120,7 @@ class DmaChannel:
         self.is_mm2s = is_mm2s
         self.burst_bytes = burst_beats * beat_bytes
         self.start_latency = start_latency
+        self.engine = resolve_dma_engine(engine)
         self.sink: Optional[StreamSink] = None
         self.source: Optional[StreamSource] = None
         self.irq_callback: Optional[Callable[[], None]] = None
@@ -192,10 +240,13 @@ class DmaChannel:
     # ------------------------------------------------------------------
     def _run(self) -> Generator[Delay, None, None]:
         yield Delay(self.start_latency)
+        descriptor = self.engine == "descriptor"
         if self.is_mm2s:
-            ok = yield from self._run_mm2s()
+            ok = yield from (self._run_mm2s_desc() if descriptor
+                             else self._run_mm2s())
         else:
-            ok = yield from self._run_s2mm()
+            ok = yield from (self._run_s2mm_desc() if descriptor
+                             else self._run_s2mm())
         self.busy = False
         self._active_gen = None
         self.last_complete_cycle = self.sim.now
@@ -241,6 +292,7 @@ class DmaChannel:
             self.irq_callback()
 
     def _run_mm2s(self) -> Generator[Delay, None, bool]:
+        # reference engine: one event per pacing step (engine="burst")
         if self.sink is None:
             raise ControllerError(f"DMA {self.name}: no stream sink attached")
         addr = self.address
@@ -272,6 +324,7 @@ class DmaChannel:
         return True
 
     def _run_s2mm(self) -> Generator[Delay, None, bool]:
+        # reference engine: one event per pacing step (engine="burst")
         if self.source is None:
             raise ControllerError(f"DMA {self.name}: no stream source attached")
         addr = self.address
@@ -309,6 +362,168 @@ class DmaChannel:
         final = max(pull_time, write_time)
         if final > self.sim.now:
             yield Delay(final - self.sim.now)
+        return True
+
+    # ------------------------------------------------------------------
+    # descriptor engine: the same burst schedule, executed eagerly
+    # inside the kernel's batch window (see module docstring).  The
+    # invariant maintained throughout is ``sim.now == pacing position``:
+    # every step either batch-advances the clock or yields a real Delay,
+    # so error returns, CR_RESET aborts and side-effect callbacks (ICAP
+    # completion, IRQs) all observe exactly the generator-model time.
+    # ------------------------------------------------------------------
+    def _flush_obs(self, latencies: List[int], stall: int) -> int:
+        """Fold locally accumulated samples into the instruments.
+
+        Called before every real yield (the only points where the
+        generator can be unwound by ``CR_RESET``) and at every return,
+        so the instruments never trail the burst schedule at any point
+        foreign code can observe them.  Returns the reset stall count.
+        """
+        if self._h_burst is not None and latencies:
+            self._h_burst.record_many(latencies)
+            latencies.clear()
+        if stall and self._c_stall is not None:
+            self._c_stall.inc(stall)
+        return 0
+
+    def _run_mm2s_desc(self) -> Generator[Delay, None, bool]:
+        if self.sink is None:
+            raise ControllerError(f"DMA {self.name}: no stream sink attached")
+        sim = self.sim
+        batch_window = sim.batch_window
+        batch_advance = sim.batch_advance
+        burst = self.burst_bytes
+        addr = self.address
+        remaining = self.length
+        read_time = sim.now
+        accept_done = sim.now
+        observed = self.obs is not None
+        latencies: List[int] = []
+        stall = 0
+        # fused per-descriptor ports: one closure instead of the
+        # crossbar walk / switch+converter frames per burst.  Fault
+        # proxies and unusual shapes resolve to None and take the
+        # plain calls, burst by burst, exactly as the reference engine.
+        resolve_read = getattr(self.mem_port, "resolve_burst_read", None)
+        fast_read = (resolve_read(addr, addr + remaining)
+                     if resolve_read is not None else None)
+        resolve_accept = getattr(self.sink, "resolve_accept", None)
+        fast_accept = resolve_accept() if resolve_accept is not None else None
+        sink_accept = fast_accept if fast_accept is not None else self.sink.accept
+        while remaining:
+            nbytes = burst if burst < remaining else remaining
+            if fast_read is not None:
+                data, complete_at = fast_read(addr, nbytes, read_time)
+            else:
+                result = self.mem_port.read_burst(addr, nbytes, read_time)
+                if not result.ok:
+                    self._flush_obs(latencies, stall)
+                    return False
+                data, complete_at = result.data, result.complete_at
+            issue_time = read_time
+            read_time = complete_at
+            accept_done = sink_accept(data, read_time)
+            addr += nbytes
+            remaining -= nbytes
+            self.bytes_done += nbytes
+            if observed:
+                latencies.append(read_time - issue_time)
+            # pace the engine: at most one burst ahead of the consumer
+            target = accept_done - burst
+            if read_time > target:
+                target = read_time
+            now = sim._now
+            if target > now:
+                if observed:
+                    stall += target - now
+                if target < batch_window():
+                    batch_advance(target)
+                else:
+                    stall = self._flush_obs(latencies, stall)
+                    yield Delay(target - now)
+        final = read_time if read_time > accept_done else accept_done
+        self._flush_obs(latencies, stall)
+        if final > sim.now:
+            yield Delay(final - sim.now)
+        return True
+
+    def _run_s2mm_desc(self) -> Generator[Delay, None, bool]:
+        if self.source is None:
+            raise ControllerError(f"DMA {self.name}: no stream source attached")
+        sim = self.sim
+        batch_window = sim.batch_window
+        batch_advance = sim.batch_advance
+        burst = self.burst_bytes
+        addr = self.address
+        remaining = self.length
+        pull_time = sim.now
+        write_time = sim.now
+        observed = self.obs is not None
+        latencies: List[int] = []
+        stall = 0
+        spins = 0
+        resolve_write = getattr(self.mem_port, "resolve_burst_write", None)
+        fast_write = (resolve_write(addr, addr + remaining)
+                      if resolve_write is not None else None)
+        resolve_produce = getattr(self.source, "resolve_produce", None)
+        fast_produce = (resolve_produce()
+                        if resolve_produce is not None else None)
+        produce = fast_produce if fast_produce is not None else self.source.produce
+        while remaining:
+            nbytes = burst if burst < remaining else remaining
+            now = sim._now
+            data, ready = produce(nbytes, pull_time if pull_time > now else now)
+            if not data:
+                if ready > now:
+                    # source not ready: batch the retry when the window
+                    # allows, with a spin bound so a perpetually stalled
+                    # source still surfaces as queue traffic (and hits
+                    # the kernel's runaway-event guard) instead of
+                    # spinning eagerly forever
+                    spins += 1
+                    if spins < 4096 and ready < batch_window():
+                        batch_advance(ready)
+                    else:
+                        spins = 0
+                        stall = self._flush_obs(latencies, stall)
+                        yield Delay(ready - now)
+                    continue
+                break
+            spins = 0
+            pull_time = ready
+            issue_time = pull_time if pull_time > write_time else write_time
+            if fast_write is not None:
+                write_complete = fast_write(addr, data, issue_time)
+            else:
+                result = self.mem_port.write_burst(addr, data, issue_time)
+                if not result.ok:
+                    self._flush_obs(latencies, stall)
+                    return False
+                write_complete = result.complete_at
+            write_time = write_complete
+            ndata = len(data)
+            addr += ndata
+            remaining -= ndata
+            self.bytes_done += ndata
+            if observed:
+                latencies.append(write_time - issue_time)
+            target = write_time - burst
+            if pull_time > target:
+                target = pull_time
+            now = sim._now
+            if target > now:
+                if observed:
+                    stall += target - now
+                if target < batch_window():
+                    batch_advance(target)
+                else:
+                    stall = self._flush_obs(latencies, stall)
+                    yield Delay(target - now)
+        final = pull_time if pull_time > write_time else write_time
+        self._flush_obs(latencies, stall)
+        if final > sim.now:
+            yield Delay(final - sim.now)
         return True
 
 

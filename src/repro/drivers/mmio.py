@@ -6,13 +6,25 @@ address space" (Sec. III-A).  ``HostPort`` is that utility layer for
 host-driver mode: every access is a real AXI transaction issued at the
 current simulation time with the CPU-side issue overhead charged, and
 simulation time advances to the response.
+
+Hot 32-bit register accesses are routed through the fused port chains
+of :mod:`repro.axi.fastpath` (built for the ISS block engine): one
+cached closure per address reproduces the exact timing, arbitration
+watermarks and counters of the full crossbar walk.  Addresses the
+fuser refuses (wide accesses, unusual chain shapes, error paths) fall
+back to the fully timed crossbar transaction unchanged.
 """
 
 from __future__ import annotations
 
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.axi.fastpath import fuse_read_port, fuse_write_port
 from repro.axi.types import AxiResult
 from repro.errors import BusError
 from repro.soc.soc import Soc
+
+_UNRESOLVED = object()
 
 
 class HostPort:
@@ -23,6 +35,10 @@ class HostPort:
         self.sim = soc.sim
         self.cpu_timing = soc.config.timing.cpu
         self.accesses = 0
+        # per-address fused port caches; value None = "not fusible,
+        # use the timed path" (resolved once, then cached)
+        self._fused_reads: Dict[int, Optional[Callable[[int], Tuple[int, int]]]] = {}
+        self._fused_writes: Dict[int, Optional[Callable[[int, int], int]]] = {}
 
     # ------------------------------------------------------------------
     # time bookkeeping
@@ -58,10 +74,30 @@ class HostPort:
         self.sim.advance_to(result.complete_at)
 
     def read32(self, addr: int) -> int:
-        return self._issue_read(addr, 4).value()
+        port = self._fused_reads.get(addr, _UNRESOLVED)
+        if port is _UNRESOLVED:
+            port = fuse_read_port(self.soc.xbar, addr, 4)
+            self._fused_reads[addr] = port
+        if port is None:
+            return self._issue_read(addr, 4).value()
+        self.accesses += 1
+        value, complete = port(self.sim.now + self.cpu_timing.mmio_issue_overhead)
+        self.sim.advance_to(complete)
+        return value
 
     def write32(self, addr: int, value: int) -> None:
-        self._issue_write(addr, (value & 0xFFFF_FFFF).to_bytes(4, "little"))
+        port = self._fused_writes.get(addr, _UNRESOLVED)
+        if port is _UNRESOLVED:
+            port = fuse_write_port(self.soc.xbar, addr, 4)
+            self._fused_writes[addr] = port
+        if port is None:
+            self._issue_write(addr, (value & 0xFFFF_FFFF).to_bytes(4, "little"))
+            return
+        self.accesses += 1
+        issue = (self.sim.now + self.cpu_timing.mmio_issue_overhead
+                 + self.cpu_timing.noncacheable_store_cost)
+        complete = port(value & 0xFFFF_FFFF, issue)
+        self.sim.advance_to(complete)
 
     def read64(self, addr: int) -> int:
         return self._issue_read(addr, 8).value()
@@ -78,13 +114,23 @@ class HostPort:
 
         Prefers jumping to the next scheduled event (like a core in
         wfi); falls back to bounded polling when the queue is idle.
+
+        The advance carries the timeout deadline as its observation
+        horizon: the predicate only reads event-gated state (status
+        registers and interrupt-pending bits are latched by event
+        callbacks at their own event times), so batching engines may
+        run ahead inside the window without the CPU ever seeing
+        intermediate state.
         """
-        deadline = self.sim.now + timeout_cycles
+        sim = self.sim
+        deadline = sim.now + timeout_cycles
         while not predicate():
-            nxt = self.sim.peek_next_time()
+            nxt = sim.peek_next_time()
             if nxt is not None:
-                self.sim.advance_to(max(nxt, self.sim.now))
+                target = nxt if nxt > sim.now else sim.now
+                sim.advance_to(target,
+                               horizon=deadline if deadline > target else target)
             else:
-                self.sim.advance_to(self.sim.now + poll_cycles)
-            if self.sim.now > deadline:
+                sim.advance_to(sim.now + poll_cycles)
+            if sim.now > deadline:
                 raise BusError("wait_for timed out")

@@ -78,6 +78,12 @@ class Icap(StreamSink):
         self._payload_reg: Optional[int] = None
         self._payload_remaining = 0
         self._fdri_words: List[np.ndarray] = []
+        #: raw FDRI payload bytes staged by the streaming fast path;
+        #: materialized into one ndarray (appended to ``_fdri_words``
+        #: and the CRC backlog) the moment any other consumer of those
+        #: lists runs — one numpy conversion per transfer instead of
+        #: one per burst
+        self._fdri_raw: List[bytes] = []
         #: FDRI payload chunks whose CRC contribution has not been folded
         #: into ``_crc`` yet (vectorized engine only); flushed in one
         #: block-parallel pass before any other word is hashed
@@ -150,6 +156,7 @@ class Icap(StreamSink):
         self._payload_reg = None
         self._payload_remaining = 0
         self._fdri_words.clear()
+        self._fdri_raw.clear()
         self._crc_backlog.clear()
         self._pending_commits.clear()
         self._crc = 0
@@ -164,31 +171,83 @@ class Icap(StreamSink):
     # ------------------------------------------------------------------
     def accept(self, data: bytes, now: int) -> int:
         cycles = -(-len(data) // self.BYTES_PER_CYCLE)
+        busy = self._busy_until
         if self.obs is not None:
-            if self._busy_until > now:
-                self._c_stall.inc(self._busy_until - now)  # type: ignore[union-attr]
-            self._c_words.inc(len(data) // 4)  # type: ignore[union-attr]
+            if busy > now:
+                self._c_stall.value += busy - now  # type: ignore[union-attr]
+            self._c_words.value += len(data) // 4  # type: ignore[union-attr]
             if self._session_span is None:
                 self._session_span = self.obs.tracer.begin(
                     "icap", "session", now)
                 self.obs.tracer.signal("icap_session", now, 1)
-        self._busy_until = max(self._busy_until, now) + cycles
-        self._byte_buffer.extend(data)
-        whole = len(self._byte_buffer) // 4 * 4
-        if not whole:
-            return self._busy_until
+        self._busy_until = (busy if busy > now else now) + cycles
+        buffer = self._byte_buffer
+        if buffer:
+            buffer.extend(data)
+            whole = len(buffer) // 4 * 4
+            if not whole:
+                return self._busy_until
+            raw: bytes = bytes(buffer[:whole])
+            del buffer[:whole]
+        else:
+            # common case: word-aligned burst onto an empty buffer —
+            # parse straight from the payload, no bytearray round-trip
+            whole = len(data) // 4 * 4
+            if not whole:
+                buffer.extend(data)
+                return self._busy_until
+            if whole == len(data):
+                raw = data
+            else:
+                raw = data[:whole]
+                buffer.extend(data[whole:])
+        if self.vectorized:
+            n = whole >> 2
+            if (self._state is _ParseState.PAYLOAD
+                    and self._payload_reg == ConfigRegister.FDRI
+                    and self._payload_remaining > n):
+                # streaming fast path: the burst sits wholly inside an
+                # FDRI payload, so the word scan reduces to staging the
+                # raw bytes — exactly the PAYLOAD arm of either consume
+                # engine with take == n and no packet boundary reached
+                # (words_consumed and the remaining count advance the
+                # same way; the staged bytes join _fdri_words and the
+                # CRC backlog at the next flush, where list order keeps
+                # concatenation and folding identical).  Applies to any
+                # burst size, so DMA bursts and keyhole words skip the
+                # per-word state machine alike; the ndarray
+                # materialization is deferred to the flush.
+                self._fdri_raw.append(raw)
+                self.words_consumed += n
+                self._payload_remaining -= n
+                return self._busy_until
         if not self.vectorized or whole <= _SMALL_ACCEPT_BYTES:
-            raw = bytes(self._byte_buffer[:whole])
-            del self._byte_buffer[:whole]
+            if self._fdri_raw:
+                self._flush_fdri_raw()
             words = [int.from_bytes(raw[k:k + 4], "big")
                      for k in range(0, whole, 4)]
             self._consume_words_scalar(words)
         else:
-            words = np.frombuffer(bytes(self._byte_buffer[:whole]),
-                                  dtype=">u4").astype(np.uint32)
-            del self._byte_buffer[:whole]
+            if self._fdri_raw:
+                self._flush_fdri_raw()
+            words = np.frombuffer(raw, dtype=">u4").astype(np.uint32)
             self._consume_words_vec(words)
         return self._busy_until
+
+    def _flush_fdri_raw(self) -> None:
+        """Materialize fast-path staged FDRI bytes into the word lists.
+
+        Invoked before any consumer of ``_fdri_words`` / the CRC
+        backlog runs, so list order (and hence concatenation and CRC
+        folding order) is exactly the per-burst reference behaviour.
+        """
+        chunks = self._fdri_raw
+        blob = chunks[0] if len(chunks) == 1 else b"".join(chunks)
+        chunks.clear()
+        staged = np.frombuffer(blob, dtype=">u4").astype(np.uint32)
+        self._fdri_words.append(staged)
+        if self.crc_check:
+            self._crc_backlog.append(staged)
 
     # ------------------------------------------------------------------
     # configuration state machine — vectorized engine
@@ -349,6 +408,8 @@ class Icap(StreamSink):
 
     def _running_crc(self) -> int:
         """The CRC over every word hashed so far (folds the backlog)."""
+        if self._fdri_raw:
+            self._flush_fdri_raw()
         backlog = self._crc_backlog
         if backlog:
             payload = (backlog[0] if len(backlog) == 1
@@ -363,6 +424,8 @@ class Icap(StreamSink):
             self._crc = crc32_config_word(self._running_crc(), value, reg)
 
     def _commit_frames(self) -> None:
+        if self._fdri_raw:
+            self._flush_fdri_raw()
         if not self._fdri_words:
             return
         payload = (self._fdri_words[0] if len(self._fdri_words) == 1

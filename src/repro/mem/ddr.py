@@ -27,7 +27,7 @@ acceleration mode each get a full port.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.axi.interface import AxiSlave
 from repro.axi.types import AxiResp, AxiResult
@@ -81,6 +81,15 @@ class DdrController(AxiSlave):
     ) -> None:
         self.name = name
         self.timing = timing or DdrTiming()
+        # timing scalars unpacked once — _service runs per burst and the
+        # frozen-dataclass attribute reads add up (timing is fixed at
+        # construction; nothing reassigns it)
+        t = self.timing
+        self._bytes_per_beat = t.bytes_per_beat
+        self._row_bytes = t.row_bytes
+        self._first_access_latency = t.first_access_latency
+        self._row_miss_penalty = t.row_miss_penalty
+        self._device_beats_per_cycle = t.device_beats_per_cycle
         self.memory = SparseMemory(size)
         self._ports: Dict[str, _PortState] = {"default": _PortState()}
         self._device_free = 0
@@ -101,29 +110,32 @@ class DdrController(AxiSlave):
     # timing core
     # ------------------------------------------------------------------
     def _service(self, port_name: str, addr: int, nbytes: int, now: int) -> int:
-        t = self.timing
         port = self._ports[port_name]
-        beats = -(-nbytes // t.bytes_per_beat) if nbytes else 1
-        start = max(now, port.busy_until)
-        if t.device_beats_per_cycle:
-            start = max(start, self._device_free)
+        beats = -(-nbytes // self._bytes_per_beat) if nbytes else 1
+        start = port.busy_until
+        if now > start:
+            start = now
+        device_bw = self._device_beats_per_cycle
+        if device_bw and self._device_free > start:
+            start = self._device_free
         cost = beats
-        first_row = addr // t.row_bytes
-        last_row = (addr + max(nbytes - 1, 0)) // t.row_bytes
+        row_bytes = self._row_bytes
+        first_row = addr // row_bytes
+        last_row = (addr + nbytes - 1) // row_bytes if nbytes else first_row
         if addr != port.next_seq_addr:
-            cost += t.first_access_latency
+            cost += self._first_access_latency
         else:
             # a sequential stream pays precharge/activate once per row
             # it enters (relative to the port's open row)
             new_rows = last_row - first_row
             if port.open_row is not None and first_row != port.open_row:
                 new_rows += 1
-            cost += new_rows * t.row_miss_penalty
+            cost += new_rows * self._row_miss_penalty
         port.open_row = last_row
         port.next_seq_addr = addr + nbytes
         port.busy_until = start + cost
-        if t.device_beats_per_cycle:
-            self._device_free = start + -(-beats // t.device_beats_per_cycle)
+        if device_bw:
+            self._device_free = start + -(-beats // device_bw)
         return port.busy_until
 
     # ------------------------------------------------------------------
@@ -188,6 +200,45 @@ class DdrPort(AxiSlave):
     def __init__(self, controller: DdrController, name: str) -> None:
         self.controller = controller
         self.port_name = name
+
+    def resolve_burst_read(self, lo: int, hi: int) -> Optional[Callable[[int, int, int], Tuple[bytes, int]]]:
+        """A fused burst-read closure for bursts inside [lo, hi).
+
+        ``f(addr, nbytes, now) -> (data, complete_at)`` with exactly
+        :meth:`read_burst`'s timing and side effects, minus the
+        ``AxiResult`` wrapper; ``None`` when the window exceeds the
+        memory (those accesses must surface SLVERR on the slow path).
+        """
+        ctrl = self.controller
+        if lo >= hi or hi > ctrl.size:
+            return None
+        service = ctrl._service
+        load = ctrl.memory.load
+        port_name = self.port_name
+
+        def read(addr: int, nbytes: int, now: int):
+            complete = service(port_name, addr, nbytes, now)
+            ctrl.bytes_read += nbytes
+            return load(addr, nbytes), complete
+
+        return read
+
+    def resolve_burst_write(self, lo: int, hi: int) -> Optional[Callable[[int, bytes, int], int]]:
+        """Mirror of :meth:`resolve_burst_read` for writes."""
+        ctrl = self.controller
+        if lo >= hi or hi > ctrl.size:
+            return None
+        service = ctrl._service
+        store = ctrl.memory.store
+        port_name = self.port_name
+
+        def write(addr: int, data: bytes, now: int) -> int:
+            complete = service(port_name, addr, len(data), now)
+            store(addr, data)
+            ctrl.bytes_written += len(data)
+            return complete
+
+        return write
 
     def read(self, addr: int, nbytes: int, now: int) -> AxiResult:
         return self.controller._read(self.port_name, addr, nbytes, now)

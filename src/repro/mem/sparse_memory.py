@@ -47,7 +47,8 @@ class SparseMemory:
 
     def load(self, addr: int, nbytes: int) -> bytes:
         """Read ``nbytes`` starting at ``addr``."""
-        self._check_range(addr, nbytes)
+        if addr < 0 or nbytes < 0 or addr + nbytes > self.size:
+            self._check_range(addr, nbytes)
         offset = addr & (self.page_size - 1)
         if offset + nbytes <= self.page_size:
             # whole range inside one page: no zero-fill scratch buffer

@@ -24,7 +24,7 @@ class Span:
     """One traced interval on a track; ``end_cycle`` None while open."""
 
     __slots__ = ("span_id", "track", "name", "start_cycle", "end_cycle",
-                 "parent_id", "args")
+                 "parent_id", "_args")
 
     def __init__(self, span_id: int, track: str, name: str,
                  start_cycle: int, parent_id: Optional[int],
@@ -35,7 +35,19 @@ class Span:
         self.start_cycle = start_cycle
         self.end_cycle: Optional[int] = None
         self.parent_id = parent_id
-        self.args: Dict[str, Any] = args or {}
+        self._args: Optional[Dict[str, Any]] = args
+
+    @property
+    def args(self) -> Dict[str, Any]:
+        """Span attributes, materialized lazily.
+
+        Argless spans (the vast majority on hot tracks) never allocate
+        a dict until an exporter or query actually reads them.
+        """
+        args = self._args
+        if args is None:
+            args = self._args = {}
+        return args
 
     @property
     def duration(self) -> int:
@@ -51,14 +63,22 @@ class Span:
 class InstantEvent:
     """A point-in-time marker on a track."""
 
-    __slots__ = ("cycle", "track", "name", "args")
+    __slots__ = ("cycle", "track", "name", "_args")
 
     def __init__(self, cycle: int, track: str, name: str,
                  args: Optional[Dict[str, Any]]) -> None:
         self.cycle = cycle
         self.track = track
         self.name = name
-        self.args: Dict[str, Any] = args or {}
+        self._args: Optional[Dict[str, Any]] = args
+
+    @property
+    def args(self) -> Dict[str, Any]:
+        """Event attributes, materialized lazily (see :class:`Span`)."""
+        args = self._args
+        if args is None:
+            args = self._args = {}
+        return args
 
 
 class SpanTracer:

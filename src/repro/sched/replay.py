@@ -21,7 +21,12 @@ from typing import Any, Dict, List, Optional
 from repro.drivers.manager import ReconfigurationManager
 from repro.obs import Observability
 from repro.sched.cache import BitstreamCache
-from repro.sched.request import COMPLETED, RequestOutcome, SwapRequest
+from repro.sched.request import (
+    CANCELLED,
+    COMPLETED,
+    RequestOutcome,
+    SwapRequest,
+)
 from repro.sched.scheduler import DprScheduler
 from repro.sched.workload import WorkloadSpec, build_sched_soc, make_cache, synthesize
 
@@ -156,7 +161,18 @@ async def _serve(scheduler: DprScheduler,
         if isinstance(result, RequestOutcome):
             outcomes.append(result)
         elif isinstance(result, asyncio.CancelledError):
-            continue  # cancelled by the caller; nothing to report
+            # scheduler shutdown (or a caller) cancelled the future
+            # before service; dropping it silently would understate
+            # `requests` and hide the loss — report it in the
+            # `cancelled` status bucket instead
+            outcomes.append(RequestOutcome(
+                request_id=request.request_id,
+                module=request.module,
+                status=CANCELLED,
+                arrival_us=request.arrival_us,
+                deadline_us=request.deadline_us,
+                error="cancelled before completion",
+            ))
         elif isinstance(result, BaseException):
             raise result
     return outcomes

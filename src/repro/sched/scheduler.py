@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import asyncio
 import heapq
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -112,6 +112,11 @@ class DprScheduler:
         self.icap_busy_cycles = 0
         self._started_cycle: Optional[int] = None
         self._payload_frames: Dict[Tuple[int, int], np.ndarray] = {}
+        #: instruments resolved once per attached Observability — the
+        #: serving path must not pay a registry lookup (name formatting
+        #: plus label-tuple sort) per event
+        self._instrument_obs: Optional[Any] = None
+        self._instruments: Dict[str, Any] = {}
 
     # ------------------------------------------------------------------
     # plumbing
@@ -135,13 +140,70 @@ class DprScheduler:
     def _cycles_to_us(self, cycles: int) -> float:
         return cycles * 1e6 / self._freq_hz
 
+    def _metrics(self, obs: Any) -> Dict[str, Any]:
+        """The scheduler's instruments, cached per Observability.
+
+        Registry lookups format the metric name and sort the label
+        tuple on every call; the serving path emits several metrics per
+        request, so instruments are resolved once and reused until the
+        SoC's observability object is swapped.
+        """
+        if self._instrument_obs is not obs:
+            m = obs.metrics
+            status_counters = {
+                status: m.counter(
+                    f"sched_{status}_total",
+                    f"requests that finished {status}")
+                for status in (COMPLETED, FAILED, TIMED_OUT, DROPPED,
+                               CANCELLED)
+            }
+            self._instruments = {
+                "depth": m.gauge("sched_queue_depth",
+                                 "requests queued in the scheduler"),
+                "requests": m.counter(
+                    "sched_requests_total",
+                    "requests submitted to the scheduler"),
+                "batches": m.counter("sched_batches_total",
+                                     "batches serviced"),
+                "batch_size": m.histogram("sched_batch_size",
+                                          "requests per serviced batch"),
+                "reconfigs": m.counter(
+                    "sched_reconfigurations_total",
+                    "batches that programmed the ICAP"),
+                "icap_busy": m.counter(
+                    "sched_icap_busy_cycles",
+                    "cycles the ICAP spent programming"),
+                "td": m.histogram("sched_td_cycles",
+                                  "per-swap decision time"),
+                "tr": m.histogram("sched_tr_cycles",
+                                  "per-swap reconfiguration time"),
+                "skips": m.counter(
+                    "sched_reconfig_skips_total",
+                    "batches served by the already-resident module"),
+                "retries": m.counter(
+                    "sched_reconfig_retries_total",
+                    "reconfigurations retried after a failure"),
+                "cancelled": m.counter(
+                    "sched_cancelled_total",
+                    "requests cancelled before service"),
+                "status": status_counters,
+                "deadline_misses": m.counter(
+                    "sched_deadline_misses_total",
+                    "requests that missed their deadline"),
+                "latency": m.histogram("sched_latency_cycles",
+                                       "arrival-to-completion latency"),
+                "queue_wait": m.histogram("sched_queue_wait_cycles",
+                                          "arrival-to-service queue wait"),
+                "tc": m.histogram("sched_tc_cycles",
+                                  "per-request payload compute time"),
+            }
+            self._instrument_obs = obs
+        return self._instruments
+
     def _sample_depth(self) -> None:
         obs = self.obs
         if obs is not None:
-            obs.metrics.gauge(
-                "sched_queue_depth",
-                "requests queued in the scheduler").set(
-                    float(self._pending_count))
+            self._metrics(obs)["depth"].set(float(self._pending_count))
             obs.tracer.count("sched.queue_depth", self.sim.now,
                              float(self._pending_count))
 
@@ -201,9 +263,7 @@ class DprScheduler:
         self._pending_count += 1
         obs = self.obs
         if obs is not None:
-            obs.metrics.counter(
-                "sched_requests_total",
-                "requests submitted to the scheduler").inc()
+            self._metrics(obs)["requests"].inc()
         self._sample_depth()
         self._wake.set()
         return future
@@ -292,12 +352,41 @@ class DprScheduler:
         finally:
             if obs is not None:
                 obs.tracer.end(span, sim.now)
-                obs.metrics.counter(
-                    "sched_batches_total", "batches serviced").inc()
-                obs.metrics.histogram(
-                    "sched_batch_size",
-                    "requests per serviced batch").record(len(batch))
+                instruments = self._metrics(obs)
+                instruments["batches"].inc()
+                instruments["batch_size"].record(len(batch))
+        self._compact_heaps()
         self._sample_depth()
+
+    def _compact_heaps(self) -> None:
+        """Rebuild the EDF heaps once lazily-deleted keys dominate.
+
+        ``_collect_batch`` physically removes a claimed entry from only
+        one of the two heaps holding its key; the other keeps a stale
+        key until it happens to be popped.  A module that rarely wins
+        EDF arbitration would otherwise accumulate every one of its
+        finished riders in ``_by_module`` for the scheduler's lifetime.
+        Each heap is rebuilt (filter + heapify, O(live)) once its stale
+        keys outnumber half the live pending population; the growth
+        guard keeps the amortized cost per request constant.
+        """
+        pending = self._pending_count
+        threshold = pending + (pending >> 1) + 16
+        if len(self._ready) > threshold:
+            live = [key for key in self._ready if key[2].state is _PENDING]
+            heapq.heapify(live)
+            self._ready = live
+        by_module = self._by_module
+        stale_modules = [module for module, heap in by_module.items()
+                         if len(heap) > threshold]
+        for module in stale_modules:
+            live = [key for key in by_module[module]
+                    if key[2].state is _PENDING]
+            if live:
+                heapq.heapify(live)
+                by_module[module] = live
+            else:
+                del by_module[module]
 
     def _admit(self, entry: _Entry) -> bool:
         """Pre-service gate: cancellation, queue timeout, late drop."""
@@ -340,22 +429,13 @@ class DprScheduler:
             busy = int(tr_us * self._freq_hz / 1e6)
             self.icap_busy_cycles += busy
             if obs is not None:
-                obs.metrics.counter(
-                    "sched_reconfigurations_total",
-                    "batches that programmed the ICAP").inc()
-                obs.metrics.counter(
-                    "sched_icap_busy_cycles",
-                    "cycles the ICAP spent programming").inc(busy)
-                obs.metrics.histogram(
-                    "sched_td_cycles", "per-swap decision time").record(
-                        int(td_us * self._freq_hz / 1e6))
-                obs.metrics.histogram(
-                    "sched_tr_cycles", "per-swap reconfiguration time"
-                ).record(busy)
+                instruments = self._metrics(obs)
+                instruments["reconfigs"].inc()
+                instruments["icap_busy"].inc(busy)
+                instruments["td"].record(int(td_us * self._freq_hz / 1e6))
+                instruments["tr"].record(busy)
         elif obs is not None:
-            obs.metrics.counter(
-                "sched_reconfig_skips_total",
-                "batches served by the already-resident module").inc()
+            self._metrics(obs)["skips"].inc()
         for index, entry in enumerate(entries):
             self._run_payload(entry, start_us,
                               td_us=td_us if index == 0 else 0.0,
@@ -387,9 +467,7 @@ class DprScheduler:
                 attempts += 1
                 obs = self.obs
                 if obs is not None:
-                    obs.metrics.counter(
-                        "sched_reconfig_retries_total",
-                        "reconfigurations retried after a failure").inc()
+                    self._metrics(obs)["retries"].inc()
                 if attempts > self.max_retries:
                     raise
                 self._recover()
@@ -464,37 +542,31 @@ class DprScheduler:
         obs = self.obs
         if outcome is None:  # cancelled upstream; future already dead
             if obs is not None:
-                obs.metrics.counter(
-                    "sched_cancelled_total",
-                    "requests cancelled before service").inc()
+                self._metrics(obs)["cancelled"].inc()
             return
         if obs is not None:
-            obs.metrics.counter(
-                f"sched_{outcome.status}_total",
-                f"requests that finished {outcome.status}").inc()
+            instruments = self._metrics(obs)
+            status_counter = instruments["status"].get(outcome.status)
+            if status_counter is None:  # pragma: no cover - custom status
+                status_counter = obs.metrics.counter(
+                    f"sched_{outcome.status}_total",
+                    f"requests that finished {outcome.status}")
+            status_counter.inc()
             if outcome.deadline_missed:
-                obs.metrics.counter(
-                    "sched_deadline_misses_total",
-                    "requests that missed their deadline").inc()
+                instruments["deadline_misses"].inc()
                 obs.tracer.instant(TRACK, "deadline_miss", self.sim.now,
                                    id=outcome.request_id,
                                    module=outcome.module)
             if outcome.latency_us is not None:
-                obs.metrics.histogram(
-                    "sched_latency_cycles",
-                    "arrival-to-completion latency").record(
-                        int(outcome.latency_us * self._freq_hz / 1e6))
+                instruments["latency"].record(
+                    int(outcome.latency_us * self._freq_hz / 1e6))
             if outcome.start_us is not None:
                 wait = max(0.0, outcome.start_us - outcome.arrival_us)
-                obs.metrics.histogram(
-                    "sched_queue_wait_cycles",
-                    "arrival-to-service queue wait").record(
-                        int(wait * self._freq_hz / 1e6))
+                instruments["queue_wait"].record(
+                    int(wait * self._freq_hz / 1e6))
             if outcome.tc_us:
-                obs.metrics.histogram(
-                    "sched_tc_cycles",
-                    "per-request payload compute time").record(
-                        int(outcome.tc_us * self._freq_hz / 1e6))
+                instruments["tc"].record(
+                    int(outcome.tc_us * self._freq_hz / 1e6))
         if not entry.future.cancelled():
             entry.future.set_result(outcome)
 

@@ -1,0 +1,90 @@
+"""Scheduler internals: EDF heap compaction and replay cancel accounting.
+
+The EDF queues use lazy deletion (a claimed entry is physically removed
+from only one of the two heaps holding its key), so these tests pin the
+compaction that keeps the stale keys from accumulating, plus the replay
+harness's accounting for futures cancelled before service.
+"""
+
+import asyncio
+
+from repro.sched import CANCELLED, COMPLETED, DprScheduler, SwapRequest
+from repro.sched.replay import _serve, summarize
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def _serve_all(scheduler, requests):
+    async with scheduler:
+        futures = [scheduler.submit(r) for r in requests]
+        return await asyncio.gather(*futures)
+
+
+class TestHeapCompaction:
+    def test_stale_keys_are_compacted_out_of_the_edf_heaps(
+            self, sched_platform_factory):
+        # batch_limit=1 makes every request an EDF winner: each one is
+        # popped from _ready but leaves its key behind in _by_module,
+        # the worst case for lazy deletion
+        manager, cache = sched_platform_factory()
+        scheduler = DprScheduler(manager, cache=cache, batch_limit=1)
+        requests = [
+            SwapRequest("rm0", 10.0, 30_000.0 + 1_000.0 * i, request_id=i)
+            for i in range(60)
+        ]
+        outcomes = run(_serve_all(scheduler, requests))
+        assert all(o.status == COMPLETED for o in outcomes)
+        module_heap = scheduler._by_module.get("rm0", [])
+        # without compaction all 60 stale keys would remain
+        assert len(module_heap) <= 20
+        assert len(scheduler._ready) <= 20
+
+    def test_compaction_preserves_pending_entries(
+            self, sched_platform_factory):
+        # interleave two modules so compaction runs while the other
+        # module still has live pending work — nothing may be lost
+        manager, cache = sched_platform_factory()
+        scheduler = DprScheduler(manager, cache=cache, batch_limit=1)
+        requests = [
+            SwapRequest(f"rm{i % 2}", 10.0, 20_000.0 + 2_000.0 * i,
+                        request_id=i)
+            for i in range(50)
+        ]
+        outcomes = run(_serve_all(scheduler, requests))
+        assert len(outcomes) == 50
+        assert all(o.status == COMPLETED for o in outcomes)
+
+
+class TestReplayCancelledAccounting:
+    def test_cancelled_requests_surface_in_the_report(
+            self, sched_platform_factory):
+        manager, cache = sched_platform_factory()
+        scheduler = DprScheduler(manager, cache=cache)
+        original_submit = scheduler.submit
+
+        def submit(request):
+            future = original_submit(request)
+            if request.request_id == 1:
+                future.cancel()
+            return future
+
+        scheduler.submit = submit  # type: ignore[method-assign]
+        requests = [
+            SwapRequest("rm0", 10.0, 50_000.0, request_id=0),
+            SwapRequest("rm1", 10.0, 90_000.0, request_id=1),
+        ]
+        outcomes = run(_serve(scheduler, requests))
+        # the cancelled request is reported, not silently dropped
+        assert len(outcomes) == 2
+        cancelled = [o for o in outcomes if o.status == CANCELLED]
+        assert len(cancelled) == 1
+        assert cancelled[0].request_id == 1
+        assert cancelled[0].finish_us is None
+
+        report = summarize(outcomes, scheduler=scheduler, cache=cache,
+                           wall_seconds=0.0)
+        assert report.requests == 2
+        assert report.statuses.get(CANCELLED) == 1
+        assert report.completed == 1
