@@ -24,6 +24,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import sys
 import time
@@ -72,6 +73,12 @@ SEED_GATES = {
     "table2_obs": (0.3069, 0.0365, 1.5),
 }
 
+#: power-accounting gate: the power_replay bench (sched_replay's exact
+#: workload plus profile + governor) must stay within this factor of
+#: the plain sched_replay wall, measured as a same-run A/B so machine
+#: speed cancels — energy accounting must not tax the serving path.
+POWER_REPLAY_MAX_OVERHEAD = 1.25
+
 #: allowed tracer-off overhead of the observability layer: the guarded
 #: emit sites (`obs is not None` checks) must cost <2 % on the Table II
 #: workload vs the committed baseline (--obs-check)
@@ -110,6 +117,12 @@ def run_bench(name: str, repeat: int) -> Tuple[float, int]:
     best = float("inf")
     work = 0
     for _ in range(repeat):
+        # start every timed run from a collected heap — garbage carried
+        # over from earlier benches otherwise lands its collection cost
+        # on whichever bench happens to trip the GC threshold, which is
+        # exactly the kind of cross-bench contamination that breaks the
+        # few-percent A/B gates
+        gc.collect()
         t0 = time.perf_counter()
         work = fn()
         best = min(best, time.perf_counter() - t0)
@@ -214,6 +227,24 @@ def check_regressions(current: dict, baseline_path: Path) -> int:
             )
             if speedup < ISS_UNROLL_MIN_SPEEDUP:
                 failures.append(("iss_unroll(seed-speedup)", speedup))
+        if bench["name"] == "power_replay":
+            # same-run A/B against the plain scheduler replay.  Both
+            # benches are re-timed here, back to back, rather than
+            # reusing walls from run_all — minutes of elapsed time (and
+            # load drift) between the two run_all measurements can
+            # swamp the few-percent overhead being gated
+            plain_wall, _ = run_bench("sched_replay", 3)
+            power_wall, _ = run_bench("power_replay", 3)
+            ratio = power_wall / plain_wall if plain_wall > 0 else 1.0
+            tag = "ok" if ratio <= POWER_REPLAY_MAX_OVERHEAD else "FAIL"
+            print(
+                f"perf-check: power_replay accounting overhead "
+                f"{ratio:5.2f}x of sched_replay (same-run A/B, need "
+                f"<= {POWER_REPLAY_MAX_OVERHEAD:.2f}x) [{tag}]"
+            )
+            if ratio > POWER_REPLAY_MAX_OVERHEAD:
+                failures.append(("power_replay(accounting-overhead)",
+                                 ratio))
     if failures:
         worst = max(failures, key=lambda f: f[1])
         print(

@@ -96,6 +96,19 @@ class StreamAccelerator(StreamSink, StreamSource):
     def busy(self) -> bool:
         return bool(self._in_bytes) and self._rows_computed < self.height
 
+    @property
+    def busy_cycles(self) -> int:
+        """Pipeline-busy cycles of the in-flight/last image.
+
+        Derived on demand from the II-paced beat count plus the
+        pipeline fill, so the streaming path pays nothing; the power
+        model charges this window at ``accel_active_mw``.
+        """
+        if self._beats_consumed == 0:
+            return 0
+        return (self.timing.startup_cycles
+                + self.timing.cycles_for_beats(self._beats_consumed))
+
     def reset(self) -> None:
         """Prepare for a new image (RM control start pulse)."""
         self._in_bytes.clear()

@@ -17,6 +17,11 @@ Commands:
   through the asyncio DPR scheduler; throughput/latency/miss report
 * ``serve``    — replay a recorded JSON request trace through the
   scheduler (the interchange format ``sched-bench --emit-trace`` writes)
+* ``power``    — cycle-integrated energy accounting: ``report`` renders
+  the per-phase/per-component breakdown of one reconfiguration,
+  ``sweep`` replays a workload under several peak-power caps
+  (``--power-chrome``/``--power-vcd`` on ``reconfig``/``sched-bench``/
+  ``serve`` export power-annotated traces)
 * ``asm``      — assemble an RV64 source file (optionally RVC-compressed)
 * ``disasm``   — disassemble a flat binary image
 * ``profile``  — cProfile a named simulator workload (pstats output)
@@ -77,6 +82,30 @@ def _export_observability(soc, obs, args: argparse.Namespace) -> None:
     if getattr(args, "metrics_json", None):
         Path(args.metrics_json).write_text(obs.json_metrics())
         print(f"json metrics written to {args.metrics_json}")
+    _export_power(soc, obs, args)
+
+
+def _export_power(soc, obs, args: argparse.Namespace) -> None:
+    """Power-annotated exports: energy per span + a power_mw track.
+
+    Runs after the plain exports so ``--trace-chrome`` stays
+    byte-identical with or without the power flags.
+    """
+    power_chrome = getattr(args, "power_chrome", None)
+    power_vcd = getattr(args, "power_vcd", None)
+    if not (power_chrome or power_vcd):
+        return
+    from repro.power import DEFAULT_PROFILE, PowerModel
+    model = PowerModel(DEFAULT_PROFILE)
+    annotated = model.annotate(obs.tracer, freq_hz=soc.sim.freq_hz)
+    model.inject_power_track(obs.tracer, freq_hz=soc.sim.freq_hz)
+    if power_chrome:
+        Path(power_chrome).write_text(obs.chrome_trace(soc.sim.freq_hz))
+        print(f"power chrome trace written to {power_chrome} "
+              f"({annotated} spans carry energy_nj)")
+    if power_vcd:
+        Path(power_vcd).write_text(obs.vcd(soc.sim.freq_hz))
+        print(f"power vcd dump written to {power_vcd}")
 
 
 def _print_breakdown(soc, obs, result) -> None:
@@ -102,6 +131,11 @@ def _add_obs_flags(p: argparse.ArgumentParser) -> None:
                    help="write a JSON metrics snapshot")
     p.add_argument("--breakdown", action="store_true",
                    help="print the Tr latency-breakdown report")
+    p.add_argument("--power-chrome", metavar="FILE", default=None,
+                   help="write a Chrome trace with a power_mw counter "
+                        "track and per-span energy_nj attributes")
+    p.add_argument("--power-vcd", metavar="FILE", default=None,
+                   help="write a VCD dump including the power_mw signal")
 
 
 def _cmd_reconfig(args: argparse.Namespace) -> int:
@@ -112,7 +146,8 @@ def _cmd_reconfig(args: argparse.Namespace) -> int:
     soc = build_soc()
     recorder = soc.attach_trace()
     wants_obs = any((args.trace_chrome, args.trace_vcd, args.metrics,
-                     args.metrics_json, args.breakdown))
+                     args.metrics_json, args.breakdown,
+                     args.power_chrome, args.power_vcd))
     obs = soc.attach_observability() if wants_obs else None
     manager = ReconfigurationManager(soc, controller=args.controller)
     manager.provision_sdcard()
@@ -251,6 +286,16 @@ def _render_sched_report(report) -> str:
         f"{report.batches} batches, mean size "
         f"{report.mean_batch_size:.2f})",
     ]
+    if report.power is not None:
+        power = report.power
+        lines.append(
+            f"energy              {power['energy_nj_total'] / 1e6:.3f} mJ "
+            f"modeled (profile {power['profile_version']})")
+        if power["power_cap_mw"] is not None:
+            lines.append(
+                f"power cap           {power['power_cap_mw']:.0f} mW, "
+                f"peak window {power['peak_window_power_mw']:.1f} mW, "
+                f"{power['power_deferrals']} deferrals")
     if report.cache is not None:
         cache = report.cache
         lines.append(
@@ -261,6 +306,22 @@ def _render_sched_report(report) -> str:
             f"{cache['sd_bytes_loaded']} SD bytes")
     lines.append(f"wall time           {report.wall_seconds:.2f} s")
     return "\n".join(lines)
+
+
+def _power_kwargs(args: argparse.Namespace) -> dict:
+    """Scheduler power kwargs from the shared sched CLI flags."""
+    cap = getattr(args, "power_cap_mw", None)
+    wants = getattr(args, "power", False) or cap is not None \
+        or getattr(args, "power_chrome", None) \
+        or getattr(args, "power_vcd", None)
+    if not wants:
+        return {}
+    from repro.power import DEFAULT_PROFILE
+    return {
+        "power_profile": DEFAULT_PROFILE,
+        "peak_power_mw": cap,
+        "power_window_us": getattr(args, "power_window_us", 200.0),
+    }
 
 
 def _sched_platform(args: argparse.Namespace, modules: int, frame: int):
@@ -320,7 +381,8 @@ def _cmd_sched_bench(args: argparse.Namespace) -> int:
                            batch_limit=args.batch_limit,
                            drop_late=args.drop_late,
                            controller=args.controller,
-                           reconfig_mode=args.mode)
+                           reconfig_mode=args.mode,
+                           **_power_kwargs(args))
             entry = report.to_dict()
             entry["arrival_rate_rps"] = rate
             curves.append(entry)
@@ -342,7 +404,8 @@ def _cmd_sched_bench(args: argparse.Namespace) -> int:
     warm = module_names(min(args.prefetch_hot, spec.modules))
     report = replay(manager, requests, cache=cache,
                     batch_limit=args.batch_limit, drop_late=args.drop_late,
-                    reconfig_mode=args.mode, prefetch=warm or None)
+                    reconfig_mode=args.mode, prefetch=warm or None,
+                    **_power_kwargs(args))
     return _finish_sched(manager, report, args)
 
 
@@ -374,8 +437,62 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return 2
     report = replay(manager, requests, cache=cache,
                     batch_limit=args.batch_limit, drop_late=args.drop_late,
-                    reconfig_mode=args.mode)
+                    reconfig_mode=args.mode, **_power_kwargs(args))
     return _finish_sched(manager, report, args)
+
+
+def _cmd_power(args: argparse.Namespace) -> int:
+    """Energy/power accounting: breakdown report or cap sweep."""
+    if args.power_command == "report":
+        from repro.power import (
+            build_energy_breakdown,
+            render_energy_breakdown,
+            traced_reconfiguration,
+        )
+        soc, result = traced_reconfiguration(
+            args.module, controller=args.controller, mode=args.mode)
+        breakdown = build_energy_breakdown(
+            soc.obs.tracer, soc.sim.freq_hz, tr_reported_us=result.tr_us)
+        if args.json:
+            print(json.dumps(breakdown.to_dict(), indent=2))
+        else:
+            print(render_energy_breakdown(breakdown))
+        if args.output:
+            Path(args.output).write_text(
+                json.dumps(breakdown.to_dict(), indent=2) + "\n")
+            print(f"energy breakdown written to {args.output}")
+        if not breakdown.consistent:
+            print("power report: component energies do not sum to the "
+                  "window total (>0.1% drift)", file=sys.stderr)
+            return 1
+        return 0
+    # sweep: deadline-miss-vs-energy tradeoff across peak-power caps
+    from repro.sched import WorkloadSpec, power_sweep
+    spec = WorkloadSpec(
+        requests=args.requests, arrival_rate_rps=args.rate,
+        modules=args.modules, frame=args.frame,
+        deadline_slack_us=args.deadline_slack_us, seed=args.seed)
+    points = power_sweep(spec, list(args.caps),
+                         cache_bytes=max(1, args.cache_kb) << 10,
+                         power_window_us=args.power_window_us)
+    if args.json:
+        print(json.dumps(points, indent=2))
+    else:
+        print(f"{'cap_mw':>8} {'peak_mw':>8} {'deferrals':>9} "
+              f"{'miss_rate':>9} {'miss_delta':>10} {'energy_mJ':>10}")
+        for point in points:
+            power = point["power"]
+            cap = point["power_cap_mw"]
+            print(f"{cap if cap is not None else '-':>8} "
+                  f"{power['peak_window_power_mw'] or '-':>8} "
+                  f"{power['power_deferrals']:>9} "
+                  f"{point['deadline_miss_rate']:>9.4f} "
+                  f"{point['miss_delta_vs_uncapped']:>10.4f} "
+                  f"{power['energy_nj_total'] / 1e6:>10.3f}")
+    if args.output:
+        Path(args.output).write_text(json.dumps(points, indent=2) + "\n")
+        print(f"power sweep written to {args.output}")
+    return 0
 
 
 def _cmd_asm(args: argparse.Namespace) -> int:
@@ -416,6 +533,10 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         params = {"requests": args.requests}
         if args.rates:
             params["rates"] = tuple(args.rates)
+        if args.power_cap_mw is not None:
+            params["power_cap_mw"] = args.power_cap_mw
+        elif args.power:
+            params["power"] = True
     report = run_fleet(args.task, workers=args.workers, seed=args.seed,
                        params=params)
     if args.json:
@@ -584,6 +705,24 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write Prometheus text-format metrics")
         p.add_argument("--metrics-json", metavar="FILE", default=None,
                        help="write a JSON metrics snapshot")
+        p.add_argument("--power", action="store_true",
+                       help="charge modeled energy to every request "
+                            "(calibrated default power profile)")
+        p.add_argument("--power-cap-mw", type=float, default=None,
+                       metavar="MW",
+                       help="peak-power cap: defer reconfigurations so "
+                            "the windowed average never exceeds this "
+                            "(implies --power)")
+        p.add_argument("--power-window-us", type=float, default=200.0,
+                       metavar="US",
+                       help="averaging window for the power cap "
+                            "(default 200 us)")
+        p.add_argument("--power-chrome", metavar="FILE", default=None,
+                       help="write a Chrome trace with a power_mw "
+                            "counter track and per-span energy_nj")
+        p.add_argument("--power-vcd", metavar="FILE", default=None,
+                       help="write a VCD dump including the power_mw "
+                            "signal")
 
     p = sub.add_parser("sched-bench",
                        help="replay a synthetic request stream through "
@@ -630,6 +769,46 @@ def build_parser() -> argparse.ArgumentParser:
     _add_sched_flags(p)
     p.set_defaults(func=_cmd_serve)
 
+    p = sub.add_parser("power", help="cycle-integrated energy/power "
+                                     "accounting reports")
+    power_sub = p.add_subparsers(dest="power_command", required=True)
+
+    pr = power_sub.add_parser("report",
+                              help="energy breakdown of one traced "
+                                   "reconfiguration (phases shared with "
+                                   "the Tr latency breakdown)")
+    pr.add_argument("module", nargs="?", default=None,
+                    choices=["sobel", "median", "gaussian"],
+                    help="RM to reconfigure (default: first registered)")
+    pr.add_argument("--controller", choices=["rvcap", "hwicap"],
+                    default="rvcap")
+    pr.add_argument("--mode", choices=["interrupt", "polling"],
+                    default="interrupt")
+    pr.add_argument("--json", action="store_true",
+                    help="emit the machine-readable breakdown")
+    pr.add_argument("-o", "--output", default=None,
+                    help="also write the JSON breakdown to a file")
+    pr.set_defaults(func=_cmd_power)
+
+    ps = power_sub.add_parser("sweep",
+                              help="replay one workload under several "
+                                   "peak-power caps; miss-vs-energy curve")
+    ps.add_argument("--caps", nargs="+", type=float, required=True,
+                    metavar="MW", help="peak-power caps to sweep")
+    ps.add_argument("--power-window-us", type=float, default=200.0)
+    ps.add_argument("--requests", type=int, default=200)
+    ps.add_argument("--rate", type=float, default=2000.0)
+    ps.add_argument("--modules", type=int, default=8)
+    ps.add_argument("--frame", type=int, default=32)
+    ps.add_argument("--deadline-slack-us", type=float, default=20_000.0)
+    ps.add_argument("--cache-kb", type=int, default=1024)
+    ps.add_argument("--seed", type=int, default=2026)
+    ps.add_argument("--json", action="store_true",
+                    help="print the curve as JSON")
+    ps.add_argument("-o", "--output", default=None,
+                    help="also write the JSON curve to a file")
+    ps.set_defaults(func=_cmd_power)
+
     p = sub.add_parser("asm", help="assemble an RV64 source file")
     p.add_argument("input")
     p.add_argument("-o", "--output", default="a.bin")
@@ -663,6 +842,12 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="RPS", help="sched: arrival rates to sweep")
     p.add_argument("--requests", type=int, default=400,
                    help="sched: requests per rate (default: 400)")
+    p.add_argument("--power", action="store_true",
+                   help="sched: charge modeled energy to every request")
+    p.add_argument("--power-cap-mw", type=float, default=None,
+                   metavar="MW",
+                   help="sched: peak-power cap for every shard "
+                        "(implies --power)")
     p.add_argument("--json", action="store_true",
                    help="print the report as JSON")
     p.add_argument("--stable", action="store_true",

@@ -131,6 +131,10 @@ class DmaChannel:
         self.length = 0
         self.bytes_done = 0
         self.busy = False
+        #: activity counters the power model integrates; maintained
+        #: unconditionally (plain int adds on the burst schedule)
+        self.bursts_completed = 0
+        self.descriptors_completed = 0
         self.transfers_completed = 0
         self.transfers_errored = 0
         self.transfers_aborted = 0
@@ -275,6 +279,7 @@ class DmaChannel:
             return
         self.status |= SR_IDLE | SR_IOC_IRQ
         self.transfers_completed += 1
+        self.descriptors_completed += 1
         if self.trace is not None:
             self.trace.record(self.sim.now, f"dma.{self.name}",
                               f"complete: {self.bytes_done} bytes in "
@@ -309,6 +314,7 @@ class DmaChannel:
             addr += nbytes
             remaining -= nbytes
             self.bytes_done += nbytes
+            self.bursts_completed += 1
             if self.obs is not None:
                 self._h_burst.record(read_time - issue_time)  # type: ignore[union-attr]
             # pace the engine: at most one burst ahead of the consumer
@@ -352,6 +358,7 @@ class DmaChannel:
             addr += len(data)
             remaining -= len(data)
             self.bytes_done += len(data)
+            self.bursts_completed += 1
             if self.obs is not None:
                 self._h_burst.record(write_time - issue_time)  # type: ignore[union-attr]
             wait = max(pull_time, write_time - self.burst_bytes) - self.sim.now
@@ -427,6 +434,7 @@ class DmaChannel:
             addr += nbytes
             remaining -= nbytes
             self.bytes_done += nbytes
+            self.bursts_completed += 1
             if observed:
                 latencies.append(read_time - issue_time)
             # pace the engine: at most one burst ahead of the consumer
@@ -506,6 +514,7 @@ class DmaChannel:
             addr += ndata
             remaining -= ndata
             self.bytes_done += ndata
+            self.bursts_completed += 1
             if observed:
                 latencies.append(write_time - issue_time)
             target = write_time - burst

@@ -94,6 +94,27 @@ def bench_sched_replay() -> int:
         int(report.cache["sd_bytes_loaded"])
 
 
+def bench_power_replay() -> int:
+    """bench_sched_replay's workload with full power accounting on.
+
+    Same spec, platform and request stream as ``sched_replay`` plus a
+    power profile and peak-power governor, so the pair measures exactly
+    the marginal cost of energy accounting on the serving path (the
+    ``power_replay`` A/B gate in benchmarks/perf.py).
+    """
+    from repro.power import DEFAULT_PROFILE
+    from repro.sched import WorkloadSpec, bench
+
+    spec = WorkloadSpec(requests=400, arrival_rate_rps=2000.0, modules=8,
+                        frame=32, deadline_slack_us=20_000.0, seed=2026)
+    report = bench(spec, cache_bytes=1 << 20,
+                   power_profile=DEFAULT_PROFILE, peak_power_mw=400.0,
+                   power_window_us=2000.0)
+    frame_bytes = spec.frame * spec.frame
+    return 2 * frame_bytes * report.completed + \
+        int(report.cache["sd_bytes_loaded"])
+
+
 def bench_fault_sweep() -> int:
     """One fault-campaign point per fault kind on the reference SoC."""
     from repro.eval.fault_sweep import fault_sweep
@@ -112,6 +133,7 @@ BENCHES: Dict[str, Callable[[], int]] = {
     "iss_unroll": bench_iss_unroll,
     "fault_sweep": bench_fault_sweep,
     "sched_replay": bench_sched_replay,
+    "power_replay": bench_power_replay,
 }
 
 #: short historical names the CLI accepted before the registries merged

@@ -142,13 +142,21 @@ def _unroll_summary(results: List[Result]) -> Dict[str, Any]:
 def _sched_units(*, seed: int,
                  rates: Sequence[float] = (1000.0, 2000.0, 4000.0),
                  requests: int = 400, modules: int = 8, frame: int = 32,
-                 cache_bytes: int = 1 << 20) -> List[Unit]:
+                 cache_bytes: int = 1 << 20,
+                 power: bool = False,
+                 power_cap_mw: Optional[float] = None,
+                 power_window_us: float = 200.0) -> List[Unit]:
     return [{
         "rate": float(rate),
         "requests": requests,
         "modules": modules,
         "frame": frame,
         "cache_bytes": cache_bytes,
+        # energy accounting is simulated-time-only, so power units stay
+        # byte-identical between serial and sharded runs
+        "power": bool(power or power_cap_mw is not None),
+        "power_cap_mw": power_cap_mw,
+        "power_window_us": power_window_us,
         # same workload shape at every rate (matches replay.sweep)
         "seed": seed,
     } for rate in rates]
@@ -159,7 +167,15 @@ def _sched_run(unit: Unit) -> Result:
                         arrival_rate_rps=unit["rate"],
                         modules=unit["modules"], frame=unit["frame"],
                         deadline_slack_us=20_000.0, seed=unit["seed"])
-    report = bench(spec, cache_bytes=unit["cache_bytes"])
+    power_kwargs: Dict[str, Any] = {}
+    if unit.get("power"):
+        from repro.power import DEFAULT_PROFILE
+        power_kwargs = {
+            "power_profile": DEFAULT_PROFILE,
+            "peak_power_mw": unit.get("power_cap_mw"),
+            "power_window_us": unit.get("power_window_us", 200.0),
+        }
+    report = bench(spec, cache_bytes=unit["cache_bytes"], **power_kwargs)
     out = report.to_dict()
     # wall_seconds is host time — the one non-deterministic field
     del out["wall_seconds"]
@@ -168,12 +184,19 @@ def _sched_run(unit: Unit) -> Result:
 
 
 def _sched_summary(results: List[Result]) -> Dict[str, Any]:
-    return {
+    summary = {
         "points": len(results),
         "completed": sum(int(r["completed"]) for r in results),
         "deadline_misses": sum(int(r["deadline_misses"]) for r in results),
         "reconfigurations": sum(int(r["reconfigurations"]) for r in results),
     }
+    powered = [r["power"] for r in results if r.get("power")]
+    if powered:
+        summary["energy_nj_total"] = round(
+            sum(float(p["energy_nj_total"]) for p in powered), 3)
+        summary["power_deferrals"] = sum(
+            int(p["power_deferrals"]) for p in powered)
+    return summary
 
 
 FLEET_TASKS: Dict[str, FleetTask] = {

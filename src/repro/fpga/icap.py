@@ -99,6 +99,9 @@ class Icap(StreamSink):
         self.far: Optional[FrameAddress] = None
         self.idcode_seen: Optional[int] = None
         self.words_consumed = 0
+        #: cycles arriving bursts waited behind the 4 B/cycle port
+        #: (maintained unconditionally — the power model integrates it)
+        self.stall_cycles = 0
         self.crc_error = False
         self.protocol_error = False
         self.idcode_mismatch = False
@@ -143,6 +146,16 @@ class Icap(StreamSink):
     def busy_until(self) -> int:
         return self._busy_until
 
+    @property
+    def busy_cycles(self) -> int:
+        """Cycles the port spent actively consuming (1 word/cycle).
+
+        The port drains exactly one 32-bit word per cycle, so the
+        words-consumed count *is* the active-cycle count the power
+        model charges at ``icap_active_mw``.
+        """
+        return self.words_consumed
+
     def reset(self) -> None:
         """Port-level reset: abort any partial packet, clear errors.
 
@@ -172,6 +185,8 @@ class Icap(StreamSink):
     def accept(self, data: bytes, now: int) -> int:
         cycles = -(-len(data) // self.BYTES_PER_CYCLE)
         busy = self._busy_until
+        if busy > now:
+            self.stall_cycles += busy - now
         if self.obs is not None:
             if busy > now:
                 self._c_stall.value += busy - now  # type: ignore[union-attr]

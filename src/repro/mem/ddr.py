@@ -95,6 +95,8 @@ class DdrController(AxiSlave):
         self._device_free = 0
         self.bytes_read = 0
         self.bytes_written = 0
+        #: precharge/activate command pairs issued (power-model input)
+        self.row_activates = 0
 
     @property
     def size(self) -> int:
@@ -124,6 +126,7 @@ class DdrController(AxiSlave):
         last_row = (addr + nbytes - 1) // row_bytes if nbytes else first_row
         if addr != port.next_seq_addr:
             cost += self._first_access_latency
+            self.row_activates += 1 + (last_row - first_row)
         else:
             # a sequential stream pays precharge/activate once per row
             # it enters (relative to the port's open row)
@@ -131,6 +134,7 @@ class DdrController(AxiSlave):
             if port.open_row is not None and first_row != port.open_row:
                 new_rows += 1
             cost += new_rows * self._row_miss_penalty
+            self.row_activates += new_rows
         port.open_row = last_row
         port.next_seq_addr = addr + nbytes
         port.busy_until = start + cost

@@ -31,12 +31,13 @@ from repro.obs.exporters import (
 )
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.report import (
+    Phase,
     TrBreakdown,
     build_tr_breakdown,
     render_tr_breakdown,
 )
 from repro.obs.tracer import InstantEvent, Span, SpanTracer
-from repro.obs.vcd import vcd_dump
+from repro.obs.vcd import parse_vcd, vcd_dump
 
 
 class Observability:
@@ -94,6 +95,8 @@ __all__ = [
     "prometheus_text",
     "metrics_json",
     "vcd_dump",
+    "parse_vcd",
+    "Phase",
     "TrBreakdown",
     "build_tr_breakdown",
     "render_tr_breakdown",

@@ -68,7 +68,10 @@ def chrome_trace_json(tracer: SpanTracer, freq_hz: float = 100e6) -> str:
             "ts": _cycles_to_us(instant.cycle, freq_hz),
             "args": dict(instant.args, cycle=instant.cycle),
         }))
+    counter_tracks: List[str] = []
     for order, (cycle, name, value) in enumerate(tracer.counter_samples):
+        if name not in counter_tracks:
+            counter_tracks.append(name)
         timed.append((cycle, 2, order, {
             "ph": "C",
             "name": name,
@@ -83,6 +86,7 @@ def chrome_trace_json(tracer: SpanTracer, freq_hz: float = 100e6) -> str:
         "displayTimeUnit": "ms",
         "otherData": {
             "clock_freq_hz": freq_hz,
+            "counter_tracks": sorted(counter_tracks),
             "source": "repro.obs",
         },
         "traceEvents": events,
@@ -126,6 +130,13 @@ def validate_chrome_trace(text: str) -> List[str]:
             duration = event.get("dur")
             if not isinstance(duration, (int, float)) or duration < 0:
                 problems.append(f"event {index}: bad dur {duration!r}")
+        if phase == "C":
+            args = event.get("args")
+            value = args.get("value") if isinstance(args, dict) else None
+            if not isinstance(value, (int, float)):
+                problems.append(
+                    f"event {index}: counter sample without numeric "
+                    f"args.value")
         if phase in ("X", "i", "C") and not isinstance(
                 event.get("tid"), int):
             problems.append(f"event {index}: missing tid")

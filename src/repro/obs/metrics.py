@@ -80,15 +80,32 @@ class Counter(_Instrument):
         self.value += amount
 
 
-class Gauge(_Instrument):
-    """A value that can go up and down."""
+#: gauge cross-shard reductions :meth:`MetricsRegistry.merge` accepts
+GAUGE_MERGE_MODES = ("max", "min", "sum", "last")
 
-    __slots__ = ("value",)
+
+class Gauge(_Instrument):
+    """A value that can go up and down.
+
+    ``merge_mode`` declares how shard values reduce when registries
+    merge: ``max`` (the default — order-independent and right for
+    peaks/high-water marks), ``min``, ``sum`` (for gauges that are
+    really partitioned totals) or ``last`` (explicitly order-dependent;
+    only sound when every shard reports the same value).
+    """
+
+    __slots__ = ("value", "merge_mode")
 
     def __init__(self, name: str, help_text: str = "",
-                 labels: Optional[Dict[str, str]] = None) -> None:
+                 labels: Optional[Dict[str, str]] = None,
+                 merge_mode: str = "max") -> None:
         super().__init__(name, help_text, labels)
+        if merge_mode not in GAUGE_MERGE_MODES:
+            raise ValueError(
+                f"gauge merge_mode {merge_mode!r} not in "
+                f"{GAUGE_MERGE_MODES}")
         self.value = 0.0
+        self.merge_mode = merge_mode
 
     def set(self, value: float) -> None:
         self.value = value
@@ -209,8 +226,16 @@ class MetricsRegistry:
         return self._get(Counter, name, help_text, labels)
 
     def gauge(self, name: str, help_text: str = "",
-              labels: Optional[Dict[str, str]] = None) -> Gauge:
-        return self._get(Gauge, name, help_text, labels)
+              labels: Optional[Dict[str, str]] = None, *,
+              merge_mode: Optional[str] = None) -> Gauge:
+        instrument = self._get(Gauge, name, help_text, labels)
+        if merge_mode is not None:
+            if merge_mode not in GAUGE_MERGE_MODES:
+                raise ValueError(
+                    f"gauge merge_mode {merge_mode!r} not in "
+                    f"{GAUGE_MERGE_MODES}")
+            instrument.merge_mode = merge_mode
+        return instrument
 
     def histogram(self, name: str, help_text: str = "",
                   labels: Optional[Dict[str, str]] = None) -> Histogram:
@@ -228,10 +253,20 @@ class MetricsRegistry:
     def merge(self, other: "MetricsRegistry") -> None:
         """Fold ``other``'s instruments into this registry.
 
-        Counters and histogram contents add; gauges take the other
-        registry's last value (a merged gauge has no meaningful sum).
-        Used by the fleet runner to combine per-shard registries into
-        one process-wide view.
+        The per-instrument merge policy (documented in
+        docs/OBSERVABILITY.md and covered by the merge unit tests):
+
+        * **Counter** — values add (a count is a count on any shard);
+        * **Histogram** — bucket-wise add, plus count/total and
+          min/max merges, so every quantile reflects all shards;
+        * **Gauge** — reduced per the *destination* gauge's
+          ``merge_mode``: ``max`` (default), ``min``, ``sum`` or
+          ``last``.  A gauge the destination has never seen adopts the
+          source's mode and value.
+
+        Every default reduction is order-independent, which is what
+        keeps the fleet runner's serial vs. sharded outputs
+        byte-identical.
         """
         for instrument in other.instruments():
             labels = dict(instrument.labels)
@@ -239,8 +274,19 @@ class MetricsRegistry:
                 self.counter(instrument.name, instrument.help,
                              labels).inc(instrument.value)
             elif isinstance(instrument, Gauge):
-                self.gauge(instrument.name, instrument.help,
-                           labels).set(instrument.value)
+                existing = self.get(instrument.name, labels)
+                mine = self.gauge(instrument.name, instrument.help, labels)
+                if existing is None:
+                    mine.merge_mode = instrument.merge_mode
+                    mine.set(instrument.value)
+                elif mine.merge_mode == "max":
+                    mine.set(max(mine.value, instrument.value))
+                elif mine.merge_mode == "min":
+                    mine.set(min(mine.value, instrument.value))
+                elif mine.merge_mode == "sum":
+                    mine.set(mine.value + instrument.value)
+                else:  # "last"
+                    mine.set(instrument.value)
             else:
                 assert isinstance(instrument, Histogram)
                 mine = self.histogram(instrument.name, instrument.help,

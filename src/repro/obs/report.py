@@ -49,6 +49,10 @@ class TrBreakdown:
     tr_window_cycles: int
     #: the CLINT-measured Tr in us (None when no driver result given)
     tr_reported_us: Optional[float]
+    #: absolute cycle bounds of the Tr window span (the energy
+    #: breakdown integrates over exactly this interval)
+    window_start_cycle: int = 0
+    window_end_cycle: int = 0
 
     @property
     def phase_sum_cycles(self) -> int:
@@ -77,6 +81,7 @@ def build_tr_breakdown(tracer: SpanTracer, freq_hz: float = 100e6, *,
         raise ValueError(
             "no completed reconfiguration in the trace; run a DPR with "
             "observability attached first")
+    window_end = window.end_cycle
     reconfig = tracer.last("driver", "reconfig")
     module = str(reconfig.args.get("module", "?")) if reconfig else "?"
 
@@ -116,6 +121,8 @@ def build_tr_breakdown(tracer: SpanTracer, freq_hz: float = 100e6, *,
         context_phases=context,
         tr_window_cycles=window.duration,
         tr_reported_us=tr_reported_us,
+        window_start_cycle=window.start_cycle,
+        window_end_cycle=window_end,
     )
 
 

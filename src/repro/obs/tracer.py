@@ -128,12 +128,20 @@ class SpanTracer:
         stack = self._open.get(track)
         return stack[-1] if stack else None
 
-    def end_open(self, track: str, cycle: int, **args: Any) -> int:
+    def end_open(self, track: str, cycle: int, *, strict: bool = False,
+                 **args: Any) -> int:
         """Close every open span on ``track`` (error-path cleanup).
 
-        Returns the number of spans closed, innermost first.
+        Returns the number of spans closed, innermost first.  A track
+        with nothing open returns 0 deterministically; pass
+        ``strict=True`` to raise :class:`ValueError` instead (for
+        callers that know a span must be in flight).
         """
         stack = self._open.get(track)
+        if not stack:
+            if strict:
+                raise ValueError(f"no open span on track {track!r}")
+            return 0
         closed = 0
         while stack:
             self.end(stack[-1], cycle, **args)
@@ -168,8 +176,20 @@ class SpanTracer:
         spans = self.find(track, name)
         return spans[-1] if spans else None
 
-    def children(self, span: Span) -> List[Span]:
-        return [s for s in self.spans if s.parent_id == span.span_id]
+    def children(self, span: Span, *, allow_open: bool = False) -> List[Span]:
+        """Direct children of ``span``, ordered by (start_cycle, id).
+
+        The order is deterministic regardless of recording order.
+        Querying an *unfinished* span raises :class:`ValueError` — its
+        child set is not final — unless ``allow_open=True``.
+        """
+        if span.end_cycle is None and not allow_open:
+            raise ValueError(
+                f"span {span.name!r} is still open; its children are not "
+                f"final (pass allow_open=True to inspect an in-flight span)")
+        out = [s for s in self.spans if s.parent_id == span.span_id]
+        out.sort(key=lambda s: (s.start_cycle, s.span_id))
+        return out
 
     @property
     def tracks(self) -> List[str]:

@@ -86,3 +86,48 @@ def vcd_dump(tracer: SpanTracer, freq_hz: float = 100e6) -> str:
             current_time = cycle
         lines.append(formatted)
     return "\n".join(lines) + "\n"
+
+
+def parse_vcd(text: str) -> Dict[str, List[Tuple[int, int]]]:
+    """Re-import a :func:`vcd_dump` document into change lists.
+
+    Returns ``{signal name: [(cycle, value), ...]}`` with the time-0
+    ``$dumpvars`` section included as cycle-0 entries — the inverse of
+    the exporter for round-trip tests and external tooling.  Raises
+    :class:`ValueError` on a document this exporter could not have
+    produced.
+    """
+    names_by_ident: Dict[str, str] = {}
+    out: Dict[str, List[Tuple[int, int]]] = {}
+    current_time = 0
+    in_header = True
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if in_header:
+            if line.startswith("$var"):
+                parts = line.split()
+                # $var wire <width> <ident> <name> $end
+                if len(parts) < 6 or parts[-1] != "$end":
+                    raise ValueError(f"malformed $var line: {line!r}")
+                names_by_ident[parts[3]] = parts[4]
+                out[parts[4]] = []
+            elif line == "$enddefinitions $end":
+                in_header = False
+            continue
+        if line in ("$dumpvars", "$end") or line.startswith("$comment"):
+            continue
+        if line.startswith("#"):
+            current_time = int(line[1:])
+            continue
+        if line.startswith("b"):
+            value_text, ident = line[1:].split()
+            value = int(value_text, 2)
+        else:
+            value, ident = int(line[0]), line[1:]
+        name = names_by_ident.get(ident)
+        if name is None:
+            raise ValueError(f"value change for unknown identifier {line!r}")
+        out[name].append((current_time, value))
+    return out

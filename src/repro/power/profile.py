@@ -1,0 +1,161 @@
+"""Versioned per-component power coefficients for the DPR stack.
+
+The model is *declarative*: every dynamic activity the cycle-accurate
+simulation already accounts for — ICAP word streaming, DMA bursts and
+descriptors, DDR row activates and data bytes, hart retired
+instructions, accelerator busy windows — maps onto one coefficient of a
+:class:`PowerProfile`, and energy is the integral of those activities
+over simulated time.  The unit system is chosen so integration is a
+plain multiply: **1 mW x 1 us = 1 nJ**, and cycles convert to
+microseconds at the SoC clock.
+
+The default coefficients are calibrated against published 7-series DPR
+measurements.  Nafkha & Louet ("Accurate Measurement of Power
+Consumption Overhead During FPGA Dynamic Partial Reconfiguration",
+PAPERS.md) measure a distinct, roughly constant power *overhead* for the
+whole duration of an ICAP write burst on top of the board's idle floor;
+the profile models exactly that shape: a static/idle floor
+(:attr:`PowerProfile.floor_mw`) plus additive per-component increments
+while each component is active.  Because phase boundaries come from the
+same driver spans as the Tr latency breakdown, the energy breakdown is
+self-consistent with the Tr breakdown cycle-for-cycle by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, Tuple
+
+
+@dataclass(frozen=True)
+class PowerProfile:
+    """One versioned, immutable set of model coefficients.
+
+    All ``*_mw`` values are average power in milliwatts while the
+    named activity is in flight; ``*_nj``/``*_pj`` values are
+    per-event energies.  Idle coefficients form the always-on floor;
+    active coefficients are *incremental* over that floor.
+    """
+
+    #: profile schema/calibration version (bump when coefficients move)
+    version: str = "2026.1"
+
+    # -- static -------------------------------------------------------
+    #: fabric + PS leakage baseline, always burning
+    static_mw: float = 92.0
+
+    # -- ICAP (configuration port) ------------------------------------
+    #: clocked-but-idle configuration logic (part of the floor)
+    icap_idle_mw: float = 3.0
+    #: increment while a session streams at 4 B/cycle (Nafkha & Louet's
+    #: measured reconfiguration overhead band)
+    icap_active_mw: float = 128.0
+
+    # -- DMA engine ---------------------------------------------------
+    #: increment while a transfer is in flight
+    dma_active_mw: float = 36.0
+    #: per AXI burst issued (address phase + FIFO churn)
+    dma_burst_nj: float = 1.1
+    #: per descriptor fetched/written back by the SG engine
+    dma_descriptor_nj: float = 6.0
+    #: engine burst granularity used to derive burst counts from bytes
+    dma_burst_bytes: int = 128
+
+    # -- DDR ----------------------------------------------------------
+    #: refresh + self-refresh background (part of the floor)
+    ddr_refresh_mw: float = 54.0
+    #: per row activate (precharge + ACT command pair)
+    ddr_activate_nj: float = 3.8
+    #: per byte moved on the device bus
+    ddr_pj_per_byte: float = 42.0
+    #: DRAM row size used to derive activate counts from byte streams
+    ddr_row_bytes: int = 8192
+
+    # -- control processor (hart or host driver) ----------------------
+    #: WFI/idle floor contribution
+    cpu_idle_mw: float = 11.0
+    #: increment while the driver/firmware is executing
+    cpu_active_mw: float = 88.0
+    #: per retired instruction (firmware-driven runs report instret)
+    cpu_pj_per_instr: float = 310.0
+
+    # -- reconfigurable accelerator -----------------------------------
+    #: increment while an RM processes a frame
+    accel_active_mw: float = 57.0
+
+    # -- governor calibration knobs -----------------------------------
+    #: conservative non-streaming cycles added to a reconfiguration
+    #: duration estimate (decision, sync/desync, IRQ delivery)
+    reconfig_overhead_cycles: int = 4096
+    #: ICAP port width used to estimate stream cycles from pbit bytes
+    icap_bytes_per_cycle: int = 4
+
+    #: component names the model reports, in render order
+    components: Tuple[str, ...] = field(
+        default=("static", "cpu", "dma", "ddr", "icap", "accel"),
+        repr=False)
+
+    def __post_init__(self) -> None:
+        for f in fields(self):
+            if f.name in ("version", "components"):
+                continue
+            value = getattr(self, f.name)
+            if value < 0:
+                raise ValueError(f"PowerProfile.{f.name} must be >= 0")
+        if self.icap_bytes_per_cycle < 1:
+            raise ValueError("icap_bytes_per_cycle must be >= 1")
+
+    # ------------------------------------------------------------------
+    # derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def floor_mw(self) -> float:
+        """Always-on power: leakage + clocked-idle + DDR refresh."""
+        return (self.static_mw + self.icap_idle_mw + self.ddr_refresh_mw
+                + self.cpu_idle_mw)
+
+    def ddr_stream_mw(self, freq_hz: float) -> float:
+        """Average DDR dynamic power of a full-rate ICAP stream."""
+        bytes_per_s = self.icap_bytes_per_cycle * freq_hz
+        return bytes_per_s * self.ddr_pj_per_byte * 1e-9
+
+    def reconfig_power_mw(self, freq_hz: float) -> float:
+        """Incremental power (over the floor) while a DPR streams.
+
+        The governor plans against this worst-case increment: ICAP
+        active, DMA engine active, driver busy-waiting/servicing, and
+        the DDR read stream feeding the port at 4 B/cycle.
+        """
+        return (self.icap_active_mw + self.dma_active_mw
+                + self.cpu_active_mw + self.ddr_stream_mw(freq_hz))
+
+    def payload_power_mw(self) -> float:
+        """Incremental power while an RM crunches a payload frame."""
+        return self.accel_active_mw + self.dma_active_mw + self.cpu_active_mw
+
+    def reconfig_energy_nj(self, busy_cycles: int, freq_hz: float) -> float:
+        """Dynamic energy of one reconfiguration of ``busy_cycles``."""
+        busy_us = busy_cycles * 1e6 / freq_hz
+        return self.reconfig_power_mw(freq_hz) * busy_us
+
+    def payload_energy_nj(self, tc_us: float) -> float:
+        """Dynamic energy of one payload run of ``tc_us``."""
+        return self.payload_power_mw() * tc_us
+
+    def estimate_reconfig_cycles(self, pbit_bytes: int) -> int:
+        """Conservative duration estimate for governor admission."""
+        stream = -(-pbit_bytes // self.icap_bytes_per_cycle)
+        return stream + self.reconfig_overhead_cycles
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {}
+        for f in fields(self):
+            if f.name == "components":
+                continue
+            out[f.name] = getattr(self, f.name)
+        out["floor_mw"] = self.floor_mw
+        return out
+
+
+#: the calibrated profile every CLI/report entry point defaults to
+DEFAULT_PROFILE = PowerProfile()

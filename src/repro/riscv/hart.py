@@ -535,6 +535,15 @@ class Hart:
             self._decode_cache[low] = cached
         return cached
 
+    def power_activity(self) -> dict:
+        """Activity counters feeding the power model (repro.power).
+
+        ``instret`` prices per-instruction dynamic energy, ``cycles``
+        the active-vs-idle split; both are already maintained by the
+        run loop, so this costs nothing on the execution path.
+        """
+        return {"cycles": self.cycles, "instret": self.instret}
+
     def invalidate_code_cache(self) -> None:
         """Drop all fused/decoded/compiled entries (after rewriting
         code; also the ``fence.i`` semantics)."""

@@ -14,7 +14,14 @@ The package layers a serving model over the driver stack:
 """
 
 from repro.sched.cache import BitstreamCache, CacheStats, sd_load_cycles
-from repro.sched.replay import ReplayReport, bench, replay, summarize, sweep
+from repro.sched.replay import (
+    ReplayReport,
+    bench,
+    power_sweep,
+    replay,
+    summarize,
+    sweep,
+)
 from repro.sched.request import (
     CANCELLED,
     COMPLETED,
@@ -44,6 +51,7 @@ __all__ = [
     "replay",
     "summarize",
     "sweep",
+    "power_sweep",
     "COMPLETED",
     "FAILED",
     "CANCELLED",

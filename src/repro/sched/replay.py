@@ -20,6 +20,7 @@ from typing import Any, Dict, List, Optional
 
 from repro.drivers.manager import ReconfigurationManager
 from repro.obs import Observability
+from repro.power.profile import DEFAULT_PROFILE, PowerProfile
 from repro.sched.cache import BitstreamCache
 from repro.sched.request import (
     CANCELLED,
@@ -64,6 +65,9 @@ class ReplayReport:
     mean_batch_size: float
     cache: Optional[Dict[str, Any]] = None
     wall_seconds: float = 0.0
+    #: power accounting block from DprScheduler.power_summary();
+    #: None when the replay ran without a power profile
+    power: Optional[Dict[str, Any]] = None
     outcomes: List[RequestOutcome] = field(default_factory=list, repr=False)
 
     def to_dict(self, *, include_outcomes: bool = False) -> Dict[str, Any]:
@@ -86,6 +90,7 @@ class ReplayReport:
             "mean_batch_size": round(self.mean_batch_size, 3),
             "cache": self.cache,
             "wall_seconds": round(self.wall_seconds, 3),
+            "power": self.power,
         }
         if include_outcomes:
             out["outcomes"] = [o.to_dict() for o in self.outcomes]
@@ -147,6 +152,7 @@ def summarize(outcomes: List[RequestOutcome], *,
         mean_batch_size=mean_batch,
         cache=cache.snapshot() if cache is not None else None,
         wall_seconds=wall_seconds,
+        power=scheduler.power_summary(),
         outcomes=outcomes,
     )
 
@@ -185,7 +191,11 @@ def replay(manager: ReconfigurationManager,
            drop_late: bool = False,
            max_retries: int = 1,
            reconfig_mode: str = "interrupt",
-           prefetch: Optional[List[str]] = None) -> ReplayReport:
+           prefetch: Optional[List[str]] = None,
+           power_profile: Optional["PowerProfile"] = None,
+           peak_power_mw: Optional[float] = None,
+           power_window_us: float = 200.0,
+           energy_budgets_nj: Optional[Dict[str, float]] = None) -> ReplayReport:
     """Replay ``requests`` through a fresh scheduler; returns the report.
 
     Observability is always attached (the report needs the metrics
@@ -196,7 +206,10 @@ def replay(manager: ReconfigurationManager,
         soc.attach_observability(Observability())
     scheduler = DprScheduler(
         manager, cache=cache, batch_limit=batch_limit, drop_late=drop_late,
-        max_retries=max_retries, reconfig_mode=reconfig_mode)
+        max_retries=max_retries, reconfig_mode=reconfig_mode,
+        power_profile=power_profile, peak_power_mw=peak_power_mw,
+        power_window_us=power_window_us,
+        energy_budgets_nj=energy_budgets_nj)
     if cache is not None and prefetch:
         cache.prefetch(prefetch)
     started = time.perf_counter()
@@ -213,7 +226,11 @@ def bench(spec: WorkloadSpec, *,
           drop_late: bool = False,
           controller: str = "rvcap",
           reconfig_mode: str = "interrupt",
-          prefetch_hot: int = 0) -> ReplayReport:
+          prefetch_hot: int = 0,
+          power_profile: Optional[PowerProfile] = None,
+          peak_power_mw: Optional[float] = None,
+          power_window_us: float = 200.0,
+          energy_budgets_nj: Optional[Dict[str, float]] = None) -> ReplayReport:
     """One-call benchmark: build platform, synthesize, replay."""
     manager = build_sched_soc(spec.modules, frame=spec.frame,
                               controller=controller)
@@ -223,7 +240,10 @@ def bench(spec: WorkloadSpec, *,
     warm = [f"rm{i}" for i in range(min(prefetch_hot, spec.modules))]
     return replay(manager, requests, cache=cache, batch_limit=batch_limit,
                   drop_late=drop_late, reconfig_mode=reconfig_mode,
-                  prefetch=warm or None)
+                  prefetch=warm or None,
+                  power_profile=power_profile, peak_power_mw=peak_power_mw,
+                  power_window_us=power_window_us,
+                  energy_budgets_nj=energy_budgets_nj)
 
 
 def sweep(spec: WorkloadSpec, rates: List[float],
@@ -241,3 +261,35 @@ def sweep(spec: WorkloadSpec, rates: List[float],
         entry["arrival_rate_rps"] = rate
         curves.append(entry)
     return curves
+
+
+def power_sweep(spec: WorkloadSpec, caps_mw: List[Optional[float]],
+                **bench_kwargs: Any) -> List[Dict[str, Any]]:
+    """Replay the same workload under several peak-power caps.
+
+    The first point is always the uncapped baseline (power accounting
+    on, governor off); each capped point reports its deadline-miss
+    delta against it — the deadline-miss-vs-energy tradeoff curve.
+    A ``None`` in ``caps_mw`` is skipped (the baseline already covers
+    it).  Caps infeasible for a single reconfiguration surface in-band
+    as failed requests, so a sweep never aborts mid-curve.
+    """
+    bench_kwargs.pop("peak_power_mw", None)
+    profile = bench_kwargs.pop("power_profile", None) or DEFAULT_PROFILE
+    baseline = bench(spec, power_profile=profile, **bench_kwargs)
+    points: List[Dict[str, Any]] = []
+    entry = baseline.to_dict()
+    entry["power_cap_mw"] = None
+    entry["miss_delta_vs_uncapped"] = 0.0
+    points.append(entry)
+    for cap in caps_mw:
+        if cap is None:
+            continue
+        report = bench(spec, power_profile=profile, peak_power_mw=cap,
+                       **bench_kwargs)
+        entry = report.to_dict()
+        entry["power_cap_mw"] = cap
+        entry["miss_delta_vs_uncapped"] = round(
+            report.deadline_miss_rate - baseline.deadline_miss_rate, 6)
+        points.append(entry)
+    return points

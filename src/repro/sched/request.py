@@ -48,6 +48,10 @@ class SwapRequest:
     timeout_us: Optional[float] = None
     #: caller-chosen identifier carried through to the outcome
     request_id: int = 0
+    #: tenant the request bills against; None bills the shared pool.
+    #: Per-tenant energy budgets (``DprScheduler(energy_budgets_nj=...)``)
+    #: key on this name.
+    tenant: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.arrival_us < 0:
@@ -79,6 +83,7 @@ class SwapRequest:
             payload_shape=tuple(shape) if shape else None,
             timeout_us=data.get("timeout_us"),
             request_id=int(data.get("request_id", 0)),
+            tenant=data.get("tenant"),
         )
 
 

@@ -40,6 +40,8 @@ import numpy as np
 
 from repro.drivers.manager import ReconfigurationManager
 from repro.errors import ControllerError, SchedulerError
+from repro.power.governor import PowerGovernor
+from repro.power.profile import DEFAULT_PROFILE, PowerProfile
 from repro.sched.cache import BitstreamCache
 from repro.sched.request import (
     CANCELLED,
@@ -83,7 +85,11 @@ class DprScheduler:
                  batch_limit: int = 64,
                  drop_late: bool = False,
                  max_retries: int = 1,
-                 reconfig_mode: str = "interrupt") -> None:
+                 reconfig_mode: str = "interrupt",
+                 power_profile: Optional[PowerProfile] = None,
+                 peak_power_mw: Optional[float] = None,
+                 power_window_us: float = 200.0,
+                 energy_budgets_nj: Optional[Dict[str, float]] = None) -> None:
         if batch_limit < 1:
             raise SchedulerError("batch_limit must be >= 1")
         if max_retries < 0:
@@ -95,6 +101,23 @@ class DprScheduler:
         self.max_retries = max_retries
         self.reconfig_mode = reconfig_mode
         self._freq_hz = manager.soc.sim.freq_hz
+        # power accounting is opt-in: asking for a cap or budgets
+        # implies the calibrated default profile
+        if power_profile is None and (peak_power_mw is not None
+                                      or energy_budgets_nj is not None):
+            power_profile = DEFAULT_PROFILE
+        self.power_profile = power_profile
+        self.peak_power_mw = peak_power_mw
+        self.energy_budgets_nj: Optional[Dict[str, float]] = (
+            dict(energy_budgets_nj) if energy_budgets_nj else None)
+        self._governor: Optional[PowerGovernor] = None
+        if peak_power_mw is not None:
+            self._governor = PowerGovernor(
+                peak_power_mw, profile=self.power_profile,
+                window_us=power_window_us, freq_hz=self._freq_hz)
+        #: modeled energy charged to served requests (nJ)
+        self.energy_nj_total = 0.0
+        self.tenant_energy_nj: Dict[str, float] = {}
         #: not-yet-eligible entries, keyed by arrival
         self._arrivals: List[Tuple[int, int, _Entry]] = []
         #: eligible entries, keyed by deadline (EDF order)
@@ -197,6 +220,25 @@ class DprScheduler:
                 "tc": m.histogram("sched_tc_cycles",
                                   "per-request payload compute time"),
             }
+            if self.power_profile is not None:
+                # power instruments exist only when accounting is on,
+                # so plain replays keep their exact metric surface
+                self._instruments.update({
+                    "energy": m.counter(
+                        "sched_energy_nj_total",
+                        "modeled energy charged to requests (nJ)"),
+                    "energy_tenant": {},
+                    "reconfig_energy": m.histogram(
+                        "sched_reconfig_energy_nj",
+                        "modeled per-batch reconfiguration energy (nJ)"),
+                    "power_deferrals": m.counter(
+                        "sched_power_deferrals_total",
+                        "reconfigurations deferred by the power governor"),
+                    "peak_power": m.gauge(
+                        "sched_peak_window_power_mw",
+                        "max windowed average power attained (mW)",
+                        merge_mode="max"),
+                })
             self._instrument_obs = obs
         return self._instruments
 
@@ -406,6 +448,16 @@ class DprScheduler:
                 entry, DROPPED, start=None,
                 error="deadline passed before service"))
             return False
+        if (self.energy_budgets_nj is not None
+                and request.tenant is not None):
+            budget = self.energy_budgets_nj.get(request.tenant)
+            if (budget is not None
+                    and self.tenant_energy_nj.get(request.tenant, 0.0)
+                    >= budget):
+                self._finish(entry, self._outcome(
+                    entry, DROPPED, start=None,
+                    error="tenant energy budget exhausted"))
+                return False
         return True
 
     def _run_batch(self, module: str, entries: List[_Entry]) -> None:
@@ -417,23 +469,42 @@ class DprScheduler:
         reconfigured = False
         try:
             result, cache_hit = self._ensure_loaded(module)
-        except ControllerError as exc:
+        except (ControllerError, SchedulerError) as exc:
+            # SchedulerError: the peak-power governor found the cap
+            # infeasible for one atomic reconfiguration — served
+            # in-band as FAILED so the replay never wedges
             for entry in entries:
                 self._finish(entry, self._outcome(
                     entry, FAILED, start=start_us, error=str(exc),
                     cache_hit=cache_hit))
             return
+        reconfig_share_nj = 0.0
         if result is not None:
             reconfigured = True
             td_us, tr_us = result.td_us, result.tr_us
             busy = int(tr_us * self._freq_hz / 1e6)
             self.icap_busy_cycles += busy
+            if self._governor is not None:
+                # actual interval: the admission estimate was an upper
+                # bound starting no earlier, so the commit never
+                # violates the windows admission checked
+                self._governor.commit(sim.now - busy, sim.now)
+            if self.power_profile is not None:
+                batch_nj = self.power_profile.reconfig_energy_nj(
+                    busy, self._freq_hz)
+                reconfig_share_nj = batch_nj / len(entries)
             if obs is not None:
                 instruments = self._metrics(obs)
                 instruments["reconfigs"].inc()
                 instruments["icap_busy"].inc(busy)
                 instruments["td"].record(int(td_us * self._freq_hz / 1e6))
                 instruments["tr"].record(busy)
+                if self.power_profile is not None:
+                    instruments["reconfig_energy"].record(
+                        int(batch_nj))
+                    if self._governor is not None:
+                        instruments["peak_power"].set(
+                            self._governor.max_window_power_mw())
         elif obs is not None:
             self._metrics(obs)["skips"].inc()
         for index, entry in enumerate(entries):
@@ -442,7 +513,8 @@ class DprScheduler:
                               tr_us=tr_us if index == 0 else 0.0,
                               cache_hit=cache_hit,
                               reconfigured=reconfigured and index == 0,
-                              batched=index > 0)
+                              batched=index > 0,
+                              reconfig_share_nj=reconfig_share_nj)
 
     def _ensure_loaded(self, module: str):
         """Swap ``module`` in (through the cache when one is attached).
@@ -459,6 +531,8 @@ class DprScheduler:
             descriptor = None
             if self.cache is not None:
                 descriptor, cache_hit = self.cache.get(module)
+            if self._governor is not None:
+                self._defer_for_power(module, descriptor)
             try:
                 return manager.load_module(
                     module, descriptor=descriptor,
@@ -472,6 +546,33 @@ class DprScheduler:
                     raise
                 self._recover()
 
+    def _defer_for_power(self, module: str, descriptor: Any) -> None:
+        """Hold the batch until the peak-power governor admits it.
+
+        The estimate (pbit size at 4 B/cycle plus a fixed driver
+        overhead) upper-bounds the actual busy window, so the committed
+        interval can only be shorter than what admission reserved.
+        Raises :class:`SchedulerError` (served in-band as FAILED) when
+        the cap is infeasible for a single atomic reconfiguration.
+        """
+        governor = self._governor
+        assert governor is not None
+        if descriptor is None:
+            descriptor = self.manager.descriptor(module)
+        assert self.power_profile is not None
+        est = self.power_profile.estimate_reconfig_cycles(
+            descriptor.pbit_size)
+        delay = governor.admission_delay(self.sim.now, est)
+        if not delay:
+            return
+        governor.note_deferral(delay)
+        obs = self.obs
+        if obs is not None:
+            self._metrics(obs)["power_deferrals"].inc()
+            obs.tracer.instant(TRACK, "power_deferral", self.sim.now,
+                               module=module, cycles=delay)
+        self.manager.port.elapse(delay)
+
     def _recover(self) -> None:
         """Driver-level cleanup between retry attempts."""
         manager = self.manager
@@ -484,7 +585,8 @@ class DprScheduler:
     def _run_payload(self, entry: _Entry, start_us: float, *,
                      td_us: float, tr_us: float,
                      cache_hit: Optional[bool], reconfigured: bool,
-                     batched: bool) -> None:
+                     batched: bool,
+                     reconfig_share_nj: float = 0.0) -> None:
         request = entry.request
         obs = self.obs
         span = None
@@ -506,12 +608,38 @@ class DprScheduler:
             if obs is not None:
                 obs.tracer.end(span, self.sim.now)
         status = FAILED if error is not None else COMPLETED
+        if self.power_profile is not None:
+            nj = reconfig_share_nj
+            if tc_us:
+                nj += self.power_profile.payload_energy_nj(tc_us)
+            if nj:
+                self._charge_energy(request.tenant, nj)
         outcome = self._outcome(entry, status, start=start_us, error=error,
                                 cache_hit=cache_hit)
         outcome.td_us, outcome.tr_us, outcome.tc_us = td_us, tr_us, tc_us
         outcome.reconfigured = reconfigured
         outcome.batched = batched
         self._finish(entry, outcome)
+
+    def _charge_energy(self, tenant: Optional[str], nj: float) -> None:
+        self.energy_nj_total += nj
+        if tenant is not None:
+            self.tenant_energy_nj[tenant] = (
+                self.tenant_energy_nj.get(tenant, 0.0) + nj)
+        obs = self.obs
+        if obs is not None:
+            instruments = self._metrics(obs)
+            instruments["energy"].inc(int(nj))
+            if tenant is not None:
+                per_tenant = instruments["energy_tenant"]
+                counter = per_tenant.get(tenant)
+                if counter is None:
+                    counter = obs.metrics.counter(
+                        "sched_tenant_energy_nj",
+                        "modeled energy charged per tenant (nJ)",
+                        labels={"tenant": tenant})
+                    per_tenant[tenant] = counter
+                counter.inc(int(nj))
 
     # ------------------------------------------------------------------
     # outcome bookkeeping
@@ -592,3 +720,40 @@ class DprScheduler:
             return 0.0
         elapsed = self.sim.now - self._started_cycle
         return self.icap_busy_cycles / elapsed if elapsed else 0.0
+
+    @property
+    def power_deferrals(self) -> int:
+        """Reconfigurations the peak-power governor held back."""
+        return self._governor.deferrals if self._governor is not None else 0
+
+    @property
+    def power_deferred_cycles(self) -> int:
+        governor = self._governor
+        return governor.deferred_cycles if governor is not None else 0
+
+    def peak_window_power_mw(self) -> Optional[float]:
+        """Peak of the modeled windowed power trace (None = no governor)."""
+        if self._governor is None:
+            return None
+        return self._governor.max_window_power_mw()
+
+    def power_samples(self) -> List[Tuple[int, float]]:
+        """The governor's modeled power-over-time compliance trace."""
+        return (self._governor.power_samples()
+                if self._governor is not None else [])
+
+    def power_summary(self) -> Optional[Dict[str, Any]]:
+        """Energy/power accounting totals (None when accounting is off)."""
+        if self.power_profile is None:
+            return None
+        return {
+            "profile_version": self.power_profile.version,
+            "energy_nj_total": round(self.energy_nj_total, 3),
+            "energy_by_tenant": {
+                tenant: round(nj, 3)
+                for tenant, nj in sorted(self.tenant_energy_nj.items())},
+            "power_deferrals": self.power_deferrals,
+            "power_deferred_cycles": self.power_deferred_cycles,
+            "power_cap_mw": self.peak_power_mw,
+            "peak_window_power_mw": self.peak_window_power_mw(),
+        }

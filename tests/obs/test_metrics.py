@@ -132,3 +132,92 @@ class TestRegistry:
         assert snap["c"] == 3
         assert snap["g"] == 1.5
         assert snap["h"]["count"] == 1 and snap["h"]["p99"] >= 10
+
+
+class TestMerge:
+    """Cross-shard merge semantics (the fleet determinism contract)."""
+
+    def test_counters_sum(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("reqs").inc(3)
+        b.counter("reqs").inc(4)
+        b.counter("only_b").inc(1)
+        a.merge(b)
+        assert a.get("reqs").value == 7
+        assert a.get("only_b").value == 1
+
+    def test_histograms_add_bucket_wise(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for v in (10, 20, 30):
+            a.histogram("lat").record(v)
+        for v in (5, 40_000):
+            b.histogram("lat").record(v)
+        a.merge(b)
+        h = a.get("lat")
+        assert h.count == 5
+        assert h.total == 10 + 20 + 30 + 5 + 40_000
+        assert h.min == 5 and h.max == 40_000
+        # bucket-wise add: merged buckets equal a fresh recording of all
+        ref = Histogram("ref")
+        for v in (10, 20, 30, 5, 40_000):
+            ref.record(v)
+        assert h.buckets == ref.buckets
+
+    def test_gauge_default_max_keeps_peak(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("peak").set(7.0)
+        b.gauge("peak").set(9.0)
+        a.merge(b)
+        assert a.get("peak").value == 9.0
+        # and order-independent: merging the smaller in changes nothing
+        c = MetricsRegistry()
+        c.gauge("peak").set(1.0)
+        a.merge(c)
+        assert a.get("peak").value == 9.0
+
+    def test_gauge_explicit_reductions(self):
+        for mode, a_val, b_val, want in [
+                ("min", 7.0, 9.0, 7.0),
+                ("sum", 7.0, 9.0, 16.0),
+                ("last", 7.0, 9.0, 9.0)]:
+            a, b = MetricsRegistry(), MetricsRegistry()
+            a.gauge("g", merge_mode=mode).set(a_val)
+            b.gauge("g", merge_mode=mode).set(b_val)
+            a.merge(b)
+            assert a.get("g").value == want, mode
+
+    def test_destination_mode_wins(self):
+        # the merge policy is the destination's, not the source's
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("g", merge_mode="sum").set(1.0)
+        b.gauge("g", merge_mode="max").set(10.0)
+        a.merge(b)
+        assert a.get("g").value == 11.0
+
+    def test_unseen_gauge_adopts_source_mode_and_value(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        b.gauge("fresh", merge_mode="sum").set(4.0)
+        a.merge(b)
+        g = a.get("fresh")
+        assert g.value == 4.0 and g.merge_mode == "sum"
+        # subsequent merges then reduce with the adopted mode
+        c = MetricsRegistry()
+        c.gauge("fresh", merge_mode="sum").set(6.0)
+        a.merge(c)
+        assert a.get("fresh").value == 10.0
+
+    def test_invalid_merge_mode_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.gauge("g", merge_mode="median")
+        with pytest.raises(ValueError):
+            Gauge("g", merge_mode="avg")
+
+    def test_labeled_instruments_merge_per_label_set(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c", labels={"tenant": "x"}).inc(1)
+        b.counter("c", labels={"tenant": "x"}).inc(2)
+        b.counter("c", labels={"tenant": "y"}).inc(5)
+        a.merge(b)
+        assert a.get("c", {"tenant": "x"}).value == 3
+        assert a.get("c", {"tenant": "y"}).value == 5

@@ -22,6 +22,8 @@ class TestSpans:
         tracer.end(inner, 10)
         sibling = tracer.begin("driver", "decouple", 10)
         assert sibling.parent_id == outer.span_id
+        tracer.end(sibling, 15)
+        tracer.end(outer, 20)
         assert tracer.children(outer) == [inner, sibling]
 
     def test_tracks_are_independent(self):
@@ -116,3 +118,65 @@ class TestInstantsCountersSignals:
         assert not tracer.spans and not tracer.instants
         assert not tracer.counter_samples and not tracer.signals
         assert tracer.open_span("t") is None
+
+
+class TestEdgeCases:
+    """Deterministic behavior on the awkward paths (PR-9 hardening)."""
+
+    def test_end_open_strict_raises_on_idle_track(self):
+        tracer = SpanTracer()
+        with pytest.raises(ValueError, match="no open span"):
+            tracer.end_open("driver", 10, strict=True)
+
+    def test_end_open_strict_closes_when_spans_exist(self):
+        tracer = SpanTracer()
+        tracer.begin("driver", "reconfig", 0)
+        assert tracer.end_open("driver", 5, strict=True) == 1
+
+    def test_end_open_closes_innermost_first(self):
+        tracer = SpanTracer()
+        outer = tracer.begin("driver", "outer", 0)
+        inner = tracer.begin("driver", "inner", 1)
+        tracer.end_open("driver", 10)
+        # both closed at the same cycle; nesting stays well-formed
+        assert inner.end_cycle == outer.end_cycle == 10
+        assert inner.parent_id == outer.span_id
+
+    def test_children_of_open_span_raises(self):
+        tracer = SpanTracer()
+        outer = tracer.begin("driver", "outer", 0)
+        child = tracer.begin("driver", "child", 1)
+        tracer.end(child, 2)
+        with pytest.raises(ValueError, match="still open"):
+            tracer.children(outer)
+
+    def test_children_allow_open_inspects_in_flight_span(self):
+        tracer = SpanTracer()
+        outer = tracer.begin("driver", "outer", 0)
+        child = tracer.begin("driver", "child", 1)
+        tracer.end(child, 2)
+        assert tracer.children(outer, allow_open=True) == [child]
+
+    def test_children_sorted_by_start_then_id(self):
+        tracer = SpanTracer()
+        outer = tracer.begin("driver", "outer", 0)
+        late = tracer.begin("driver", "late", 9)
+        tracer.end(late, 10)
+        early = tracer.begin("driver", "early", 1)
+        tracer.end(early, 2)
+        # two children starting at the same cycle tie-break on span id
+        tie = tracer.begin("driver", "tie", 1)
+        tracer.end(tie, 3)
+        tracer.end(outer, 20)
+        assert tracer.children(outer) == [early, tie, late]
+
+    def test_children_are_direct_only(self):
+        tracer = SpanTracer()
+        outer = tracer.begin("driver", "outer", 0)
+        mid = tracer.begin("driver", "mid", 1)
+        leaf = tracer.begin("driver", "leaf", 2)
+        tracer.end(leaf, 3)
+        tracer.end(mid, 4)
+        tracer.end(outer, 5)
+        assert tracer.children(outer) == [mid]
+        assert tracer.children(mid) == [leaf]

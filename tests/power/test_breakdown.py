@@ -1,0 +1,64 @@
+"""End-to-end energy breakdown over a real traced reconfiguration."""
+
+import pytest
+
+from repro.power import (
+    build_energy_breakdown,
+    render_energy_breakdown,
+    traced_reconfiguration,
+)
+
+
+@pytest.fixture(scope="module")
+def breakdown():
+    soc, result = traced_reconfiguration()
+    return build_energy_breakdown(soc.obs.tracer, soc.sim.freq_hz,
+                                  tr_reported_us=result.tr_us)
+
+
+class TestAccountingIdentity:
+    def test_breakdown_is_consistent(self, breakdown):
+        assert breakdown.consistent
+        assert breakdown.total_nj == pytest.approx(
+            breakdown.tr_window_nj, rel=1e-3)
+
+    def test_phases_match_tr_breakdown_cycle_for_cycle(self, breakdown):
+        assert breakdown.phases_match_timing
+        for energy, timing in zip(breakdown.phases,
+                                  breakdown.timing.tr_phases):
+            assert (energy.start_cycle, energy.end_cycle) == \
+                (timing.start_cycle, timing.end_cycle)
+
+    def test_component_totals_sum_to_total(self, breakdown):
+        totals = breakdown.component_totals()
+        assert sum(totals.values()) == pytest.approx(breakdown.total_nj)
+        # static floor is always on; ICAP and DDR draw during the stream
+        assert totals["static"] > 0
+        assert totals["icap"] > 0
+        assert totals["ddr"] > 0
+
+    def test_every_phase_carries_every_component_key(self, breakdown):
+        for phase in breakdown.phases + breakdown.context_phases:
+            assert set(breakdown.components) <= set(phase.component_nj)
+
+
+class TestDeterminismAndSerialization:
+    def test_two_builds_are_identical(self, breakdown):
+        soc, result = traced_reconfiguration()
+        again = build_energy_breakdown(soc.obs.tracer, soc.sim.freq_hz,
+                                       tr_reported_us=result.tr_us)
+        assert again.to_dict() == breakdown.to_dict()
+
+    def test_to_dict_shape(self, breakdown):
+        d = breakdown.to_dict()
+        assert d["consistent"] is True
+        assert d["phases_match_timing"] is True
+        assert d["components"] == list(breakdown.components)
+        parts = sum(sum(p["component_nj"].values()) for p in d["phases"])
+        assert parts == pytest.approx(d["total_nj"], rel=1e-3)
+
+    def test_render_reports_both_cross_checks_ok(self, breakdown):
+        text = render_energy_breakdown(breakdown)
+        assert "phase sum vs window integral — OK" in text
+        assert "phase boundaries vs Tr breakdown — OK" in text
+        assert "per-component energy over the Tr window" in text

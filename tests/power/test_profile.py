@@ -1,0 +1,62 @@
+"""Unit tests for the versioned power profile."""
+
+import pytest
+
+from repro.power import DEFAULT_PROFILE, PowerProfile
+
+
+class TestValidation:
+    def test_default_is_valid(self):
+        assert DEFAULT_PROFILE.version
+        assert DEFAULT_PROFILE.floor_mw > 0
+
+    def test_negative_coefficient_rejected(self):
+        with pytest.raises(ValueError):
+            PowerProfile(static_mw=-1.0)
+        with pytest.raises(ValueError):
+            PowerProfile(dma_burst_nj=-0.5)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            DEFAULT_PROFILE.static_mw = 0.0  # type: ignore[misc]
+
+    def test_components_cover_every_charge_target(self):
+        assert DEFAULT_PROFILE.components == (
+            "static", "cpu", "dma", "ddr", "icap", "accel")
+
+
+class TestDerivedQuantities:
+    def test_floor_is_sum_of_idle_terms(self):
+        p = DEFAULT_PROFILE
+        assert p.floor_mw == pytest.approx(
+            p.static_mw + p.icap_idle_mw + p.ddr_refresh_mw + p.cpu_idle_mw)
+
+    def test_reconfig_power_exceeds_floor_delta_terms(self):
+        p = DEFAULT_PROFILE
+        dynamic = p.reconfig_power_mw(100e6)
+        assert dynamic > p.icap_active_mw  # icap + dma + cpu + ddr stream
+
+    def test_ddr_stream_power_scales_with_frequency(self):
+        p = DEFAULT_PROFILE
+        assert p.ddr_stream_mw(200e6) == pytest.approx(
+            2 * p.ddr_stream_mw(100e6))
+
+    def test_energy_units_mw_times_us_is_nj(self):
+        # 1 mW for 1 us is exactly 1 nJ: 1000 cycles at 1 GHz = 1 us
+        p = PowerProfile()
+        nj = p.reconfig_energy_nj(1000, 1e9)
+        assert nj == pytest.approx(p.reconfig_power_mw(1e9) * 1.0)
+
+    def test_estimate_upper_bounds_stream_cycles(self):
+        p = DEFAULT_PROFILE
+        pbit = 650_892
+        est = p.estimate_reconfig_cycles(pbit)
+        # at 4 B/cycle the stream itself is pbit/4 cycles; the estimate
+        # adds driver overhead on top (the governor's safety margin)
+        assert est >= -(-pbit // 4)
+        assert est == -(-pbit // 4) + p.reconfig_overhead_cycles
+
+    def test_to_dict_roundtrips_fields(self):
+        d = DEFAULT_PROFILE.to_dict()
+        assert d["version"] == DEFAULT_PROFILE.version
+        assert d["icap_active_mw"] == DEFAULT_PROFILE.icap_active_mw
