@@ -105,6 +105,8 @@ class RegisterBank(AxiSlave):
         self._storage: Dict[int, int] = {}
         self._read_hooks: Dict[int, ReadHook] = {}
         self._write_hooks: Dict[int, WriteHook] = {}
+        self._write_masks: Dict[int, int] = {}
+        self._read_only: set[int] = set()
 
     # ------------------------------------------------------------------
     # configuration API used by subclasses
@@ -116,12 +118,22 @@ class RegisterBank(AxiSlave):
         reset: int = 0,
         on_read: ReadHook | None = None,
         on_write: WriteHook | None = None,
+        write_mask: int | None = None,
+        read_only: bool = False,
     ) -> None:
         """Declare a register at byte ``offset`` with optional hooks.
 
         ``on_read`` replaces the stored value entirely (status
         registers); ``on_write`` observes the stored value after update
         (command registers).
+
+        ``write_mask`` and ``read_only`` are *declarative* metadata for
+        the static firmware verifier (:mod:`repro.verify`): bits outside
+        ``write_mask`` are reserved (software must write them as zero),
+        and ``read_only`` marks status registers whose writes the IP
+        ignores entirely.  Neither changes runtime behaviour — the model
+        keeps the permissive semantics of the RTL it mirrors, where the
+        hook decides what a write means.
         """
         if offset % 4:
             raise AlignmentError(f"{self.name}: register offset {offset:#x} unaligned")
@@ -130,6 +142,32 @@ class RegisterBank(AxiSlave):
             self._read_hooks[offset] = on_read
         if on_write is not None:
             self._write_hooks[offset] = on_write
+        if read_only:
+            self._read_only.add(offset)
+            self._write_masks[offset] = 0
+        elif write_mask is not None:
+            self._write_masks[offset] = write_mask & 0xFFFF_FFFF
+
+    # ------------------------------------------------------------------
+    # declarative introspection (consumed by repro.verify / repro.lint)
+    # ------------------------------------------------------------------
+    def register_offsets(self) -> Tuple[int, ...]:
+        """Declared register offsets, ascending."""
+        return tuple(sorted(self._storage))
+
+    def has_register(self, offset: int) -> bool:
+        return offset in self._storage
+
+    def register_write_mask(self, offset: int) -> int:
+        """Writable-bit mask for the register at ``offset``.
+
+        Registers declared without ``write_mask`` are fully writable;
+        ``read_only`` registers report mask 0.
+        """
+        return self._write_masks.get(offset, 0xFFFF_FFFF)
+
+    def register_is_read_only(self, offset: int) -> bool:
+        return offset in self._read_only
 
     def peek(self, offset: int) -> int:
         """Read stored value without invoking hooks (for tests/models)."""

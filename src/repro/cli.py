@@ -12,7 +12,12 @@ Commands:
   exports plus the Tr latency-breakdown report
 * ``faults``   — fault-injection sweep: detection and recovery rates
 * ``lint``     — static analysis: SoC design-rule checks + AST lints
-  (``--json`` for the CI artifact, ``--list-rules`` for the catalog)
+  (``--format json|sarif`` for CI artifacts, ``--list-rules`` for the
+  catalog; exit 0 clean / 1 findings / 2 internal error)
+* ``verify``   — static artifact verification: firmware MMIO/CFG
+  analysis and partial-bitstream packet/FAR-coverage checks over the
+  reference artifacts (or ``--firmware``/``--bitstream`` files); same
+  format flags and exit-code contract as ``lint``
 * ``sched-bench`` — replay a synthetic multi-tenant swap-request stream
   through the asyncio DPR scheduler; throughput/latency/miss report
 * ``serve``    — replay a recorded JSON request trace through the
@@ -227,46 +232,179 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+#: reporter exit-code contract shared by ``lint`` and ``verify``:
+#: 0 clean, 1 findings reported, 2 the tool itself failed
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_INTERNAL_ERROR = 2
+
+
+def _report_format(args: argparse.Namespace) -> str:
+    """Resolve ``--format`` (with the legacy ``--json`` alias)."""
+    if args.format:
+        return str(args.format)
+    return "json" if getattr(args, "json", False) else "human"
+
+
+def _emit_findings(findings, args: argparse.Namespace, *,
+                   tool: str, rule_help=None, label: str = "report") -> int:
+    """Render findings in the chosen format; return the exit code."""
+    from repro.lint import findings_to_json, findings_to_sarif, render_findings
+
+    fmt = _report_format(args)
+    if fmt == "json":
+        text = findings_to_json(findings)
+    elif fmt == "sarif":
+        text = findings_to_sarif(findings, tool=tool, rule_help=rule_help)
+    else:
+        text = render_findings(findings) + "\n"
+    if args.output:
+        Path(args.output).write_text(text)
+        print(f"{label} written to {args.output}")
+    else:
+        print(text, end="")
+    return EXIT_FINDINGS if findings else EXIT_CLEAN
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
-    """Static analysis: SoC DRC + AST lints, human or JSON output."""
-    from repro.lint import (
-        Severity,
-        all_rules,
-        findings_to_json,
-        render_findings,
-        run_drc,
-    )
+    """Static analysis: SoC DRC + AST lints; human/JSON/SARIF output."""
+    from repro.lint import all_rules, run_drc
     from repro.lint.astchecks import run_astchecks
+    from repro.lint.findings import dedupe_findings
+    from repro.lint.findings import suppress as apply_suppressions
 
     if args.list_rules:
         for drc_rule in all_rules():
             print(f"{drc_rule.rule_id}  [{drc_rule.severity}]  "
                   f"{drc_rule.title}")
-        return 0
+        return EXIT_CLEAN
 
-    run_both = not (args.drc or args.ast)
-    findings = []
-    if args.drc or run_both:
-        from repro.soc.builder import build_soc
-        report = run_drc(build_soc(), rules=args.rules or None,
-                         suppressions=args.suppress)
-        findings.extend(report.findings)
-    if args.ast or run_both:
-        from repro.lint.findings import suppress as apply_suppressions
-        findings.extend(
-            apply_suppressions(run_astchecks(), args.suppress))
+    try:
+        run_both = not (args.drc or args.ast)
+        findings = []
+        rule_help = {r.rule_id: r.title for r in all_rules()}
+        if args.drc or run_both:
+            from repro.soc.builder import build_soc
+            report = run_drc(build_soc(), rules=args.rules or None,
+                             suppressions=args.suppress)
+            findings.extend(report.findings)
+        if args.ast or run_both:
+            findings.extend(
+                apply_suppressions(run_astchecks(), args.suppress))
+        findings = dedupe_findings(findings)
+        return _emit_findings(findings, args, tool="repro-lint",
+                              rule_help=rule_help, label="lint report")
+    except Exception as exc:  # noqa: BLE001 - reporter contract: 2 on crash
+        print(f"lint: internal error: {exc}", file=sys.stderr)
+        return EXIT_INTERNAL_ERROR
 
-    if args.json:
-        text = findings_to_json(findings)
-        if args.output:
-            Path(args.output).write_text(text)
-            print(f"lint report written to {args.output}")
-        else:
-            print(text, end="")
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    """Static artifact verification: firmware images + partial bitstreams."""
+    from repro.verify import all_verifier_rules
+
+    if args.list_rules:
+        for rule in all_verifier_rules():
+            print(f"{rule.rule_id}  [{rule.severity}]  {rule.title}")
+        return EXIT_CLEAN
+
+    try:
+        reports = _collect_verify_reports(args)
+    except Exception as exc:  # noqa: BLE001 - reporter contract: 2 on crash
+        print(f"verify: internal error: {exc}", file=sys.stderr)
+        return EXIT_INTERNAL_ERROR
+
+    from repro.lint import Severity, findings_to_sarif, render_findings
+    from repro.verify import verifier_rule_help
+
+    findings = [f for report in reports for f in report.findings]
+    fmt = _report_format(args)
+    if fmt == "json":
+        document = {
+            "tool": "repro-verify",
+            "artifacts": [report.to_dict() for report in reports],
+            "count": len(findings),
+            "errors": sum(1 for f in findings
+                          if f.severity is Severity.ERROR),
+            "ok": all(report.ok for report in reports),
+        }
+        text = json.dumps(document, indent=2, sort_keys=True) + "\n"
+    elif fmt == "sarif":
+        text = findings_to_sarif(findings, tool="repro-verify",
+                                 rule_help=verifier_rule_help())
     else:
-        print(render_findings(findings))
-    has_errors = any(f.severity is Severity.ERROR for f in findings)
-    return 1 if has_errors else 0
+        lines = []
+        for report in reports:
+            status = "ok" if report.ok else "FAIL"
+            extra = ""
+            reloc = getattr(report, "relocatability", None)
+            if reloc is not None:
+                extra = (", relocatable" if reloc.relocatable
+                         else ", not relocatable")
+            bound = getattr(report, "stack_bound", None)
+            if bound is not None:
+                extra = f", stack bound {bound} B"
+            lines.append(f"{report.name}: {status} "
+                         f"({len(report.findings)} findings{extra})")
+        body = render_findings(findings)
+        text = "\n".join(lines) + "\n\n" + body + "\n"
+    if args.output:
+        Path(args.output).write_text(text)
+        print(f"verify report written to {args.output}")
+    else:
+        print(text, end="")
+    return EXIT_FINDINGS if findings else EXIT_CLEAN
+
+
+def _collect_verify_reports(args: argparse.Namespace) -> list:
+    """Run the requested verifications and return the report objects."""
+    from repro.soc.builder import build_soc
+    from repro.verify import verify_bitstream, verify_firmware
+
+    soc = build_soc()
+    reports: list = []
+
+    if args.firmware or args.bitstream:
+        if args.firmware:
+            from repro.riscv.assembler import Program
+            data = Path(args.firmware).read_bytes()
+            base = int(args.base, 0)
+            program = Program(base=base, text=data)
+            if args.entry:
+                program.symbols["_start"] = int(args.entry, 0)
+            reports.append(verify_firmware(
+                program, soc, name=Path(args.firmware).name))
+        if args.bitstream:
+            from repro.fpga.bitstream import Bitstream
+            rp = soc.partitions[args.partition]
+            stream = Bitstream.from_bytes(Path(args.bitstream).read_bytes())
+            reports.append(verify_bitstream(
+                stream, rp, name=Path(args.bitstream).name))
+        return reports
+
+    # default: verify every artifact the reference platform ships —
+    # both firmware flavours and one generated PB per registered module
+    rp0 = soc.partitions[0]
+    module0 = soc.module(soc.registered_modules[0])
+    pbit_bytes = soc.bitgen.generate(rp0, module0).nbytes
+    src_address = soc.config.layout.ddr_base
+
+    from repro.firmware.hwicap_fw import build_hwicap_firmware
+    from repro.firmware.rvcap_fw import build_rvcap_firmware
+    reports.append(verify_firmware(
+        build_rvcap_firmware(src_address, pbit_bytes,
+                             layout=soc.config.layout),
+        soc, name="rvcap_fw"))
+    reports.append(verify_firmware(
+        build_hwicap_firmware(src_address, pbit_bytes,
+                              layout=soc.config.layout),
+        soc, name="hwicap_fw"))
+    for name in soc.registered_modules:
+        rp = soc.partitions[soc.module_rp_index(name)]
+        stream = soc.bitgen.generate(rp, soc.module(name))
+        reports.append(verify_bitstream(
+            stream, rp, name=f"{name}@{rp.name}"))
+    return reports
 
 
 def _render_sched_report(report) -> str:
@@ -382,6 +520,7 @@ def _cmd_sched_bench(args: argparse.Namespace) -> int:
                            drop_late=args.drop_late,
                            controller=args.controller,
                            reconfig_mode=args.mode,
+                           verify=args.verify,
                            **_power_kwargs(args))
             entry = report.to_dict()
             entry["arrival_rate_rps"] = rate
@@ -404,8 +543,8 @@ def _cmd_sched_bench(args: argparse.Namespace) -> int:
     warm = module_names(min(args.prefetch_hot, spec.modules))
     report = replay(manager, requests, cache=cache,
                     batch_limit=args.batch_limit, drop_late=args.drop_late,
-                    reconfig_mode=args.mode, prefetch=warm or None,
-                    **_power_kwargs(args))
+                    reconfig_mode=args.mode, verify=args.verify,
+                    prefetch=warm or None, **_power_kwargs(args))
     return _finish_sched(manager, report, args)
 
 
@@ -437,7 +576,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return 2
     report = replay(manager, requests, cache=cache,
                     batch_limit=args.batch_limit, drop_late=args.drop_late,
-                    reconfig_mode=args.mode, **_power_kwargs(args))
+                    reconfig_mode=args.mode, verify=args.verify,
+                    **_power_kwargs(args))
     return _finish_sched(manager, report, args)
 
 
@@ -661,7 +801,11 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("lint", help="static analysis: SoC design-rule "
                                     "checks + source lints")
     p.add_argument("--json", action="store_true",
-                   help="emit the machine-readable JSON report")
+                   help="emit the machine-readable JSON report "
+                        "(alias for --format json)")
+    p.add_argument("--format", choices=("human", "json", "sarif"),
+                   default=None,
+                   help="report format (SARIF 2.1.0 for CI annotation)")
     p.add_argument("-o", "--output", default=None,
                    help="write the report to a file instead of stdout")
     p.add_argument("--drc", action="store_true",
@@ -676,6 +820,33 @@ def build_parser() -> argparse.ArgumentParser:
                    help="list registered DRC rules and exit")
     p.set_defaults(func=_cmd_lint)
 
+    p = sub.add_parser("verify", help="static artifact verification: "
+                                      "firmware MMIO/CFG analysis + "
+                                      "partial-bitstream checks")
+    p.add_argument("--firmware", default=None, metavar="PATH",
+                   help="verify a flat firmware binary instead of the "
+                        "reference artifacts")
+    p.add_argument("--base", default="0x80000000", metavar="ADDR",
+                   help="load address of --firmware (default DDR base)")
+    p.add_argument("--entry", default=None, metavar="ADDR",
+                   help="entry point of --firmware (default: its base)")
+    p.add_argument("--bitstream", default=None, metavar="PATH",
+                   help="verify a partial-bitstream file instead of the "
+                        "reference artifacts")
+    p.add_argument("--partition", type=int, default=0,
+                   help="partition index --bitstream targets")
+    p.add_argument("--json", action="store_true",
+                   help="emit the machine-readable JSON report "
+                        "(alias for --format json)")
+    p.add_argument("--format", choices=("human", "json", "sarif"),
+                   default=None,
+                   help="report format (SARIF 2.1.0 for CI annotation)")
+    p.add_argument("-o", "--output", default=None,
+                   help="write the report to a file instead of stdout")
+    p.add_argument("--list-rules", action="store_true",
+                   help="list registered verifier rules and exit")
+    p.set_defaults(func=_cmd_verify)
+
     def _add_sched_flags(p: argparse.ArgumentParser) -> None:
         p.add_argument("--cache-kb", type=int, default=1024,
                        help="DDR bitstream-cache arena size in KiB "
@@ -688,6 +859,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--drop-late", action="store_true",
                        help="drop requests whose deadline passed before "
                             "service instead of running them")
+        p.add_argument("--verify", action="store_true",
+                       help="statically verify each module's bitstream "
+                            "before its first reconfiguration; malformed "
+                            "streams finish as status=rejected")
         p.add_argument("--controller", choices=["rvcap", "hwicap"],
                        default="rvcap")
         p.add_argument("--mode", choices=["interrupt", "polling"],

@@ -559,18 +559,24 @@ class AxiDma(RegisterBank):
                                is_mm2s=False, burst_beats=burst_beats,
                                start_latency=start_latency)
 
-        self.define_register(MM2S_DMACR, on_write=self.mm2s.write_cr)
+        cr_mask = CR_RS | CR_RESET | CR_IOC_IRQ_EN | CR_ERR_IRQ_EN
+        sr_w1c = SR_IOC_IRQ | SR_ERR_IRQ  # interrupt bits, write-1-to-clear
+        self.define_register(MM2S_DMACR, on_write=self.mm2s.write_cr,
+                             write_mask=cr_mask)
         self.define_register(MM2S_DMASR, on_read=lambda _o: self.mm2s.read_sr(),
-                             on_write=self.mm2s.write_sr)
+                             on_write=self.mm2s.write_sr, write_mask=sr_w1c)
         self.define_register(MM2S_SA, on_write=self._set_mm2s_sa_lo)
         self.define_register(MM2S_SA_MSB, on_write=self._set_mm2s_sa_hi)
-        self.define_register(MM2S_LENGTH, on_write=self.mm2s.write_length)
-        self.define_register(S2MM_DMACR, on_write=self.s2mm.write_cr)
+        self.define_register(MM2S_LENGTH, on_write=self.mm2s.write_length,
+                             write_mask=0x03FF_FFFF)
+        self.define_register(S2MM_DMACR, on_write=self.s2mm.write_cr,
+                             write_mask=cr_mask)
         self.define_register(S2MM_DMASR, on_read=lambda _o: self.s2mm.read_sr(),
-                             on_write=self.s2mm.write_sr)
+                             on_write=self.s2mm.write_sr, write_mask=sr_w1c)
         self.define_register(S2MM_DA, on_write=self._set_s2mm_da_lo)
         self.define_register(S2MM_DA_MSB, on_write=self._set_s2mm_da_hi)
-        self.define_register(S2MM_LENGTH, on_write=self.s2mm.write_length)
+        self.define_register(S2MM_LENGTH, on_write=self.s2mm.write_length,
+                             write_mask=0x03FF_FFFF)
 
     def attach_obs(self, obs: "Observability") -> None:
         """Attach observability to both channels."""

@@ -71,16 +71,23 @@ class AxiHwIcap(RegisterBank):
         self.transfers_started = 0
         self.words_read_back = 0
 
-        self.define_register(GIER_OFFSET)
-        self.define_register(ISR_OFFSET)
-        self.define_register(IER_OFFSET)
+        self.define_register(GIER_OFFSET, write_mask=1 << 31)
+        self.define_register(ISR_OFFSET, write_mask=0xF)   # toggle-on-write
+        self.define_register(IER_OFFSET, write_mask=0xF)
         self.define_register(WF_OFFSET, on_write=self._write_wf)
-        self.define_register(RF_OFFSET, on_read=self._read_rf)
-        self.define_register(SZ_OFFSET, on_write=self._write_sz)
-        self.define_register(CR_OFFSET, on_write=self._write_cr)
-        self.define_register(SR_OFFSET, on_read=self._read_sr)
-        self.define_register(WFV_OFFSET, on_read=self._read_wfv)
-        self.define_register(RFO_OFFSET, on_read=lambda _o: len(self._read_fifo))
+        self.define_register(RF_OFFSET, on_read=self._read_rf,
+                             read_only=True)
+        self.define_register(SZ_OFFSET, on_write=self._write_sz,
+                             write_mask=0x7FF_FFFF)
+        self.define_register(CR_OFFSET, on_write=self._write_cr,
+                             write_mask=CR_READ | CR_WRITE | CR_FIFO_CLEAR
+                             | CR_SW_RESET)
+        self.define_register(SR_OFFSET, on_read=self._read_sr,
+                             read_only=True)
+        self.define_register(WFV_OFFSET, on_read=self._read_wfv,
+                             read_only=True)
+        self.define_register(RFO_OFFSET, on_read=lambda _o: len(self._read_fifo),
+                             read_only=True)
         self._now = 0  # updated on every access via read/write overrides
         self.obs = None
         self._c_words: Optional["Counter"] = None

@@ -66,13 +66,19 @@ class RpControlInterface(RegisterBank):
         self.define_register(DECOUPLE_OFFSET, on_write=self._write_decouple,
                              on_read=lambda _o: self.decouple_mask)
         self.define_register(SELECT_ICAP_OFFSET, on_write=self._write_select,
-                             on_read=lambda _o: int(self.icap_selected))
-        self.define_register(RM_CTRL_OFFSET, on_write=self._write_rm_ctrl)
-        self.define_register(RM_STATUS_OFFSET, on_read=self._read_rm_status)
-        self.define_register(VERSION_OFFSET, reset=self.VERSION)
+                             on_read=lambda _o: int(self.icap_selected),
+                             write_mask=0x1)
+        self.define_register(RM_CTRL_OFFSET, on_write=self._write_rm_ctrl,
+                             write_mask=0x1)
+        self.define_register(RM_STATUS_OFFSET, on_read=self._read_rm_status,
+                             read_only=True)
+        self.define_register(VERSION_OFFSET, reset=self.VERSION,
+                             read_only=True)
         self.define_register(RM_SELECT_OFFSET, on_write=self._write_rm_select,
-                             on_read=lambda _o: self.rm_selected)
-        self.define_register(ICAP_RESET_OFFSET, on_write=self._write_icap_reset)
+                             on_read=lambda _o: self.rm_selected,
+                             write_mask=0xF)
+        self.define_register(ICAP_RESET_OFFSET, on_write=self._write_icap_reset,
+                             write_mask=0x1)
 
     @property
     def decoupled(self) -> bool:

@@ -89,7 +89,11 @@ class ConfigPacket:
     @classmethod
     def decode(cls, word: int) -> "ConfigPacket":
         packet_type = (word >> 29) & 0x7
-        opcode = Opcode((word >> 27) & 0x3)
+        try:
+            opcode = Opcode((word >> 27) & 0x3)
+        except ValueError as exc:
+            raise BitstreamError(
+                f"reserved opcode in packet header {word:#010x}") from exc
         if packet_type == 1:
             return cls(1, opcode, (word >> 13) & 0x1F, word & 0x7FF)
         if packet_type == 2:

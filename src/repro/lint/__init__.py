@@ -26,7 +26,9 @@ from repro.lint.drc import (
 from repro.lint.findings import (
     Finding,
     Severity,
+    dedupe_findings,
     findings_to_json,
+    findings_to_sarif,
     render_findings,
     sort_findings,
     suppress,
@@ -40,7 +42,9 @@ __all__ = [
     "Severity",
     "all_rules",
     "check_soc",
+    "dedupe_findings",
     "findings_to_json",
+    "findings_to_sarif",
     "get_rule",
     "render_findings",
     "run_drc",

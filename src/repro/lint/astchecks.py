@@ -35,7 +35,8 @@ from typing import Iterator, List, Sequence
 from repro.lint.findings import Finding, Severity, render_findings, sort_findings
 
 #: packages held to full annotation coverage (mypy --strict in CI)
-STRICT_PACKAGES = ("axi", "core", "soc", "fpga", "obs")
+STRICT_PACKAGES = ("axi", "core", "soc", "fpga", "obs", "sched", "power",
+                   "verify")
 
 #: methods that advance or mutate simulated time
 TIME_MUTATORS = frozenset({

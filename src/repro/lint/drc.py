@@ -21,7 +21,7 @@ from repro.errors import DrcError
 from repro.lint.findings import (
     Finding,
     Severity,
-    sort_findings,
+    dedupe_findings,
     suppress,
 )
 
@@ -135,7 +135,9 @@ def run_drc(soc: "Soc", *,
     for drc_rule in selected:
         report.rules_run.append(drc_rule.rule_id)
         report.findings.extend(drc_rule.check(soc))
-    report.findings = sort_findings(suppress(report.findings, suppressions))
+    # dedupe before the count: several rules can flag the same defect on
+    # the same element with identical wording, and CI gates on counts
+    report.findings = dedupe_findings(suppress(report.findings, suppressions))
     return report
 
 

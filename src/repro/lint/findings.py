@@ -80,6 +80,98 @@ def suppress(findings: Iterable[Finding],
     return kept
 
 
+def dedupe_findings(findings: Iterable[Finding]) -> List[Finding]:
+    """Collapse findings that report the same defect on the same element.
+
+    Two findings are duplicates when they anchor to the same component
+    with the same message — different rules can legitimately converge on
+    one defect (e.g. an address-map rule and a width rule both flagging
+    a misregistered slave with identical wording).  The survivor is the
+    first in :func:`sort_findings` order, so the highest severity and
+    lowest rule id wins; output order follows the sorted order.
+    """
+    seen: set[tuple[str, str]] = set()
+    kept: List[Finding] = []
+    for finding in sort_findings(findings):
+        key = (finding.component, finding.message)
+        if key in seen:
+            continue
+        seen.add(key)
+        kept.append(finding)
+    return kept
+
+
+#: SARIF 2.1.0 ``level`` values for each severity
+_SARIF_LEVELS = {
+    Severity.INFO: "note",
+    Severity.WARNING: "warning",
+    Severity.ERROR: "error",
+}
+
+
+def findings_to_sarif(findings: Sequence[Finding], *,
+                      tool: str = "repro-lint",
+                      rule_help: dict[str, str] | None = None) -> str:
+    """Render findings as a SARIF 2.1.0 log (for CI PR annotation).
+
+    ``rule_help`` optionally maps rule ids to one-line descriptions for
+    the tool's rule metadata; rules seen only in findings get a stub
+    entry so every result's ``ruleId`` resolves.
+    """
+    help_texts = dict(rule_help or {})
+    ordered = sort_findings(findings)
+    rule_ids: List[str] = []
+    for finding in ordered:
+        if finding.rule_id not in rule_ids:
+            rule_ids.append(finding.rule_id)
+    for rule_id in help_texts:
+        if rule_id not in rule_ids:
+            rule_ids.append(rule_id)
+    rules = [
+        {
+            "id": rule_id,
+            "shortDescription": {
+                "text": help_texts.get(rule_id, rule_id),
+            },
+        }
+        for rule_id in sorted(rule_ids)
+    ]
+    rule_index = {rule["id"]: i for i, rule in enumerate(rules)}
+    results = []
+    for finding in ordered:
+        message = finding.message
+        if finding.hint:
+            message = f"{message} (hint: {finding.hint})"
+        results.append({
+            "ruleId": finding.rule_id,
+            "ruleIndex": rule_index[finding.rule_id],
+            "level": _SARIF_LEVELS[finding.severity],
+            "message": {"text": message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.component},
+                },
+            }],
+        })
+    document = {
+        "$schema": ("https://raw.githubusercontent.com/oasis-tcs/"
+                    "sarif-spec/master/Schemata/sarif-schema-2.1.0.json"),
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": tool,
+                    "informationUri":
+                        "https://github.com/rv-cap/repro",
+                    "rules": rules,
+                },
+            },
+            "results": results,
+        }],
+    }
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
 def render_findings(findings: Sequence[Finding]) -> str:
     """Human-readable report (one block per finding)."""
     if not findings:

@@ -27,11 +27,12 @@ from repro.sched.request import (
     COMPLETED,
     DROPPED,
     FAILED,
+    REJECTED,
     TIMED_OUT,
     RequestOutcome,
     SwapRequest,
 )
-from repro.sched.scheduler import DprScheduler
+from repro.sched.scheduler import BitstreamRejected, DprScheduler
 from repro.sched.workload import (
     WorkloadSpec,
     build_sched_soc,
@@ -57,8 +58,10 @@ __all__ = [
     "CANCELLED",
     "TIMED_OUT",
     "DROPPED",
+    "REJECTED",
     "RequestOutcome",
     "SwapRequest",
+    "BitstreamRejected",
     "DprScheduler",
     "WorkloadSpec",
     "build_sched_soc",

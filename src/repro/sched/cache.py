@@ -26,13 +26,16 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, TYPE_CHECKING, Tuple
 
 from repro.drivers.fileio import RmDescriptor
 from repro.drivers.mmio import HostPort
 from repro.errors import CacheCapacityError
 from repro.fat32.blockdev import BLOCK_SIZE
 from repro.fat32.filesystem import Fat32FileSystem
+
+if TYPE_CHECKING:
+    from repro.obs import Counter, Observability
 
 #: SPI-mode SD link cost model (matches SpiSdBlockDevice at divider 4)
 SPI_DIVIDER = 4
@@ -108,10 +111,10 @@ class BitstreamCache:
     # observability plumbing
     # ------------------------------------------------------------------
     @property
-    def _obs(self):
-        return getattr(self.port.soc, "obs", None)
+    def _obs(self) -> "Optional[Observability]":
+        return self.port.soc.obs
 
-    def _counter(self, name: str, help_text: str):
+    def _counter(self, name: str, help_text: str) -> "Optional[Counter]":
         obs = self._obs
         return obs.metrics.counter(name, help_text) if obs is not None \
             else None

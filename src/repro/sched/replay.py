@@ -191,6 +191,7 @@ def replay(manager: ReconfigurationManager,
            drop_late: bool = False,
            max_retries: int = 1,
            reconfig_mode: str = "interrupt",
+           verify: bool = False,
            prefetch: Optional[List[str]] = None,
            power_profile: Optional["PowerProfile"] = None,
            peak_power_mw: Optional[float] = None,
@@ -207,6 +208,7 @@ def replay(manager: ReconfigurationManager,
     scheduler = DprScheduler(
         manager, cache=cache, batch_limit=batch_limit, drop_late=drop_late,
         max_retries=max_retries, reconfig_mode=reconfig_mode,
+        verify=verify,
         power_profile=power_profile, peak_power_mw=peak_power_mw,
         power_window_us=power_window_us,
         energy_budgets_nj=energy_budgets_nj)
@@ -226,6 +228,7 @@ def bench(spec: WorkloadSpec, *,
           drop_late: bool = False,
           controller: str = "rvcap",
           reconfig_mode: str = "interrupt",
+          verify: bool = False,
           prefetch_hot: int = 0,
           power_profile: Optional[PowerProfile] = None,
           peak_power_mw: Optional[float] = None,
@@ -240,7 +243,7 @@ def bench(spec: WorkloadSpec, *,
     warm = [f"rm{i}" for i in range(min(prefetch_hot, spec.modules))]
     return replay(manager, requests, cache=cache, batch_limit=batch_limit,
                   drop_late=drop_late, reconfig_mode=reconfig_mode,
-                  prefetch=warm or None,
+                  verify=verify, prefetch=warm or None,
                   power_profile=power_profile, peak_power_mw=peak_power_mw,
                   power_window_us=power_window_us,
                   energy_budgets_nj=energy_budgets_nj)

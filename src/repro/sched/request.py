@@ -25,8 +25,11 @@ FAILED = "failed"
 CANCELLED = "cancelled"
 TIMED_OUT = "timed_out"
 DROPPED = "dropped"
+#: the admission verifier found the module's bitstream malformed; the
+#: ICAP was never touched
+REJECTED = "rejected"
 
-STATUSES = (COMPLETED, FAILED, CANCELLED, TIMED_OUT, DROPPED)
+STATUSES = (COMPLETED, FAILED, CANCELLED, TIMED_OUT, DROPPED, REJECTED)
 
 
 @dataclass(frozen=True)

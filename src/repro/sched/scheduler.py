@@ -34,11 +34,12 @@ from __future__ import annotations
 
 import asyncio
 import heapq
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, TYPE_CHECKING, Tuple
 
 import numpy as np
 
 from repro.drivers.manager import ReconfigurationManager
+from repro.drivers.rvcap_driver import ReconfigResult
 from repro.errors import ControllerError, SchedulerError
 from repro.power.governor import PowerGovernor
 from repro.power.profile import DEFAULT_PROFILE, PowerProfile
@@ -48,10 +49,16 @@ from repro.sched.request import (
     COMPLETED,
     DROPPED,
     FAILED,
+    REJECTED,
     TIMED_OUT,
     RequestOutcome,
     SwapRequest,
 )
+
+if TYPE_CHECKING:
+    from repro.obs import Observability
+    from repro.sim.kernel import Simulator
+    from repro.soc.soc import Soc
 
 #: span/metric track name
 TRACK = "sched"
@@ -59,6 +66,25 @@ TRACK = "sched"
 _PENDING = 0
 _CLAIMED = 1
 _DONE = 2
+
+
+class BitstreamRejected(SchedulerError):
+    """The admission verifier refused a module's partial bitstream.
+
+    Raised *before* the driver touches the ICAP; the scheduler serves
+    it in-band as ``status="rejected"`` so one bad artifact cannot
+    wedge a replay or scrub the partition.
+    """
+
+    def __init__(self, module: str, messages: List[str]) -> None:
+        detail = "; ".join(messages[:3])
+        if len(messages) > 3:
+            detail += f" (+{len(messages) - 3} more)"
+        super().__init__(
+            f"bitstream for module {module!r} failed verification: "
+            f"{detail}")
+        self.module = module
+        self.messages = messages
 
 
 class _Entry:
@@ -86,6 +112,7 @@ class DprScheduler:
                  drop_late: bool = False,
                  max_retries: int = 1,
                  reconfig_mode: str = "interrupt",
+                 verify: bool = False,
                  power_profile: Optional[PowerProfile] = None,
                  peak_power_mw: Optional[float] = None,
                  power_window_us: float = 200.0,
@@ -100,6 +127,13 @@ class DprScheduler:
         self.drop_late = drop_late
         self.max_retries = max_retries
         self.reconfig_mode = reconfig_mode
+        #: admission gate: statically verify each module's bitstream
+        #: before its first reconfiguration (repro.verify)
+        self.verify = verify
+        #: verdict memo keyed by (module, ddr address, size) — the
+        #: serving path re-loads the same image every cache refill, and
+        #: the DDR copy is immutable between placements
+        self._verify_memo: Dict[Tuple[str, int, int], List[str]] = {}
         self._freq_hz = manager.soc.sim.freq_hz
         # power accounting is opt-in: asking for a cap or budgets
         # implies the calibrated default profile
@@ -145,16 +179,16 @@ class DprScheduler:
     # plumbing
     # ------------------------------------------------------------------
     @property
-    def soc(self):
+    def soc(self) -> "Soc":
         return self.manager.soc
 
     @property
-    def sim(self):
+    def sim(self) -> "Simulator":
         return self.manager.soc.sim
 
     @property
-    def obs(self):
-        return getattr(self.manager.soc, "obs", None)
+    def obs(self) -> "Optional[Observability]":
+        return self.manager.soc.obs
 
     @property
     def queue_depth(self) -> int:
@@ -178,7 +212,7 @@ class DprScheduler:
                     f"sched_{status}_total",
                     f"requests that finished {status}")
                 for status in (COMPLETED, FAILED, TIMED_OUT, DROPPED,
-                               CANCELLED)
+                               CANCELLED, REJECTED)
             }
             self._instruments = {
                 "depth": m.gauge("sched_queue_depth",
@@ -278,7 +312,7 @@ class DprScheduler:
         await self.start()
         return self
 
-    async def __aexit__(self, *_exc) -> None:
+    async def __aexit__(self, *_exc: object) -> None:
         await self.aclose()
 
     # ------------------------------------------------------------------
@@ -469,6 +503,18 @@ class DprScheduler:
         reconfigured = False
         try:
             result, cache_hit = self._ensure_loaded(module)
+        except BitstreamRejected as exc:
+            # static verifier refused the artifact before any ICAP
+            # traffic; distinct from FAILED so replays can tell "bad
+            # artifact" from "hardware fault"
+            if obs is not None:
+                obs.tracer.instant(TRACK, "bitstream_rejected", sim.now,
+                                   module=module)
+            for entry in entries:
+                self._finish(entry, self._outcome(
+                    entry, REJECTED, start=start_us, error=str(exc),
+                    cache_hit=cache_hit))
+            return
         except (ControllerError, SchedulerError) as exc:
             # SchedulerError: the peak-power governor found the cap
             # infeasible for one atomic reconfiguration — served
@@ -516,7 +562,9 @@ class DprScheduler:
                               batched=index > 0,
                               reconfig_share_nj=reconfig_share_nj)
 
-    def _ensure_loaded(self, module: str):
+    def _ensure_loaded(
+            self, module: str
+    ) -> Tuple[Optional[ReconfigResult], Optional[bool]]:
         """Swap ``module`` in (through the cache when one is attached).
 
         Returns ``(ReconfigResult | None, cache_hit | None)``; retries
@@ -531,6 +579,8 @@ class DprScheduler:
             descriptor = None
             if self.cache is not None:
                 descriptor, cache_hit = self.cache.get(module)
+            if self.verify:
+                self._verify_descriptor(module, descriptor)
             if self._governor is not None:
                 self._defer_for_power(module, descriptor)
             try:
@@ -545,6 +595,38 @@ class DprScheduler:
                 if attempts > self.max_retries:
                     raise
                 self._recover()
+
+    def _verify_descriptor(self, module: str, descriptor: Any) -> None:
+        """Statically verify the module's DDR-resident bitstream.
+
+        Raises :class:`BitstreamRejected` (served in-band as REJECTED)
+        when the stream is malformed or configures frames outside the
+        module's declared partition — before the driver issues a single
+        ICAP write.  The verdict is memoized per DDR placement, so a
+        clean trace pays one verification per (module, address, size).
+        """
+        if descriptor is None:
+            descriptor = self.manager.descriptor(module)
+        key = (module, descriptor.start_address, descriptor.pbit_size)
+        errors = self._verify_memo.get(key)
+        if errors is None:
+            # local import: the verifier pulls the whole static-analysis
+            # stack, which verify=False replays never need
+            from repro.fpga.bitstream import Bitstream
+            from repro.lint.findings import Severity
+            from repro.verify import verify_bitstream
+
+            soc = self.soc
+            raw = soc.ddr_read(descriptor.start_address,
+                               descriptor.pbit_size)
+            rp = soc.partitions[soc.module_rp_index(module)]
+            report = verify_bitstream(Bitstream.from_bytes(raw), rp,
+                                      name=module)
+            errors = [f"{f.rule_id}: {f.message}" for f in report.findings
+                      if f.severity is Severity.ERROR]
+            self._verify_memo[key] = errors
+        if errors:
+            raise BitstreamRejected(module, errors)
 
     def _defer_for_power(self, module: str, descriptor: Any) -> None:
         """Hold the batch until the peak-power governor admits it.

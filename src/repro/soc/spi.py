@@ -40,12 +40,17 @@ class SpiController(RegisterBank):
         self.enabled = False
         self.transfers = 0
 
-        self.define_register(CR_OFFSET, on_write=self._write_cr)
-        self.define_register(SR_OFFSET, on_read=self._read_sr)
-        self.define_register(TXDATA_OFFSET, on_write=self._write_tx)
-        self.define_register(RXDATA_OFFSET, on_read=self._read_rx)
+        self.define_register(CR_OFFSET, on_write=self._write_cr,
+                             write_mask=CR_ENABLE | CR_CS_ASSERT)
+        self.define_register(SR_OFFSET, on_read=self._read_sr,
+                             read_only=True)
+        self.define_register(TXDATA_OFFSET, on_write=self._write_tx,
+                             write_mask=0xFF)
+        self.define_register(RXDATA_OFFSET, on_read=self._read_rx,
+                             read_only=True)
         self.define_register(DIVIDER_OFFSET, reset=divider,
-                             on_write=self._write_divider)
+                             on_write=self._write_divider,
+                             write_mask=0xFFFF)
 
     def attach_device(self, device: SdCard) -> None:
         self.device = device

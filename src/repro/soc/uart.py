@@ -28,9 +28,12 @@ class Uart(RegisterBank):
         super().__init__("uart", size=0x1000)
         self.tx_log = bytearray()
         self._rx_fifo: deque[int] = deque()
-        self.define_register(TXDATA_OFFSET, on_write=self._write_tx)
-        self.define_register(RXDATA_OFFSET, on_read=self._read_rx)
-        self.define_register(STATUS_OFFSET, on_read=self._read_status)
+        self.define_register(TXDATA_OFFSET, on_write=self._write_tx,
+                             write_mask=0xFF)
+        self.define_register(RXDATA_OFFSET, on_read=self._read_rx,
+                             read_only=True)
+        self.define_register(STATUS_OFFSET, on_read=self._read_status,
+                             read_only=True)
 
     def _write_tx(self, value: int) -> None:
         self.tx_log.append(value & 0xFF)

@@ -1,0 +1,604 @@
+"""Static CFG reconstruction and constant propagation over firmware images.
+
+The block engine (:mod:`repro.riscv.blocks`) discovers basic blocks
+*speculatively* against a live hart; this module reconstructs the same
+block structure purely from an assembled image so artifacts can be
+checked without running them.  Discovery is recursive descent from a
+set of roots (the program entry plus any trap vectors found by the
+constant propagation), blocks split at the engine's terminator set, and
+the result carries enough structure for dominance, reachability, call
+graph and worst-case stack-depth queries.
+
+The abstract interpreter is a flat constant lattice per register
+(known 64-bit value or unknown), precise enough to resolve the
+``li``/``la`` materialization sequences the assembler emits
+(``lui``/``addiw``/``slli``/``srli``/``addi``) and therefore every
+statically-derivable MMIO address in the shipped firmware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.errors import IllegalInstructionError
+from repro.riscv.blocks import _TERMINATORS
+from repro.riscv.compressed import expand
+from repro.riscv.decoder import Decoded, decode
+from repro.utils.bits import sext
+
+_M64 = 0xFFFF_FFFF_FFFF_FFFF
+
+#: memory access sizes by mnemonic
+LOAD_SIZES = {"lb": 1, "lh": 2, "lw": 4, "ld": 8,
+              "lbu": 1, "lhu": 2, "lwu": 4}
+STORE_SIZES = {"sb": 1, "sh": 2, "sw": 4, "sd": 8}
+
+#: caller-saved (clobbered across a call): ra, t0-t6, a0-a7
+_CALLER_SAVED = frozenset(
+    {1, 5, 6, 7, 10, 11, 12, 13, 14, 15, 16, 17, 28, 29, 30, 31}
+)
+
+#: machine trap-vector CSR
+_MTVEC = 0x305
+
+
+@dataclass(frozen=True)
+class Instr:
+    """One decoded instruction at a fixed pc."""
+
+    pc: int
+    decoded: Decoded
+
+    @property
+    def size(self) -> int:
+        return self.decoded.size
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line run ending at a control transfer."""
+
+    start: int
+    instrs: List[Instr] = field(default_factory=list)
+    successors: Tuple[int, ...] = ()
+    #: jal-with-link target (interprocedural call edge), if any
+    call_target: Optional[int] = None
+
+    @property
+    def end(self) -> int:
+        last = self.instrs[-1]
+        return last.pc + last.size
+
+    @property
+    def terminator(self) -> Decoded:
+        return self.instrs[-1].decoded
+
+
+class CfgError(Exception):
+    """Image bytes could not be decoded where control flow reaches."""
+
+    def __init__(self, pc: int, message: str) -> None:
+        super().__init__(f"pc {pc:#x}: {message}")
+        self.pc = pc
+
+
+@dataclass
+class ControlFlowGraph:
+    """Blocks, edges and roots reconstructed from one image."""
+
+    base: int
+    size: int
+    roots: Tuple[int, ...]
+    blocks: Dict[int, BasicBlock]
+    #: pcs where decoding failed during discovery (flowed into data)
+    decode_errors: List[Tuple[int, str]] = field(default_factory=list)
+    #: pcs of indirect jumps whose targets the analysis cannot resolve
+    indirect_jumps: List[int] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # reachability / coverage
+    # ------------------------------------------------------------------
+    def reachable_ranges(self) -> List[Tuple[int, int]]:
+        """Sorted, merged [start, end) byte ranges covered by blocks."""
+        ranges = sorted((b.start, b.end) for b in self.blocks.values())
+        merged: List[Tuple[int, int]] = []
+        for start, end in ranges:
+            if merged and start <= merged[-1][1]:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+            else:
+                merged.append((start, end))
+        return merged
+
+    def unreachable_ranges(self) -> List[Tuple[int, int]]:
+        """[start, end) image ranges no reachable block covers."""
+        holes: List[Tuple[int, int]] = []
+        cursor = self.base
+        for start, end in self.reachable_ranges():
+            if start > cursor:
+                holes.append((cursor, start))
+            cursor = max(cursor, end)
+        if cursor < self.base + self.size:
+            holes.append((cursor, self.base + self.size))
+        return holes
+
+    # ------------------------------------------------------------------
+    # dominance
+    # ------------------------------------------------------------------
+    def dominators(self, root: int) -> Dict[int, FrozenSet[int]]:
+        """Block-level dominator sets over the subgraph reached from
+        ``root`` (standard iterative data-flow)."""
+        reachable = self._reachable_blocks(root)
+        order = sorted(reachable)
+        all_blocks = frozenset(order)
+        dom: Dict[int, FrozenSet[int]] = {
+            start: frozenset({root}) if start == root else all_blocks
+            for start in order
+        }
+        preds: Dict[int, List[int]] = {start: [] for start in order}
+        for start in order:
+            for succ in self.blocks[start].successors:
+                if succ in preds:
+                    preds[succ].append(start)
+        changed = True
+        while changed:
+            changed = False
+            for start in order:
+                if start == root:
+                    continue
+                pred_doms = [dom[p] for p in preds[start]]
+                if pred_doms:
+                    new = frozenset.intersection(*pred_doms) | {start}
+                else:
+                    new = frozenset({start})
+                if new != dom[start]:
+                    dom[start] = new
+                    changed = True
+        return dom
+
+    def _reachable_blocks(self, root: int) -> Set[int]:
+        seen: Set[int] = set()
+        stack = [root]
+        while stack:
+            start = stack.pop()
+            if start in seen or start not in self.blocks:
+                continue
+            seen.add(start)
+            stack.extend(self.blocks[start].successors)
+        return seen
+
+    # ------------------------------------------------------------------
+    # call graph / stack depth
+    # ------------------------------------------------------------------
+    def call_graph(self) -> Dict[int, Set[int]]:
+        """``function entry -> called function entries``.
+
+        Functions are the roots plus every jal-with-link target; a
+        block belongs to the nearest function entry that reaches it
+        without crossing a call edge.
+        """
+        entries = set(self.roots)
+        for block in self.blocks.values():
+            if block.call_target is not None:
+                entries.add(block.call_target)
+        graph: Dict[int, Set[int]] = {}
+        for entry in entries:
+            calls: Set[int] = set()
+            for start in self._function_blocks(entry, entries):
+                target = self.blocks[start].call_target
+                if target is not None:
+                    calls.add(target)
+            graph[entry] = calls
+        return graph
+
+    def _function_blocks(self, entry: int, entries: Set[int]) -> Set[int]:
+        """Blocks of the function at ``entry`` (no call-edge crossing)."""
+        seen: Set[int] = set()
+        stack = [entry]
+        while stack:
+            start = stack.pop()
+            if start in seen or start not in self.blocks:
+                continue
+            seen.add(start)
+            block = self.blocks[start]
+            for succ in block.successors:
+                # a call successor that is another function's entry is
+                # the callee body, not part of this function
+                if succ == block.call_target and succ != entry:
+                    continue
+                stack.append(succ)
+        return seen
+
+    def frame_size(self, entry: int, entries: Set[int]) -> int:
+        """Largest stack frame the function at ``entry`` allocates."""
+        frame = 0
+        for start in self._function_blocks(entry, entries):
+            for instr in self.blocks[start].instrs:
+                d = instr.decoded
+                if d.name == "addi" and d.rd == 2 and d.rs1 == 2 and d.imm < 0:
+                    frame = max(frame, -d.imm)
+        return frame
+
+    def worst_stack_depth(self) -> Tuple[Optional[int], List[int]]:
+        """Worst-case stack bound over the call graph.
+
+        Returns ``(bound_bytes, recursion_cycle)``; the bound is None
+        when recursion makes it unbounded, and the cycle lists the
+        entries involved.
+        """
+        graph = self.call_graph()
+        entries = set(graph)
+        frames = {entry: self.frame_size(entry, entries) for entry in graph}
+        memo: Dict[int, int] = {}
+        on_path: List[int] = []
+        cycle: List[int] = []
+
+        def depth(entry: int) -> int:
+            if entry in memo:
+                return memo[entry]
+            if entry in on_path:
+                if not cycle:
+                    cycle.extend(on_path[on_path.index(entry):])
+                return 0
+            on_path.append(entry)
+            worst_callee = 0
+            for callee in graph.get(entry, ()):
+                worst_callee = max(worst_callee, depth(callee))
+            on_path.pop()
+            memo[entry] = frames.get(entry, 0) + worst_callee
+            return memo[entry]
+
+        bound = 0
+        for root in self.roots:
+            bound = max(bound, depth(root))
+        if cycle:
+            return None, cycle
+        return bound, []
+
+
+# ---------------------------------------------------------------------------
+# discovery
+# ---------------------------------------------------------------------------
+def _decode_at(image: bytes, base: int, pc: int) -> Instr:
+    offset = pc - base
+    if offset < 0 or offset + 2 > len(image):
+        raise CfgError(pc, "control flow leaves the image")
+    low = int.from_bytes(image[offset:offset + 2], "little")
+    try:
+        if low & 3 == 3:
+            if offset + 4 > len(image):
+                raise CfgError(pc, "truncated 32-bit instruction")
+            word = int.from_bytes(image[offset:offset + 4], "little")
+            return Instr(pc, decode(word, pc))
+        return Instr(pc, expand(low, pc))
+    except IllegalInstructionError as exc:
+        raise CfgError(pc, f"undecodable instruction ({exc})") from None
+
+
+def _block_end(d: Decoded) -> bool:
+    return d.name in _TERMINATORS or d.name in ("ebreak", "mret", "ecall")
+
+
+def _successors(instr: Instr) -> Tuple[Tuple[int, ...], Optional[int]]:
+    """(intra-CFG successors, call target) of a terminating instruction."""
+    d = instr.decoded
+    fall = instr.pc + d.size
+    if d.name in ("beq", "bne", "blt", "bge", "bltu", "bgeu"):
+        return (instr.pc + d.imm, fall), None
+    if d.name == "jal":
+        target = instr.pc + d.imm
+        if d.rd == 0:
+            return (target,), None
+        # call: model return as the fall-through edge, keep the callee
+        # entry as a successor so dominance sees the callee body
+        return (target, fall), target
+    if d.name == "jalr":
+        # rd=zero rs1=ra is the `ret` idiom: edges flow back through
+        # the caller's fall-through, nothing to add here
+        return (), None
+    if d.name in ("ebreak", "mret"):
+        return (), None
+    if d.name == "ecall":
+        return (fall,), None
+    return (fall,), None
+
+
+def build_cfg(image: bytes, base: int,
+              roots: Iterable[int]) -> ControlFlowGraph:
+    """Reconstruct the CFG of ``image`` from the given root pcs."""
+    root_list = tuple(dict.fromkeys(roots))
+    cfg = ControlFlowGraph(base=base, size=len(image), roots=root_list,
+                           blocks={})
+    # first pass: find every block start (roots + edge targets), then
+    # split blocks at any start that lands mid-block
+    starts: Set[int] = set()
+    worklist = list(root_list)
+    edges: Dict[int, Tuple[Tuple[int, ...], Optional[int]]] = {}
+    while worklist:
+        start = worklist.pop()
+        if start in starts:
+            continue
+        starts.add(start)
+        pc = start
+        while True:
+            try:
+                instr = _decode_at(image, base, pc)
+            except CfgError as exc:
+                cfg.decode_errors.append((exc.pc, str(exc)))
+                edges[start] = ((), None)
+                break
+            d = instr.decoded
+            if _block_end(d):
+                succs, call = _successors(instr)
+                if d.name == "jalr" and not (d.rd == 0 and d.rs1 == 1):
+                    cfg.indirect_jumps.append(pc)
+                edges[start] = (succs, call)
+                worklist.extend(succs)
+                break
+            pc += d.size
+
+    # second pass: materialize blocks, splitting where an edge target
+    # lands inside an already-walked run
+    for start in sorted(starts):
+        block = BasicBlock(start=start)
+        pc = start
+        while True:
+            try:
+                instr = _decode_at(image, base, pc)
+            except CfgError:
+                break
+            block.instrs.append(instr)
+            d = instr.decoded
+            next_pc = pc + d.size
+            if _block_end(d):
+                succs, call = _successors(instr)
+                block.successors = succs
+                block.call_target = call
+                break
+            if next_pc in starts:
+                block.successors = (next_pc,)
+                break
+            pc = next_pc
+        if block.instrs:
+            cfg.blocks[start] = block
+    return cfg
+
+
+# ---------------------------------------------------------------------------
+# constant propagation
+# ---------------------------------------------------------------------------
+#: register state: index -> known unsigned 64-bit value; absent = unknown
+RegState = Dict[int, int]
+
+
+@dataclass(frozen=True)
+class MemAccess:
+    """A load/store with whatever the analysis could resolve."""
+
+    pc: int
+    block: int
+    name: str
+    size: int
+    is_store: bool
+    address: Optional[int]
+    value: Optional[int]  # stored value, when statically known
+
+
+@dataclass
+class AbsintResult:
+    """Fixpoint result of the constant propagation."""
+
+    accesses: List[MemAccess]
+    #: statically-known values written to mtvec (trap vector roots)
+    mtvec_values: List[int]
+    #: block entry states at the fixpoint
+    in_states: Dict[int, RegState]
+
+
+def _apply(d: Decoded, pc: int, state: RegState) -> None:
+    """Transfer function of one instruction over the constant lattice."""
+    name = d.name
+    rd = d.rd
+
+    def get(reg: int) -> Optional[int]:
+        if reg == 0:
+            return 0
+        return state.get(reg)
+
+    def put(value: Optional[int]) -> None:
+        if rd == 0:
+            return
+        if value is None:
+            state.pop(rd, None)
+        else:
+            state[rd] = value & _M64
+
+    if name == "lui":
+        put(d.imm & _M64)
+        return
+    if name == "auipc":
+        put((pc + d.imm) & _M64)
+        return
+    a = get(d.rs1)
+    if name in ("addi", "addiw", "slli", "srli", "srai", "andi", "ori",
+                "xori", "slti", "sltiu", "slliw", "srliw", "sraiw"):
+        if a is None:
+            put(None)
+            return
+        if name == "addi":
+            put(a + d.imm)  # imm is sign-extended by the decoder
+        elif name == "addiw":
+            put(sext((a + d.imm) & 0xFFFF_FFFF, 32) & _M64)
+        elif name == "slli":
+            put(a << d.imm)
+        elif name == "srli":
+            put(a >> d.imm)
+        elif name == "srai":
+            put(sext(a, 64) >> d.imm)
+        elif name == "andi":
+            put(a & (d.imm & _M64))  # imm sign-extended by the decoder
+        elif name == "ori":
+            put(a | (d.imm & _M64))
+        elif name == "xori":
+            put(a ^ (d.imm & _M64))
+        elif name == "slti":
+            put(int(sext(a, 64) < d.imm))
+        elif name == "sltiu":
+            put(int(a < (d.imm & _M64)))
+        elif name == "slliw":
+            put(sext((a << d.imm) & 0xFFFF_FFFF, 32) & _M64)
+        elif name == "srliw":
+            put(sext(((a & 0xFFFF_FFFF) >> d.imm) & 0xFFFF_FFFF, 32) & _M64)
+        elif name == "sraiw":
+            put(sext(sext(a & 0xFFFF_FFFF, 32) >> d.imm, 32) & _M64)
+        return
+    if name in ("add", "sub", "and", "or", "xor", "sll", "srl", "sra",
+                "slt", "sltu", "addw", "subw", "mul"):
+        b = get(d.rs2)
+        if a is None or b is None:
+            put(None)
+            return
+        if name == "add":
+            put(a + b)
+        elif name == "sub":
+            put(a - b)
+        elif name == "and":
+            put(a & b)
+        elif name == "or":
+            put(a | b)
+        elif name == "xor":
+            put(a ^ b)
+        elif name == "sll":
+            put(a << (b & 63))
+        elif name == "srl":
+            put(a >> (b & 63))
+        elif name == "sra":
+            put(sext(a, 64) >> (b & 63))
+        elif name == "slt":
+            put(int(sext(a, 64) < sext(b, 64)))
+        elif name == "sltu":
+            put(int(a < b))
+        elif name == "addw":
+            put(sext((a + b) & 0xFFFF_FFFF, 32) & _M64)
+        elif name == "subw":
+            put(sext((a - b) & 0xFFFF_FFFF, 32) & _M64)
+        elif name == "mul":
+            put(a * b)
+        return
+    if name == "jal":
+        put((pc + d.size) & _M64)  # link register
+        return
+    if name == "jalr":
+        put((pc + d.size) & _M64)
+        return
+    if rd != 0 and (name in LOAD_SIZES or name.startswith(("csrr", "amo",
+                                                           "lr.", "sc."))
+                    or name in ("div", "divu", "rem", "remu", "divw",
+                                "divuw", "remw", "remuw", "mulh", "mulhsu",
+                                "mulhu", "mulw")):
+        put(None)
+        return
+
+
+def _merge(into: RegState, other: RegState) -> bool:
+    """Meet ``other`` into ``into``; True when ``into`` changed."""
+    changed = False
+    for reg in list(into):
+        if other.get(reg) != into[reg]:
+            del into[reg]
+            changed = True
+    return changed
+
+
+def propagate_constants(cfg: ControlFlowGraph) -> AbsintResult:
+    """Flow-sensitive constant propagation to a fixpoint.
+
+    Call fall-through edges kill caller-saved registers (the callee may
+    clobber them); callee entries receive the caller's state so
+    argument constants flow in.
+    """
+    in_states: Dict[int, RegState] = {}
+    seeded: Set[int] = set()
+    worklist: List[int] = []
+    for root in cfg.roots:
+        if root in cfg.blocks:
+            in_states[root] = {}
+            seeded.add(root)
+            worklist.append(root)
+
+    def flow(start: int, state: RegState) -> None:
+        if start not in cfg.blocks:
+            return
+        if start not in seeded:
+            in_states[start] = dict(state)
+            seeded.add(start)
+            worklist.append(start)
+        elif _merge(in_states[start], state):
+            worklist.append(start)
+
+    while worklist:
+        start = worklist.pop()
+        block = cfg.blocks[start]
+        state = dict(in_states[start])
+        for instr in block.instrs:
+            _apply(instr.decoded, instr.pc, state)
+        call = block.call_target
+        for succ in block.successors:
+            if call is not None and succ != call:
+                # fall-through past a call: the callee clobbers the
+                # caller-saved half of the file
+                out = {reg: val for reg, val in state.items()
+                       if reg not in _CALLER_SAVED}
+                flow(succ, out)
+            else:
+                flow(succ, state)
+
+    # collection pass with the fixpoint states
+    accesses: List[MemAccess] = []
+    mtvec_values: List[int] = []
+    for start in sorted(in_states):
+        block = cfg.blocks[start]
+        state = dict(in_states[start])
+        for instr in block.instrs:
+            d = instr.decoded
+            if d.name in LOAD_SIZES or d.name in STORE_SIZES:
+                is_store = d.name in STORE_SIZES
+                base_val = 0 if d.rs1 == 0 else state.get(d.rs1)
+                address = (None if base_val is None
+                           else (base_val + d.imm) & _M64)
+                value: Optional[int] = None
+                if is_store:
+                    value = 0 if d.rs2 == 0 else state.get(d.rs2)
+                accesses.append(MemAccess(
+                    pc=instr.pc, block=start, name=d.name,
+                    size=(STORE_SIZES[d.name] if is_store
+                          else LOAD_SIZES[d.name]),
+                    is_store=is_store, address=address, value=value))
+            elif d.name == "csrrw" and d.csr == _MTVEC:
+                written = 0 if d.rs1 == 0 else state.get(d.rs1)
+                if written is not None:
+                    mtvec_values.append(written & ~3 & _M64)
+            _apply(d, instr.pc, state)
+    return AbsintResult(accesses=accesses, mtvec_values=mtvec_values,
+                        in_states=in_states)
+
+
+def discover_cfg(image: bytes, base: int, entry: int,
+                 extra_roots: Iterable[int] = ()) -> Tuple[ControlFlowGraph,
+                                                           AbsintResult]:
+    """Build the CFG, folding in trap vectors found by the analysis.
+
+    Runs discovery + constant propagation to a combined fixpoint: a
+    ``csrw mtvec`` with a statically-known value adds a root, which can
+    expose more code (and further mtvec writes).
+    """
+    roots: List[int] = [entry, *extra_roots]
+    for _ in range(8):  # trap-vector discovery rarely needs >1 round
+        cfg = build_cfg(image, base, roots)
+        result = propagate_constants(cfg)
+        new_roots = [pc for pc in result.mtvec_values
+                     if base <= pc < base + len(image) and pc not in roots]
+        if not new_roots:
+            return cfg, result
+        roots.extend(new_roots)
+    return cfg, result

@@ -1,0 +1,349 @@
+"""Static firmware verifier: MMIO/CFG analysis against the live SoC.
+
+Reconstructs the CFG of an assembled image (:mod:`repro.verify.cfg`),
+resolves statically-derivable load/store addresses by constant
+propagation, and checks every resolved access against the constructed
+SoC's address map and the :class:`~repro.axi.interface.RegisterBank`
+write-mask metadata.  The checks target the class of driver bug that
+dynamic testing only catches when the buggy path happens to execute:
+stores to read-only status registers, reserved-bit writes, 64-bit
+accesses to AXI4-Lite ports, and reconfiguration kicks that are not
+ordered after the RP decouple.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.axi.interface import RegisterBank
+from repro.core.dma import MM2S_LENGTH, AxiDma
+from repro.core.hwicap import CR_OFFSET as HWICAP_CR_OFFSET
+from repro.core.hwicap import WF_OFFSET as HWICAP_WF_OFFSET
+from repro.core.hwicap import AxiHwIcap
+from repro.core.rp_control import DECOUPLE_OFFSET, RpControlInterface
+from repro.firmware.runtime import STACK_OFFSET
+from repro.lint.findings import Finding, Severity, sort_findings
+from repro.lint.rules._shared import walk_slave_chain
+from repro.riscv.assembler import Program
+from repro.soc.soc import Soc
+from repro.verify.cfg import (
+    AbsintResult,
+    ControlFlowGraph,
+    MemAccess,
+    discover_cfg,
+)
+from repro.verify.rules import vfinding
+
+
+@dataclass
+class FirmwareVerifyReport:
+    """Outcome of statically verifying one firmware image."""
+
+    name: str
+    findings: List[Finding] = field(default_factory=list)
+    #: worst-case stack bound in bytes (None: unbounded / recursion)
+    stack_bound: Optional[int] = None
+    #: MMIO accesses whose addresses the analysis resolved / could not
+    resolved_accesses: int = 0
+    unresolved_accesses: int = 0
+    blocks: int = 0
+    instructions: int = 0
+    unreachable_bytes: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not any(f.severity is Severity.ERROR for f in self.findings)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "artifact": self.name,
+            "kind": "firmware",
+            "ok": self.ok,
+            "stack_bound": self.stack_bound,
+            "resolved_accesses": self.resolved_accesses,
+            "unresolved_accesses": self.unresolved_accesses,
+            "blocks": self.blocks,
+            "instructions": self.instructions,
+            "unreachable_bytes": self.unreachable_bytes,
+            "findings": [f.to_dict() for f in sort_findings(self.findings)],
+        }
+
+
+@dataclass(frozen=True)
+class _Target:
+    """A resolved MMIO access target."""
+
+    region_name: str
+    offset: int
+    terminal: object
+    lite: bool
+
+
+def _resolve_target(soc: Soc, address: int) -> Optional[_Target]:
+    region = soc.xbar.memory_map.decode(address)
+    if region is None:
+        return None
+    chain = walk_slave_chain(region.slave)
+    terminal = chain.terminal
+    lite = bool(getattr(terminal, "lite_only", False))
+    return _Target(region_name=region.name, offset=address - region.base,
+                   terminal=terminal, lite=lite)
+
+
+def verify_firmware(program: Program, soc: Soc, *,
+                    name: str = "firmware",
+                    stack_budget: int = STACK_OFFSET) -> FirmwareVerifyReport:
+    """Statically verify ``program`` against ``soc``'s address map."""
+    image = bytes(program.text)
+    base = program.base
+    cfg, absint = discover_cfg(image, base, program.entry)
+    report = FirmwareVerifyReport(name=name)
+    report.blocks = len(cfg.blocks)
+    report.instructions = sum(len(b.instrs) for b in cfg.blocks.values())
+
+    def where(pc: int) -> str:
+        return f"{name}@{pc:#x}"
+
+    _check_accesses(soc, absint, report, where, image_base=base,
+                    image_size=len(image), cfg=cfg)
+    _check_decouple_dominance(soc, cfg, absint, report, where)
+    _check_stack(cfg, report, where, stack_budget)
+    _check_unreachable(cfg, report, name)
+    report.findings = sort_findings(report.findings)
+    return report
+
+
+# ---------------------------------------------------------------------------
+# MMIO access checks (VFY-FW-001..005, 007)
+# ---------------------------------------------------------------------------
+def _check_accesses(soc: Soc, absint: AbsintResult,
+                    report: FirmwareVerifyReport,
+                    where: Callable[[int], str], *,
+                    image_base: int, image_size: int,
+                    cfg: ControlFlowGraph) -> None:
+    layout = soc.config.layout
+    fencei_reach = _fencei_reachable_blocks(cfg)
+    for access in absint.accesses:
+        if access.address is None:
+            report.unresolved_accesses += 1
+            continue
+        report.resolved_accesses += 1
+        addr = access.address
+        component = where(access.pc)
+        verb = "store" if access.is_store else "load"
+
+        # stores into the executable image: self-modifying code needs a
+        # reachable fence.i before stale bytes can execute (VFY-FW-007)
+        if (access.is_store and image_base <= addr < image_base + image_size
+                and access.block not in fencei_reach):
+            report.findings.append(vfinding(
+                "VFY-FW-007", component,
+                f"{access.name} writes {addr:#x} inside the executable "
+                f"image with no fence.i reachable afterwards",
+                hint="insert fence.i between the store and any execution "
+                     "of the patched code"))
+
+        if not layout.is_mmio(addr):
+            continue
+        target = _resolve_target(soc, addr)
+        if target is None:
+            report.findings.append(vfinding(
+                "VFY-FW-001", component,
+                f"{access.name}: address {addr:#x} decodes to no slave in "
+                f"the SoC memory map",
+                hint="check the firmware's .equ base constants against "
+                     "MemoryLayout"))
+            continue
+        if addr % access.size:
+            report.findings.append(vfinding(
+                "VFY-FW-002", component,
+                f"{access.name}: address {addr:#x} is not aligned to the "
+                f"{access.size}-byte access size",
+                hint="the interconnect responds SLVERR to misaligned MMIO"))
+            continue
+        if access.size == 8 and target.lite:
+            report.findings.append(vfinding(
+                "VFY-FW-005", component,
+                f"{access.name}: 64-bit {verb} to AXI4-Lite-only port "
+                f"{target.region_name!r} at {addr:#x}",
+                hint="use lw/sw; the AXI4->Lite converter carries "
+                     "32-bit beats only"))
+            continue
+        terminal = target.terminal
+        if not isinstance(terminal, RegisterBank):
+            continue  # memories (DDR, boot ROM) have no register map
+        if target.offset >= terminal.size:
+            report.findings.append(vfinding(
+                "VFY-FW-001", component,
+                f"{access.name}: offset {target.offset:#x} is beyond the "
+                f"{terminal.size:#x}-byte register file of "
+                f"{target.region_name!r}"))
+            continue
+        word_offsets = range(target.offset, target.offset + access.size, 4)
+        if access.size >= 4:
+            undefined = [off for off in word_offsets
+                         if not terminal.has_register(off)]
+            if undefined:
+                report.findings.append(vfinding(
+                    "VFY-FW-001", component,
+                    f"{access.name}: {verb} to {target.region_name!r} "
+                    f"offset {target.offset:#x} has no declared register",
+                    hint="reserved offset; reads return 0, writes are "
+                         "dropped by the IP",
+                    severity=Severity.WARNING))
+                continue
+        if not access.is_store or access.size < 4:
+            continue
+        read_only = [off for off in word_offsets
+                     if terminal.register_is_read_only(off)]
+        if read_only:
+            report.findings.append(vfinding(
+                "VFY-FW-003", component,
+                f"{access.name}: write to read-only register "
+                f"{target.region_name!r}+{read_only[0]:#x}",
+                hint="the IP ignores the write; the driver state machine "
+                     "is relying on a side effect that never happens"))
+            continue
+        if access.value is not None:
+            for i, off in enumerate(word_offsets):
+                word = (access.value >> (32 * i)) & 0xFFFF_FFFF
+                mask = terminal.register_write_mask(off)
+                extra = word & ~mask & 0xFFFF_FFFF
+                if extra:
+                    report.findings.append(vfinding(
+                        "VFY-FW-004", component,
+                        f"{access.name}: value {word:#010x} sets reserved "
+                        f"bits {extra:#010x} of {target.region_name!r}"
+                        f"+{off:#x} (write mask {mask:#010x})",
+                        hint="reserved bits must be written as zero"))
+
+
+def _fencei_reachable_blocks(cfg: ControlFlowGraph) -> Set[int]:
+    """Blocks from which a fence.i is reachable (backward closure)."""
+    has_fencei = {start for start, block in cfg.blocks.items()
+                  if any(i.decoded.name == "fence.i" for i in block.instrs)}
+    preds: Dict[int, List[int]] = {start: [] for start in cfg.blocks}
+    for start, block in cfg.blocks.items():
+        for succ in block.successors:
+            if succ in preds:
+                preds[succ].append(start)
+    reach = set(has_fencei)
+    stack = list(has_fencei)
+    while stack:
+        node = stack.pop()
+        for pred in preds.get(node, ()):
+            if pred not in reach:
+                reach.add(pred)
+                stack.append(pred)
+    return reach
+
+
+# ---------------------------------------------------------------------------
+# decouple-before-ICAP dominance (VFY-FW-006)
+# ---------------------------------------------------------------------------
+def _icap_path_offsets(terminal: object) -> Tuple[int, ...]:
+    """Offsets whose stores launch data toward the ICAP."""
+    if isinstance(terminal, AxiDma):
+        return (MM2S_LENGTH,)
+    if isinstance(terminal, AxiHwIcap):
+        return (HWICAP_WF_OFFSET, HWICAP_CR_OFFSET)
+    return ()
+
+
+def _check_decouple_dominance(soc: Soc, cfg: ControlFlowGraph,
+                              absint: AbsintResult,
+                              report: FirmwareVerifyReport,
+                              where: Callable[[int], str]) -> None:
+    # classify the resolved stores once
+    decouple_stores: List[MemAccess] = []   # assert (nonzero/unknown value)
+    icap_stores: List[MemAccess] = []
+    for access in absint.accesses:
+        if not access.is_store or access.address is None:
+            continue
+        target = _resolve_target(soc, access.address)
+        if target is None:
+            continue
+        if (isinstance(target.terminal, RpControlInterface)
+                and target.offset == DECOUPLE_OFFSET):
+            if access.value is None or access.value != 0:
+                decouple_stores.append(access)
+        elif target.offset in _icap_path_offsets(target.terminal):
+            icap_stores.append(access)
+    if not icap_stores:
+        return
+    decouple_by_block: Dict[int, List[int]] = {}
+    for store in decouple_stores:
+        decouple_by_block.setdefault(store.block, []).append(store.pc)
+
+    for root in cfg.roots:
+        if root not in cfg.blocks:
+            continue
+        dominators = cfg.dominators(root)
+        for store in icap_stores:
+            doms = dominators.get(store.block)
+            if doms is None:
+                continue  # not reachable from this root
+            dominated = False
+            for dom_block in doms:
+                pcs = decouple_by_block.get(dom_block)
+                if not pcs:
+                    continue
+                if dom_block == store.block and min(pcs) >= store.pc:
+                    continue  # decouple only after the kick in-block
+                dominated = True
+                break
+            if not dominated:
+                report.findings.append(vfinding(
+                    "VFY-FW-006", where(store.pc),
+                    f"{store.name} launches configuration data toward the "
+                    f"ICAP but no RP decouple store dominates it on the "
+                    f"path from {root:#x}",
+                    hint="write 1 to the RP control DECOUPLE register "
+                         "before kicking the DMA/HWICAP (Listing 1 order)"))
+
+
+# ---------------------------------------------------------------------------
+# stack bound (VFY-FW-008) and unreachable code (VFY-FW-009)
+# ---------------------------------------------------------------------------
+def _check_stack(cfg: ControlFlowGraph, report: FirmwareVerifyReport,
+                 where: Callable[[int], str],
+                 stack_budget: int) -> None:
+    bound, cycle = cfg.worst_stack_depth()
+    report.stack_bound = bound
+    if bound is None:
+        loop = " -> ".join(f"{pc:#x}" for pc in cycle)
+        report.findings.append(vfinding(
+            "VFY-FW-008", where(cycle[0] if cycle else cfg.roots[0]),
+            f"recursive call cycle ({loop}) makes the worst-case stack "
+            f"depth unbounded",
+            hint="bound the recursion or rewrite iteratively",
+            severity=Severity.WARNING))
+        return
+    if bound > stack_budget:
+        report.findings.append(vfinding(
+            "VFY-FW-008", where(cfg.roots[0]),
+            f"worst-case stack depth {bound} bytes exceeds the "
+            f"{stack_budget}-byte reserved stack",
+            hint="raise STACK_OFFSET or shrink the deepest call chain"))
+
+
+def _check_unreachable(cfg: ControlFlowGraph,
+                       report: FirmwareVerifyReport, name: str) -> None:
+    for pc, message in cfg.decode_errors:
+        report.findings.append(vfinding(
+            "VFY-FW-009", f"{name}@{pc:#x}",
+            f"control flow reaches undecodable bytes: {message}",
+            hint="a jump or fall-through runs into data or off the image"))
+    if cfg.indirect_jumps:
+        # unresolved indirect jumps make the reachability under-
+        # approximate; reporting holes would be noise
+        return
+    total = 0
+    for start, end in cfg.unreachable_ranges():
+        total += end - start
+        report.findings.append(vfinding(
+            "VFY-FW-009", f"{name}@{start:#x}",
+            f"{end - start} bytes at [{start:#x}, {end:#x}) are not "
+            f"reachable from the entry point or any trap vector"))
+    report.unreachable_bytes = total

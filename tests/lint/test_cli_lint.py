@@ -40,3 +40,29 @@ class TestRun:
     def test_ast_only(self, capsys):
         assert main(["lint", "--ast"]) == 0
         assert "no findings" in capsys.readouterr().out
+
+
+class TestFormats:
+    def test_sarif_format(self, capsys):
+        assert main(["lint", "--format", "sarif"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["version"] == "2.1.0"
+        run = document["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        assert run["results"] == []
+        # rule metadata is populated even on a clean run
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert "DRC-ADDR-001" in rule_ids
+
+    def test_sarif_to_file(self, tmp_path, capsys):
+        target = tmp_path / "lint.sarif"
+        assert main(["lint", "--format", "sarif", "-o", str(target)]) == 0
+        document = json.loads(target.read_text())
+        assert document["version"] == "2.1.0"
+        assert str(target) in capsys.readouterr().out
+
+    def test_json_flag_and_format_agree(self, capsys):
+        assert main(["lint", "--format", "json"]) == 0
+        via_format = capsys.readouterr().out
+        assert main(["lint", "--json"]) == 0
+        assert capsys.readouterr().out == via_format

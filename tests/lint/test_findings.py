@@ -5,7 +5,9 @@ import json
 from repro.lint.findings import (
     Finding,
     Severity,
+    dedupe_findings,
     findings_to_json,
+    findings_to_sarif,
     render_findings,
     sort_findings,
     suppress,
@@ -91,3 +93,88 @@ class TestReporters:
         findings = [make("DRC-ADDR-001"), make("DRC-IRQ-001")]
         assert findings_to_json(findings) == \
             findings_to_json(list(reversed(findings)))
+
+
+class TestDedupe:
+    def test_identical_findings_collapse_to_one(self):
+        finding = make("DRC-ADDR-001")
+        assert dedupe_findings([finding, finding, finding]) == [finding]
+
+    def test_same_defect_from_two_rules_keeps_the_lower_rule_id(self):
+        findings = [make("DRC-WIDTH-002"), make("DRC-ADDR-001")]
+        kept = dedupe_findings(findings)
+        assert len(kept) == 1
+        assert kept[0].rule_id == "DRC-ADDR-001"
+
+    def test_higher_severity_survivor_wins(self):
+        findings = [make("DRC-B", Severity.WARNING),
+                    make("DRC-A", Severity.ERROR)]
+        kept = dedupe_findings(findings)
+        assert [f.severity for f in kept] == [Severity.ERROR]
+
+    def test_distinct_messages_are_not_duplicates(self):
+        findings = [make("DRC-A", message="first"),
+                    make("DRC-A", message="second")]
+        assert len(dedupe_findings(findings)) == 2
+
+    def test_distinct_components_are_not_duplicates(self):
+        findings = [make("DRC-A", component="soc.a"),
+                    make("DRC-A", component="soc.b")]
+        assert len(dedupe_findings(findings)) == 2
+
+    def test_output_is_sorted(self):
+        findings = [make("DRC-C", Severity.INFO),
+                    make("DRC-A", Severity.ERROR, message="other"),
+                    make("DRC-B", Severity.WARNING, message="third")]
+        kept = dedupe_findings(findings)
+        assert [f.rule_id for f in kept] == ["DRC-A", "DRC-B", "DRC-C"]
+
+
+class TestSarif:
+    def test_document_shape(self):
+        text = findings_to_sarif([
+            make("DRC-ADDR-001", Severity.ERROR, hint="fix it"),
+            make("DRC-IRQ-001", Severity.WARNING),
+        ])
+        document = json.loads(text)
+        assert document["version"] == "2.1.0"
+        run = document["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        assert len(run["results"]) == 2
+        levels = {r["ruleId"]: r["level"] for r in run["results"]}
+        assert levels == {"DRC-ADDR-001": "error", "DRC-IRQ-001": "warning"}
+
+    def test_hint_folds_into_the_message(self):
+        document = json.loads(findings_to_sarif(
+            [make("DRC-ADDR-001", hint="move the window")]))
+        message = document["runs"][0]["results"][0]["message"]["text"]
+        assert "hint: move the window" in message
+
+    def test_rule_index_resolves_for_every_result(self):
+        document = json.loads(findings_to_sarif(
+            [make("DRC-B"), make("DRC-A", message="other")]))
+        run = document["runs"][0]
+        rules = run["tool"]["driver"]["rules"]
+        for result in run["results"]:
+            assert rules[result["ruleIndex"]]["id"] == result["ruleId"]
+
+    def test_rule_help_populates_metadata(self):
+        document = json.loads(findings_to_sarif(
+            [make("DRC-A")],
+            rule_help={"DRC-A": "address windows must not overlap",
+                       "DRC-Z": "unseen rule still listed"}))
+        rules = {r["id"]: r["shortDescription"]["text"]
+                 for r in document["runs"][0]["tool"]["driver"]["rules"]}
+        assert rules["DRC-A"] == "address windows must not overlap"
+        assert "DRC-Z" in rules
+
+    def test_component_becomes_the_artifact_location(self):
+        document = json.loads(findings_to_sarif(
+            [make("DRC-A", component="soc.xbar.uart")]))
+        location = document["runs"][0]["results"][0]["locations"][0]
+        assert location["physicalLocation"]["artifactLocation"]["uri"] == \
+            "soc.xbar.uart"
+
+    def test_empty_findings_is_a_valid_empty_run(self):
+        document = json.loads(findings_to_sarif([]))
+        assert document["runs"][0]["results"] == []

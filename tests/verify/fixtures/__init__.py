@@ -1,0 +1,16 @@
+"""Golden bad-artifact corpus for the verifiers.
+
+One deliberately broken firmware image and one malformed bitstream per
+verifier rule, each paired with a repaired clean twin — mirroring the
+per-rule DRC fixture pattern in ``tests/lint``.
+"""
+
+from tests.verify.fixtures.bitstreams import (  # noqa: F401
+    BITSTREAM_CASES,
+    BitstreamCase,
+    reference_stream,
+)
+from tests.verify.fixtures.firmware import (  # noqa: F401
+    FIRMWARE_CASES,
+    FirmwareCase,
+)

@@ -1,0 +1,208 @@
+"""Miswired firmware fixtures: one failing + one clean image per rule.
+
+Each case assembles a minimal image at the boot-ROM base against the
+default :class:`~repro.soc.config.MemoryLayout`.  The ``bad`` source
+contains exactly the defect its rule targets (and nothing else, so the
+clean twin verifies with zero findings).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.lint import Severity
+from repro.soc.config import MemoryLayout
+
+_LAYOUT = MemoryLayout()
+BASE = _LAYOUT.bootrom_base
+
+#: shared address equates every fixture source can use
+_EQUATES = f"""
+    .equ DMA_BASE,    {_LAYOUT.dma_base:#x}
+    .equ RPCTRL_BASE, {_LAYOUT.rp_ctrl_base:#x}
+    .equ HWICAP_BASE, {_LAYOUT.hwicap_base:#x}
+    .equ STACK_TOP,   {_LAYOUT.ddr_base + 0x10_0000:#x}
+"""
+
+
+@dataclass(frozen=True)
+class FirmwareCase:
+    """A (bad, clean) firmware source pair for one verifier rule."""
+
+    rule_id: str
+    bad: str
+    clean: str
+    severity: Severity = Severity.ERROR
+    #: extra kwargs for verify_firmware (e.g. a tight stack budget)
+    verify_kwargs: Dict[str, int] = field(default_factory=dict)
+
+    def bad_source(self) -> str:
+        return _EQUATES + self.bad
+
+    def clean_source(self) -> str:
+        return _EQUATES + self.clean
+
+
+FIRMWARE_CASES = [
+    FirmwareCase(
+        "VFY-FW-001",
+        bad="""
+        _start:
+            li t0, 0x40000000      # no slave decodes here
+            sw zero, 0(t0)
+            ebreak
+        """,
+        clean="""
+        _start:
+            li t0, DMA_BASE
+            sw zero, 0x18(t0)      # MM2S_SA: mapped, declared, writable
+            ebreak
+        """),
+    FirmwareCase(
+        "VFY-FW-002",
+        bad="""
+        _start:
+            li t0, DMA_BASE
+            addi t0, t0, 2         # word store to a half-word address
+            sw zero, 0(t0)
+            ebreak
+        """,
+        clean="""
+        _start:
+            li t0, DMA_BASE
+            sw zero, 0x18(t0)
+            ebreak
+        """),
+    FirmwareCase(
+        "VFY-FW-003",
+        bad="""
+        _start:
+            li t0, RPCTRL_BASE
+            sw zero, 0x0C(t0)      # RM_STATUS is read-only
+            ebreak
+        """,
+        clean="""
+        _start:
+            li t0, RPCTRL_BASE
+            li t1, 1
+            sw t1, 0x08(t0)        # RM_CTRL bit 0 is writable
+            ebreak
+        """),
+    FirmwareCase(
+        "VFY-FW-004",
+        bad="""
+        _start:
+            li t0, DMA_BASE
+            li t1, -1              # sets every reserved DMACR bit
+            sw t1, 0(t0)
+            ebreak
+        """,
+        clean="""
+        _start:
+            li t0, DMA_BASE
+            li t1, 0x1001          # CR_RS | CR_IOC_IRQ_EN: in-mask
+            sw t1, 0(t0)
+            ebreak
+        """,
+        severity=Severity.WARNING),
+    FirmwareCase(
+        "VFY-FW-005",
+        bad="""
+        _start:
+            li t0, RPCTRL_BASE
+            sd zero, 0(t0)         # 64-bit beat on an AXI4-Lite port
+            ebreak
+        """,
+        clean="""
+        _start:
+            li t0, RPCTRL_BASE
+            sw zero, 0(t0)
+            ebreak
+        """),
+    FirmwareCase(
+        "VFY-FW-006",
+        bad="""
+        _start:
+            li t0, DMA_BASE
+            li t1, 64
+            sw t1, 0x28(t0)        # MM2S_LENGTH kick, never decoupled
+            ebreak
+        """,
+        clean="""
+        _start:
+            li t2, RPCTRL_BASE
+            li t3, 1
+            sw t3, 0(t2)           # decouple first (Listing 1 order)
+            li t0, DMA_BASE
+            li t1, 64
+            sw t1, 0x28(t0)
+            ebreak
+        """),
+    FirmwareCase(
+        "VFY-FW-007",
+        bad="""
+        _start:
+            la t0, patch
+            li t1, 0x13            # addi x0, x0, 0
+            sw t1, 0(t0)           # patches code, no fence.i after
+        patch:
+            nop
+            ebreak
+        """,
+        clean="""
+        _start:
+            la t0, patch
+            li t1, 0x13
+            sw t1, 0(t0)
+            fence.i
+        patch:
+            nop
+            ebreak
+        """,
+        severity=Severity.WARNING),
+    FirmwareCase(
+        "VFY-FW-008",
+        bad="""
+        _start:
+            li sp, STACK_TOP
+            call main
+            ebreak
+        main:
+            addi sp, sp, -64       # exceeds the 32-byte budget below
+            sd ra, 8(sp)
+            ld ra, 8(sp)
+            addi sp, sp, 64
+            ret
+        """,
+        clean="""
+        _start:
+            li sp, STACK_TOP
+            call main
+            ebreak
+        main:
+            addi sp, sp, -16
+            sd ra, 8(sp)
+            ld ra, 8(sp)
+            addi sp, sp, 16
+            ret
+        """,
+        verify_kwargs={"stack_budget": 32}),
+    FirmwareCase(
+        "VFY-FW-009",
+        bad="""
+        _start:
+            j end
+            nop                    # unreachable island
+            nop
+        end:
+            ebreak
+        """,
+        clean="""
+        _start:
+            nop
+            nop
+            ebreak
+        """,
+        severity=Severity.WARNING),
+]

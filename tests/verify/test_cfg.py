@@ -1,0 +1,209 @@
+"""CFG reconstruction + constant propagation on hand-written images."""
+
+from repro.riscv.assembler import assemble
+from repro.verify import build_cfg, discover_cfg, propagate_constants
+
+BASE = 0x1_0000
+
+
+def _cfg(source, entry=None):
+    program = assemble(source, base=BASE)
+    return build_cfg(bytes(program.text), BASE,
+                     [entry if entry is not None else program.entry])
+
+
+class TestDiscovery:
+    def test_straight_line_is_one_block(self):
+        cfg = _cfg("""
+        _start:
+            nop
+            nop
+            ebreak
+        """)
+        assert len(cfg.blocks) == 1
+        block = cfg.blocks[BASE]
+        assert len(block.instrs) == 3
+        assert block.successors == ()
+
+    def test_branch_splits_into_diamond(self):
+        cfg = _cfg("""
+        _start:
+            beq x0, x0, then
+            nop
+        then:
+            ebreak
+        """)
+        entry = cfg.blocks[BASE]
+        assert len(entry.successors) == 2
+        assert set(entry.successors) == {BASE + 8, BASE + 4}
+
+    def test_call_records_interprocedural_edge(self):
+        cfg = _cfg("""
+        _start:
+            call fn
+            ebreak
+        fn:
+            ret
+        """)
+        entry = cfg.blocks[BASE]
+        assert entry.call_target is not None
+        assert entry.call_target in cfg.blocks
+
+    def test_jump_target_mid_run_splits_the_block(self):
+        cfg = _cfg("""
+        _start:
+            nop
+        middle:
+            nop
+            beq x0, x0, middle
+        """)
+        # the back edge lands mid-run, so the run splits at `middle`
+        assert BASE in cfg.blocks
+        assert BASE + 4 in cfg.blocks
+
+    def test_flow_into_data_is_a_decode_error(self):
+        cfg = _cfg("""
+        _start:
+            nop
+            .word 0x0000
+        """)
+        assert cfg.decode_errors
+
+    def test_unreachable_hole_is_reported(self):
+        cfg = _cfg("""
+        _start:
+            j end
+            nop
+            nop
+        end:
+            ebreak
+        """)
+        holes = cfg.unreachable_ranges()
+        assert holes == [(BASE + 4, BASE + 12)]
+
+
+class TestDominators:
+    def test_entry_dominates_everything(self):
+        cfg = _cfg("""
+        _start:
+            beq x0, x0, a
+        b:
+            ebreak
+        a:
+            j b
+        """)
+        dom = cfg.dominators(BASE)
+        for block, doms in dom.items():
+            assert BASE in doms, f"{block:#x} not dominated by entry"
+
+    def test_join_point_not_dominated_by_either_arm(self):
+        cfg = _cfg("""
+        _start:
+            beq x5, x0, arm
+            nop
+        arm:
+            ebreak
+        """)
+        dom = cfg.dominators(BASE)
+        join = BASE + 8
+        assert BASE + 4 not in dom[join]
+
+
+class TestStackDepth:
+    def test_leaf_chain_sums_frames(self):
+        cfg = _cfg("""
+        _start:
+            li sp, 0x80100000
+            call outer
+            ebreak
+        outer:
+            addi sp, sp, -32
+            sd ra, 8(sp)
+            call inner
+            ld ra, 8(sp)
+            addi sp, sp, 32
+            ret
+        inner:
+            addi sp, sp, -16
+            addi sp, sp, 16
+            ret
+        """)
+        bound, cycle = cfg.worst_stack_depth()
+        assert cycle == []
+        assert bound == 48
+
+    def test_recursion_is_unbounded(self):
+        cfg = _cfg("""
+        _start:
+            call fn
+            ebreak
+        fn:
+            addi sp, sp, -16
+            call fn
+            addi sp, sp, 16
+            ret
+        """)
+        bound, cycle = cfg.worst_stack_depth()
+        assert bound is None
+        assert cycle
+
+
+class TestConstantPropagation:
+    def test_li_materialization_resolves_store_address(self):
+        cfg = _cfg("""
+        _start:
+            li t0, 0x30001000
+            sw zero, 0x18(t0)
+            ebreak
+        """)
+        result = propagate_constants(cfg)
+        stores = [a for a in result.accesses if a.is_store]
+        assert stores[0].address == 0x3000_1018
+        assert stores[0].value == 0
+
+    def test_join_of_disagreeing_values_is_unknown(self):
+        cfg = _cfg("""
+        _start:
+            beq x5, x0, other
+            li t0, 0x30001000
+            j store
+        other:
+            li t0, 0x30002000
+        store:
+            sw zero, 0(t0)
+            ebreak
+        """)
+        result = propagate_constants(cfg)
+        stores = [a for a in result.accesses if a.is_store]
+        assert stores[0].address is None
+
+    def test_call_clobbers_caller_saved_registers(self):
+        cfg = _cfg("""
+        _start:
+            li t0, 0x30001000
+            call fn
+            sw zero, 0(t0)
+            ebreak
+        fn:
+            ret
+        """)
+        result = propagate_constants(cfg)
+        stores = [a for a in result.accesses if a.is_store]
+        # t0 is caller-saved: unknown after the call
+        assert stores[0].address is None
+
+    def test_mtvec_write_discovered_as_root(self):
+        source = """
+        _start:
+            la t0, handler
+            csrw mtvec, t0
+            ebreak
+        handler:
+            mret
+        """
+        program = assemble(source, base=BASE)
+        cfg, result = discover_cfg(bytes(program.text), BASE, program.entry)
+        assert result.mtvec_values
+        handler = result.mtvec_values[0]
+        assert handler in cfg.roots
+        assert handler in cfg.blocks

@@ -1,0 +1,97 @@
+"""``repro verify`` CLI: formats, file modes, exit-code contract."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from tests.verify.fixtures import BITSTREAM_CASES, reference_stream
+
+
+@pytest.fixture(scope="module")
+def bad_bitstream_file(tmp_path_factory):
+    """A corrupted reference stream on disk (fires VFY-BIT-005)."""
+    stream, _rp = reference_stream()
+    words = np.array(stream.words, copy=True)
+    case = {c.rule_id: c for c in BITSTREAM_CASES}["VFY-BIT-005"]
+    case.mutate(words)
+    path = tmp_path_factory.mktemp("verify") / "bad.pbi"
+    path.write_bytes(words.astype(">u4").tobytes())
+    return path
+
+
+class TestExitCodes:
+    def test_reference_artifacts_verify_clean(self, capsys):
+        assert main(["verify"]) == 0
+        out = capsys.readouterr().out
+        assert "rvcap_fw: ok" in out
+        assert "no findings" in out
+
+    def test_findings_exit_one(self, bad_bitstream_file, capsys):
+        assert main(["verify", "--bitstream", str(bad_bitstream_file)]) == 1
+        assert "VFY-BIT-005" in capsys.readouterr().out
+
+    def test_internal_error_exit_two(self, tmp_path, capsys):
+        missing = tmp_path / "nope.pbi"
+        assert main(["verify", "--bitstream", str(missing)]) == 2
+        assert "internal error" in capsys.readouterr().err
+
+    def test_list_rules(self, capsys):
+        assert main(["verify", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "VFY-FW-001" in out
+        assert "VFY-BIT-006" in out
+
+
+class TestFormats:
+    def test_json_document_shape(self, capsys):
+        assert main(["verify", "--format", "json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["tool"] == "repro-verify"
+        assert document["ok"] is True
+        kinds = {a["kind"] for a in document["artifacts"]}
+        assert kinds == {"firmware", "bitstream"}
+
+    def test_sarif_results_reference_rules(self, bad_bitstream_file,
+                                           capsys):
+        assert main(["verify", "--format", "sarif",
+                     "--bitstream", str(bad_bitstream_file)]) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["version"] == "2.1.0"
+        run = document["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-verify"
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        for result in run["results"]:
+            assert result["ruleId"] in rule_ids
+        assert any(r["ruleId"] == "VFY-BIT-005" for r in run["results"])
+
+    def test_output_file(self, tmp_path, capsys):
+        target = tmp_path / "verify.json"
+        assert main(["verify", "--json", "-o", str(target)]) == 0
+        document = json.loads(target.read_text())
+        assert document["count"] == 0
+        assert "written to" in capsys.readouterr().out
+
+
+class TestFileModes:
+    def test_firmware_file_mode(self, tmp_path, capsys):
+        from repro.riscv.assembler import assemble
+        # a store into an unmapped hole, assembled to a flat binary
+        program = assemble("""
+        _start:
+            li t0, 0x40000000
+            sw zero, 0(t0)
+            ebreak
+        """, base=0x8000_0000)
+        path = tmp_path / "bad_fw.bin"
+        path.write_bytes(bytes(program.text))
+        assert main(["verify", "--firmware", str(path),
+                     "--base", "0x80000000"]) == 1
+        assert "VFY-FW-001" in capsys.readouterr().out
+
+    def test_clean_bitstream_file_mode(self, tmp_path):
+        stream, _rp = reference_stream()
+        path = tmp_path / "clean.pbi"
+        path.write_bytes(stream.to_bytes())
+        assert main(["verify", "--bitstream", str(path)]) == 0
